@@ -1,0 +1,57 @@
+"""FIG7 — the alternating-bit protocol (paper Fig. 7).
+
+Regenerates the AB sender/receiver machines and re-checks the figure's
+implicit claims: a 6-state sender and 6-state receiver which, composed
+with their (lossy) channel, provide exactly-once alternating delivery.
+The timing measures the full construct-compose-verify pipeline.
+"""
+
+from paper import emit, table
+
+from repro.analysis import spec_stats
+from repro.protocols import ab_end_to_end, ab_receiver, ab_sender
+from repro.satisfy import satisfies
+
+
+def _pipeline():
+    scen = ab_end_to_end(lossy=True)
+    report = satisfies(scen.composite, scen.service)
+    return scen, report
+
+
+def test_fig07_ab_protocol(benchmark):
+    scen, report = benchmark(_pipeline)
+
+    a0, a1 = ab_sender(), ab_receiver()
+    assert len(a0.states) == 6
+    assert len(a1.states) == 6
+    assert report.holds  # exactly-once alternating delivery over loss
+
+    rows = [
+        [s.name, s.states, s.external_transitions, s.internal_transitions]
+        for s in (spec_stats(a0), spec_stats(a1), spec_stats(scen.composite))
+    ]
+    emit(
+        "FIG7",
+        "AB protocol machines (reconstructed from Fig. 7) and their\n"
+        "composition with the lossy channel:\n"
+        + table(["machine", "states", "ext", "int"], rows)
+        + "\npaper claim: exactly-once alternating delivery  ->  "
+        + ("REPRODUCED" if report.holds else "FAILED")
+        + f"\n  ({report.safety.describe()}; {report.progress.describe()})",
+    )
+
+
+def test_fig07_ab_over_reliable_channel(benchmark):
+    def pipeline():
+        scen = ab_end_to_end(lossy=False)
+        return satisfies(scen.composite, scen.service)
+
+    report = benchmark(pipeline)
+    assert report.holds
+    emit(
+        "FIG7-reliable",
+        "AB protocol over a reliable channel also satisfies the service\n"
+        "(timeouts declared but never firing): "
+        + ("REPRODUCED" if report.holds else "FAILED"),
+    )

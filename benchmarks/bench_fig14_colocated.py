@@ -1,0 +1,81 @@
+"""FIG13/14 — the co-located configuration's quotient (paper Figs. 13 & 14).
+
+Regenerates the converter for ``B = A0 ‖ Ach ‖ N1`` and re-checks the
+paper's claims: a converter exists; its ``+D``/``-A`` events talk directly
+to N1; the maximal machine carries superfluous-but-harmless portions (the
+dotted boxes), which can be pruned while preserving correctness.
+"""
+
+from paper import emit, table
+
+from repro.compose import compose
+from repro.protocols import colocated_scenario
+from repro.quotient import QuotientProblem, prune_converter, solve_quotient
+from repro.satisfy import satisfies
+from repro.traces import accepts
+
+
+def _solve():
+    scen = colocated_scenario()
+    result = solve_quotient(
+        scen.service, scen.composite, int_events=scen.interface.int_events
+    )
+    return scen, result
+
+
+def test_fig14_colocated_quotient(benchmark):
+    scen, result = benchmark(_solve)
+
+    assert result.exists
+    converter = result.converter
+    # interface check: direct +D / -A to N1, AB-channel side, no timeout
+    assert set(converter.alphabet) == {"+d0", "+d1", "-a0", "-a1", "+D", "-A"}
+
+    # essential behaviour of the Fig. 14 machine
+    assert accepts(converter, ("+d0", "+D", "-A", "-a0"))
+    assert accepts(converter, ("+d0", "+D", "-A", "-a0", "+d0", "-a0"))  # dup
+    assert accepts(
+        converter, ("+d0", "+D", "-A", "-a0", "+d1", "+D", "-A", "-a1")
+    )
+
+    # independent verification (different code path from the solver)
+    composite = compose(scen.composite, converter)
+    report = satisfies(composite, scen.service)
+    assert report.holds
+
+    rounds = [
+        [r.round_index, len(r.bad_states), r.remaining]
+        for r in result.progress.rounds
+    ]
+    emit(
+        "FIG14",
+        f"B = {scen.composite.name}: {len(scen.composite.states)} states\n"
+        f"safety phase: {len(result.c0.states)} states; progress rounds:\n"
+        + table(["round", "removed", "remaining"], rounds)
+        + f"\nconverter (Fig. 14): {len(converter.states)} states, "
+        f"{len(converter.external)} transitions -> EXISTS (REPRODUCED)\n"
+        "  bit-0/bit-1 relay + duplicate re-acknowledgement behaviour "
+        "present\n"
+        f"  independently verified: {report.holds}",
+    )
+
+
+def test_fig14_superfluous_pruning(benchmark):
+    """The dotted boxes: prune the maximal converter, stay correct."""
+    scen, result = _solve()
+    problem = QuotientProblem.build(scen.service, scen.composite)
+
+    pruned = benchmark(
+        prune_converter, problem, result.converter, result.f
+    )
+    assert len(pruned.states) < len(result.converter.states)
+    composite = compose(scen.composite, pruned)
+    assert satisfies(composite, scen.service).holds
+    emit(
+        "FIG14-pruned",
+        f"maximal converter {len(result.converter.states)} states -> "
+        f"pruned {len(pruned.states)} states; correctness preserved\n"
+        "(paper: removing the superfluous portions 'is computationally\n"
+        " expensive and is best done by hand' — here automated for this "
+        "machine size)",
+    )

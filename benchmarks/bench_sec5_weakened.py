@@ -1,0 +1,81 @@
+"""SEC5-W — weakening the service admits a converter (Section 5 remark).
+
+The paper: "It is possible to weaken the service specification to allow
+delivery of duplicates, and thereby obtain a converter" for the symmetric
+configuration.  The reproduction adds a finding the prose leaves implicit:
+the weakening only works when stated with the paper's own
+nondeterminism-as-choice idiom —
+
+* **nondeterministic weakening** (hub with a {del} option and an {acc}
+  option after each delivery): converter EXISTS;
+* **deterministic weakening** (single acceptance set {acc, del}): still NO
+  converter, because both events would have to be simultaneously offerable
+  while recovery is in flight.
+"""
+
+from paper import emit, table
+
+from repro.protocols import (
+    at_least_once_service,
+    at_least_once_service_strict,
+    symmetric_scenario,
+)
+from repro.quotient import solve_quotient
+from repro.traces import language_upto
+
+
+def _solve_both():
+    scen = symmetric_scenario()
+    nondet = solve_quotient(
+        at_least_once_service(),
+        scen.composite,
+        int_events=scen.interface.int_events,
+    )
+    strict = solve_quotient(
+        at_least_once_service_strict(),
+        scen.composite,
+        int_events=scen.interface.int_events,
+    )
+    return scen, nondet, strict
+
+
+def test_sec5_weakened_service(benchmark):
+    scen, nondet, strict = benchmark(_solve_both)
+
+    # both weakenings share the same trace set ...
+    assert language_upto(at_least_once_service(), 5) == language_upto(
+        at_least_once_service_strict(), 5
+    )
+    # ... but only the nondeterministic one admits a converter
+    assert nondet.exists
+    assert nondet.verification.holds
+    assert not strict.exists
+
+    rows = [
+        [
+            "nondet (hub/options)",
+            "(acc del+)*",
+            "{del} | {acc}",
+            "EXISTS" if nondet.exists else "none",
+            len(nondet.converter.states) if nondet.exists else "-",
+        ],
+        [
+            "deterministic",
+            "(acc del+)*",
+            "{acc, del}",
+            "EXISTS" if strict.exists else "none",
+            "-",
+        ],
+    ]
+    emit(
+        "SEC5-W",
+        "symmetric configuration with the duplicate-tolerant service:\n"
+        + table(
+            ["weakening", "trace set", "acceptance after del", "converter",
+             "states"],
+            rows,
+        )
+        + "\npaper claim (converter obtainable by weakening) -> REPRODUCED\n"
+        "additional finding: the weakening must use the paper's\n"
+        "nondeterministic choice structure; equal trace sets are not enough.",
+    )

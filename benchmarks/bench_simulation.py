@@ -1,0 +1,109 @@
+"""SIM — operational validation of the analytical results.
+
+Executes the paper's systems with the discrete-event engine under seeded
+fair policies and confirms, at runtime, what the satisfaction checker
+proved analytically:
+
+* the AB protocol runs clean (monitor green) across seeds;
+* the NS protocol exhibits the duplicate-delivery violation under loss
+  pressure, with the monitor catching `...del.del`;
+* the derived Fig. 14 converter, dropped into a live system, alternates
+  accept/deliver indefinitely.
+"""
+
+from paper import emit, table
+
+from repro.protocols import (
+    ab_channel,
+    ab_receiver,
+    ab_sender,
+    alternating_service,
+    colocated_scenario,
+    ns_channel,
+    ns_receiver,
+    ns_sender,
+)
+from repro.quotient import solve_quotient
+from repro.simulate import BiasedPolicy, simulate_system, stress
+
+
+def test_sim_ab_protocol_clean(benchmark):
+    components = [ab_sender(), ab_channel(), ab_receiver()]
+
+    def run():
+        return stress(
+            components, alternating_service(), seeds=range(5), steps=1500
+        )
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert report.all_ok
+    emit(
+        "SIM-ab",
+        f"AB protocol, 5 seeded runs × 1500 steps: all clean; "
+        f"{report.total_external('del')} total deliveries",
+    )
+
+
+def test_sim_ns_protocol_duplicates(benchmark):
+    components = [ns_sender(), ns_channel(), ns_receiver()]
+
+    def run():
+        for seed in range(12):
+            result = simulate_system(
+                components,
+                alternating_service(),
+                steps=1500,
+                seed=seed,
+                policy=BiasedPolicy({"internal": 10.0, "del": 5.0}, seed=seed),
+            )
+            if not result.monitor.ok:
+                return result
+        return None
+
+    witness = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert witness is not None
+    trace = witness.monitor.violation_trace
+    assert trace[-2:] == ("del", "del")
+    emit(
+        "SIM-ns",
+        "NS protocol under loss pressure: runtime monitor catches the\n"
+        f"duplicate delivery after {len(trace)} external events "
+        f"(seed {witness.seed}); witness ends ...del.del",
+    )
+
+
+def test_sim_derived_converter(benchmark):
+    scen = colocated_scenario()
+    result = solve_quotient(
+        scen.service, scen.composite, int_events=scen.interface.int_events
+    )
+    components = [ab_sender(), ab_channel(), ns_receiver(), result.converter]
+
+    def run():
+        return stress(
+            components, alternating_service(), seeds=range(5), steps=2000
+        )
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert report.all_ok
+    rows = [
+        [
+            r.seed,
+            r.steps,
+            r.external_counts.get("acc", 0),
+            r.external_counts.get("del", 0),
+            r.worst_stall,
+        ]
+        for r in report.runs
+    ]
+    for r in report.runs:
+        acc = r.external_counts.get("acc", 0)
+        dl = r.external_counts.get("del", 0)
+        assert acc - 1 <= dl <= acc
+    emit(
+        "SIM-converter",
+        "the derived Fig. 14 converter, executed live (fair random policy):\n"
+        + table(["seed", "steps", "accepts", "deliveries", "worst stall"], rows)
+        + "\nmonitor green on every run; accept/deliver counts stay within "
+        "one in flight.",
+    )

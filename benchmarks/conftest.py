@@ -1,0 +1,6 @@
+"""Benchmark-suite conftest: makes `paper` importable from bench modules."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

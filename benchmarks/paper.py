@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one artifact of the paper's evaluation (a
+figure's machine, or a prose claim about it), asserts the qualitative
+result the paper states, and *emits* a small text report — printed and
+written under ``benchmarks/out/`` so EXPERIMENTS.md can reference the
+regenerated numbers.
+"""
+
+from __future__ import annotations
+
+import os
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+def emit(exp_id: str, text: str) -> str:
+    """Print an experiment report and persist it to benchmarks/out/."""
+    banner = f"[{exp_id}]"
+    body = f"{banner}\n{text.rstrip()}\n"
+    print("\n" + body)
+    os.makedirs(OUT_DIR, exist_ok=True)
+    with open(os.path.join(OUT_DIR, f"{exp_id}.txt"), "w", encoding="utf-8") as fh:
+        fh.write(body)
+    return body
+
+
+def table(headers: list[str], rows: list[list[object]]) -> str:
+    """Aligned text table (thin wrapper over the library renderer)."""
+    from repro.io import render_table
+
+    return render_table(headers, rows)

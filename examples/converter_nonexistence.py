@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Diagnosing *why* no converter exists (the Fig. 12 analysis).
+
+The top-down method's distinguishing power is the negative answer: when
+the algorithm returns the empty machine, no converter exists for the given
+inputs, full stop.  This example reproduces the paper's diagnosis of the
+symmetric AB/NS configuration:
+
+* the safety phase succeeds — there IS a converter that never violates
+  strict alternation;
+* but after a loss in the NS-side channel, that converter cannot tell
+  whether the lost message was data or an acknowledgement.  Retransmitting
+  risks a duplicate delivery (safety); not retransmitting risks eternal
+  silence (progress).  The conflict shows up as a livelock in B ‖ C0 —
+  "C and A0 exchange useless data and acknowledgement messages forever" —
+  and the progress phase then eliminates every state.
+
+Run:  python examples/converter_nonexistence.py
+"""
+
+from repro.analysis import find_livelocks
+from repro.compose import compose
+from repro.protocols import symmetric_scenario, weakened_symmetric_scenario
+from repro.quotient import solve_quotient
+
+
+def main() -> None:
+    scenario = symmetric_scenario()
+    print(scenario.describe())
+    print()
+
+    result = solve_quotient(
+        scenario.service,
+        scenario.composite,
+        int_events=scenario.interface.int_events,
+    )
+    assert not result.exists
+
+    print("safety phase:  C0 has", len(result.c0.states), "states "
+          "(a safety-correct converter exists)")
+    for r in result.progress.rounds:
+        print(
+            f"progress round {r.round_index}: marked {len(r.bad_states)} "
+            f"bad, {r.remaining} remaining"
+        )
+    print("=> the initial state was removed: NO converter exists.\n")
+
+    # Exhibit the livelock the paper describes.
+    composite = compose(scenario.composite, result.c0)
+    report = find_livelocks(composite)
+    print("B || C0 livelock analysis:")
+    print(" ", report.describe())
+    visible = [e for e in (report.witness or ()) if e is not None]
+    print(
+        f"  after the user-visible trace {visible}, the system can spin "
+        "through hidden retransmissions forever with no further acc/del."
+    )
+    print()
+
+    # The paper's remedy #1: weaken the service (allow duplicates) — but
+    # only the *nondeterministic* weakening works (see EXPERIMENTS.md).
+    weakened = weakened_symmetric_scenario()
+    weak_result = solve_quotient(
+        weakened.service,
+        weakened.composite,
+        int_events=weakened.interface.int_events,
+    )
+    print(
+        "with the duplicate-tolerant service: converter",
+        "EXISTS" if weak_result.exists else "does not exist",
+        f"({len(weak_result.converter.states)} states)"
+        if weak_result.exists
+        else "",
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Regenerate every figure of the paper as Graphviz DOT files.
+
+Writes one ``.dot`` per machine into an output directory (default
+``figures/``): the inputs (Figs. 7, 8, 10, 11), the safety-phase machine
+of the symmetric configuration (Fig. 12, our maximal version), and the
+co-located quotient before and after pruning (Fig. 14 with and without
+its "dotted boxes").  Render with e.g.::
+
+    dot -Tpng figures/fig14_converter.dot -o fig14.png
+
+Run:  python examples/generate_figures.py [output-dir]
+"""
+
+import sys
+from pathlib import Path
+
+from repro.io import write_dot
+from repro.protocols import (
+    ab_channel,
+    ab_receiver,
+    ab_sender,
+    alternating_service,
+    colocated_scenario,
+    ns_channel,
+    ns_receiver,
+    ns_sender,
+    symmetric_scenario,
+)
+from repro.quotient import QuotientProblem, prune_converter, solve_quotient
+
+
+def main() -> None:
+    out_dir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("figures")
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    figures = {
+        "fig07_ab_sender": ab_sender(),
+        "fig07_ab_receiver": ab_receiver(),
+        "fig08_ns_sender": ns_sender(),
+        "fig08_ns_receiver": ns_receiver(),
+        "fig10_ab_channel": ab_channel(),
+        "fig10_ns_channel": ns_channel(),
+        "fig11_service": alternating_service(),
+    }
+
+    # Fig. 12: safety-phase output of the symmetric configuration
+    symmetric = symmetric_scenario()
+    symmetric_result = solve_quotient(
+        symmetric.service,
+        symmetric.composite,
+        int_events=symmetric.interface.int_events,
+    )
+    figures["fig12_safety_phase_C0"] = symmetric_result.c0.renamed(
+        "Fig12_C0_maximal"
+    )
+
+    # Fig. 14: the co-located quotient, maximal and pruned
+    colocated = colocated_scenario()
+    colocated_result = solve_quotient(
+        colocated.service,
+        colocated.composite,
+        int_events=colocated.interface.int_events,
+    )
+    problem = QuotientProblem.build(colocated.service, colocated.composite)
+    pruned = prune_converter(
+        problem, colocated_result.converter, colocated_result.f,
+        exhaustive=True,
+    )
+    figures["fig14_converter_maximal"] = colocated_result.converter
+    figures["fig14_converter_pruned"] = pruned.renamed("Fig14_pruned")
+
+    for name, spec in figures.items():
+        path = out_dir / f"{name}.dot"
+        write_dot(spec, str(path))
+        print(
+            f"wrote {path}  ({len(spec.states)} states, "
+            f"{len(spec.external)} external transitions)"
+        )
+    print(f"\nrender with:  dot -Tpng {out_dir}/<name>.dot -o <name>.png")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Section 6: interconnecting heterogeneous networks (Figs. 16-18).
+
+Three gateway architectures for the same job, each checked mechanically:
+
+1. **pass-through concatenation** (Fig. 16) — cheap, but provably loses
+   end-to-end synchronization;
+2. **symmetric transport-level conversion** (Fig. 17) — the quotient
+   algorithm proves no converter can restore the end-to-end service;
+3. **asymmetric, co-located conversion** (Fig. 18) — the converter sits
+   with one endpoint over a reliable local path; the quotient algorithm
+   derives it.
+
+Run:  python examples/layered_gateway.py
+"""
+
+from repro.arch import (
+    asymmetric_conversion_scenario,
+    concatenated_system,
+    concatenation_loses_end_to_end_sync,
+    transport_conversion_scenario,
+)
+from repro.quotient import solve_quotient
+from repro.satisfy import satisfies_safety
+from repro.spec import SpecBuilder
+
+
+def main() -> None:
+    # ---- Fig. 16: concatenation --------------------------------------
+    print("Fig. 16 — pass-through concatenation")
+    system = concatenated_system()
+    print(f"  system: {len(system.states)} states over "
+          f"{sorted(system.alphabet)}")
+    finding = concatenation_loses_end_to_end_sync()
+    print(f"  {finding.detail}")
+    causal = (
+        SpecBuilder("causal")
+        .external(0, "acc", 1)
+        .external(1, "acc", 1)
+        .external(1, "del", 1)
+        .initial(0)
+        .build()
+    )
+    weak_ok = satisfies_safety(system, causal).holds
+    print(f"  data still flows (nothing delivered before the first accept): "
+          f"{weak_ok}")
+    print()
+
+    # ---- Fig. 17: symmetric conversion -------------------------------
+    print("Fig. 17 — symmetric transport-level conversion")
+    scen = transport_conversion_scenario()
+    result = solve_quotient(
+        scen.service, scen.composite, int_events=scen.interface.int_events
+    )
+    print(f"  converter exists: {result.exists}   "
+          "(end-to-end service cannot be restored at the boundary)")
+    print()
+
+    # ---- Fig. 18: asymmetric conversion -------------------------------
+    print("Fig. 18 — asymmetric conversion (converter co-located with TB1)")
+    scen = asymmetric_conversion_scenario()
+    result = solve_quotient(
+        scen.service, scen.composite, int_events=scen.interface.int_events
+    )
+    print(f"  converter exists: {result.exists} "
+          f"({len(result.converter.states)} states), independently verified: "
+          f"{result.verification.holds}")
+    print()
+    print("Conclusion (the paper's): placement is architecture — the same "
+          "mismatch is unsolvable at the network boundary and routine when "
+          "the converter can share fate with one endpoint.")
+
+
+if __name__ == "__main__":
+    main()

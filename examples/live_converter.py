@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Derive a converter, then *run* it.
+
+The quotient algorithm proves ``B ‖ C`` satisfies the service; this
+example closes the loop operationally: it drops the derived Fig. 14
+converter into a live discrete-event simulation of the AB sender, the
+lossy channel, and the NS receiver, drives it with a seeded fair policy,
+and watches the service monitor stay green while messages flow —
+including through channel losses and retransmissions.
+
+Run:  python examples/live_converter.py [steps] [seed]
+"""
+
+import sys
+
+from repro.protocols import (
+    ab_channel,
+    ab_sender,
+    alternating_service,
+    colocated_scenario,
+    ns_receiver,
+)
+from repro.quotient import solve_quotient
+from repro.simulate import FairRandomPolicy, ServiceMonitor, Simulator
+
+
+def main() -> None:
+    steps = int(sys.argv[1]) if len(sys.argv) > 1 else 400
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 42
+
+    # 1. derive the converter
+    scenario = colocated_scenario()
+    result = solve_quotient(
+        scenario.service,
+        scenario.composite,
+        int_events=scenario.interface.int_events,
+    )
+    assert result.exists
+    print(
+        f"derived converter: {len(result.converter.states)} states "
+        "(independently verified)"
+    )
+
+    # 2. run it
+    components = [ab_sender(), ab_channel(), ns_receiver(), result.converter]
+    simulator = Simulator(components, FairRandomPolicy(seed))
+    monitor = ServiceMonitor(alternating_service())
+
+    losses = retransmissions = 0
+    for _ in range(steps):
+        move = simulator.step()
+        if move is None:
+            print("DEADLOCK (should never happen)")
+            return
+        monitor.observe_move(move)
+        if move.kind == "internal":
+            losses += 1
+        if move.event in ("-d0", "-d1"):
+            retransmissions += 1
+        if move.kind == "external":
+            marker = "->" if move.event == "acc" else "<-"
+            print(f"  step {len(simulator.log.steps):4d}  {marker} {move.event}")
+
+    # 3. report
+    log = simulator.log
+    print()
+    print(f"ran {len(log.steps)} moves (seed {seed}):")
+    print(f"  accepts:        {log.count('acc')}")
+    print(f"  deliveries:     {log.count('del')}")
+    print(f"  channel losses: {losses}")
+    print(f"  transmissions:  {retransmissions} "
+          "(> accepts when losses forced retries)")
+    print(f"  {monitor.verdict().describe()}")
+
+
+if __name__ == "__main__":
+    main()

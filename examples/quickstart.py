@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Quickstart: derive a protocol converter in ~30 lines.
+
+Scenario: an existing component chain relays a user request ``x`` into an
+internal message ``m``; a second internal message ``n`` triggers the reply
+``y``.  We want the glue logic ("converter") between ``m`` and ``n`` that
+makes the whole system behave as strict request/reply — and we want to
+*derive* it, not design it.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.io import render_spec
+from repro.quotient import solve_quotient
+from repro.spec import SpecBuilder
+
+
+def main() -> None:
+    # The service the users must see: strict x/y alternation (Ext = {x, y}).
+    service = (
+        SpecBuilder("Service")
+        .external(0, "x", 1)
+        .external(1, "y", 0)
+        .initial(0)
+        .build()
+    )
+
+    # The existing components, already composed (Σ = Int ∪ Ext):
+    # on x they emit m; after being fed n they produce y.
+    component = (
+        SpecBuilder("Existing")
+        .external(0, "x", 1)
+        .external(1, "m", 2)
+        .external(2, "n", 3)
+        .external(3, "y", 0)
+        .initial(0)
+        .build()
+    )
+
+    # The quotient: a converter C over Int = {m, n} with
+    # Existing || C satisfying Service — or a proof none exists.
+    result = solve_quotient(service, component)
+
+    print(result.summary())
+    print()
+    if result.exists:
+        print(render_spec(result.converter))
+        print()
+        print("Independent verification:")
+        print(result.verification.describe())
+    else:
+        print("No converter exists for these inputs.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""What is the best service these components can provide?
+
+The paper asks "can B provide service S?" — this example asks the
+designer's converse question and answers it by search: over a family of
+candidate services (strict alternation, window-2 exactly-once,
+duplicate-tolerant in two acceptance styles), find every service a
+converter can achieve and the strongest among them, for both Section 5
+configurations.
+
+The symmetric configuration's answer mechanizes the paper's remark that
+weakening the service to allow duplicates "thereby obtain[s] a converter":
+the weakened service is not merely sufficient — it is exactly the
+frontier.
+
+Run:  python examples/service_frontier.py
+"""
+
+from repro.analysis import service_frontier
+from repro.protocols import (
+    alternating_service,
+    at_least_once_service,
+    at_least_once_service_strict,
+    colocated_scenario,
+    symmetric_scenario,
+    windowed_alternating_service,
+)
+
+
+def main() -> None:
+    candidates = [
+        alternating_service(),            # S: exactly once, strictly alternating
+        windowed_alternating_service(2),  # S(w=2): exactly once, window 2
+        at_least_once_service(),          # S+: duplicates OK (choice-style)
+        at_least_once_service_strict(),   # S+det: duplicates OK (det. style)
+    ]
+
+    for scenario in (symmetric_scenario(), colocated_scenario()):
+        print("=" * 64)
+        print(scenario.title)
+        print("-" * 64)
+        report = service_frontier(candidates, scenario.composite)
+        print(report.describe())
+        print()
+
+    print(
+        "Reading: in the symmetric placement nothing stronger than the\n"
+        "duplicate-tolerant service is possible — the loss between the\n"
+        "converter and the NS receiver is fundamental.  Co-locating the\n"
+        "converter (Fig. 13) buys back exact-once delivery."
+    )
+
+
+if __name__ == "__main__":
+    main()

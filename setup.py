@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The environment has setuptools but no `wheel`, so PEP 517 editable installs
+fail; this shim enables `pip install -e . --no-use-pep517`.  All metadata
+lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,21 @@
+"""Reproduction of Calvert & Lam, "Deriving a Protocol Converter: A
+Top-Down Method" (SIGCOMM 1989).
+
+Top-level convenience re-exports; see subpackages for the full API:
+
+* :mod:`repro.spec` — specifications, normal form, equivalences
+* :mod:`repro.compose` — the || composition operator
+* :mod:`repro.traces` — trace theory and the i/o projections
+* :mod:`repro.satisfy` — safety/progress satisfaction checking
+* :mod:`repro.quotient` — the quotient algorithm (the paper's contribution)
+* :mod:`repro.protocols` — the paper's protocols (AB, NS, channels, services)
+* :mod:`repro.baselines` — Okumura and Lam bottom-up baselines
+* :mod:`repro.arch` — Section 6 layered-architecture modeling
+"""
+
+from .events import Alphabet, Interface
+from .spec import SpecBuilder, Specification
+
+__version__ = "1.0.0"
+
+__all__ = ["Alphabet", "Interface", "SpecBuilder", "Specification", "__version__"]

@@ -1,0 +1,32 @@
+"""Analysis utilities: deadlock/livelock detection, statistics, reports."""
+
+from .frontier import (
+    CandidateOutcome,
+    FrontierReport,
+    service_frontier,
+    stronger_or_equal,
+)
+from .coverage import CoverageReport, converter_coverage
+from .deadlock import DeadlockReport, find_deadlocks, is_dead
+from .explain import bad_state_chronicle, explain_converter
+from .livelock import LivelockReport, find_livelocks, stuck_states
+from .stats import SpecStats, spec_stats
+
+__all__ = [
+    "CandidateOutcome",
+    "CoverageReport",
+    "FrontierReport",
+    "DeadlockReport",
+    "LivelockReport",
+    "SpecStats",
+    "bad_state_chronicle",
+    "converter_coverage",
+    "explain_converter",
+    "find_deadlocks",
+    "find_livelocks",
+    "is_dead",
+    "service_frontier",
+    "spec_stats",
+    "stronger_or_equal",
+    "stuck_states",
+]

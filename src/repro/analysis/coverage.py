@@ -1,0 +1,104 @@
+"""Converter coverage analysis.
+
+Quantifies how much of a (maximal) converter actually participates in the
+composite system — the flip side of the paper's "superfluous portions"
+observation.  For a converter ``C`` against components ``B``:
+
+* a converter state is **engaged** when some reachable composite state
+  ``⟨b, c⟩`` uses it;
+* it is **vacuous** when its quotient pair set is empty (no ``B`` trace
+  matches any converter trace reaching it) — always unengaged;
+* the **traffic census** counts, per converter transition, whether the
+  composite can ever exercise it.
+
+These reports drive pruning decisions and make converter-size comparisons
+(e.g. in the BASE and ABL benchmarks) meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..compose.binary import compose
+from ..spec.graph import reachable_states
+from ..spec.spec import Specification, State, _state_sort_key
+
+
+@dataclass(frozen=True)
+class CoverageReport:
+    """Engagement census of a converter within its composite."""
+
+    converter_states: int
+    engaged_states: tuple[State, ...]
+    unengaged_states: tuple[State, ...]
+    exercised_transitions: int
+    total_transitions: int
+
+    @property
+    def state_coverage(self) -> float:
+        if not self.converter_states:
+            return 0.0
+        return len(self.engaged_states) / self.converter_states
+
+    @property
+    def transition_coverage(self) -> float:
+        if not self.total_transitions:
+            return 0.0
+        return self.exercised_transitions / self.total_transitions
+
+    def describe(self) -> str:
+        return (
+            f"converter coverage: {len(self.engaged_states)}/"
+            f"{self.converter_states} states engaged "
+            f"({self.state_coverage:.0%}), "
+            f"{self.exercised_transitions}/{self.total_transitions} "
+            f"transitions exercisable ({self.transition_coverage:.0%}); "
+            f"{len(self.unengaged_states)} state(s) never used by the "
+            "composite"
+        )
+
+
+def converter_coverage(
+    component: Specification, converter: Specification
+) -> CoverageReport:
+    """Compute the engagement census of *converter* against *component*.
+
+    Builds the reachable composite ``component ‖ converter`` and projects
+    its states and synchronized moves back onto the converter.
+    """
+    composite = compose(component, converter)
+    reachable = reachable_states(composite)
+
+    engaged: set[State] = set()
+    for state in reachable:
+        # composite states are (b, c) pairs produced by binary compose
+        _, c = state
+        engaged.add(c)
+
+    # which converter transitions can fire: a converter transition (c,e,c2)
+    # is exercisable iff some reachable composite state (b,c) has b able to
+    # take e together with the converter (i.e. the synchronized internal
+    # move exists in the composite's internal relation)
+    exercisable: set[tuple[State, str, State]] = set()
+    by_source: dict[State, set[State]] = {}
+    for b, c in reachable:
+        by_source.setdefault(c, set()).add(b)
+    for c, e, c2 in converter.external:
+        for b in by_source.get(c, ()):
+            if any(
+                True for _ in component.successors(b, e)
+            ):
+                exercisable.add((c, e, c2))
+                break
+
+    unengaged = sorted(
+        (s for s in converter.states if s not in engaged),
+        key=_state_sort_key,
+    )
+    return CoverageReport(
+        converter_states=len(converter.states),
+        engaged_states=tuple(sorted(engaged, key=_state_sort_key)),
+        unengaged_states=tuple(unengaged),
+        exercised_transitions=len(exercisable),
+        total_transitions=len(converter.external),
+    )

@@ -1,0 +1,77 @@
+"""Deadlock detection.
+
+A *deadlock* is a reachable state with no outgoing transitions at all —
+the system can neither interact nor move internally.  (A state that merely
+refuses all *external* events but can still move internally is not a
+deadlock; see :mod:`repro.analysis.livelock` for that.)
+
+In the paper's satisfaction theory, deadlock freedom of a closed system
+(empty alphabet) is the degenerate case of progress; these utilities are
+used directly by tests and by the architecture experiments of Section 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..events import Event
+from ..spec.graph import find_path, reachable_states
+from ..spec.spec import Specification, State, _state_sort_key
+from ..traces.core import Trace
+
+
+@dataclass(frozen=True)
+class DeadlockReport:
+    """Deadlock analysis outcome.
+
+    ``deadlocks`` lists reachable dead states; ``witness`` is a shortest
+    label path (events and ``None`` for internal steps) from the initial
+    state to the first deadlock, when one exists.
+    """
+
+    deadlocks: tuple[State, ...]
+    witness: tuple[Event | None, ...] | None
+
+    @property
+    def deadlock_free(self) -> bool:
+        return not self.deadlocks
+
+    def describe(self) -> str:
+        if self.deadlock_free:
+            return "deadlock-free"
+        path = (
+            "unreachable?"
+            if self.witness is None
+            else ".".join("λ" if e is None else e for e in self.witness)
+        )
+        return (
+            f"{len(self.deadlocks)} deadlock state(s); "
+            f"shortest witness: ⟨{path}⟩ to {self.deadlocks[0]!r}"
+        )
+
+
+def is_dead(spec: Specification, state: State) -> bool:
+    """True if *state* has no outgoing external or internal transition."""
+    return not spec.enabled(state) and not spec.has_internal(state)
+
+
+def find_deadlocks(spec: Specification) -> DeadlockReport:
+    """All reachable deadlock states, with a shortest witness path."""
+    dead = tuple(
+        sorted(
+            (s for s in reachable_states(spec) if is_dead(spec, s)),
+            key=_state_sort_key,
+        )
+    )
+    witness = None
+    if dead:
+        dead_set = set(dead)
+        path = find_path(spec, lambda s: s in dead_set)
+        if path is not None:
+            witness = tuple(path)
+    return DeadlockReport(deadlocks=dead, witness=witness)
+
+
+def trace_of_witness(witness: tuple[Event | None, ...]) -> Trace:
+    """Drop internal steps from a witness path, leaving the visible trace."""
+    return tuple(e for e in witness if e is not None)

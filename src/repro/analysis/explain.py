@@ -1,0 +1,95 @@
+"""Human-readable reports of quotient runs.
+
+Turns a :class:`~repro.quotient.types.QuotientResult` into the kind of
+narrative a protocol designer needs: what the phases did, why states died,
+what the converter looks like, and — when no converter exists — where the
+safety/progress conflict lives (the Section 5 diagnosis).
+"""
+
+from __future__ import annotations
+
+from ..compose.binary import compose
+from ..quotient.types import QuotientResult
+from ..spec.spec import Specification, State, _state_sort_key
+from .livelock import find_livelocks
+from .stats import spec_stats
+
+
+def _transition_table(spec: Specification, limit: int = 60) -> list[str]:
+    lines = []
+    shown = 0
+    for s in spec.sorted_states():
+        for e, s2 in spec.out_transitions(s):
+            lines.append(f"    {s!r} --{e}--> {s2!r}")
+            shown += 1
+            if shown >= limit:
+                lines.append(
+                    f"    ... ({len(spec.external) - shown} more transitions)"
+                )
+                return lines
+    return lines
+
+
+def explain_converter(result: QuotientResult, *, show_pairs: bool = False) -> str:
+    """A full textual report of a quotient computation."""
+    lines: list[str] = [result.summary()]
+    problem = result.problem
+
+    if result.c0 is not None:
+        lines.append("")
+        lines.append("safety-phase machine C0:")
+        lines.append("  " + spec_stats(result.c0).describe())
+
+    if result.exists:
+        assert result.converter is not None
+        lines.append("")
+        lines.append("converter C:")
+        lines.append("  " + spec_stats(result.converter).describe())
+        lines.extend(_transition_table(result.converter))
+        if show_pairs:
+            lines.append("  state annotations (f: state -> {(a, b)}):")
+            for c in result.converter.sorted_states():
+                pairs = sorted(result.f.get(c, frozenset()), key=repr)
+                lines.append(f"    {c!r}: {pairs!r}")
+        if result.verification is not None:
+            lines.append("")
+            lines.append(result.verification.describe())
+    elif result.c0 is not None:
+        # diagnose the conflict on the safety-phase composite
+        lines.append("")
+        lines.append("diagnosis (why no converter exists):")
+        composite = compose(problem.component, result.c0)
+        livelock = find_livelocks(composite)
+        lines.append("  B || C0 analysis: " + livelock.describe())
+        if result.progress is not None and result.progress.rounds:
+            first = result.progress.rounds[0]
+            lines.append(
+                f"  progress phase round 0 marked {len(first.bad_states)} of "
+                f"{len(first.bad_states) + first.remaining} states bad; "
+                "removal cascaded to the initial state"
+            )
+            from ..quotient.diagnose import diagnose_nonexistence
+
+            diagnosis = diagnose_nonexistence(result, max_frontier=3)
+            lines.append("")
+            for line in diagnosis.describe().splitlines():
+                lines.append("  " + line)
+    else:
+        lines.append("")
+        lines.append(
+            "diagnosis: ok(h.ε) fails — the component can violate the "
+            "service's safety with no converter interaction at all"
+        )
+    return "\n".join(lines)
+
+
+def bad_state_chronicle(result: QuotientResult) -> list[tuple[int, tuple[State, ...]]]:
+    """Per-round lists of removed states, for tabulation in benchmarks."""
+    if result.progress is None:
+        return []
+    chronicle: list[tuple[int, tuple[State, ...]]] = []
+    for r in result.progress.rounds:
+        chronicle.append(
+            (r.round_index, tuple(sorted(r.bad_states, key=_state_sort_key)))
+        )
+    return chronicle

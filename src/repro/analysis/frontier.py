@@ -1,0 +1,134 @@
+"""Service-frontier analysis: what is the best service B can provide?
+
+The quotient algorithm answers "can these components provide *this*
+service?"  A protocol designer usually asks the converse: "what is the
+*strongest* service these components can be made to provide?"  This
+module answers it over a candidate family:
+
+* candidates are service specifications over the same ``Ext``;
+* candidate ``S1`` is **at least as strong as** ``S2`` when ``S1``
+  satisfies ``S2`` in the paper's sense (``satisfies(S1, S2)``): then any
+  system satisfying ``S1`` also satisfies ``S2`` (trace inclusion composes
+  for safety; the acceptance-set containment composes for progress);
+* a candidate is **achievable** when :func:`repro.quotient.solve_quotient`
+  finds a converter for it;
+* the **frontier** is the set of achievable candidates not strictly
+  dominated by another achievable one.
+
+The SEC5 frontier benchmark runs this over the duplicate-tolerance /
+window family on both paper configurations, mechanizing the paper's
+"weaken the service ... and thereby obtain a converter" remark as a
+search rather than a one-off observation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import AlphabetError
+from ..quotient.solve import solve_quotient
+from ..satisfy.verify import satisfies
+from ..spec.spec import Specification
+
+
+@dataclass(frozen=True)
+class CandidateOutcome:
+    """One candidate service's verdict against the components."""
+
+    service: Specification
+    achievable: bool
+    converter_states: int | None
+
+    @property
+    def name(self) -> str:
+        return self.service.name
+
+
+@dataclass(frozen=True)
+class FrontierReport:
+    """Outcome of a frontier search."""
+
+    outcomes: tuple[CandidateOutcome, ...]
+    frontier: tuple[str, ...]  # names of undominated achievable candidates
+    dominance: tuple[tuple[str, str], ...]  # (stronger, weaker) pairs
+
+    def describe(self) -> str:
+        lines = ["service frontier:"]
+        for o in self.outcomes:
+            verdict = (
+                f"achievable ({o.converter_states}-state converter)"
+                if o.achievable
+                else "not achievable"
+            )
+            star = " *" if o.name in self.frontier else ""
+            lines.append(f"  {o.name:24s} {verdict}{star}")
+        lines.append("  (* = on the frontier: strongest achievable)")
+        return "\n".join(lines)
+
+
+def stronger_or_equal(s1: Specification, s2: Specification) -> bool:
+    """``S1`` at least as strong as ``S2``: ``S1`` satisfies ``S2``."""
+    if s1.alphabet != s2.alphabet:
+        return False
+    return satisfies(s1, s2).holds
+
+
+def service_frontier(
+    candidates: Sequence[Specification],
+    component: Specification,
+    *,
+    verify: bool = True,
+) -> FrontierReport:
+    """Evaluate every candidate and compute the achievability frontier.
+
+    All candidates must share one alphabet (the Ext of the problem).
+    Candidates must be in normal form (enforced by the solver).
+    """
+    alphabets = {frozenset(c.alphabet) for c in candidates}
+    if len(alphabets) > 1:
+        raise AlphabetError(
+            "all frontier candidates must share one service alphabet"
+        )
+    names = [c.name for c in candidates]
+    if len(set(names)) != len(names):
+        raise AlphabetError("frontier candidates must have distinct names")
+
+    outcomes: list[CandidateOutcome] = []
+    for service in candidates:
+        result = solve_quotient(service, component, verify=verify)
+        outcomes.append(
+            CandidateOutcome(
+                service=service,
+                achievable=result.exists,
+                converter_states=(
+                    len(result.converter.states) if result.exists else None
+                ),
+            )
+        )
+
+    dominance: list[tuple[str, str]] = []
+    for a in candidates:
+        for b in candidates:
+            if a.name != b.name and stronger_or_equal(a, b):
+                dominance.append((a.name, b.name))
+
+    achievable = {o.name for o in outcomes if o.achievable}
+    strictly_dominated = set()
+    for stronger, weaker in dominance:
+        if (
+            stronger in achievable
+            and weaker in achievable
+            and (weaker, stronger) not in dominance  # strict
+        ):
+            strictly_dominated.add(weaker)
+    frontier = tuple(
+        o.name
+        for o in outcomes
+        if o.achievable and o.name not in strictly_dominated
+    )
+    return FrontierReport(
+        outcomes=tuple(outcomes),
+        frontier=frontier,
+        dominance=tuple(sorted(dominance)),
+    )

@@ -1,0 +1,120 @@
+"""Livelock ("useless exchange forever") detection.
+
+Section 5 observes that the symmetric configuration's safety-phase
+converter has states from which, after a loss in the NS channel, "the user
+sees no further progress, while C and A0 exchange useless data and
+acknowledgement messages forever" (the paper's states 6, 8, 15 and 17 in
+Fig. 12).  This module detects exactly that situation in a composite:
+
+* a state is **stuck** when no external event is enabled anywhere in its
+  internal closure (``τ*.s = ∅``) — the environment will never see another
+  event;
+* a stuck state is a **livelock** when its internal closure contains an
+  internal cycle (the system keeps exchanging hidden messages forever);
+* a stuck state whose closure can only halt is a plain deadlock tail.
+
+The Fig. 12 benchmark uses :func:`find_livelocks` on ``B ‖ C0`` to exhibit
+the paper's phenomenon mechanically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..events import Event
+from ..spec.graph import (
+    find_path,
+    internal_sccs,
+    lambda_closure_of,
+    reachable_states,
+    tau_star,
+)
+from ..spec.spec import Specification, State, _state_sort_key
+
+
+@dataclass(frozen=True)
+class LivelockReport:
+    """Livelock analysis outcome.
+
+    ``stuck`` — reachable states with ``τ* = ∅``;
+    ``livelocked`` — the subset whose closure contains an internal cycle;
+    ``witness`` — a shortest label path from the initial state to the first
+    livelocked state (``None`` when there is none);
+    ``cycle`` — the states of one internal cycle inside that livelock.
+    """
+
+    stuck: tuple[State, ...]
+    livelocked: tuple[State, ...]
+    witness: tuple[Event | None, ...] | None
+    cycle: frozenset[State] | None
+
+    @property
+    def livelock_free(self) -> bool:
+        return not self.livelocked
+
+    def describe(self) -> str:
+        if self.livelock_free:
+            if self.stuck:
+                return (
+                    f"no livelocks, but {len(self.stuck)} stuck "
+                    "(externally silent) state(s)"
+                )
+            return "livelock-free"
+        visible = (
+            None
+            if self.witness is None
+            else ".".join(e for e in self.witness if e is not None)
+        )
+        return (
+            f"{len(self.livelocked)} livelocked state(s) "
+            f"(of {len(self.stuck)} stuck); after trace ⟨{visible}⟩ the "
+            f"system can cycle internally forever through "
+            f"{len(self.cycle or ())} state(s) with no further external event"
+        )
+
+
+def stuck_states(spec: Specification) -> frozenset[State]:
+    """Reachable states whose internal closure enables no external event."""
+    offered = tau_star(spec)
+    return frozenset(
+        s for s in reachable_states(spec) if not offered[s]
+    )
+
+
+def find_livelocks(spec: Specification) -> LivelockReport:
+    """Full livelock analysis of a specification (usually a composite)."""
+    stuck = stuck_states(spec)
+
+    # internal cycles: nontrivial λ-SCCs, or states with a λ self-loop
+    # (self-loops are dropped at construction, so only SCCs matter)
+    components, _ = internal_sccs(spec)
+    cyclic = frozenset(
+        s for comp in components if len(comp) > 1 for s in comp
+    )
+
+    livelocked: list[State] = []
+    first_cycle: frozenset[State] | None = None
+    for s in sorted(stuck, key=_state_sort_key):
+        closure = lambda_closure_of(spec, s)
+        hit = closure & cyclic
+        if hit:
+            livelocked.append(s)
+            if first_cycle is None:
+                for comp in components:
+                    if len(comp) > 1 and set(comp) <= closure:
+                        first_cycle = frozenset(comp)
+                        break
+
+    witness = None
+    if livelocked:
+        target = set(livelocked)
+        path = find_path(spec, lambda s: s in target)
+        if path is not None:
+            witness = tuple(path)
+
+    return LivelockReport(
+        stuck=tuple(sorted(stuck, key=_state_sort_key)),
+        livelocked=tuple(livelocked),
+        witness=witness,
+        cycle=first_cycle,
+    )

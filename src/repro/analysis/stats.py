@@ -1,0 +1,71 @@
+"""Structural statistics of specifications, for reports and benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..spec.graph import reachable_states, sink_sets
+from ..spec.normal_form import is_normal_form
+from ..spec.spec import Specification
+from .deadlock import find_deadlocks
+
+
+@dataclass(frozen=True)
+class SpecStats:
+    """A summary snapshot of one specification."""
+
+    name: str
+    states: int
+    reachable: int
+    events: int
+    external_transitions: int
+    internal_transitions: int
+    deterministic: bool
+    normal_form: bool
+    sink_set_count: int
+    largest_sink_set: int
+    deadlocks: int
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: {self.states} states ({self.reachable} reachable), "
+            f"{self.events} events, {self.external_transitions} external / "
+            f"{self.internal_transitions} internal transitions; "
+            f"{'deterministic' if self.deterministic else 'nondeterministic'}, "
+            f"{'normal form' if self.normal_form else 'not normal form'}, "
+            f"{self.sink_set_count} sink set(s) (largest {self.largest_sink_set}), "
+            f"{self.deadlocks} deadlock(s)"
+        )
+
+    def as_row(self) -> dict[str, object]:
+        """Flat dict form for tabular output in benchmarks."""
+        return {
+            "name": self.name,
+            "states": self.states,
+            "reachable": self.reachable,
+            "events": self.events,
+            "ext_transitions": self.external_transitions,
+            "int_transitions": self.internal_transitions,
+            "deterministic": self.deterministic,
+            "normal_form": self.normal_form,
+            "sink_sets": self.sink_set_count,
+            "deadlocks": self.deadlocks,
+        }
+
+
+def spec_stats(spec: Specification) -> SpecStats:
+    """Compute :class:`SpecStats` for *spec*."""
+    sinks = sink_sets(spec)
+    return SpecStats(
+        name=spec.name,
+        states=len(spec.states),
+        reachable=len(reachable_states(spec)),
+        events=len(spec.alphabet),
+        external_transitions=len(spec.external),
+        internal_transitions=len(spec.internal),
+        deterministic=spec.is_deterministic(),
+        normal_form=is_normal_form(spec),
+        sink_set_count=len(sinks),
+        largest_sink_set=max((len(s) for s in sinks), default=0),
+        deadlocks=len(find_deadlocks(spec).deadlocks),
+    )

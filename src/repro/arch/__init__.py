@@ -1,0 +1,26 @@
+"""Layered-architecture modeling and gateway constructions (Section 6)."""
+
+from .gateway import (
+    GatewayFinding,
+    asymmetric_conversion_scenario,
+    concatenated_system,
+    concatenation_loses_end_to_end_sync,
+    front_man_scenario,
+    pass_through_entity,
+    transport_conversion_scenario,
+)
+from .layers import LayerEntity, Stack, end_to_end_system, stack_composite
+
+__all__ = [
+    "GatewayFinding",
+    "LayerEntity",
+    "Stack",
+    "asymmetric_conversion_scenario",
+    "concatenated_system",
+    "concatenation_loses_end_to_end_sync",
+    "end_to_end_system",
+    "front_man_scenario",
+    "pass_through_entity",
+    "stack_composite",
+    "transport_conversion_scenario",
+]

@@ -1,0 +1,149 @@
+"""Gateway constructions of Section 6 (Figs. 16-18).
+
+Three architectural options for interconnecting heterogeneous networks are
+modeled concretely with the paper's own protocols:
+
+* **Fig. 16 — pass-through concatenation**: connect the two transport
+  services back-to-back with a simple relay entity.  Data flows, but
+  *end-to-end synchronization is lost*: the A-side connection completes as
+  soon as the relay holds the data, so the A-side user can run ahead of
+  actual delivery (the "orderly close" anomaly).  The library demonstrates
+  this as a machine-checked fact: the concatenated system satisfies a
+  buffered/at-least-once style service but **not** the end-to-end
+  alternating service.
+* **Fig. 17 — symmetric transport-level conversion**: replace the facing
+  peers with a converter between the two (unreliable) paths.  This is
+  exactly the Section 5 symmetric configuration, posed through the
+  architecture API.
+* **Fig. 18 — asymmetric (co-located) conversion**: the converter sits
+  with one endpoint; its path to the remote peer is unreliable, its path
+  to the local entity is reliable.  This is the Section 5 co-located
+  configuration, where a converter exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..compose.nary import compose_many
+from ..protocols.abp import ab_receiver, ab_sender
+from ..protocols.channels import ab_channel, ns_channel
+from ..protocols.configs import ConversionScenario, colocated_scenario, symmetric_scenario
+from ..protocols.nonseq import ns_receiver, ns_sender
+from ..protocols.services import alternating_service
+from ..spec.builder import SpecBuilder
+from ..spec.ops import rename_events
+from ..spec.spec import Specification
+
+XFER = "__xfer__"
+"""Internal handoff event of the pass-through entity."""
+
+
+def pass_through_entity(
+    *, receive: str, forward: str, name: str = "PT", capacity: int = 1
+) -> Specification:
+    """The Fig. 16 pass-through entity: a *capacity*-bounded relay.
+
+    Receives on *receive* (e.g. the A-side transport's deliver event) and
+    forwards on *forward* (e.g. the B-side transport's accept event).
+    """
+    builder = SpecBuilder(name).initial(0)
+    for held in range(capacity):
+        builder.external(held, receive, held + 1)
+        builder.external(held + 1, forward, held)
+    return builder.build()
+
+
+def concatenated_system(*, capacity: int = 1) -> Specification:
+    """Fig. 16: AB transport on side A, NS transport on side B, joined by a
+    pass-through relay; user interface ``{acc, del}``.
+
+    The relay fuses the AB receiver's ``del`` with the NS sender's ``acc``:
+    both are renamed to distinct relay events so each synchronizes with one
+    side of the pass-through entity, and the handoff is hidden.
+    """
+    recv_a = "xferA"  # AB receiver's delivery into the relay
+    send_b = "xferB"  # relay's submission into the NS sender
+    a1 = rename_events(ab_receiver(), {"del": recv_a})
+    n0 = rename_events(ns_sender(), {"acc": send_b})
+    relay = pass_through_entity(receive=recv_a, forward=send_b, capacity=capacity)
+    return compose_many(
+        [ab_sender(), ab_channel(), a1, relay, n0, ns_channel(), ns_receiver()],
+        name="A0||Ach||A1||PT||N0||Nch||N1",
+    )
+
+
+@dataclass(frozen=True)
+class GatewayFinding:
+    """Machine-checked statement about a gateway construction."""
+
+    title: str
+    holds: bool
+    detail: str
+
+
+def concatenation_loses_end_to_end_sync() -> GatewayFinding:
+    """Check the Fig. 16 anomaly: concatenation breaks strict alternation.
+
+    The composite's user interface is ``{acc, del}``; the alternating
+    service demands ``del`` before the next ``acc``, but the concatenated
+    system lets the A-side complete (and accept again) while the message
+    is still inside the relay or the B-side connection.
+    """
+    from ..satisfy.safety import satisfies_safety
+
+    system = concatenated_system()
+    result = satisfies_safety(system, alternating_service())
+    trace = result.counterexample
+    return GatewayFinding(
+        title="pass-through concatenation vs end-to-end alternating service",
+        holds=not result.holds,  # the *finding* is that satisfaction FAILS
+        detail=(
+            "concatenated system violates strict alternation with trace "
+            + ("⟨" + ".".join(trace) + "⟩" if trace else "(none found?)")
+        ),
+    )
+
+
+def transport_conversion_scenario() -> ConversionScenario:
+    """Fig. 17: symmetric transport-level conversion (no converter exists)."""
+    scenario = symmetric_scenario()
+    return ConversionScenario(
+        title="Fig. 17 transport-level conversion (symmetric placement)",
+        service=scenario.service,
+        components=scenario.components,
+        composite=scenario.composite,
+        interface=scenario.interface,
+    )
+
+
+def asymmetric_conversion_scenario() -> ConversionScenario:
+    """Fig. 18: converter co-located with the B-side entity (reliable local
+    path, unreliable remote path) — a converter exists."""
+    scenario = colocated_scenario()
+    return ConversionScenario(
+        title="Fig. 18 asymmetric conversion (co-located placement)",
+        service=scenario.service,
+        components=scenario.components,
+        composite=scenario.composite,
+        interface=scenario.interface,
+    )
+
+
+def front_man_scenario() -> ConversionScenario:
+    """Section 6's closing example: the converter as a server "front man".
+
+    ``N1`` plays a B-architecture server; ``A0`` a remote A-architecture
+    client reaching it over an unreliable internetwork path (``Ach``); the
+    converter is co-located with the server and mediates.  Structurally the
+    co-located configuration — provided under this name so the example
+    reads like the prose.
+    """
+    scenario = colocated_scenario()
+    return ConversionScenario(
+        title="server front-man conversion (Section 6)",
+        service=scenario.service,
+        components=scenario.components,
+        composite=scenario.composite,
+        interface=scenario.interface,
+    )

@@ -1,0 +1,131 @@
+"""Layered-architecture modeling (Section 6).
+
+Section 6 lifts the conversion problem into layered network architectures:
+protocol stacks where each layer's peers communicate through the service
+below.  This module provides a light formal model of such stacks —
+enough to pose the Fig. 16-18 configurations as ordinary composition and
+quotient problems:
+
+* a :class:`LayerEntity` is a specification plus declared upper/lower
+  interfaces (which events face the user above, which face the service
+  below);
+* a :class:`Stack` is a sequence of entities composed bottom-up, each
+  entity synchronizing with the service below it on its lower interface;
+* :func:`stack_composite` produces the resulting composite specification
+  with only the top (user) interface and any declared open interfaces
+  exposed.
+
+The model deliberately ignores addressing, routing and management, exactly
+as the paper does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from ..compose.nary import compose_many
+from ..errors import CompositionError
+from ..events import Alphabet
+from ..spec.spec import Specification
+
+
+@dataclass(frozen=True)
+class LayerEntity:
+    """One protocol entity in a stack.
+
+    ``upper`` is its service interface to the layer above (or the end
+    user); ``lower`` is its interface to the service below.  Together they
+    must cover the spec's alphabet; events in neither set are peer-to-peer
+    events expected to be matched by the transmission substrate.
+    """
+
+    spec: Specification
+    upper: Alphabet
+    lower: Alphabet
+
+    def __post_init__(self) -> None:
+        upper = Alphabet(self.upper)
+        lower = Alphabet(self.lower)
+        object.__setattr__(self, "upper", upper)
+        object.__setattr__(self, "lower", lower)
+        overlap = upper & lower
+        if overlap:
+            raise CompositionError(
+                f"{self.spec.name}: upper and lower interfaces overlap on "
+                f"{overlap.sorted()}"
+            )
+        outside = (upper | lower) - self.spec.alphabet
+        if outside:
+            raise CompositionError(
+                f"{self.spec.name}: interface declares events not in the "
+                f"alphabet: {outside.sorted()}"
+            )
+
+
+@dataclass(frozen=True)
+class Stack:
+    """A one-host protocol stack: entities listed bottom (substrate) first.
+
+    Each adjacent pair must share exactly the events of the lower entity's
+    ``upper`` interface and the upper entity's ``lower`` interface (that is
+    how layer N uses the layer N−1 service).
+    """
+
+    name: str
+    entities: tuple[LayerEntity, ...]
+
+    def validate(self) -> None:
+        if not self.entities:
+            raise CompositionError(f"stack {self.name!r} is empty")
+        for below, above in zip(self.entities, self.entities[1:]):
+            expected = Alphabet(below.upper)
+            declared = Alphabet(above.lower)
+            if expected != declared:
+                raise CompositionError(
+                    f"stack {self.name!r}: {below.spec.name}.upper "
+                    f"{expected.sorted()} does not match "
+                    f"{above.spec.name}.lower {declared.sorted()}"
+                )
+            shared = below.spec.alphabet & above.spec.alphabet
+            if shared != expected:
+                raise CompositionError(
+                    f"stack {self.name!r}: {below.spec.name} and "
+                    f"{above.spec.name} share {shared.sorted()} but the "
+                    f"declared layer interface is {expected.sorted()}"
+                )
+
+
+def stack_composite(stack: Stack) -> Specification:
+    """Compose a stack bottom-up into one specification.
+
+    Layer interfaces synchronize and are hidden by the ``‖`` operator; the
+    result's alphabet is the top entity's upper interface plus every
+    entity's unmatched (peer/substrate) events.
+    """
+    stack.validate()
+    return compose_many(
+        [entity.spec for entity in stack.entities], name=stack.name
+    )
+
+
+def end_to_end_system(
+    left: Stack | Specification,
+    substrate: Specification,
+    right: Stack | Specification,
+    *,
+    name: str | None = None,
+) -> Specification:
+    """Two stacks joined by a transmission substrate.
+
+    *left* and *right* are host stacks (or pre-composed specs); *substrate*
+    is the medium carrying their peer events (a channel, a network service,
+    an internetwork service...).  Shared events synchronize pairwise as
+    usual.
+    """
+    left_spec = stack_composite(left) if isinstance(left, Stack) else left
+    right_spec = stack_composite(right) if isinstance(right, Stack) else right
+    return compose_many(
+        [left_spec, substrate, right_spec],
+        name=name
+        if name is not None
+        else f"{left_spec.name}--{substrate.name}--{right_spec.name}",
+    )

@@ -1,0 +1,31 @@
+"""Bottom-up baselines: Okumura's seed method and Lam's projection method."""
+
+from .okumura import (
+    RELAY_EVENT,
+    ConversionSeed,
+    OkumuraResult,
+    fuse_peers,
+    okumura_converter,
+)
+from .projection import (
+    MessageCorrespondence,
+    ProjectionMap,
+    ab_to_ns_projection_map,
+    is_faithful_projection,
+    project,
+    relay_converter,
+)
+
+__all__ = [
+    "ConversionSeed",
+    "MessageCorrespondence",
+    "OkumuraResult",
+    "ProjectionMap",
+    "RELAY_EVENT",
+    "ab_to_ns_projection_map",
+    "fuse_peers",
+    "is_faithful_projection",
+    "okumura_converter",
+    "project",
+    "relay_converter",
+]

@@ -1,0 +1,197 @@
+"""Okumura's bottom-up converter derivation (baseline).
+
+K. Okumura, *A formal protocol conversion method*, SIGCOMM '86 — the main
+prior approach the paper positions against (Section 2).  Instead of a
+global service specification, the inputs are:
+
+* the **missing entities** of the two protocols — the peer machines the
+  converter replaces (e.g. the AB receiver ``A1`` and the NS sender ``N0``
+  when converting between ``A0`` and ``N1``), and
+* a **conversion seed**: a partial specification over (a subset of) the
+  converter's events expressing required correspondences/orderings.
+
+The derivation used here follows the method's shape:
+
+1. fuse the missing entities' *service* interfaces (the deliver event of
+   one peer feeds the accept event of the other) into an internal relay;
+2. take the synchronous product of the fused machines with the seed
+   (every machine whose alphabet contains an event must enable it);
+3. iteratively prune states that cannot proceed at all (local deadlock
+   pruning) — Okumura's progressiveness cleanup.
+
+The crucial *limitation* — the point of the paper's comparison — is
+faithfully reproduced: the result is derived from the missing entities, so
+it must still be checked against the global service afterwards, and when
+that check fails the method gives no further guidance (whereas the
+top-down quotient's failure proves nonexistence).  The BASE benchmark runs
+exactly this comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..compose.binary import synchronous_product
+from ..errors import QuotientError
+from ..spec.ops import hide_events, prune_unreachable, rename_events
+from ..spec.spec import Specification, _state_sort_key
+
+RELAY_EVENT = "__relay__"
+"""Internal name for the fused deliver→accept handoff."""
+
+
+@dataclass(frozen=True)
+class ConversionSeed:
+    """A partial converter specification (Okumura's "conversion seed").
+
+    ``spec`` constrains the ordering of the events in its alphabet; events
+    outside its alphabet are unconstrained.  ``trivial_seed`` builds the
+    no-constraint seed.
+    """
+
+    spec: Specification
+
+    @staticmethod
+    def trivial(name: str = "seed") -> "ConversionSeed":
+        """The unconstraining seed: one state, empty alphabet."""
+        return ConversionSeed(
+            Specification(name, [0], (), (), (), 0)
+        )
+
+
+@dataclass(frozen=True)
+class OkumuraResult:
+    """Outcome of the bottom-up derivation.
+
+    ``converter`` is the derived machine (``None`` if pruning emptied it);
+    ``raw_product`` is the pre-pruning product, kept for diagnostics;
+    ``pruned_states`` counts local-deadlock removals.
+    """
+
+    converter: Specification | None
+    raw_product: Specification
+    pruned_states: int
+
+    @property
+    def exists(self) -> bool:
+        return self.converter is not None
+
+
+def fuse_peers(
+    p_peer: Specification,
+    q_peer: Specification,
+    *,
+    p_deliver: str,
+    q_accept: str,
+    name: str = "fused",
+) -> Specification:
+    """Fuse the missing entities: ``p_deliver`` of one feeds ``q_accept``
+    of the other, becoming an internal handoff of the candidate converter.
+    """
+    p_renamed = rename_events(p_peer, {p_deliver: RELAY_EVENT})
+    q_renamed = rename_events(q_peer, {q_accept: RELAY_EVENT})
+    # synchronize on the relay, keep everything else; then hide the relay
+    product = synchronous_product(p_renamed, q_renamed, name=name)
+    return hide_events(product, [RELAY_EVENT], name=name)
+
+
+def _prune_local_deadlocks(spec: Specification) -> tuple[Specification, int]:
+    """Iteratively remove states with no outgoing moves (and re-trim)."""
+    removed_total = 0
+    current = spec
+    while True:
+        dead = {
+            s
+            for s in current.states
+            if not current.enabled(s) and not current.has_internal(s)
+        }
+        dead.discard(current.initial)
+        if not dead:
+            return current, removed_total
+        removed_total += len(dead)
+        keep = current.states - dead
+        current = prune_unreachable(
+            Specification(
+                current.name,
+                keep,
+                current.alphabet,
+                (
+                    (s, e, s2)
+                    for s, e, s2 in current.external
+                    if s in keep and s2 in keep
+                ),
+                (
+                    (s, s2)
+                    for s, s2 in current.internal
+                    if s in keep and s2 in keep
+                ),
+                current.initial,
+            )
+        )
+
+
+def okumura_converter(
+    p_peer: Specification,
+    q_peer: Specification,
+    *,
+    p_deliver: str,
+    q_accept: str,
+    seed: ConversionSeed | None = None,
+    name: str | None = None,
+) -> OkumuraResult:
+    """Derive a converter bottom-up from the missing peer entities.
+
+    Parameters
+    ----------
+    p_peer, q_peer:
+        The machines the converter replaces (their channel-side alphabets
+        become the converter's interface).
+    p_deliver, q_accept:
+        The service events fused into the internal relay (the message
+        handoff inside the converter).
+    seed:
+        Optional ordering constraints (default: unconstraining).
+
+    Notes
+    -----
+    The derived machine contains internal transitions (the relay handoff
+    and any λ steps of the peers); it is a converter *specification* in the
+    paper's sense and can be composed and checked like any other.
+    """
+    if p_deliver not in p_peer.alphabet:
+        raise QuotientError(
+            f"{p_deliver!r} is not an event of {p_peer.name}"
+        )
+    if q_accept not in q_peer.alphabet:
+        raise QuotientError(
+            f"{q_accept!r} is not an event of {q_peer.name}"
+        )
+    fused = fuse_peers(
+        p_peer,
+        q_peer,
+        p_deliver=p_deliver,
+        q_accept=q_accept,
+        name=name or f"okumura({p_peer.name},{q_peer.name})",
+    )
+    constrained = fused
+    if seed is not None and seed.spec.alphabet:
+        constrained = synchronous_product(
+            fused, seed.spec, name=fused.name
+        )
+        # seed states are bookkeeping; flatten the labels
+        mapping = {s: i for i, s in enumerate(
+            sorted(constrained.states, key=_state_sort_key))}
+        constrained = constrained.map_states(mapping)
+
+    pruned, removed = _prune_local_deadlocks(constrained)
+    converter: Specification | None = pruned
+    if len(pruned.states) == 1 and not pruned.external and not pruned.internal:
+        # degenerate single-state remnant with no behaviour at all counts
+        # as "derivation failed" only if the raw product had behaviour
+        if constrained.external or constrained.internal:
+            converter = None
+    return OkumuraResult(
+        converter=converter,
+        raw_product=constrained,
+        pruned_states=removed,
+    )

@@ -1,0 +1,188 @@
+"""Lam's projection / common-image method (baseline).
+
+S. S. Lam, *Protocol conversion*, IEEE TSE 14(3), 1988 — the second prior
+approach discussed in Section 2: find a **projection** of each existing
+protocol system onto a **common image**; when one exists, the image defines
+the service the conversion system implements, and a simple (often
+stateless) relay converter falls out.
+
+This module provides the machinery to *state and check* such projections:
+
+* :func:`project` — apply a state-aggregation + event-relabeling map to a
+  specification (events mapped to ``None`` become internal steps);
+* :func:`is_faithful_projection` — verify the projected machine is
+  behaviourally a quotient of the original (every original transition maps
+  to an image transition or an image self-loop/internal step, and the
+  image has no extra reachable behaviour);
+* :func:`relay_converter` — build the message-relay converter induced by a
+  message correspondence (receive a P-message, emit the corresponding
+  Q-message, and vice versa).
+
+The BASE benchmark shows the method's documented boundary on the paper's
+own example: the AB protocol *does* project onto the NS protocol (map
+``d0, d1 ↦ D`` and ``a0, a1 ↦ A``), but the induced stateless relay fails
+verification because the backward correspondence ``A ↦ a0/a1`` needs the
+sequence bit — state the relay does not have.  Heuristic projection finds
+the insight; only the quotient construction finds (or refutes) the actual
+converter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..errors import SpecError
+from ..events import Alphabet, Event
+from ..spec.builder import SpecBuilder
+from ..spec.equivalence import weakly_trace_bisimilar
+from ..spec.ops import prune_unreachable
+from ..spec.spec import Specification, State
+
+
+@dataclass(frozen=True)
+class ProjectionMap:
+    """A candidate projection: state aggregation plus event relabeling.
+
+    ``states`` maps every original state to an image state; ``events`` maps
+    every original event to an image event, or to ``None`` to erase it
+    (erased events become internal steps of the image).
+    """
+
+    states: Mapping[State, State]
+    events: Mapping[Event, Event | None]
+
+    def image_event(self, event: Event) -> Event | None:
+        if event not in self.events:
+            raise SpecError(f"projection does not map event {event!r}")
+        return self.events[event]
+
+    def image_state(self, state: State) -> State:
+        if state not in self.states:
+            raise SpecError(f"projection does not map state {state!r}")
+        return self.states[state]
+
+
+def project(
+    spec: Specification, mapping: ProjectionMap, *, name: str | None = None
+) -> Specification:
+    """The image of *spec* under *mapping*.
+
+    Transitions whose event maps to ``None``, and transitions that the
+    aggregation turns into self-loops, become internal (and inert
+    self-loops are dropped); λ transitions project to λ transitions.
+    """
+    states = {mapping.image_state(s) for s in spec.states}
+    external: list[tuple[State, Event, State]] = []
+    internal: list[tuple[State, State]] = []
+    for s, e, s2 in spec.external:
+        img_e = mapping.image_event(e)
+        img_s, img_s2 = mapping.image_state(s), mapping.image_state(s2)
+        if img_e is None:
+            internal.append((img_s, img_s2))
+        else:
+            external.append((img_s, img_e, img_s2))
+    for s, s2 in spec.internal:
+        internal.append((mapping.image_state(s), mapping.image_state(s2)))
+    alphabet = Alphabet(e for e in mapping.events.values() if e is not None)
+    return Specification(
+        name if name is not None else f"proj({spec.name})",
+        states,
+        alphabet,
+        external,
+        internal,
+        mapping.image_state(spec.initial),
+    )
+
+
+def is_faithful_projection(
+    spec: Specification,
+    image: Specification,
+    mapping: ProjectionMap,
+) -> bool:
+    """Does *mapping* exhibit *image* as a faithful image of *spec*?
+
+    Checked as: the projected machine, after reachability trimming, is
+    weak-trace-bisimilar to the declared image (both must also share an
+    alphabet).  This captures Lam's requirement that the image "is" the
+    original protocol viewed at a coarser grain, up to internal moves.
+    """
+    projected = prune_unreachable(project(spec, mapping))
+    if projected.alphabet != image.alphabet:
+        return False
+    return weakly_trace_bisimilar(projected, prune_unreachable(image))
+
+
+@dataclass(frozen=True)
+class MessageCorrespondence:
+    """A message-level correspondence between two protocols.
+
+    ``forward`` maps messages received from the P side to messages emitted
+    on the Q side; ``backward`` maps messages received from the Q side to
+    messages emitted on the P side.  Events use the paper's channel
+    conventions: the converter *receives* ``+x`` and *emits* ``-y``.
+    """
+
+    forward: Mapping[str, str]
+    backward: Mapping[str, str]
+
+
+def relay_converter(
+    correspondence: MessageCorrespondence, *, name: str = "relay"
+) -> Specification:
+    """The memoryless relay induced by a message correspondence.
+
+    From its idle state the relay accepts any mapped incoming message
+    ``+x`` and must then emit the corresponding outgoing message ``-y``
+    before returning to idle.  This is the "simple, stateless converter"
+    Lam's method yields when a common image exists; its alphabet is all
+    the correspondence's receive/emit events.
+    """
+    builder = SpecBuilder(name).initial("idle")
+    for incoming, outgoing in sorted(correspondence.forward.items()):
+        mid = ("fwd", incoming)
+        builder.external("idle", f"+{incoming}", mid)
+        builder.external(mid, f"-{outgoing}", "idle")
+    for incoming, outgoing in sorted(correspondence.backward.items()):
+        mid = ("bwd", incoming)
+        builder.external("idle", f"+{incoming}", mid)
+        builder.external(mid, f"-{outgoing}", "idle")
+    return builder.build()
+
+
+def ab_to_ns_projection_map(ab_machine: Specification, *, role: str) -> ProjectionMap:
+    """The paper-example projection: erase the AB sequence bit.
+
+    Maps the AB sender onto the NS sender (``role="sender"``) or the AB
+    receiver onto the NS receiver (``role="receiver"``), sending
+    ``d0, d1 ↦ D`` and ``a0, a1 ↦ A`` and aggregating the bit-indexed
+    states pairwise.  State numbering follows
+    :func:`repro.protocols.abp.ab_sender` / ``ab_receiver``.
+    """
+    if role == "sender":
+        events: dict[Event, Event | None] = {
+            "acc": "acc",
+            "-d0": "-D",
+            "-d1": "-D",
+            "+a0": "+A",
+            "+a1": "+A",
+            "timeout": "timeoutN",
+        }
+        states: dict[State, State] = {0: 0, 1: 1, 2: 2, 3: 0, 4: 1, 5: 2}
+    elif role == "receiver":
+        events = {
+            "+d0": "+D",
+            "+d1": "+D",
+            "del": "del",
+            "-a0": "-A",
+            "-a1": "-A",
+        }
+        states = {0: 0, 1: 1, 2: 2, 3: 0, 4: 1, 5: 2}
+    else:
+        raise SpecError(f"unknown role {role!r} (want 'sender' or 'receiver')")
+    missing = set(ab_machine.states) - set(states)
+    if missing:
+        raise SpecError(
+            f"projection map does not cover states {sorted(map(repr, missing))}"
+        )
+    return ProjectionMap(states=states, events=events)

@@ -1,0 +1,263 @@
+"""Command-line interface: ``repro-converter``.
+
+Subcommands
+-----------
+``show``
+    Parse a spec file (DSL or JSON) and render its machines.
+``compose``
+    Compose named specs from a file and render/export the composite.
+``check``
+    Check one spec satisfies another (safety + progress).
+``solve``
+    Run the quotient algorithm: derive a converter or prove none exists.
+``demo``
+    Run the paper's Section 5 scenarios end to end.
+
+Files ending in ``.json`` are read with the JSON codec; anything else is
+parsed as the spec DSL (see :mod:`repro.io.dsl`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis.explain import explain_converter
+from .errors import ReproError
+from .io.dot import to_dot
+from .io.dsl import parse_dsl
+from .io.json_codec import load as load_json
+from .io.render import render_spec
+from .quotient.solve import solve_quotient
+from .satisfy.verify import satisfies
+from .spec.spec import Specification
+
+
+def _load_specs(path: str) -> dict[str, Specification]:
+    if path.endswith(".json"):
+        spec = load_json(path)
+        return {spec.name: spec}
+    with open(path, "r", encoding="utf-8") as fh:
+        return parse_dsl(fh.read())
+
+
+def _pick(specs: dict[str, Specification], name: str) -> Specification:
+    if name not in specs:
+        raise ReproError(
+            f"no spec named {name!r} in file (available: {sorted(specs)})"
+        )
+    return specs[name]
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    specs = _load_specs(args.file)
+    names = args.names or sorted(specs)
+    for name in names:
+        spec = _pick(specs, name)
+        if args.dot:
+            print(to_dot(spec))
+        else:
+            print(render_spec(spec))
+            print()
+    return 0
+
+
+def _cmd_compose(args: argparse.Namespace) -> int:
+    from .compose.nary import compose_many
+
+    specs = _load_specs(args.file)
+    parts = [_pick(specs, name) for name in args.names]
+    composite = compose_many(parts)
+    if args.dot:
+        print(to_dot(composite))
+    else:
+        print(render_spec(composite, max_rows=args.max_rows))
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    specs = _load_specs(args.file)
+    impl = _pick(specs, args.impl)
+    service = _pick(specs, args.service)
+    report = satisfies(impl, service)
+    print(report.describe())
+    return 0 if report.holds else 1
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    specs = _load_specs(args.file)
+    service = _pick(specs, args.service)
+    component = _pick(specs, args.component)
+    result = solve_quotient(service, component)
+    print(explain_converter(result, show_pairs=args.pairs))
+    if result.exists and args.dot:
+        assert result.converter is not None
+        print()
+        print(to_dot(result.converter))
+    return 0 if result.exists else 1
+
+
+def _cmd_diagnose(args: argparse.Namespace) -> int:
+    from .quotient.diagnose import diagnose_nonexistence
+
+    specs = _load_specs(args.file)
+    service = _pick(specs, args.service)
+    component = _pick(specs, args.component)
+    result = solve_quotient(service, component)
+    if result.exists:
+        print("a converter exists — nothing to diagnose:")
+        print(result.summary())
+        return 0
+    try:
+        diagnosis = diagnose_nonexistence(result, max_frontier=args.frontier)
+    except ValueError as exc:
+        print(f"no converter exists; {exc}")
+        return 1
+    print(diagnosis.describe())
+    return 1
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from .simulate import FairRandomPolicy, ServiceMonitor, Simulator, render_msc
+
+    specs = _load_specs(args.file)
+    components = [_pick(specs, name) for name in args.components]
+    service = _pick(specs, args.service) if args.service else None
+
+    simulator = Simulator(components, FairRandomPolicy(args.seed))
+    monitor = ServiceMonitor(service) if service is not None else None
+    for _ in range(args.steps):
+        move = simulator.step()
+        if move is None:
+            break
+        if (
+            monitor is not None
+            and move.kind == "external"
+            and move.event in service.alphabet
+        ):
+            # only service-interface events are the monitored behaviour;
+            # other externals are open converter-side ports
+            monitor.observe(move.event)
+
+    log = simulator.log
+    if args.msc:
+        print(render_msc(log, components, max_steps=args.msc))
+        print()
+    print(
+        f"ran {len(log.steps)} steps (seed {args.seed})"
+        + ("; DEADLOCKED" if log.deadlocked else "")
+    )
+    for label, count in log.histogram().items():
+        print(f"  {label:16s} ×{count}")
+    if monitor is not None:
+        print(monitor.verdict().describe())
+        return 0 if monitor.verdict().ok else 1
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from .protocols.configs import (
+        colocated_scenario,
+        symmetric_scenario,
+        weakened_symmetric_scenario,
+    )
+
+    scenarios = {
+        "symmetric": symmetric_scenario,
+        "colocated": colocated_scenario,
+        "weakened": weakened_symmetric_scenario,
+    }
+    scenario = scenarios[args.scenario]()
+    print(scenario.describe())
+    print()
+    result = solve_quotient(
+        scenario.service,
+        scenario.composite,
+        int_events=scenario.interface.int_events,
+    )
+    print(explain_converter(result))
+    return 0 if result.exists else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-converter",
+        description=(
+            "Protocol converter synthesis by quotient "
+            "(Calvert & Lam, SIGCOMM 1989)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_show = sub.add_parser("show", help="render specs from a file")
+    p_show.add_argument("file")
+    p_show.add_argument("names", nargs="*", help="spec names (default: all)")
+    p_show.add_argument("--dot", action="store_true", help="emit Graphviz DOT")
+    p_show.set_defaults(func=_cmd_show)
+
+    p_compose = sub.add_parser("compose", help="compose specs with ||")
+    p_compose.add_argument("file")
+    p_compose.add_argument("names", nargs="+")
+    p_compose.add_argument("--dot", action="store_true")
+    p_compose.add_argument("--max-rows", type=int, default=None)
+    p_compose.set_defaults(func=_cmd_compose)
+
+    p_check = sub.add_parser("check", help="check impl satisfies service")
+    p_check.add_argument("file")
+    p_check.add_argument("impl")
+    p_check.add_argument("service")
+    p_check.set_defaults(func=_cmd_check)
+
+    p_solve = sub.add_parser("solve", help="derive a converter (quotient)")
+    p_solve.add_argument("file")
+    p_solve.add_argument("service")
+    p_solve.add_argument("component")
+    p_solve.add_argument("--pairs", action="store_true",
+                         help="show pair-set state annotations")
+    p_solve.add_argument("--dot", action="store_true")
+    p_solve.set_defaults(func=_cmd_solve)
+
+    p_diag = sub.add_parser(
+        "diagnose", help="explain why no converter exists"
+    )
+    p_diag.add_argument("file")
+    p_diag.add_argument("service")
+    p_diag.add_argument("component")
+    p_diag.add_argument("--frontier", type=int, default=5,
+                        help="max points-of-no-return to report")
+    p_diag.set_defaults(func=_cmd_diagnose)
+
+    p_sim = sub.add_parser(
+        "simulate", help="execute components with a fair random policy"
+    )
+    p_sim.add_argument("file")
+    p_sim.add_argument("components", nargs="+")
+    p_sim.add_argument("--service", default=None,
+                       help="monitor the run against this service spec")
+    p_sim.add_argument("--steps", type=int, default=500)
+    p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.add_argument("--msc", type=int, default=None, metavar="N",
+                       help="render the first N steps as a sequence chart")
+    p_sim.set_defaults(func=_cmd_simulate)
+
+    p_demo = sub.add_parser("demo", help="run a paper scenario")
+    p_demo.add_argument(
+        "scenario", choices=["symmetric", "colocated", "weakened"]
+    )
+    p_demo.set_defaults(func=_cmd_demo)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

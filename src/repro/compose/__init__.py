@@ -1,0 +1,6 @@
+"""Composition of specifications (the paper's || operator)."""
+
+from .binary import check_composable, compose, synchronous_product
+from .nary import compose_many
+
+__all__ = ["check_composable", "compose", "compose_many", "synchronous_product"]

@@ -1,0 +1,206 @@
+"""The paper's binary composition operator ``‖`` (Section 3).
+
+Composition makes each component part of the other's environment: events in
+both alphabets synchronize (they can occur only when enabled in both
+components) and become *internal* transitions of the composite, hidden from
+the rest of the environment.  The composite's interface is the symmetric
+difference of the component alphabets:
+
+* ``Σ(A‖B) = (Σ_A ∪ Σ_B) − (Σ_A ∩ Σ_B)``
+* external transitions: one component moves on an unshared event, the other
+  stays put;
+* internal transitions: either component's own λ step, or a synchronized
+  shared event.
+
+The paper defines the composite over the full product ``S_A × S_B``; since
+unreachable product states have no behavioural significance, :func:`compose`
+restricts to the reachable part by default (pass ``reachable_only=False``
+for the literal textbook product).
+
+:func:`synchronous_product` is the hiding-free variant (shared events stay
+external) used by verification procedures.
+"""
+
+from __future__ import annotations
+
+from ..errors import CompositionError
+from ..events import Alphabet, composition_alphabet, shared_events
+from ..spec.spec import Specification, State, _state_sort_key
+
+
+def compose(
+    left: Specification,
+    right: Specification,
+    *,
+    name: str | None = None,
+    reachable_only: bool = True,
+) -> Specification:
+    """``left ‖ right`` per the paper's definition.
+
+    State labels of the composite are ``(a, b)`` pairs.  With
+    ``reachable_only=True`` (default) only product states reachable from
+    ``(a0, b0)`` are kept; the full product is trace-equivalent but larger.
+    """
+    composite_name = name if name is not None else f"({left.name}||{right.name})"
+    shared = shared_events(left.alphabet, right.alphabet)
+    alphabet = composition_alphabet(left.alphabet, right.alphabet)
+
+    if reachable_only:
+        return _compose_reachable(left, right, composite_name, shared, alphabet)
+    return _compose_full(left, right, composite_name, shared, alphabet)
+
+
+def _moves(
+    left: Specification,
+    right: Specification,
+    shared: Alphabet,
+    a: State,
+    b: State,
+) -> tuple[list[tuple[str, State, State]], list[tuple[State, State]]]:
+    """External and internal successor moves of product state ``(a, b)``.
+
+    Returns ``(externals, internals)`` where externals are
+    ``(event, a', b')`` triples and internals are ``(a', b')`` pairs.
+    Deterministically ordered.
+    """
+    externals: list[tuple[str, State, State]] = []
+    internals: list[tuple[State, State]] = []
+    for e in sorted(left.enabled(a)):
+        if e in shared:
+            continue
+        for a2 in sorted(left.successors(a, e), key=_state_sort_key):
+            externals.append((e, a2, b))
+    for e in sorted(right.enabled(b)):
+        if e in shared:
+            continue
+        for b2 in sorted(right.successors(b, e), key=_state_sort_key):
+            externals.append((e, a, b2))
+    for a2 in sorted(left.internal_successors(a), key=_state_sort_key):
+        internals.append((a2, b))
+    for b2 in sorted(right.internal_successors(b), key=_state_sort_key):
+        internals.append((a, b2))
+    for e in sorted(shared):
+        for a2 in sorted(left.successors(a, e), key=_state_sort_key):
+            for b2 in sorted(right.successors(b, e), key=_state_sort_key):
+                internals.append((a2, b2))
+    return externals, internals
+
+
+def _compose_reachable(
+    left: Specification,
+    right: Specification,
+    name: str,
+    shared: Alphabet,
+    alphabet: Alphabet,
+) -> Specification:
+    initial = (left.initial, right.initial)
+    states: set[tuple[State, State]] = {initial}
+    external: list[tuple[tuple[State, State], str, tuple[State, State]]] = []
+    internal: list[tuple[tuple[State, State], tuple[State, State]]] = []
+    frontier = [initial]
+    while frontier:
+        a, b = current = frontier.pop()
+        externals, internals = _moves(left, right, shared, a, b)
+        for e, a2, b2 in externals:
+            target = (a2, b2)
+            external.append((current, e, target))
+            if target not in states:
+                states.add(target)
+                frontier.append(target)
+        for a2, b2 in internals:
+            target = (a2, b2)
+            if target != current:
+                internal.append((current, target))
+            if target not in states:
+                states.add(target)
+                frontier.append(target)
+    return Specification(name, states, alphabet, external, internal, initial)
+
+
+def _compose_full(
+    left: Specification,
+    right: Specification,
+    name: str,
+    shared: Alphabet,
+    alphabet: Alphabet,
+) -> Specification:
+    states = [(a, b) for a in left.states for b in right.states]
+    external = []
+    internal = []
+    for a, b in states:
+        externals, internals = _moves(left, right, shared, a, b)
+        external.extend(((a, b), e, (a2, b2)) for e, a2, b2 in externals)
+        internal.extend(((a, b), (a2, b2)) for a2, b2 in internals if (a2, b2) != (a, b))
+    return Specification(
+        name, states, alphabet, external, internal, (left.initial, right.initial)
+    )
+
+
+def synchronous_product(
+    left: Specification,
+    right: Specification,
+    *,
+    name: str | None = None,
+) -> Specification:
+    """Synchronous product *without* hiding.
+
+    Shared events still require both components to move, but remain external
+    in the product; unshared events interleave; λ steps interleave.  The
+    product's alphabet is the **union** of the component alphabets.  This is
+    the standard construction for checking trace inclusion and refinement,
+    not the paper's ``‖`` (which hides shared events).
+    """
+    product_name = name if name is not None else f"({left.name}×{right.name})"
+    shared = shared_events(left.alphabet, right.alphabet)
+    alphabet = left.alphabet | right.alphabet
+    initial = (left.initial, right.initial)
+    states: set[tuple[State, State]] = {initial}
+    external = []
+    internal = []
+    frontier = [initial]
+    while frontier:
+        a, b = current = frontier.pop()
+        moves: list[tuple[str | None, State, State]] = []
+        for e in sorted(left.enabled(a)):
+            if e in shared:
+                for a2 in sorted(left.successors(a, e), key=_state_sort_key):
+                    for b2 in sorted(right.successors(b, e), key=_state_sort_key):
+                        moves.append((e, a2, b2))
+            else:
+                for a2 in sorted(left.successors(a, e), key=_state_sort_key):
+                    moves.append((e, a2, b))
+        for e in sorted(right.enabled(b)):
+            if e not in shared:
+                for b2 in sorted(right.successors(b, e), key=_state_sort_key):
+                    moves.append((e, a, b2))
+        for a2 in sorted(left.internal_successors(a), key=_state_sort_key):
+            moves.append((None, a2, b))
+        for b2 in sorted(right.internal_successors(b), key=_state_sort_key):
+            moves.append((None, a, b2))
+        for e, a2, b2 in moves:
+            target = (a2, b2)
+            if e is None:
+                if target != current:
+                    internal.append((current, target))
+            else:
+                external.append((current, e, target))
+            if target not in states:
+                states.add(target)
+                frontier.append(target)
+    return Specification(product_name, states, alphabet, external, internal, initial)
+
+
+def check_composable(left: Specification, right: Specification) -> Alphabet:
+    """Validate a composition and return the synchronized (hidden) events.
+
+    Raises :class:`CompositionError` if the composition would be degenerate
+    in a way that usually indicates a modeling mistake: identical alphabets
+    (the composite would have an empty interface) are allowed but flagged
+    only when *both* alphabets are empty.
+    """
+    if not left.alphabet and not right.alphabet:
+        raise CompositionError(
+            f"{left.name} and {right.name} both have empty alphabets; "
+            "composition is vacuous"
+        )
+    return shared_events(left.alphabet, right.alphabet)

@@ -1,0 +1,100 @@
+"""Exception hierarchy for the repro library.
+
+All library-specific errors derive from :class:`ReproError`, so callers can
+catch one base class at an API boundary.  Errors carry enough structured
+context (offending spec name, event, state, trace) to produce actionable
+messages without string parsing.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SpecError(ReproError):
+    """A specification tuple is malformed (Section 3 definition violated).
+
+    Examples: a transition references an unknown state, an event outside the
+    alphabet, an empty state set, or a missing initial state.
+    """
+
+    def __init__(self, message: str, *, spec_name: str | None = None) -> None:
+        self.spec_name = spec_name
+        if spec_name is not None:
+            message = f"[{spec_name}] {message}"
+        super().__init__(message)
+
+
+class AlphabetError(ReproError):
+    """An operation received incompatible or ill-formed event alphabets.
+
+    Raised e.g. when satisfaction is checked between specifications with
+    different interfaces, or when a quotient problem's Int and Ext sets are
+    not disjoint.
+    """
+
+
+class NormalFormError(ReproError):
+    """A specification required to be in normal form is not.
+
+    The quotient algorithm requires the service specification ``A`` to be in
+    the paper's normal form (Section 3, conditions i-iii).  The error records
+    which condition failed and a witness.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        condition: str | None = None,
+        witness: Any = None,
+    ) -> None:
+        self.condition = condition
+        self.witness = witness
+        super().__init__(message)
+
+
+class NormalizationError(ReproError):
+    """Exact, semantics-preserving normalization is impossible.
+
+    ``normalize`` raises this when the input has a pre-emptible external
+    transition whose event is not covered by any sibling sink's acceptance
+    set; converting such a spec to normal form necessarily changes either its
+    trace set or its progress semantics.  Callers may fall back to
+    ``determinize`` (sound but conservative for progress).
+    """
+
+
+class QuotientError(ReproError):
+    """The quotient problem instance itself is ill-posed.
+
+    Raised for structural problems with the inputs (not for "no converter
+    exists", which is a regular result, not an error).
+    """
+
+
+class CompositionError(ReproError):
+    """Composition of specifications failed (e.g. duplicate state labels
+    could not be disambiguated, or an n-ary composition list is empty)."""
+
+
+class DSLError(ReproError):
+    """The textual spec DSL could not be parsed."""
+
+    def __init__(
+        self, message: str, *, line: int | None = None, column: int | None = None
+    ) -> None:
+        self.line = line
+        self.column = column
+        if line is not None:
+            loc = f"line {line}" + (f", col {column}" if column is not None else "")
+            message = f"{message} ({loc})"
+        super().__init__(message)
+
+
+class CodecError(ReproError):
+    """JSON (de)serialization of a specification failed."""

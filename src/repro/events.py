@@ -1,0 +1,201 @@
+"""Events, alphabets, and interface partitions.
+
+The paper models interaction through *named events* shared between a
+specification and its environment (Section 3).  Events here are plain
+strings, but this module centralizes the conventions the paper uses:
+
+* ``-x`` denotes passing message ``x`` **into** a channel (a send);
+* ``+x`` denotes removing message ``x`` **from** a channel (a receive);
+* all other names (``acc``, ``del``, ``timeout`` ...) are service or timer
+  events.
+
+It also provides :class:`Alphabet`, an immutable event set with convenience
+set algebra matching the composition operator's alphabet arithmetic
+(union / intersection / symmetric difference), and :class:`Interface`, the
+(Int, Ext) partition a quotient problem is stated over (Section 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from .errors import AlphabetError
+
+Event = str
+"""An event name.  Events are compared by string equality."""
+
+SEND_PREFIX = "-"
+RECEIVE_PREFIX = "+"
+
+
+def is_send(event: Event) -> bool:
+    """Return True if *event* uses the paper's send-into-channel convention."""
+    return event.startswith(SEND_PREFIX) and len(event) > 1
+
+
+def is_receive(event: Event) -> bool:
+    """Return True if *event* uses the paper's receive-from-channel convention."""
+    return event.startswith(RECEIVE_PREFIX) and len(event) > 1
+
+
+def message_of(event: Event) -> str:
+    """Strip a send/receive prefix, returning the bare message name.
+
+    For events without a prefix the event name itself is returned.
+
+    >>> message_of("-d0")
+    'd0'
+    >>> message_of("+a1")
+    'a1'
+    >>> message_of("acc")
+    'acc'
+    """
+    if is_send(event) or is_receive(event):
+        return event[1:]
+    return event
+
+
+def send(message: str) -> Event:
+    """Build the send event for *message* (``-message``)."""
+    return SEND_PREFIX + message
+
+
+def receive(message: str) -> Event:
+    """Build the receive event for *message* (``+message``)."""
+    return RECEIVE_PREFIX + message
+
+
+def matching_receive(event: Event) -> Event:
+    """Return the receive event matching a send event.
+
+    >>> matching_receive("-d0")
+    '+d0'
+    """
+    if not is_send(event):
+        raise AlphabetError(f"{event!r} is not a send event")
+    return receive(message_of(event))
+
+
+def matching_send(event: Event) -> Event:
+    """Return the send event matching a receive event.
+
+    >>> matching_send("+a0")
+    '-a0'
+    """
+    if not is_receive(event):
+        raise AlphabetError(f"{event!r} is not a receive event")
+    return send(message_of(event))
+
+
+class Alphabet(frozenset):
+    """An immutable set of event names.
+
+    ``Alphabet`` is a thin ``frozenset`` subclass: it supports all frozenset
+    algebra while rendering deterministically (sorted) and validating that
+    members are non-empty strings.
+    """
+
+    def __new__(cls, events: Iterable[Event] = ()) -> "Alphabet":
+        events = tuple(events)
+        for e in events:
+            if not isinstance(e, str) or not e:
+                raise AlphabetError(f"invalid event name: {e!r}")
+        return super().__new__(cls, events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Alphabet({sorted(self)!r})"
+
+    def sorted(self) -> list[Event]:
+        """Members in deterministic (lexicographic) order."""
+        return sorted(self)
+
+    # frozenset operators return plain frozensets; re-wrap the common ones so
+    # alphabet arithmetic stays in Alphabet.
+    def __or__(self, other) -> "Alphabet":
+        return Alphabet(frozenset.__or__(self, frozenset(other)))
+
+    def __and__(self, other) -> "Alphabet":
+        return Alphabet(frozenset.__and__(self, frozenset(other)))
+
+    def __sub__(self, other) -> "Alphabet":
+        return Alphabet(frozenset.__sub__(self, frozenset(other)))
+
+    def __xor__(self, other) -> "Alphabet":
+        return Alphabet(frozenset.__xor__(self, frozenset(other)))
+
+    def union(self, *others) -> "Alphabet":
+        return Alphabet(frozenset.union(self, *others))
+
+    def intersection(self, *others) -> "Alphabet":
+        return Alphabet(frozenset.intersection(self, *others))
+
+    def difference(self, *others) -> "Alphabet":
+        return Alphabet(frozenset.difference(self, *others))
+
+    def symmetric_difference(self, other) -> "Alphabet":
+        return Alphabet(frozenset.symmetric_difference(self, other))
+
+
+def composition_alphabet(left: Iterable[Event], right: Iterable[Event]) -> Alphabet:
+    """Alphabet of ``left || right`` per the paper's composition definition.
+
+    Shared events synchronize and are hidden; the composite's interface is
+    the symmetric difference of the component alphabets:
+
+    ``Σ(A||B) = (Σ_A ∪ Σ_B) − (Σ_A ∩ Σ_B)``
+    """
+    return Alphabet(left) ^ Alphabet(right)
+
+
+def shared_events(left: Iterable[Event], right: Iterable[Event]) -> Alphabet:
+    """Events on which two components synchronize (hidden in composition)."""
+    return Alphabet(left) & Alphabet(right)
+
+
+@dataclass(frozen=True)
+class Interface:
+    """The (Int, Ext) event partition of a quotient problem (Section 4).
+
+    * ``ext`` — the service's alphabet: the conversion system's interface to
+      its users (``Σ_A = Ext``).
+    * ``int`` — the converter's alphabet: the interactions between the
+      converter and the existing protocol components (``Σ_C = Int``).
+
+    The composite of existing components ``B`` must satisfy
+    ``Σ_B = Int ∪ Ext`` with Int and Ext disjoint.
+    """
+
+    int_events: Alphabet
+    ext_events: Alphabet
+
+    def __init__(self, int_events: Iterable[Event], ext_events: Iterable[Event]):
+        object.__setattr__(self, "int_events", Alphabet(int_events))
+        object.__setattr__(self, "ext_events", Alphabet(ext_events))
+        overlap = self.int_events & self.ext_events
+        if overlap:
+            raise AlphabetError(
+                f"Int and Ext must be disjoint; both contain {overlap.sorted()}"
+            )
+
+    @property
+    def full(self) -> Alphabet:
+        """``Int ∪ Ext`` — the alphabet required of the composite B."""
+        return self.int_events | self.ext_events
+
+    def classify(self, event: Event) -> str:
+        """Return ``"int"``, ``"ext"``, or raise for an unknown event."""
+        if event in self.int_events:
+            return "int"
+        if event in self.ext_events:
+            return "ext"
+        raise AlphabetError(f"event {event!r} is in neither Int nor Ext")
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self.full.sorted())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Interface(int={self.int_events.sorted()!r}, "
+            f"ext={self.ext_events.sorted()!r})"
+        )

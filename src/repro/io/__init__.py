@@ -1,0 +1,28 @@
+"""Serialization and rendering: DOT, JSON, the spec DSL, and text tables."""
+
+from .dot import to_dot, write_dot
+from .dsl import parse_dsl, parse_spec, to_dsl
+from .nx import condensation, from_networkx, internal_subgraph, to_networkx
+from .json_codec import dump, dumps, load, loads, spec_from_dict, spec_to_dict
+from .render import render_adjacency, render_spec, render_table
+
+__all__ = [
+    "condensation",
+    "dump",
+    "dumps",
+    "load",
+    "loads",
+    "parse_dsl",
+    "from_networkx",
+    "internal_subgraph",
+    "parse_spec",
+    "render_adjacency",
+    "render_spec",
+    "render_table",
+    "spec_from_dict",
+    "spec_to_dict",
+    "to_dot",
+    "to_networkx",
+    "to_dsl",
+    "write_dot",
+]

@@ -1,0 +1,74 @@
+"""Graphviz DOT export.
+
+Renders specifications in the paper's visual vocabulary: nodes are states
+(double circle for the initial state), labeled edges are external
+transitions, unlabeled dashed edges are internal transitions — matching the
+figure conventions ("transitions in λ have no label").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from ..spec.spec import Specification, State
+
+
+def _default_state_label(state: State) -> str:
+    if isinstance(state, frozenset):
+        inner = ",".join(sorted(repr(x) for x in state))
+        return "{" + inner + "}"
+    return str(state)
+
+
+def _quote(text: str) -> str:
+    return '"' + text.replace("\\", "\\\\").replace('"', '\\"') + '"'
+
+
+def to_dot(
+    spec: Specification,
+    *,
+    state_label: Callable[[State], str] | None = None,
+    annotations: Mapping[State, str] | None = None,
+    rankdir: str = "LR",
+) -> str:
+    """Serialize *spec* as a Graphviz digraph.
+
+    Parameters
+    ----------
+    state_label:
+        Optional state-to-label function (default: compact ``str``).
+    annotations:
+        Optional extra per-state text (e.g. the quotient's pair sets),
+        rendered on a second label line.
+    rankdir:
+        Graph direction, default left-to-right.
+    """
+    label_of = state_label or _default_state_label
+    lines = [f"digraph {_quote(spec.name)} {{"]
+    lines.append(f"  rankdir={rankdir};")
+    lines.append('  node [shape=circle, fontsize=11];')
+    lines.append('  edge [fontsize=10];')
+
+    index = {s: i for i, s in enumerate(spec.sorted_states())}
+
+    for s in spec.sorted_states():
+        label = label_of(s)
+        if annotations and s in annotations:
+            label = f"{label}\\n{annotations[s]}"
+        shape = "doublecircle" if s == spec.initial else "circle"
+        lines.append(f"  n{index[s]} [label={_quote(label)}, shape={shape}];")
+
+    for s in spec.sorted_states():
+        for e, s2 in spec.out_transitions(s):
+            lines.append(f"  n{index[s]} -> n{index[s2]} [label={_quote(e)}];")
+    for s, s2 in sorted(spec.internal, key=lambda t: (index[t[0]], index[t[1]])):
+        lines.append(f"  n{index[s]} -> n{index[s2]} [style=dashed];")
+
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def write_dot(spec: Specification, path: str, **kwargs) -> None:
+    """Write the DOT rendering of *spec* to *path*."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(to_dot(spec, **kwargs))

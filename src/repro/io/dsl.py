@@ -1,0 +1,200 @@
+"""A small textual DSL for specifications.
+
+Grammar (line-oriented; ``#`` starts a comment; blank lines ignored)::
+
+    spec <name>
+        initial <state>
+        state <state> [<state> ...]      # declare isolated states (optional)
+        event <event> [<event> ...]      # declare refused events (optional)
+        <src> -> <dst> : <event>         # external transition
+        <src> ~> <dst>                   # internal (λ) transition
+    end
+
+A file may contain several ``spec ... end`` blocks.  State tokens that look
+like integers are converted to ``int`` (matching the library's examples);
+everything else stays a string.  Event names may contain ``+``/``-``
+prefixes and alphanumerics/underscores.
+
+Example::
+
+    spec service
+        initial 0
+        0 -> 1 : acc
+        1 -> 0 : del
+    end
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import DSLError
+from ..spec.builder import SpecBuilder
+from ..spec.spec import Specification, State
+
+_EVENT_RE = re.compile(r"^[+\-]?[A-Za-z0-9_.]+$")
+_STATE_RE = re.compile(r"^[A-Za-z0-9_.+\-]+$")
+
+
+def _parse_state(token: str, line_no: int) -> State:
+    if not _STATE_RE.match(token):
+        raise DSLError(f"invalid state token {token!r}", line=line_no)
+    if re.fullmatch(r"-?\d+", token):
+        return int(token)
+    return token
+
+
+def _parse_event(token: str, line_no: int) -> str:
+    if not _EVENT_RE.match(token):
+        raise DSLError(f"invalid event token {token!r}", line=line_no)
+    return token
+
+
+def parse_dsl(text: str) -> dict[str, Specification]:
+    """Parse a DSL document into named specifications.
+
+    Raises :class:`DSLError` with a line number on any malformed input.
+    """
+    specs: dict[str, Specification] = {}
+    builder: SpecBuilder | None = None
+    current_name: str | None = None
+    saw_initial = False
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        tokens = line.split()
+
+        if tokens[0] == "spec":
+            if builder is not None:
+                raise DSLError(
+                    f"nested 'spec' (previous block {current_name!r} not "
+                    "closed with 'end')",
+                    line=line_no,
+                )
+            if len(tokens) != 2:
+                raise DSLError("'spec' takes exactly one name", line=line_no)
+            current_name = tokens[1]
+            if current_name in specs:
+                raise DSLError(
+                    f"duplicate spec name {current_name!r}", line=line_no
+                )
+            builder = SpecBuilder(current_name)
+            saw_initial = False
+            continue
+
+        if tokens[0] == "end":
+            if builder is None:
+                raise DSLError("'end' outside a spec block", line=line_no)
+            if len(tokens) != 1:
+                raise DSLError("'end' takes no arguments", line=line_no)
+            if not saw_initial:
+                raise DSLError(
+                    f"spec {current_name!r} has no 'initial' declaration",
+                    line=line_no,
+                )
+            assert current_name is not None
+            specs[current_name] = builder.build()
+            builder = None
+            current_name = None
+            continue
+
+        if builder is None:
+            raise DSLError(
+                f"statement outside a spec block: {line!r}", line=line_no
+            )
+
+        if tokens[0] == "initial":
+            if len(tokens) != 2:
+                raise DSLError("'initial' takes exactly one state", line=line_no)
+            builder.initial(_parse_state(tokens[1], line_no))
+            saw_initial = True
+            continue
+
+        if tokens[0] == "state":
+            if len(tokens) < 2:
+                raise DSLError("'state' needs at least one state", line=line_no)
+            for tok in tokens[1:]:
+                builder.state(_parse_state(tok, line_no))
+            continue
+
+        if tokens[0] == "event":
+            if len(tokens) < 2:
+                raise DSLError("'event' needs at least one event", line=line_no)
+            for tok in tokens[1:]:
+                builder.event(_parse_event(tok, line_no))
+            continue
+
+        # transitions:  src -> dst : event   |   src ~> dst
+        if "~>" in tokens:
+            if len(tokens) != 3 or tokens[1] != "~>":
+                raise DSLError(
+                    f"malformed internal transition: {line!r}", line=line_no
+                )
+            src = _parse_state(tokens[0], line_no)
+            dst = _parse_state(tokens[2], line_no)
+            builder.internal(src, dst)
+            continue
+
+        if "->" in tokens:
+            if (
+                len(tokens) != 5
+                or tokens[1] != "->"
+                or tokens[3] != ":"
+            ):
+                raise DSLError(
+                    f"malformed external transition (want 'src -> dst : "
+                    f"event'): {line!r}",
+                    line=line_no,
+                )
+            src = _parse_state(tokens[0], line_no)
+            dst = _parse_state(tokens[2], line_no)
+            event = _parse_event(tokens[4], line_no)
+            builder.external(src, event, dst)
+            continue
+
+        raise DSLError(f"unrecognized statement: {line!r}", line=line_no)
+
+    if builder is not None:
+        raise DSLError(
+            f"unterminated spec block {current_name!r} (missing 'end')",
+            line=len(text.splitlines()),
+        )
+    return specs
+
+
+def parse_spec(text: str) -> Specification:
+    """Parse a document expected to contain exactly one spec."""
+    specs = parse_dsl(text)
+    if len(specs) != 1:
+        raise DSLError(
+            f"expected exactly one spec, found {len(specs)}: "
+            f"{sorted(specs)}"
+        )
+    return next(iter(specs.values()))
+
+
+def to_dsl(spec: Specification) -> str:
+    """Render a specification back into DSL text (round-trippable when the
+    state labels are ints or simple strings)."""
+    lines = [f"spec {spec.name}"]
+    lines.append(f"    initial {spec.initial}")
+    mentioned: set[State] = {spec.initial}
+    used_events: set[str] = set()
+    for s in spec.sorted_states():
+        for e, s2 in spec.out_transitions(s):
+            lines.append(f"    {s} -> {s2} : {e}")
+            mentioned.update((s, s2))
+            used_events.add(e)
+    for s, s2 in sorted(spec.internal, key=repr):
+        lines.append(f"    {s} ~> {s2}")
+        mentioned.update((s, s2))
+    isolated = [s for s in spec.sorted_states() if s not in mentioned]
+    if isolated:
+        lines.append("    state " + " ".join(str(s) for s in isolated))
+    refused = sorted(set(spec.alphabet) - used_events)
+    if refused:
+        lines.append("    event " + " ".join(refused))
+    lines.append("end")
+    return "\n".join(lines) + "\n"

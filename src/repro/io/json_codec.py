@@ -1,0 +1,142 @@
+"""JSON round-tripping of specifications.
+
+State labels may be arbitrary hashable Python values (tuples, frozensets of
+pairs, strings, ints ...), which JSON cannot represent natively; the codec
+therefore encodes states structurally with a small tagged scheme:
+
+* ``{"t": "s", "v": <str>}`` — string
+* ``{"t": "i", "v": <int>}`` — int
+* ``{"t": "T", "v": [<state>, ...]}`` — tuple of states
+* ``{"t": "F", "v": [<state>, ...]}`` — frozenset of states (sorted)
+* ``{"t": "n"}`` — None
+
+Anything else is rejected with :class:`CodecError` (encode your exotic
+labels first with ``Specification.map_states``).  The format is versioned;
+decoding validates the document shape and re-runs the specification
+constructor's own validation.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..errors import CodecError
+from ..spec.spec import Specification, State
+
+FORMAT_VERSION = 1
+
+
+def _encode_state(state: State) -> Any:
+    if state is None:
+        return {"t": "n"}
+    if isinstance(state, bool):
+        # bool is an int subclass; keep it distinct for faithful round-trips
+        return {"t": "b", "v": state}
+    if isinstance(state, str):
+        return {"t": "s", "v": state}
+    if isinstance(state, int):
+        return {"t": "i", "v": state}
+    if isinstance(state, tuple):
+        return {"t": "T", "v": [_encode_state(x) for x in state]}
+    if isinstance(state, frozenset):
+        encoded = [_encode_state(x) for x in state]
+        encoded.sort(key=lambda d: json.dumps(d, sort_keys=True))
+        return {"t": "F", "v": encoded}
+    raise CodecError(
+        f"cannot encode state label of type {type(state).__name__}: {state!r}"
+    )
+
+
+def _decode_state(doc: Any) -> State:
+    if not isinstance(doc, dict) or "t" not in doc:
+        raise CodecError(f"malformed state document: {doc!r}")
+    tag = doc["t"]
+    if tag == "n":
+        return None
+    if tag == "b":
+        return bool(doc["v"])
+    if tag == "s":
+        return str(doc["v"])
+    if tag == "i":
+        return int(doc["v"])
+    if tag == "T":
+        return tuple(_decode_state(x) for x in doc["v"])
+    if tag == "F":
+        return frozenset(_decode_state(x) for x in doc["v"])
+    raise CodecError(f"unknown state tag {tag!r}")
+
+
+def spec_to_dict(spec: Specification) -> dict[str, Any]:
+    """Encode a specification as a JSON-serializable dict."""
+    return {
+        "format": FORMAT_VERSION,
+        "name": spec.name,
+        "alphabet": spec.alphabet.sorted(),
+        "states": [_encode_state(s) for s in spec.sorted_states()],
+        "initial": _encode_state(spec.initial),
+        "external": sorted(
+            (
+                [_encode_state(s), e, _encode_state(s2)]
+                for s, e, s2 in spec.external
+            ),
+            key=lambda t: json.dumps(t, sort_keys=True),
+        ),
+        "internal": sorted(
+            ([_encode_state(s), _encode_state(s2)] for s, s2 in spec.internal),
+            key=lambda t: json.dumps(t, sort_keys=True),
+        ),
+    }
+
+
+def spec_from_dict(doc: dict[str, Any]) -> Specification:
+    """Decode a specification from its dict form (validating throughout)."""
+    if not isinstance(doc, dict):
+        raise CodecError("document must be an object")
+    if doc.get("format") != FORMAT_VERSION:
+        raise CodecError(
+            f"unsupported format version {doc.get('format')!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    try:
+        name = doc["name"]
+        states = [_decode_state(s) for s in doc["states"]]
+        alphabet = list(doc["alphabet"])
+        external = [
+            (_decode_state(s), e, _decode_state(s2))
+            for s, e, s2 in doc["external"]
+        ]
+        internal = [
+            (_decode_state(s), _decode_state(s2)) for s, s2 in doc["internal"]
+        ]
+        initial = _decode_state(doc["initial"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CodecError(f"malformed specification document: {exc}") from exc
+    return Specification(name, states, alphabet, external, internal, initial)
+
+
+def dumps(spec: Specification, *, indent: int | None = 2) -> str:
+    """Serialize *spec* to a JSON string."""
+    return json.dumps(spec_to_dict(spec), indent=indent, sort_keys=True)
+
+
+def loads(text: str) -> Specification:
+    """Deserialize a specification from a JSON string."""
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise CodecError(f"invalid JSON: {exc}") from exc
+    return spec_from_dict(doc)
+
+
+def dump(spec: Specification, path: str) -> None:
+    """Write *spec* as JSON to *path*."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(dumps(spec))
+        fh.write("\n")
+
+
+def load(path: str) -> Specification:
+    """Read a specification from a JSON file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return loads(fh.read())

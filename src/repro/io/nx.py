@@ -1,0 +1,81 @@
+"""Bridge to networkx.
+
+Converts specifications to :class:`networkx.MultiDiGraph` (and back),
+which makes the whole networkx toolbox — layout, centrality, independent
+SCC/reachability implementations — available for analysis and lets the
+test suite cross-check this library's graph primitives against an
+independent implementation.
+
+Encoding: one node per state (node attribute ``initial`` on ``s0``);
+one edge per transition with attribute ``event`` (the event name, or
+``None`` for an internal λ transition).  The spec's ``name`` and
+``alphabet`` ride along as graph attributes.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from ..errors import CodecError
+from ..spec.spec import Specification
+
+
+def to_networkx(spec: Specification) -> "nx.MultiDiGraph":
+    """Encode *spec* as a MultiDiGraph (see module docstring)."""
+    graph = nx.MultiDiGraph(
+        name=spec.name, alphabet=tuple(spec.alphabet.sorted())
+    )
+    for s in spec.sorted_states():
+        graph.add_node(s, initial=(s == spec.initial))
+    for s, e, s2 in spec.external:
+        graph.add_edge(s, s2, event=e)
+    for s, s2 in spec.internal:
+        graph.add_edge(s, s2, event=None)
+    return graph
+
+
+def from_networkx(graph: "nx.MultiDiGraph") -> Specification:
+    """Decode a MultiDiGraph produced by :func:`to_networkx` (or built by
+    hand with the same attribute conventions)."""
+    initials = [n for n, data in graph.nodes(data=True) if data.get("initial")]
+    if len(initials) != 1:
+        raise CodecError(
+            f"graph must mark exactly one initial node, found {len(initials)}"
+        )
+    external = []
+    internal = []
+    used_events = set()
+    for s, s2, data in graph.edges(data=True):
+        event = data.get("event")
+        if event is None:
+            internal.append((s, s2))
+        else:
+            external.append((s, event, s2))
+            used_events.add(event)
+    alphabet = set(graph.graph.get("alphabet", ())) | used_events
+    return Specification(
+        graph.graph.get("name", "from_networkx"),
+        graph.nodes,
+        alphabet,
+        external,
+        internal,
+        initials[0],
+    )
+
+
+def internal_subgraph(spec: Specification) -> "nx.DiGraph":
+    """Just the λ relation, as a simple DiGraph (for SCC/condensation)."""
+    graph = nx.DiGraph()
+    graph.add_nodes_from(spec.states)
+    graph.add_edges_from(spec.internal)
+    return graph
+
+
+def condensation(spec: Specification) -> "nx.DiGraph":
+    """networkx condensation of the λ graph (nodes = λ-SCCs).
+
+    Node attribute ``members`` holds each SCC's state set; useful both for
+    visualization and as an independent check of
+    :func:`repro.spec.graph.internal_sccs`.
+    """
+    return nx.condensation(internal_subgraph(spec))

@@ -1,0 +1,83 @@
+"""Plain-text rendering of specifications and results.
+
+Terminal-friendly views used by the CLI, the examples, and the benchmark
+harness: an aligned transition table, a one-line summary, and a compact
+adjacency rendering for small machines.
+"""
+
+from __future__ import annotations
+
+from ..spec.spec import Specification, State
+
+
+def _fmt_state(state: State, width: int = 0) -> str:
+    text = repr(state) if not isinstance(state, (int, str)) else str(state)
+    return text.ljust(width)
+
+
+def render_spec(spec: Specification, *, max_rows: int | None = None) -> str:
+    """An aligned transition table.
+
+    Columns: source state, label (event name or ``λ``), target state.
+    """
+    rows: list[tuple[str, str, str]] = []
+    for s in spec.sorted_states():
+        for e, s2 in spec.out_transitions(s):
+            rows.append((_fmt_state(s), e, _fmt_state(s2)))
+        for s2 in sorted(spec.internal_successors(s), key=repr):
+            rows.append((_fmt_state(s), "λ", _fmt_state(s2)))
+
+    truncated = 0
+    if max_rows is not None and len(rows) > max_rows:
+        truncated = len(rows) - max_rows
+        rows = rows[:max_rows]
+
+    if rows:
+        w0 = max(len(r[0]) for r in rows)
+        w1 = max(len(r[1]) for r in rows)
+    else:
+        w0 = w1 = 1
+
+    lines = [
+        f"{spec.name}  ({len(spec.states)} states, "
+        f"{len(spec.external)} external + {len(spec.internal)} internal "
+        f"transitions, initial = {_fmt_state(spec.initial)})"
+    ]
+    for src, label, dst in rows:
+        lines.append(f"  {src.ljust(w0)}  --{label.ljust(w1)}-->  {dst}")
+    if truncated:
+        lines.append(f"  ... ({truncated} more)")
+    return "\n".join(lines)
+
+
+def render_adjacency(spec: Specification) -> str:
+    """One line per state: ``state: e1->t1 e2->t2 λ->t3``."""
+    lines = []
+    for s in spec.sorted_states():
+        parts = [f"{e}->{_fmt_state(s2)}" for e, s2 in spec.out_transitions(s)]
+        parts += [
+            f"λ->{_fmt_state(s2)}"
+            for s2 in sorted(spec.internal_successors(s), key=repr)
+        ]
+        marker = "*" if s == spec.initial else " "
+        lines.append(f"{marker}{_fmt_state(s)}: " + (" ".join(parts) or "(dead)"))
+    return "\n".join(lines)
+
+
+def render_table(
+    headers: list[str], rows: list[list[object]], *, title: str | None = None
+) -> str:
+    """A minimal aligned table for benchmark output."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

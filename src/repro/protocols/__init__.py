@@ -1,0 +1,89 @@
+"""The paper's protocols: alternating-bit, non-sequenced, channels,
+services, and the Section 5 problem configurations."""
+
+from .abp import AB_TIMEOUT, ab_protocol_events, ab_receiver, ab_sender
+from .channels import (
+    ab_channel,
+    lossy_duplex_channel,
+    ns_channel,
+    reliable_duplex_channel,
+    simplex_channel,
+)
+from .configs import (
+    AB_CONVERTER_SIDE,
+    EXT_EVENTS,
+    NS_DIRECT_SIDE,
+    NS_SENDER_SIDE,
+    ConversionScenario,
+    ab_end_to_end,
+    colocated_scenario,
+    ns_end_to_end,
+    symmetric_scenario,
+    weakened_symmetric_scenario,
+)
+from .handshake import (
+    handshake_channel,
+    handshake_scenario,
+    lossy_handshake_scenario,
+    threeway_server,
+    twoway_client,
+)
+from .nonseq import NS_TIMEOUT, ns_protocol_events, ns_receiver, ns_sender
+from .sliding_window import (
+    sw_window_channel,
+    sw_window_receiver,
+    sw_window_sender,
+    sw_window_system,
+)
+from .stopwait import sw_channel, sw_end_to_end, sw_receiver, sw_sender
+from .services import (
+    alternating_service,
+    at_least_once_service,
+    at_least_once_service_strict,
+    choice_service,
+    windowed_alternating_service,
+)
+
+__all__ = [
+    "AB_CONVERTER_SIDE",
+    "AB_TIMEOUT",
+    "ConversionScenario",
+    "EXT_EVENTS",
+    "NS_DIRECT_SIDE",
+    "NS_SENDER_SIDE",
+    "NS_TIMEOUT",
+    "ab_channel",
+    "ab_end_to_end",
+    "ab_protocol_events",
+    "ab_receiver",
+    "ab_sender",
+    "alternating_service",
+    "at_least_once_service",
+    "at_least_once_service_strict",
+    "choice_service",
+    "colocated_scenario",
+    "handshake_channel",
+    "handshake_scenario",
+    "lossy_duplex_channel",
+    "lossy_handshake_scenario",
+    "ns_channel",
+    "ns_end_to_end",
+    "ns_protocol_events",
+    "ns_receiver",
+    "ns_sender",
+    "reliable_duplex_channel",
+    "simplex_channel",
+    "sw_channel",
+    "sw_window_channel",
+    "sw_window_receiver",
+    "sw_window_sender",
+    "sw_window_system",
+    "sw_end_to_end",
+    "sw_receiver",
+    "sw_sender",
+    "symmetric_scenario",
+    "threeway_server",
+    "twoway_client",
+    "weakened_symmetric_scenario",
+    "windowed_alternating_service",
+]

@@ -1,0 +1,108 @@
+"""The alternating-bit protocol (Fig. 7).
+
+The AB protocol [Bartlett, Scantlebury & Wilkinson 1969] delivers each
+accepted message exactly once over a lossy channel by attaching a one-bit
+sequence number:
+
+* the **Sender** ``A0`` accepts a message (``acc``), transmits it with the
+  current bit (``-d0`` / ``-d1``), and waits for the matching
+  acknowledgement (``+a0`` / ``+a1``).  A timeout (the channel's
+  never-premature loss signal) or a wrong-numbered acknowledgement causes
+  retransmission; the matching acknowledgement flips the bit;
+* the **Receiver** ``A1`` delivers (``del``) a data message whose bit
+  matches the one it expects, then acknowledges with that bit and flips its
+  expectation; a duplicate (wrong-bit) data message is re-acknowledged with
+  the previous bit and not delivered.
+
+Event conventions follow the paper: ``-x`` passes message ``x`` into a
+channel, ``+x`` removes it; ``acc``/``del`` are the user interface.  The
+sender's timeout event is shared with its channel (see
+:mod:`repro.protocols.channels`).
+"""
+
+from __future__ import annotations
+
+from ..spec.builder import SpecBuilder
+from ..spec.spec import Specification
+
+AB_TIMEOUT = "timeout"
+"""The AB sender/channel timeout event name."""
+
+
+def ab_sender(*, name: str = "A0", timeout: str = AB_TIMEOUT) -> Specification:
+    """The AB protocol Sender ``A0``.
+
+    States (BFS numbering):
+
+    ====  ==========================================
+    0     idle, current bit 0
+    1     ready to (re)transmit d0
+    2     waiting for a0
+    3     idle, current bit 1
+    4     ready to (re)transmit d1
+    5     waiting for a1
+    ====  ==========================================
+    """
+    return (
+        SpecBuilder(name)
+        .external(0, "acc", 1)
+        .external(1, "-d0", 2)
+        .external(2, "+a0", 3)
+        .external(2, "+a1", 1)  # stale acknowledgement: retransmit
+        .external(2, timeout, 1)
+        .external(3, "acc", 4)
+        .external(4, "-d1", 5)
+        .external(5, "+a1", 0)
+        .external(5, "+a0", 4)  # stale acknowledgement: retransmit
+        .external(5, timeout, 4)
+        .initial(0)
+        .build()
+    )
+
+
+def ab_receiver(*, name: str = "A1") -> Specification:
+    """The AB protocol Receiver ``A1``.
+
+    States:
+
+    ====  ===================================================
+    0     expecting bit 0
+    1     got d0, ready to deliver
+    2     ready to acknowledge with a0
+    3     expecting bit 1
+    4     got d1, ready to deliver
+    5     ready to acknowledge with a1
+    ====  ===================================================
+
+    Duplicates re-enter the acknowledge states without delivering: a ``+d1``
+    while expecting bit 0 re-sends ``a1``; a ``+d0`` while expecting bit 1
+    re-sends ``a0``.
+    """
+    return (
+        SpecBuilder(name)
+        .external(0, "+d0", 1)
+        .external(0, "+d1", 5)  # duplicate: re-acknowledge a1
+        .external(1, "del", 2)
+        .external(2, "-a0", 3)
+        .external(3, "+d1", 4)
+        .external(3, "+d0", 2)  # duplicate: re-acknowledge a0
+        .external(4, "del", 5)
+        .external(5, "-a1", 0)
+        .initial(0)
+        .build()
+    )
+
+
+def ab_protocol_events() -> dict[str, frozenset[str]]:
+    """The AB protocol's event sets, by interface.
+
+    Returns a dict with keys ``user_sender`` (``acc``), ``user_receiver``
+    (``del``), ``channel_sender`` (sender↔channel events including the
+    timeout), and ``channel_receiver`` (receiver↔channel events).
+    """
+    return {
+        "user_sender": frozenset({"acc"}),
+        "user_receiver": frozenset({"del"}),
+        "channel_sender": frozenset({"-d0", "-d1", "+a0", "+a1", AB_TIMEOUT}),
+        "channel_receiver": frozenset({"+d0", "+d1", "-a0", "-a1"}),
+    }

@@ -1,0 +1,136 @@
+"""Channel models (Fig. 10).
+
+The paper models the duplex channel between a protocol's Sender and
+Receiver as a separate component.  Channels are **lossy**: holding a
+message, the channel may take an *internal* (unlabeled) transition to a
+"lost" state, after which a timeout event occurs at the sending entity.
+Modeling loss as a single internal transition is the paper's worked example
+of nondeterminism-as-abstraction; the never-premature timeout is modeled by
+making the timeout event the *only* event enabled in the lost state.
+
+Conventions: ``-x`` puts message ``x`` into the channel, ``+x`` takes it
+out.  Capacity is one message in flight (the classical alternating-bit
+setting); both directions share the capacity, which is faithful to the
+figure's single machine per protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..errors import SpecError
+from ..spec.builder import SpecBuilder
+from ..spec.spec import Specification
+from .abp import AB_TIMEOUT
+from .nonseq import NS_TIMEOUT
+
+EMPTY = "empty"
+LOST = "lost"
+
+
+def lossy_duplex_channel(
+    *,
+    name: str,
+    messages: Sequence[str],
+    timeout: str,
+) -> Specification:
+    """A capacity-one lossy duplex channel over *messages*.
+
+    States: ``empty``; ``("holding", m)`` per message; ``lost``.
+    Transitions:
+
+    * ``empty --(-m)--> holding(m)`` — either endpoint inserts ``m``;
+    * ``holding(m) --(+m)--> empty`` — the other endpoint removes it;
+    * ``holding(m) λ lost`` — the message is lost (internal);
+    * ``lost --timeout--> empty`` — the loss eventually manifests as a
+      (never premature) timeout at the sending protocol entity.
+    """
+    if not messages:
+        raise SpecError("a channel needs at least one message type", spec_name=name)
+    builder = SpecBuilder(name).initial(EMPTY)
+    for m in messages:
+        holding = ("holding", m)
+        builder.external(EMPTY, f"-{m}", holding)
+        builder.external(holding, f"+{m}", EMPTY)
+        builder.internal(holding, LOST)
+    builder.external(LOST, timeout, EMPTY)
+    return builder.build()
+
+
+def reliable_duplex_channel(
+    *, name: str, messages: Sequence[str]
+) -> Specification:
+    """A capacity-one duplex channel that never loses messages.
+
+    Used to validate the protocols in isolation (exactly-once delivery of
+    the AB protocol holds over any channel; over a reliable one there are
+    no timeouts at all) and for architecture experiments where one leg of
+    the path is reliable (Section 6, Fig. 18).
+    """
+    if not messages:
+        raise SpecError("a channel needs at least one message type", spec_name=name)
+    builder = SpecBuilder(name).initial(EMPTY)
+    for m in messages:
+        holding = ("holding", m)
+        builder.external(EMPTY, f"-{m}", holding)
+        builder.external(holding, f"+{m}", EMPTY)
+    return builder.build()
+
+
+def ab_channel(*, name: str = "Ach", lossy: bool = True) -> Specification:
+    """The AB protocol's channel: carries d0, d1 forward and a0, a1 back.
+
+    The reliable variant still *declares* the timeout event (refusing it in
+    every state — a timeout can never occur without a loss), so that the
+    sender's timeout interface synchronizes and hides under composition
+    exactly as in the lossy case.
+    """
+    messages = ("d0", "d1", "a0", "a1")
+    if lossy:
+        return lossy_duplex_channel(name=name, messages=messages, timeout=AB_TIMEOUT)
+    from ..spec.ops import extend_alphabet
+
+    return extend_alphabet(
+        reliable_duplex_channel(name=name, messages=messages), [AB_TIMEOUT]
+    )
+
+
+def ns_channel(*, name: str = "Nch", lossy: bool = True) -> Specification:
+    """The NS protocol's channel: carries D forward and A back.
+
+    As with :func:`ab_channel`, the reliable variant declares (and refuses)
+    the timeout event so composition interfaces match the lossy variant.
+    """
+    messages = ("D", "A")
+    if lossy:
+        return lossy_duplex_channel(name=name, messages=messages, timeout=NS_TIMEOUT)
+    from ..spec.ops import extend_alphabet
+
+    return extend_alphabet(
+        reliable_duplex_channel(name=name, messages=messages), [NS_TIMEOUT]
+    )
+
+
+def simplex_channel(
+    *, name: str, messages: Iterable[str], lossy: bool = False, timeout: str | None = None
+) -> Specification:
+    """A one-direction channel (insert with ``-m``, remove with ``+m``).
+
+    A building block for architecture experiments that wire explicit
+    per-direction paths.  With ``lossy=True`` a *timeout* event name is
+    required.
+    """
+    messages = tuple(messages)
+    if lossy and timeout is None:
+        raise SpecError("a lossy channel needs a timeout event", spec_name=name)
+    builder = SpecBuilder(name).initial(EMPTY)
+    for m in messages:
+        holding = ("holding", m)
+        builder.external(EMPTY, f"-{m}", holding)
+        builder.external(holding, f"+{m}", EMPTY)
+        if lossy:
+            builder.internal(holding, LOST)
+    if lossy:
+        assert timeout is not None
+        builder.external(LOST, timeout, EMPTY)
+    return builder.build()

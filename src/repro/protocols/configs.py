@@ -1,0 +1,162 @@
+"""The paper's conversion-problem configurations (Figs. 9 and 13).
+
+Section 5 studies converting between the AB protocol's sender side and the
+NS protocol's receiver side so that together they provide the alternating
+accept/deliver service of Fig. 11:
+
+* **symmetric configuration** (Fig. 9) — the converter sits between the two
+  lossy channels: ``B = A0 ‖ Ach ‖ Nch ‖ N1``.  The converter interface
+  Int is the AB channel's receiver side plus the NS channel's sender side
+  (including the NS timeout).  The paper shows **no converter exists**: a
+  loss between C and N1 is ambiguous (data or acknowledgement?), creating
+  an unavoidable conflict between safety and progress.
+* **co-located configuration** (Fig. 13) — the converter is placed with the
+  NS receiver and exchanges messages with it directly (no Nch, no NS
+  timeout): ``B = A0 ‖ Ach ‖ N1``.  Here a converter **does exist**; the
+  algorithm produces the (maximal) machine of Fig. 14.
+
+Each builder returns a :class:`ConversionScenario` bundling the service,
+the composite ``B``, and the Int/Ext interface, ready to feed to
+:func:`repro.quotient.solve_quotient`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..compose.nary import compose_many
+from ..events import Interface
+from ..spec.spec import Specification
+from .abp import ab_sender
+from .channels import ab_channel, ns_channel
+from .nonseq import NS_TIMEOUT, ns_receiver, ns_sender
+from .services import alternating_service
+
+
+@dataclass(frozen=True)
+class ConversionScenario:
+    """A ready-to-solve conversion problem.
+
+    ``components`` keeps the individual machines for inspection/rendering;
+    ``composite`` is their composition ``B``; ``service`` is ``A``;
+    ``interface`` is the (Int, Ext) partition.
+    """
+
+    title: str
+    service: Specification
+    components: tuple[Specification, ...]
+    composite: Specification
+    interface: Interface
+
+    def describe(self) -> str:
+        parts = " || ".join(c.name for c in self.components)
+        return (
+            f"{self.title}\n"
+            f"  B = {parts}: {len(self.composite.states)} states, "
+            f"{len(self.composite.external)} external / "
+            f"{len(self.composite.internal)} internal transitions\n"
+            f"  Int = {self.interface.int_events.sorted()}\n"
+            f"  Ext = {self.interface.ext_events.sorted()}"
+        )
+
+
+AB_CONVERTER_SIDE = frozenset({"+d0", "+d1", "-a0", "-a1"})
+"""The converter's interface to the AB channel (it plays the AB receiver
+role toward the channel)."""
+
+NS_SENDER_SIDE = frozenset({"-D", "+A", NS_TIMEOUT})
+"""The converter's interface to the NS channel in the symmetric
+configuration (it plays the NS sender role, including the timeout)."""
+
+NS_DIRECT_SIDE = frozenset({"+D", "-A"})
+"""The converter's direct interface to the NS receiver in the co-located
+configuration (the paper: "the '+D' and '-A' events match the same events
+in N1")."""
+
+EXT_EVENTS = frozenset({"acc", "del"})
+"""The user interface of the conversion system (and of the service)."""
+
+
+def symmetric_scenario() -> ConversionScenario:
+    """Fig. 9: ``B = A0 ‖ Ach ‖ Nch ‖ N1`` — no converter exists."""
+    components = (ab_sender(), ab_channel(), ns_channel(), ns_receiver())
+    composite = compose_many(components, name="A0||Ach||Nch||N1")
+    interface = Interface(AB_CONVERTER_SIDE | NS_SENDER_SIDE, EXT_EVENTS)
+    return ConversionScenario(
+        title="symmetric configuration (Fig. 9)",
+        service=alternating_service(),
+        components=components,
+        composite=composite,
+        interface=interface,
+    )
+
+
+def colocated_scenario() -> ConversionScenario:
+    """Fig. 13: ``B = A0 ‖ Ach ‖ N1`` — the Fig. 14 converter exists."""
+    components = (ab_sender(), ab_channel(), ns_receiver())
+    composite = compose_many(components, name="A0||Ach||N1")
+    interface = Interface(AB_CONVERTER_SIDE | NS_DIRECT_SIDE, EXT_EVENTS)
+    return ConversionScenario(
+        title="co-located configuration (Fig. 13)",
+        service=alternating_service(),
+        components=components,
+        composite=composite,
+        interface=interface,
+    )
+
+
+def weakened_symmetric_scenario() -> ConversionScenario:
+    """Section 5's remark: duplicates allowed ⇒ a converter exists even in
+    the symmetric configuration.
+
+    Same ``B`` as :func:`symmetric_scenario` but the service is the
+    at-least-once weakening.
+    """
+    from .services import at_least_once_service
+
+    base = symmetric_scenario()
+    return ConversionScenario(
+        title="symmetric configuration, weakened (at-least-once) service",
+        service=at_least_once_service(),
+        components=base.components,
+        composite=base.composite,
+        interface=base.interface,
+    )
+
+
+def ns_end_to_end() -> ConversionScenario:
+    """The NS protocol operating end to end (no conversion): ``N0 ‖ Nch ‖ N1``.
+
+    Not a quotient problem — used by tests and benchmarks to validate the
+    protocol models themselves (at-least-once delivery, duplicates
+    possible).
+    """
+    components = (ns_sender(), ns_channel(), ns_receiver())
+    composite = compose_many(components, name="N0||Nch||N1")
+    return ConversionScenario(
+        title="NS protocol end-to-end",
+        service=alternating_service(),  # NOT satisfied — that is the point
+        components=components,
+        composite=composite,
+        interface=Interface(frozenset(), EXT_EVENTS),
+    )
+
+
+def ab_end_to_end(*, lossy: bool = True) -> ConversionScenario:
+    """The AB protocol end to end: ``A0 ‖ Ach ‖ A1`` — satisfies Fig. 11.
+
+    Over a lossy or reliable channel, the AB protocol provides exactly-once
+    alternating delivery; tests verify this with the satisfaction checker
+    as validation of the Fig. 7 reconstruction.
+    """
+    from .abp import ab_receiver
+
+    components = (ab_sender(), ab_channel(lossy=lossy), ab_receiver())
+    composite = compose_many(components, name="A0||Ach||A1")
+    return ConversionScenario(
+        title=f"AB protocol end-to-end ({'lossy' if lossy else 'reliable'})",
+        service=alternating_service(),
+        components=components,
+        composite=composite,
+        interface=Interface(frozenset(), EXT_EVENTS),
+    )

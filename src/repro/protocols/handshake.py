@@ -1,0 +1,168 @@
+"""Connection-establishment handshake protocols (library extension).
+
+A conversion problem at the *connection management* level — the function
+Section 6 singles out as the hard part of transport-level conversion
+("the connection management function is concerned with end-to-end
+synchronization").  Two mismatched handshake disciplines:
+
+* a **two-way client**: user ``open`` → send connect-request ``CR`` →
+  await connect-confirm ``CC`` (then considers the connection up);
+* a **three-way server**: receive ``cr`` → (depending on the variant,
+  see below) surface ``ready`` to its user and send ``cc`` → await the
+  completing ``ack``.
+
+The service over ``Ext = {open, ready}`` demands strict alternation: each
+client ``open`` is followed by exactly one server-side ``ready`` before
+the next ``open``.
+
+The server comes in two variants that differ only in *when* the user-
+visible ``ready`` happens relative to the confirm, plus a lossy-channel
+variant; all three outcomes are derived and verified mechanically (tests
+and the HS benchmark):
+
+* ``accept_first=True`` (accept-then-confirm, BSD-``accept()``-like):
+  ``ready`` precedes ``-cc`` — the converter's receipt of ``cc`` *proves*
+  the server user has observed the connection.  A straightforward 9-state
+  converter exists.
+* ``accept_first=False`` (confirm-then-accept): ``ready`` happens after
+  the completing ``ack``, invisible to the converter.  Naive analysis
+  suggests no converter (confirming the client before ``ready`` risks an
+  early second ``open``; never confirming stalls the client) — but the
+  quotient algorithm **finds one anyway**: it pipelines, pre-opening the
+  *next* server handshake and using the server's willingness to accept a
+  new ``cr`` (only possible after ``ready`` was consumed) as an observable
+  proxy.  A 12-state converter, and a demonstration that the maximal
+  construction discovers side channels a human analysis misses.
+* :func:`lossy_handshake_scenario`: over a lossy client channel, the
+  two-way client (which has no timeout/retransmission) cannot recover a
+  lost ``CR`` and no converter exists — a genuine nonexistence instance at
+  the connection-management level.
+"""
+
+from __future__ import annotations
+
+from ..compose.nary import compose_many
+from ..events import Interface
+from ..spec.builder import SpecBuilder
+from ..spec.spec import Specification
+from .channels import reliable_duplex_channel
+from .configs import ConversionScenario
+from .services import alternating_service
+
+
+def twoway_client(*, name: str = "HC") -> Specification:
+    """The two-way handshake client: open, send CR, await CC."""
+    return (
+        SpecBuilder(name)
+        .external(0, "open", 1)
+        .external(1, "-CR", 2)
+        .external(2, "+CC", 0)
+        .initial(0)
+        .build()
+    )
+
+
+def threeway_server(*, accept_first: bool = True, name: str | None = None) -> Specification:
+    """The three-way handshake server (see module docstring for variants)."""
+    resolved = name if name is not None else (
+        "HS-accept-first" if accept_first else "HS-confirm-first"
+    )
+    builder = SpecBuilder(resolved)
+    if accept_first:
+        # +cr, ready (user accepts), -cc, +ack
+        builder.external(0, "+cr", 1)
+        builder.external(1, "ready", 2)
+        builder.external(2, "-cc", 3)
+        builder.external(3, "+ack", 0)
+    else:
+        # +cr, -cc, +ack, ready (user learns last)
+        builder.external(0, "+cr", 1)
+        builder.external(1, "-cc", 2)
+        builder.external(2, "+ack", 3)
+        builder.external(3, "ready", 0)
+    return builder.initial(0).build()
+
+
+def handshake_channel(*, name: str = "HCch") -> Specification:
+    """Reliable client-side channel carrying CR toward the converter and
+    CC back (the converter is co-located with the server)."""
+    return reliable_duplex_channel(name=name, messages=("CR", "CC"))
+
+
+CLIENT_SIDE = frozenset({"+CR", "-CC"})
+"""Converter interface to the client's channel."""
+
+SERVER_SIDE = frozenset({"+cr", "-cc", "+ack"})
+"""Converter interface directly to the server (co-located)."""
+
+HS_EXT = frozenset({"open", "ready"})
+"""User interface of the handshake conversion system."""
+
+
+def handshake_scenario(*, accept_first: bool = True) -> ConversionScenario:
+    """The handshake conversion problem, in either server variant.
+
+    ``B = client ‖ channel ‖ server``;
+    ``Int`` = the converter's two interfaces; ``Ext = {open, ready}``.
+    """
+    components = (
+        twoway_client(),
+        handshake_channel(),
+        threeway_server(accept_first=accept_first),
+    )
+    composite = compose_many(
+        components,
+        name=f"HC||HCch||{components[2].name}",
+    )
+    return ConversionScenario(
+        title=(
+            "handshake conversion, "
+            + ("accept-then-confirm server" if accept_first
+               else "confirm-then-accept server")
+        ),
+        service=alternating_service(accept="open", deliver="ready"),
+        components=components,
+        composite=composite,
+        interface=Interface(CLIENT_SIDE | SERVER_SIDE, HS_EXT),
+    )
+
+
+HS_TIMEOUT = "timeoutH"
+"""Loss-timeout event of the lossy client channel (surfaces at the
+converter, which plays the sending role toward the client for CC)."""
+
+
+def lossy_handshake_scenario(*, accept_first: bool = True) -> ConversionScenario:
+    """The handshake conversion over a *lossy* client channel.
+
+    The two-way client has no timeout/retransmission of its own, so a lost
+    ``CR`` strands it waiting for a confirm that may never legitimately
+    come: **no converter exists** (the quotient empties), even in the
+    accept-first variant.  The converter's timeout knowledge does not
+    help — it cannot make the client resend.
+    """
+    from .channels import lossy_duplex_channel
+
+    components = (
+        twoway_client(),
+        lossy_duplex_channel(
+            name="HCch", messages=("CR", "CC"), timeout=HS_TIMEOUT
+        ),
+        threeway_server(accept_first=accept_first),
+    )
+    composite = compose_many(
+        components,
+        name=f"HC||lossy(HCch)||{components[2].name}",
+    )
+    return ConversionScenario(
+        title=(
+            "handshake conversion over a lossy client channel "
+            f"({'accept' if accept_first else 'confirm'}-first server)"
+        ),
+        service=alternating_service(accept="open", deliver="ready"),
+        components=components,
+        composite=composite,
+        interface=Interface(
+            CLIENT_SIDE | SERVER_SIDE | {HS_TIMEOUT}, HS_EXT
+        ),
+    )

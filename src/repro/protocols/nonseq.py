@@ -1,0 +1,68 @@
+"""The non-sequenced protocol (Fig. 8).
+
+The NS protocol has no sequence numbers:
+
+* the **Sender** ``N0`` accepts a message (``acc``), transmits it (``-D``),
+  and retransmits on timeout until an acknowledgement (``+A``) arrives;
+* the **Receiver** ``N1`` delivers (``del``) *every* received data message
+  (``+D``) and acknowledges it (``-A``).
+
+Both protocols guarantee at-least-once delivery over lossy channels, but NS
+may deliver duplicates (a retransmission after a lost acknowledgement is
+indistinguishable from new data), so its service is strictly weaker than
+the AB protocol's exactly-once service — the root of the conversion
+difficulty analyzed in Section 5.
+"""
+
+from __future__ import annotations
+
+from ..spec.builder import SpecBuilder
+from ..spec.spec import Specification
+
+NS_TIMEOUT = "timeoutN"
+"""The NS sender/channel timeout event name (distinct from the AB one —
+in the paper's Fig. 9 configuration the two timeouts belong to different
+interfaces: the AB timeout is internal to ``A0 ‖ Ach`` while the NS timeout
+is part of the converter's interface)."""
+
+
+def ns_sender(*, name: str = "N0", timeout: str = NS_TIMEOUT) -> Specification:
+    """The NS protocol Sender ``N0``.
+
+    States: 0 idle; 1 ready to (re)transmit D; 2 waiting for A.
+    """
+    return (
+        SpecBuilder(name)
+        .external(0, "acc", 1)
+        .external(1, "-D", 2)
+        .external(2, "+A", 0)
+        .external(2, timeout, 1)
+        .initial(0)
+        .build()
+    )
+
+
+def ns_receiver(*, name: str = "N1") -> Specification:
+    """The NS protocol Receiver ``N1``.
+
+    States: 0 waiting for data; 1 ready to deliver; 2 ready to acknowledge.
+    Delivers every received message — no duplicate suppression.
+    """
+    return (
+        SpecBuilder(name)
+        .external(0, "+D", 1)
+        .external(1, "del", 2)
+        .external(2, "-A", 0)
+        .initial(0)
+        .build()
+    )
+
+
+def ns_protocol_events() -> dict[str, frozenset[str]]:
+    """The NS protocol's event sets, by interface."""
+    return {
+        "user_sender": frozenset({"acc"}),
+        "user_receiver": frozenset({"del"}),
+        "channel_sender": frozenset({"-D", "+A", NS_TIMEOUT}),
+        "channel_receiver": frozenset({"+D", "-A"}),
+    }

@@ -1,0 +1,133 @@
+"""Service specifications (Fig. 11 and the Section 5 variants).
+
+A service specification describes the conversion system's required
+behaviour at the *user* interface (``Ext``), abstracting away every
+protocol detail.
+"""
+
+from __future__ import annotations
+
+from ..errors import SpecError
+from ..spec.builder import SpecBuilder
+from ..spec.spec import Specification
+
+
+def alternating_service(
+    *, name: str = "S", accept: str = "acc", deliver: str = "del"
+) -> Specification:
+    """The paper's desired service (Fig. 11): strict alternation.
+
+    Every accepted message is delivered exactly once before the next can be
+    accepted: traces are prefixes of ``acc del acc del ...``.  Deterministic
+    and λ-free, hence trivially in normal form.
+    """
+    return (
+        SpecBuilder(name)
+        .external(0, accept, 1)
+        .external(1, deliver, 0)
+        .initial(0)
+        .build()
+    )
+
+
+def at_least_once_service(
+    *, name: str = "S+", accept: str = "acc", deliver: str = "del"
+) -> Specification:
+    """The weakened service of Section 5: duplicates permitted.
+
+    Trace set: prefixes of ``(acc del+)*`` — after an accept, the message is
+    delivered one *or more* times before the next accept.  This is the
+    weakening the paper notes makes a converter possible even in the
+    symmetric configuration, because a retransmission that turns out to be
+    a duplicate no longer violates safety.
+
+    The *acceptance structure* matters as much as the trace set here, and
+    it is a textbook use of the paper's "nondeterminism as choice among
+    acceptable behaviours": after at least one delivery, the service
+    internally **chooses** between offering a duplicate delivery and
+    offering the next accept (a hub state with λ edges to a ``{del}``
+    option and an ``{acc}`` option).  A conversion system may therefore
+    settle into *either* behaviour.  The deterministic variant
+    (:func:`at_least_once_service_strict`), whose single acceptance set is
+    ``{acc, del}``, demands that both events be simultaneously offerable —
+    a strictly stronger progress obligation that the symmetric
+    configuration still cannot meet (see the SEC5-W experiment).
+    """
+    return (
+        SpecBuilder(name)
+        .external(0, accept, 1)
+        .external(1, deliver, "hub")
+        .internal("hub", "dup")
+        .internal("hub", "next")
+        .external("dup", deliver, "hub")
+        .external("next", accept, 1)
+        .initial(0)
+        .build()
+    )
+
+
+def at_least_once_service_strict(
+    *, name: str = "S+det", accept: str = "acc", deliver: str = "del"
+) -> Specification:
+    """Deterministic variant of :func:`at_least_once_service`.
+
+    Same trace set (prefixes of ``(acc del+)*``) but a single acceptance
+    set ``{acc, del}`` after a delivery: the implementation must keep both
+    a duplicate delivery *and* the next accept continuously available.
+    Kept as a separate spec because the contrast between the two variants
+    is a reproduced finding (experiment SEC5-W).
+    """
+    return (
+        SpecBuilder(name)
+        .external(0, accept, 1)
+        .external(1, deliver, 2)
+        .external(2, deliver, 2)
+        .external(2, accept, 1)
+        .initial(0)
+        .build()
+    )
+
+
+def windowed_alternating_service(
+    window: int, *, name: str | None = None, accept: str = "acc", deliver: str = "del"
+) -> Specification:
+    """Exactly-once delivery with up to *window* outstanding messages.
+
+    Generalizes Fig. 11 (which is ``window=1``): up to *window* accepts may
+    run ahead of deliveries, each message still delivered exactly once and
+    in order.  Used by scaling benchmarks to grow service state spaces with
+    a meaningful knob.
+    """
+    if window < 1:
+        raise SpecError("window must be at least 1")
+    builder = SpecBuilder(name if name is not None else f"S(w={window})")
+    for outstanding in range(window + 1):
+        if outstanding < window:
+            builder.external(outstanding, accept, outstanding + 1)
+        if outstanding > 0:
+            builder.external(outstanding, deliver, outstanding - 1)
+    return builder.initial(0).build()
+
+
+def choice_service(
+    *, name: str = "Schoice", accept: str = "acc", deliver: str = "del", reject: str = "rej"
+) -> Specification:
+    """A nondeterministic service exercising acceptance-set machinery.
+
+    After an accept, the service *chooses* (internal transitions from a hub
+    to two option states — normal form by construction) to either deliver
+    the message or reject it.  An implementation may settle on either
+    option; an environment must be prepared for both.  Used by tests for
+    the progress semantics of genuinely nondeterministic normal-form
+    services.
+    """
+    return (
+        SpecBuilder(name)
+        .external("idle", accept, "hub")
+        .internal("hub", "opt_deliver")
+        .internal("hub", "opt_reject")
+        .external("opt_deliver", deliver, "idle")
+        .external("opt_reject", reject, "idle")
+        .initial("idle")
+        .build()
+    )

@@ -1,0 +1,53 @@
+"""A stop-and-wait protocol (library extension, not from the paper).
+
+A minimal positive-acknowledgement protocol for *reliable* channels: the
+sender transmits one packet ``P`` and waits for the acknowledgement ``K``
+before accepting the next message.  Without sequence numbers or timeouts it
+is only correct over loss-free channels — which makes it a useful third
+protocol for exercising the quotient machinery on fresh conversion
+problems (e.g. AB-to-stop-and-wait in the examples and tests) and for
+demonstrating *when* conversion is trivial.
+"""
+
+from __future__ import annotations
+
+from ..spec.builder import SpecBuilder
+from ..spec.spec import Specification
+
+
+def sw_sender(*, name: str = "W0") -> Specification:
+    """Stop-and-wait Sender: accept, transmit ``P``, await ``K``."""
+    return (
+        SpecBuilder(name)
+        .external(0, "acc", 1)
+        .external(1, "-P", 2)
+        .external(2, "+K", 0)
+        .initial(0)
+        .build()
+    )
+
+
+def sw_receiver(*, name: str = "W1") -> Specification:
+    """Stop-and-wait Receiver: receive ``P``, deliver, acknowledge ``K``."""
+    return (
+        SpecBuilder(name)
+        .external(0, "+P", 1)
+        .external(1, "del", 2)
+        .external(2, "-K", 0)
+        .initial(0)
+        .build()
+    )
+
+
+def sw_channel(*, name: str = "Wch") -> Specification:
+    """The stop-and-wait channel: reliable, capacity one, duplex (P/K)."""
+    from .channels import reliable_duplex_channel
+
+    return reliable_duplex_channel(name=name, messages=("P", "K"))
+
+
+def sw_end_to_end(*, name: str = "W0||Wch||W1") -> Specification:
+    """The composed stop-and-wait system over its reliable channel."""
+    from ..compose.nary import compose_many
+
+    return compose_many([sw_sender(), sw_channel(), sw_receiver()], name=name)

@@ -1,0 +1,220 @@
+"""Structured diagnosis of converter nonexistence.
+
+When the quotient is empty, the bare answer "no converter exists" is
+correct but unhelpful to a protocol designer.  This module reconstructs
+*where* the safety/progress conflict lives:
+
+* the **conflict frontier** — the earliest converter states (shortest
+  Int-trace witnesses) that the progress phase removed, i.e. the points of
+  no return: any converter reaching them is doomed;
+* for each frontier state, the **blocking pairs** ``(a, b)`` whose
+  progress obligation could not be met, with the service's acceptance
+  menu and the events the composite could still offer;
+* an **ambiguity census**: frontier states whose pair sets contain the
+  same component state ``b`` under *different* service hubs — the "cannot
+  tell what happened" situations (exactly the data-vs-acknowledgement
+  ambiguity of the paper's Section 5 example).
+
+The diagnosis is computed from the records the solver already keeps; it
+never re-runs the phases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..events import Alphabet
+from ..spec.graph import sink_acceptance_sets
+from ..spec.spec import Specification, State, _state_sort_key
+from ..traces.core import Trace, format_trace
+from .progress_phase import _composite_tau_star
+from .types import PairSet, QuotientResult
+
+
+@dataclass(frozen=True)
+class BlockingPair:
+    """One unmet progress obligation at a frontier state."""
+
+    service_hub: State
+    component_state: State
+    offered: Alphabet
+    menu: tuple[Alphabet, ...]
+
+    def describe(self) -> str:
+        menu = " | ".join(
+            "{" + ",".join(sorted(m)) + "}" for m in self.menu
+        ) or "(none)"
+        return (
+            f"service at {self.service_hub!r} requires one of [{menu}] but "
+            f"the composite can only ever offer "
+            f"{{{','.join(sorted(self.offered))}}} "
+            f"(component at {self.component_state!r})"
+        )
+
+
+@dataclass(frozen=True)
+class FrontierState:
+    """A point of no return: an earliest-removed converter state."""
+
+    trace: Trace
+    pairs: PairSet
+    blocking: tuple[BlockingPair, ...]
+    ambiguous_components: tuple[State, ...]
+
+    def describe(self) -> str:
+        lines = [
+            f"after converter trace {format_trace(self.trace)} "
+            f"({len(self.pairs)} possible (service, component) pairs):"
+        ]
+        for b in self.blocking:
+            lines.append("  - " + b.describe())
+        if self.ambiguous_components:
+            lines.append(
+                "  ambiguity: component state(s) "
+                f"{list(self.ambiguous_components)!r} are compatible with "
+                "different service histories — no future observation can "
+                "separate them"
+            )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class NonexistenceDiagnosis:
+    """Why no converter exists, in designer terms."""
+
+    frontier: tuple[FrontierState, ...]
+    removed_total: int
+    rounds: int
+
+    def describe(self) -> str:
+        lines = [
+            f"no converter exists: progress removed {self.removed_total} "
+            f"state(s) over {self.rounds} round(s); "
+            f"{len(self.frontier)} point(s) of no return:"
+        ]
+        for f in self.frontier:
+            lines.append(f.describe())
+        return "\n".join(lines)
+
+
+def _shortest_traces(
+    spec: Specification, targets: set[State]
+) -> dict[State, Trace]:
+    """Shortest trace (BFS over external transitions) to each target."""
+    found: dict[State, Trace] = {}
+    seen = {spec.initial}
+    frontier: list[tuple[State, Trace]] = [(spec.initial, ())]
+    if spec.initial in targets:
+        found[spec.initial] = ()
+    while frontier and len(found) < len(targets):
+        next_frontier: list[tuple[State, Trace]] = []
+        for state, trace in frontier:
+            for e, s2 in spec.out_transitions(state):
+                if s2 in seen:
+                    continue
+                seen.add(s2)
+                t2 = trace + (e,)
+                if s2 in targets and s2 not in found:
+                    found[s2] = t2
+                next_frontier.append((s2, t2))
+        frontier = next_frontier
+    return found
+
+
+def diagnose_nonexistence(
+    result: QuotientResult, *, max_frontier: int = 5
+) -> NonexistenceDiagnosis:
+    """Build a :class:`NonexistenceDiagnosis` from a failed quotient run.
+
+    Requires the safety phase to have succeeded (``result.c0`` present)
+    and the progress phase to have emptied the machine; raises
+    ``ValueError`` otherwise.
+    """
+    if result.exists:
+        raise ValueError("quotient succeeded; nothing to diagnose")
+    if result.safety is None or not result.safety.exists:
+        raise ValueError(
+            "safety phase failed outright (ok(h.ε) is false): the component "
+            "violates the service with no converter involvement"
+        )
+    assert result.progress is not None and result.c0 is not None
+    problem = result.problem
+
+    # earliest removals: round-0 bad states, reachable ones first
+    first_round = result.progress.rounds[0]
+    # result.c0 is relabeled; map pair-set bad states through c0_f
+    label_of = {pairset: label for label, pairset in result.c0_f.items()}
+    bad_labels = {
+        label_of[p] for p in first_round.bad_states if p in label_of
+    }
+    traces = _shortest_traces(result.c0, bad_labels)
+    chosen = sorted(
+        traces.items(), key=lambda item: (len(item[1]), item[1])
+    )[:max_frontier]
+
+    # recompute the progress obligations for the chosen states against the
+    # full safety-phase machine (same context the phase used in round 0)
+    c0_by_pairs = {label: result.c0_f[label] for label, _ in chosen}
+    needed = [
+        (b, result.c0_f[label])
+        for label, _ in chosen
+        for (_, b) in c0_by_pairs[label]
+    ]
+    # τ* is computed on the pair-set-labeled machine the phases used; we
+    # rebuild it from the relabeled machine by mapping states back
+    pairset_spec = _relabel_back(result.c0, result.c0_f)
+    offered = _composite_tau_star(
+        problem, pairset_spec, [(b, ps) for (b, ps) in needed]
+    )
+
+    frontier_states: list[FrontierState] = []
+    for label, trace in chosen:
+        pairs = result.c0_f[label]
+        blocking: list[BlockingPair] = []
+        by_component: dict[State, set[State]] = {}
+        for a, b in sorted(
+            pairs, key=lambda p: (_state_sort_key(p[0]), _state_sort_key(p[1]))
+        ):
+            by_component.setdefault(b, set()).add(a)
+            menu = tuple(sink_acceptance_sets(problem.service, a))
+            offer = offered[(b, pairs)]
+            if not any(accept <= offer for accept in menu):
+                blocking.append(
+                    BlockingPair(
+                        service_hub=a,
+                        component_state=b,
+                        offered=offer,
+                        menu=menu,
+                    )
+                )
+        ambiguous = tuple(
+            sorted(
+                (b for b, hubs in by_component.items() if len(hubs) > 1),
+                key=_state_sort_key,
+            )
+        )
+        frontier_states.append(
+            FrontierState(
+                trace=trace,
+                pairs=pairs,
+                blocking=tuple(blocking),
+                ambiguous_components=ambiguous,
+            )
+        )
+
+    removed_total = sum(
+        len(r.bad_states) for r in result.progress.rounds
+    )
+    return NonexistenceDiagnosis(
+        frontier=tuple(frontier_states),
+        removed_total=removed_total,
+        rounds=len(result.progress.rounds),
+    )
+
+
+def _relabel_back(
+    c0: Specification, c0_f: dict[State, PairSet]
+) -> Specification:
+    """Rebuild the pair-set-labeled safety-phase machine from the compact
+    integer-labeled one the solver returns."""
+    return c0.map_states(dict(c0_f))

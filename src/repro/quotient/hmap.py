@@ -1,0 +1,120 @@
+"""The ``h`` map and the ``φ`` extension function (Section 4).
+
+The safety phase identifies each candidate converter state with the set
+
+    h.r = { (a, b) : ∃t : i.t = r ∧ ↦t b ∧ a = ψ_A.(o.t) }
+
+— for every way the component ``B`` can have matched the converter trace
+``r``, the possible current ``B`` state paired with the service hub tracking
+the externally-observable projection.
+
+Two operations are needed:
+
+* ``h.ε`` — the initial pair set (:func:`initial_pairs`);
+* ``φ(J, e)`` for ``e ∈ Int`` with ``h.r = J ⇒ h.re = φ(h.r, e)``
+  (:func:`extend_pairs`).
+
+Both reduce to one *Ext-closure*: saturate a pair set under the moves of
+``B`` that the converter does not participate in — internal λ steps of
+``B``, and external events ``g ∈ Ext`` mirrored by the service's hub-advance
+``a ⟶g▷ a'``.  If during closure ``B`` enables some ``g ∈ Ext`` that the
+service hub cannot mirror, the paper's ``ok`` predicate fails for the set:
+``τ.b ∩ Ext ⊄ τ*.a``.  Closure reports this by returning ``None`` (the
+candidate state is rejected, exactly the ``if ok.J`` guard of Fig. 5).
+"""
+
+from __future__ import annotations
+
+from ..events import Event
+from ..spec.normal_form import psi_step
+from ..spec.spec import _state_sort_key
+from .types import Pair, PairSet, QuotientProblem
+
+
+def _pair_sort_key(pair: Pair) -> tuple:
+    a, b = pair
+    return (_state_sort_key(a), _state_sort_key(b))
+
+
+def ext_closure(problem: QuotientProblem, seed: set[Pair]) -> PairSet | None:
+    """Saturate *seed* under B's λ steps and Ext events (service-mirrored).
+
+    Returns the closed pair set, or ``None`` if closure encounters a pair
+    ``(a, b)`` where ``B`` enables an Ext event that ``A``'s hub cannot
+    perform — the ``ok`` violation that makes the candidate unsafe.
+    """
+    service = problem.service
+    component = problem.component
+    ext = problem.interface.ext_events
+
+    closed: set[Pair] = set(seed)
+    stack: list[Pair] = sorted(seed, key=_pair_sort_key)
+    while stack:
+        a, b = stack.pop()
+        for b2 in sorted(component.internal_successors(b), key=_state_sort_key):
+            pair = (a, b2)
+            if pair not in closed:
+                closed.add(pair)
+                stack.append(pair)
+        for g in sorted(component.enabled(b)):
+            if g not in ext:
+                continue
+            a2 = psi_step(service, a, g)
+            if a2 is None:
+                # τ.b ∩ Ext ⊄ τ*.a — ok fails for any set containing (a, b)
+                return None
+            for b2 in sorted(component.successors(b, g), key=_state_sort_key):
+                pair = (a2, b2)
+                if pair not in closed:
+                    closed.add(pair)
+                    stack.append(pair)
+    return frozenset(closed)
+
+
+def initial_pairs(problem: QuotientProblem) -> PairSet | None:
+    """``h.ε`` — or ``None`` when ``¬ok.(h.ε)`` (no safe quotient at all).
+
+    ``h.ε`` pairs every ``B`` state reachable by Ext-only behaviour with the
+    service hub tracking that behaviour, starting from
+    ``(a0, b0) = (ψ_A.ε, s0 of B)``.
+    """
+    seed = {(problem.service.initial, problem.component.initial)}
+    return ext_closure(problem, seed)
+
+
+def extend_pairs(
+    problem: QuotientProblem, pairs: PairSet, event: Event
+) -> PairSet | None:
+    """``φ(J, e)`` for ``e ∈ Int`` — or ``None`` when ``¬ok.(φ(J, e))``.
+
+    Step every pair's ``B`` state by *event* (the service does not move:
+    Int events are invisible to it), then Ext-close.  The result may be the
+    empty set — meaning no trace of ``B`` matches the extended converter
+    trace, which is *trivially safe* (the paper: "r is trivially safe if no
+    trace of B matches r") and yields a legitimate, if useless, converter
+    state.
+    """
+    if event not in problem.interface.int_events:
+        raise ValueError(f"φ is defined only for Int events, got {event!r}")
+    component = problem.component
+    seed: set[Pair] = set()
+    for a, b in pairs:
+        for b2 in component.successors(b, event):
+            seed.add((a, b2))
+    return ext_closure(problem, seed)
+
+
+def ok(problem: QuotientProblem, pairs: PairSet) -> bool:
+    """The predicate ``ok.J ≡ ∀(a,b) ∈ J : τ.b ∩ Ext ⊆ τ*.a``.
+
+    Provided standalone for testing the paper's properties P1-P3; the
+    phases themselves detect violations during closure.
+    """
+    service = problem.service
+    component = problem.component
+    ext = problem.interface.ext_events
+    for a, b in pairs:
+        for g in component.enabled(b):
+            if g in ext and psi_step(service, a, g) is None:
+                return False
+    return True

@@ -1,0 +1,229 @@
+"""The progress phase of the quotient algorithm (Fig. 6).
+
+Iteratively removes *bad* states from the safety-phase machine ``C0``:
+
+    c is bad ≡ ∃(a, b) ∈ f.c : ¬prog.a.⟨b, c⟩
+
+where ``⟨b, c⟩`` is a state of the composite ``B ‖ C`` and ``prog.a.⟨b,c⟩``
+requires the events the composite eventually offers from ``⟨b, c⟩`` —
+``τ*.⟨b,c⟩``, computed over the composite's internal moves (λ steps of B
+and synchronized Int events between B and C) — to cover some sink
+acceptance set of the service reachable from hub ``a``.
+
+Because removing states shrinks C's cooperation and hence ``τ*``, the
+check-and-remove loop repeats until a fixpoint, or until the initial state
+is removed (equivalent to removing every state: no quotient exists).
+
+As Fig. 6 does, ``f`` is *not* recomputed between rounds — Theorem 2's
+guarantee ("a state marked bad belongs to no solution") relies on judging
+every pair ever associated with a state, and ``τ*`` is evaluated on the
+full product (internal reachability from ``⟨b, c⟩`` does not require
+``⟨b, c⟩`` itself to be reachable from the initial state).  A final
+reachability trim is applied afterwards by the solver, as presentation.
+"""
+
+from __future__ import annotations
+
+from ..events import Alphabet, Event
+from ..spec.graph import sink_acceptance_sets
+from ..spec.spec import Specification, State, _state_sort_key
+from .types import PairSet, ProgressPhaseResult, ProgressRound, QuotientProblem
+
+
+def _composite_tau_star(
+    problem: QuotientProblem,
+    converter: Specification,
+    pairs_needed: list[tuple[State, State]],
+) -> dict[tuple[State, State], Alphabet]:
+    """``τ*.⟨b, c⟩`` of ``B ‖ C`` for every requested product state.
+
+    Internal moves of the composite are: λ steps of ``B`` (``C0`` has none),
+    and synchronized Int events (enabled in both ``B`` and ``C``).  External
+    events of the composite are ``B``'s Ext events.
+
+    Computed in one shared pass: the internal-move subgraph forward-reachable
+    from the requested nodes is explored once, its SCCs condensed (Tarjan),
+    and the Ext-event sets propagated through the condensation — the same
+    scheme :func:`repro.spec.graph.tau_star` uses, lifted to the product.
+    This keeps the progress phase near-linear per round instead of
+    quadratic in the explored product.
+    """
+    component = problem.component
+    ext = problem.interface.ext_events
+    int_events = problem.interface.int_events
+
+    # per-component-state precomputations (few distinct b's, many nodes)
+    ext_of_b: dict[State, frozenset] = {}
+    int_moves_of_b: dict[State, list[tuple[str, State]]] = {}
+
+    def prep(b: State) -> None:
+        if b in ext_of_b:
+            return
+        enabled = component.enabled(b)
+        ext_of_b[b] = frozenset(enabled & ext)
+        moves: list[tuple[str, State]] = []
+        for e in sorted(enabled):
+            if e in int_events:
+                for b2 in sorted(component.successors(b, e), key=_state_sort_key):
+                    moves.append((e, b2))
+        int_moves_of_b[b] = moves
+
+    lambda_of_b: dict[State, list[State]] = {}
+
+    def internal_successors(node: tuple[State, State]) -> list[tuple[State, State]]:
+        b, c = node
+        prep(b)
+        if b not in lambda_of_b:
+            lambda_of_b[b] = sorted(
+                component.internal_successors(b), key=_state_sort_key
+            )
+        result: list[tuple[State, State]] = [
+            (b2, c) for b2 in lambda_of_b[b]
+        ]
+        for e, b2 in int_moves_of_b[b]:
+            for c2 in sorted(converter.successors(c, e), key=_state_sort_key):
+                result.append((b2, c2))
+        return result
+
+    # explore the relevant product subgraph once
+    adjacency: dict[tuple[State, State], list[tuple[State, State]]] = {}
+    stack = list(dict.fromkeys(pairs_needed))
+    while stack:
+        node = stack.pop()
+        if node in adjacency:
+            continue
+        succs = internal_successors(node)
+        adjacency[node] = succs
+        for nxt in succs:
+            if nxt not in adjacency:
+                stack.append(nxt)
+
+    # iterative Tarjan over the subgraph
+    index: dict[tuple[State, State], int] = {}
+    lowlink: dict[tuple[State, State], int] = {}
+    on_stack: set[tuple[State, State]] = set()
+    scc_stack: list[tuple[State, State]] = []
+    scc_of: dict[tuple[State, State], int] = {}
+    scc_events: list[set[Event]] = []
+    counter = 0
+
+    for root in adjacency:
+        if root in index:
+            continue
+        work = [(root, iter(adjacency[root]))]
+        index[root] = lowlink[root] = counter
+        counter += 1
+        scc_stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, succ_iter = work[-1]
+            advanced = False
+            for nxt in succ_iter:
+                if nxt not in index:
+                    index[nxt] = lowlink[nxt] = counter
+                    counter += 1
+                    scc_stack.append(nxt)
+                    on_stack.add(nxt)
+                    work.append((nxt, iter(adjacency[nxt])))
+                    advanced = True
+                    break
+                if nxt in on_stack:
+                    lowlink[node] = min(lowlink[node], index[nxt])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                comp_idx = len(scc_events)
+                events: set[Event] = set()
+                while True:
+                    member = scc_stack.pop()
+                    on_stack.discard(member)
+                    scc_of[member] = comp_idx
+                    events |= ext_of_b[member[0]]
+                    if member == node:
+                        break
+                scc_events.append(events)
+
+    # propagate successor events (emission order = reverse topological)
+    members_of: dict[int, list[tuple[State, State]]] = {}
+    for node, comp_idx in scc_of.items():
+        members_of.setdefault(comp_idx, []).append(node)
+    for comp_idx in range(len(scc_events)):
+        events = scc_events[comp_idx]
+        for node in members_of[comp_idx]:
+            for nxt in adjacency[node]:
+                j = scc_of[nxt]
+                if j != comp_idx:
+                    events |= scc_events[j]
+
+    return {
+        node: Alphabet(scc_events[scc_of[node]]) for node in pairs_needed
+    }
+
+
+def progress_phase(
+    problem: QuotientProblem,
+    c0: Specification,
+    f: dict[State, PairSet],
+) -> ProgressPhaseResult:
+    """Run the Fig. 6 loop on the safety-phase machine.
+
+    *c0*'s states must be the pair sets produced by
+    :func:`~repro.quotient.safety_phase.safety_phase` (``f`` maps each state
+    to its pair set; with the canonical encoding it is the identity).
+    """
+    service = problem.service
+
+    accept_cache: dict[State, list[Alphabet]] = {}
+
+    def acceptance(hub: State) -> list[Alphabet]:
+        if hub not in accept_cache:
+            accept_cache[hub] = sink_acceptance_sets(service, hub)
+        return accept_cache[hub]
+
+    current = c0
+    rounds: list[ProgressRound] = []
+    while True:
+        # compute τ*.⟨b,c⟩ for every pair associated with a surviving state
+        needed: list[tuple[State, State]] = []
+        for c in current.states:
+            for a, b in sorted(f[c], key=lambda p: (_state_sort_key(p[0]), _state_sort_key(p[1]))):
+                needed.append((b, c))
+        offered = _composite_tau_star(problem, current, needed)
+
+        bad: set[State] = set()
+        for c in sorted(current.states, key=_state_sort_key):
+            for a, b in f[c]:
+                menu = acceptance(a)
+                if not any(accept <= offered[(b, c)] for accept in menu):
+                    bad.add(c)
+                    break
+        rounds.append(
+            ProgressRound(
+                round_index=len(rounds),
+                bad_states=frozenset(bad),
+                remaining=len(current.states) - len(bad),
+            )
+        )
+        if not bad:
+            return ProgressPhaseResult(spec=current, rounds=tuple(rounds))
+        if current.initial in bad or len(bad) == len(current.states):
+            # removing the initial state makes all states unreachable:
+            # no quotient exists (Theorem 2)
+            return ProgressPhaseResult(spec=None, rounds=tuple(rounds))
+        keep = current.states - bad
+        current = Specification(
+            current.name,
+            keep,
+            current.alphabet,
+            (
+                (s, e, s2)
+                for s, e, s2 in current.external
+                if s in keep and s2 in keep
+            ),
+            (),
+            current.initial,
+        )

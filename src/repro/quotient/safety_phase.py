@@ -1,0 +1,71 @@
+"""The safety phase of the quotient algorithm (Fig. 5).
+
+Inductively constructs ``C0``, the converter with the **largest trace set
+consistent with safety** of ``B ‖ C`` (Theorem 1):
+
+* start from ``h.ε`` if ``ok.(h.ε)`` holds (otherwise no quotient exists
+  even with respect to safety);
+* repeatedly extend each discovered pair set ``J`` by every Int event ``e``
+  via ``φ(J, e)``, keeping the result iff ``ok`` holds;
+* states are the pair sets themselves, so the paper's bijection ``f`` is
+  the identity on our representation.
+
+Termination follows from finiteness of the pair-set lattice.  Exploration
+order is deterministic (FIFO worklist, events in sorted order), so the
+resulting machine — including its BFS relabeling — is reproducible.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..spec.spec import Specification
+from .hmap import extend_pairs, initial_pairs
+from .types import PairSet, QuotientProblem, SafetyPhaseResult
+
+
+def safety_phase(problem: QuotientProblem) -> SafetyPhaseResult:
+    """Run the Fig. 5 construction, returning ``C0`` (or its nonexistence).
+
+    The returned specification's states are pair sets; its alphabet is
+    ``Int``; it has no internal transitions (``λ_C0 = ∅`` by definition).
+    """
+    int_events = sorted(problem.interface.int_events)
+
+    start = initial_pairs(problem)
+    explored = 1
+    if start is None:
+        # ¬ok.(h.ε): by property P1 no specification C can be safe.
+        return SafetyPhaseResult(spec=None, f={}, explored=1, rejected=1)
+
+    states: set[PairSet] = {start}
+    transitions: list[tuple[PairSet, str, PairSet]] = []
+    rejected = 0
+    worklist: deque[PairSet] = deque([start])
+    while worklist:
+        current = worklist.popleft()
+        for event in int_events:
+            candidate = extend_pairs(problem, current, event)
+            explored += 1
+            if candidate is None:
+                rejected += 1
+                continue
+            if candidate not in states:
+                states.add(candidate)
+                worklist.append(candidate)
+            transitions.append((current, event, candidate))
+
+    spec = Specification(
+        f"C0({problem.service.name}/{problem.component.name})",
+        states,
+        problem.interface.int_events,
+        transitions,
+        (),
+        start,
+    )
+    return SafetyPhaseResult(
+        spec=spec,
+        f={s: s for s in states},
+        explored=explored,
+        rejected=rejected,
+    )

@@ -1,0 +1,139 @@
+"""Top-level quotient solver.
+
+Runs the two phases of Section 4 in order, trims the result to its
+reachable part (presentation only — bad-state removal has already been
+applied exhaustively), relabels converter states to compact integers while
+retaining the pair-set annotation ``f``, and — by default — **independently
+re-verifies** the produced converter through :mod:`repro.satisfy` (a
+different code path), so a returned converter is never taken on faith.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..compose.binary import compose
+from ..errors import QuotientError
+from ..satisfy.verify import SatisfactionReport, satisfies
+from ..spec.ops import prune_unreachable
+from ..spec.spec import Specification, State
+from .progress_phase import progress_phase
+from .safety_phase import safety_phase
+from .types import PairSet, QuotientProblem, QuotientResult
+
+
+def _relabel_with_f(
+    spec: Specification,
+) -> tuple[Specification, dict[State, PairSet]]:
+    """BFS-relabel a pair-set-state machine to integers, keeping ``f``."""
+    order = spec._bfs_order()
+    mapping = {s: i for i, s in enumerate(order)}
+    relabeled = spec.map_states(mapping)
+    f = {mapping[s]: s for s in spec.states}
+    return relabeled, f
+
+
+def solve_quotient(
+    service: Specification,
+    component: Specification,
+    *,
+    int_events: Iterable[str] | None = None,
+    verify: bool = True,
+) -> QuotientResult:
+    """Compute the quotient ``service / component``.
+
+    Parameters
+    ----------
+    service:
+        The service specification ``A`` (must be in normal form, alphabet
+        ``Ext``).
+    component:
+        The composite of existing protocol components ``B`` (alphabet
+        ``Int ∪ Ext``).
+    int_events:
+        Optional declaration of ``Int`` to validate against the inferred
+        ``Σ_B − Σ_A``.
+    verify:
+        Re-check the returned converter independently via
+        :func:`repro.satisfy.satisfies` (default on).  A verification
+        failure raises :class:`QuotientError` — it would indicate a bug in
+        the solver, never a property of the inputs.
+
+    Returns
+    -------
+    QuotientResult
+        ``result.exists`` tells whether a converter exists; when it does,
+        ``result.converter`` is the maximal converter (Theorem 1 / 2) with
+        integer states and ``result.f`` maps each state to its ``(a, b)``
+        pair set.
+    """
+    problem = QuotientProblem.build(service, component, int_events)
+
+    safety = safety_phase(problem)
+    if not safety.exists:
+        return QuotientResult(
+            problem=problem,
+            exists=False,
+            converter=None,
+            safety=safety,
+            progress=None,
+        )
+    assert safety.spec is not None
+
+    progress = progress_phase(problem, safety.spec, safety.f)
+
+    c0_relabeled, c0_f = _relabel_with_f(safety.spec)
+
+    if not progress.exists:
+        return QuotientResult(
+            problem=problem,
+            exists=False,
+            converter=None,
+            c0=c0_relabeled,
+            c0_f=c0_f,
+            safety=safety,
+            progress=progress,
+        )
+    assert progress.spec is not None
+
+    final = prune_unreachable(progress.spec)
+    converter, f = _relabel_with_f(final)
+    converter = converter.renamed(
+        f"C({problem.service.name}/{problem.component.name})"
+    )
+
+    verification: SatisfactionReport | None = None
+    if verify:
+        verification = verify_converter(problem, converter)
+
+    return QuotientResult(
+        problem=problem,
+        exists=True,
+        converter=converter,
+        f=f,
+        c0=c0_relabeled,
+        c0_f=c0_f,
+        safety=safety,
+        progress=progress,
+        verification=verification,
+    )
+
+
+def verify_converter(
+    problem: QuotientProblem, converter: Specification
+) -> SatisfactionReport:
+    """Independently check ``B ‖ converter`` satisfies the service.
+
+    Raises :class:`QuotientError` when the check fails — for converters
+    produced by :func:`solve_quotient` this is an internal-consistency
+    failure; for hand-written converters it is the answer to "is this
+    converter correct?" (catch the exception or call
+    :func:`repro.satisfy.satisfies` directly for a non-raising check).
+    """
+    composite = compose(problem.component, converter)
+    report = satisfies(composite, problem.service)
+    if not report.holds:
+        raise QuotientError(
+            "converter failed independent verification:\n" + report.describe()
+        )
+    return report

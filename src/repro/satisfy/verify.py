@@ -1,0 +1,63 @@
+"""Combined satisfaction: ``B satisfies A`` ≡ safety ∧ progress.
+
+This is the library's independent oracle: every converter the quotient
+solver produces is re-checked through this module (a different code path
+from the solver itself) before being returned to callers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..spec.spec import Specification
+from .progress import ProgressResult, satisfies_progress
+from .safety import SafetyResult, satisfies_safety
+
+
+@dataclass(frozen=True)
+class SatisfactionReport:
+    """Full verdict of ``impl satisfies service``.
+
+    Progress is only meaningful once safety holds (safety satisfaction is a
+    necessary condition for progress satisfaction, Section 3); when safety
+    fails, ``progress`` is ``None`` and the report is negative.
+    """
+
+    impl_name: str
+    service_name: str
+    safety: SafetyResult
+    progress: ProgressResult | None
+
+    @property
+    def holds(self) -> bool:
+        return bool(self.safety) and self.progress is not None and bool(self.progress)
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+    def describe(self) -> str:
+        lines = [f"{self.impl_name} satisfies {self.service_name}: "
+                 + ("YES" if self.holds else "NO")]
+        lines.append("  " + self.safety.describe())
+        if self.progress is not None:
+            lines.append("  " + self.progress.describe())
+        else:
+            lines.append("  progress: not evaluated (safety failed)")
+        return "\n".join(lines)
+
+
+def satisfies(impl: Specification, service: Specification) -> SatisfactionReport:
+    """Check full satisfaction of *service* by *impl*.
+
+    The service must be in normal form (checked by the progress phase) and
+    share the implementation's interface.  Safety is checked first; progress
+    only if safety holds.
+    """
+    safety = satisfies_safety(impl, service)
+    progress = satisfies_progress(impl, service) if safety.holds else None
+    return SatisfactionReport(
+        impl_name=impl.name,
+        service_name=service.name,
+        safety=safety,
+        progress=progress,
+    )

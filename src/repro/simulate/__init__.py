@@ -1,0 +1,34 @@
+"""Executable semantics: run composed specifications with seeded policies
+and runtime monitors (the operational counterpart of the analytical
+satisfaction checks)."""
+
+from .engine import Move, RunLog, Simulator
+from .harness import RunReport, StressReport, simulate_system, stress
+from .msc import render_msc
+from .monitors import MonitorVerdict, ProgressWatchdog, ServiceMonitor
+from .policies import (
+    BiasedPolicy,
+    FairRandomPolicy,
+    RandomPolicy,
+    RoundRobinPolicy,
+    ScriptedPolicy,
+)
+
+__all__ = [
+    "BiasedPolicy",
+    "FairRandomPolicy",
+    "Move",
+    "MonitorVerdict",
+    "ProgressWatchdog",
+    "RandomPolicy",
+    "RoundRobinPolicy",
+    "RunLog",
+    "RunReport",
+    "ScriptedPolicy",
+    "ServiceMonitor",
+    "Simulator",
+    "render_msc",
+    "StressReport",
+    "simulate_system",
+    "stress",
+]

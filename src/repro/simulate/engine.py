@@ -1,0 +1,205 @@
+"""Discrete-event execution of composed specifications.
+
+The rest of the library reasons about systems *analytically* (state-space
+exploration); this package *runs* them.  A :class:`Simulator` holds a set
+of components (exactly the machines you would pass to ``compose_many``),
+tracks the current state vector, enumerates the moves the semantics
+permits, and lets a pluggable policy choose among them:
+
+* **internal move** — one component's λ transition;
+* **interaction** — an event shared by exactly two components, enabled in
+  both (the composition operator would hide it; the simulator executes it
+  and records it);
+* **external event** — an event owned by exactly one component, offered to
+  the environment (the run's observable trace).
+
+Executed runs agree with the analytical semantics by construction — the
+moves enumerated at each step are precisely the outgoing transitions of
+the corresponding composite state — and the test suite checks executed
+traces against `accepts` on the composed machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..errors import CompositionError
+from ..events import Event
+from ..spec.spec import Specification, State, _state_sort_key
+
+StateVector = tuple[State, ...]
+
+
+@dataclass(frozen=True)
+class Move:
+    """One executable move of the system.
+
+    ``kind`` is ``"internal"`` (λ of one component), ``"interaction"``
+    (synchronized shared event), or ``"external"`` (environment-visible
+    event).  ``participants`` holds the indices of the components that
+    change state; ``event`` is ``None`` only for λ moves.
+    """
+
+    kind: str
+    event: Event | None
+    participants: tuple[int, ...]
+    before: StateVector
+    after: StateVector
+
+    def label(self) -> str:
+        if self.kind == "internal":
+            return f"λ@{self.participants[0]}"
+        return str(self.event)
+
+
+@dataclass
+class RunLog:
+    """The record of an executed run."""
+
+    steps: list[Move] = field(default_factory=list)
+    deadlocked: bool = False
+
+    @property
+    def external_trace(self) -> tuple[Event, ...]:
+        return tuple(
+            m.event for m in self.steps if m.kind == "external" and m.event
+        )
+
+    @property
+    def interaction_trace(self) -> tuple[Event, ...]:
+        return tuple(
+            m.event for m in self.steps if m.kind == "interaction" and m.event
+        )
+
+    def count(self, event: Event) -> int:
+        return sum(1 for m in self.steps if m.event == event)
+
+    def histogram(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for m in self.steps:
+            out[m.label()] = out.get(m.label(), 0) + 1
+        return dict(sorted(out.items()))
+
+
+class Simulator:
+    """Step-by-step executor for a set of interacting components.
+
+    Parameters
+    ----------
+    components:
+        The machines, as they would be given to ``compose_many``.  Each
+        event may appear in at most two components' alphabets (the same
+    	point-to-point restriction n-ary composition enforces).
+    policy:
+        A move chooser: callable ``(moves, step_index) -> Move`` given the
+        deterministically-ordered list of enabled moves.  See
+        :mod:`repro.simulate.policies`.
+    """
+
+    def __init__(self, components: Sequence[Specification], policy) -> None:
+        if not components:
+            raise CompositionError("simulator needs at least one component")
+        owners: dict[Event, list[int]] = {}
+        for idx, comp in enumerate(components):
+            for e in comp.alphabet:
+                owners.setdefault(e, []).append(idx)
+        overshared = sorted(e for e, o in owners.items() if len(o) > 2)
+        if overshared:
+            raise CompositionError(
+                f"events {overshared} appear in three or more component "
+                "alphabets; declare point-to-point interfaces"
+            )
+        self._components = tuple(components)
+        self._owners = {e: tuple(o) for e, o in owners.items()}
+        self._policy = policy
+        self._states: StateVector = tuple(c.initial for c in components)
+        self._log = RunLog()
+
+    # ------------------------------------------------------------------
+    @property
+    def states(self) -> StateVector:
+        """The current state vector."""
+        return self._states
+
+    @property
+    def log(self) -> RunLog:
+        return self._log
+
+    @property
+    def components(self) -> tuple[Specification, ...]:
+        return self._components
+
+    # ------------------------------------------------------------------
+    def enabled_moves(self) -> list[Move]:
+        """All moves executable from the current state, in a deterministic
+        order (internal moves, then interactions, then externals; each
+        sorted)."""
+        moves: list[Move] = []
+        vector = self._states
+
+        for idx, comp in enumerate(self._components):
+            for s2 in sorted(
+                comp.internal_successors(vector[idx]), key=_state_sort_key
+            ):
+                after = self._with(vector, {idx: s2})
+                moves.append(
+                    Move("internal", None, (idx,), vector, after)
+                )
+
+        for e in sorted(self._owners):
+            owner_ids = self._owners[e]
+            if len(owner_ids) == 2:
+                i, j = owner_ids
+                ci, cj = self._components[i], self._components[j]
+                for si in sorted(ci.successors(vector[i], e), key=_state_sort_key):
+                    for sj in sorted(
+                        cj.successors(vector[j], e), key=_state_sort_key
+                    ):
+                        after = self._with(vector, {i: si, j: sj})
+                        moves.append(
+                            Move("interaction", e, owner_ids, vector, after)
+                        )
+            else:
+                (i,) = owner_ids
+                comp = self._components[i]
+                for s2 in sorted(
+                    comp.successors(vector[i], e), key=_state_sort_key
+                ):
+                    after = self._with(vector, {i: s2})
+                    moves.append(Move("external", e, (i,), vector, after))
+        return moves
+
+    @staticmethod
+    def _with(vector: StateVector, updates: dict[int, State]) -> StateVector:
+        return tuple(
+            updates.get(idx, s) for idx, s in enumerate(vector)
+        )
+
+    # ------------------------------------------------------------------
+    def step(self) -> Move | None:
+        """Execute one move chosen by the policy; ``None`` on deadlock."""
+        moves = self.enabled_moves()
+        if not moves:
+            self._log.deadlocked = True
+            return None
+        move = self._policy(moves, len(self._log.steps))
+        if move not in moves:
+            raise CompositionError(
+                "policy returned a move that is not enabled"
+            )
+        self._states = move.after
+        self._log.steps.append(move)
+        return move
+
+    def run(self, max_steps: int) -> RunLog:
+        """Execute up to *max_steps* moves (stops early on deadlock)."""
+        for _ in range(max_steps):
+            if self.step() is None:
+                break
+        return self._log
+
+    def reset(self) -> None:
+        """Return to the initial state vector and clear the log."""
+        self._states = tuple(c.initial for c in self._components)
+        self._log = RunLog()

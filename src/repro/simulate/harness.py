@@ -1,0 +1,154 @@
+"""End-to-end simulation harness for conversion systems.
+
+Glues the engine, policies, and monitors into one call: execute a
+converter (or any component set) against its environment for many steps,
+under a seeded policy, with a service monitor and a progress watchdog
+attached, and return an aggregate report.  ``stress`` repeats over many
+seeds — the executable counterpart of the analytical verification the
+solver performs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..spec.spec import Specification
+from .engine import RunLog, Simulator
+from .monitors import MonitorVerdict, ProgressWatchdog, ServiceMonitor
+from .policies import FairRandomPolicy, Policy
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """Aggregate outcome of one simulated run."""
+
+    seed: int
+    steps: int
+    deadlocked: bool
+    monitor: MonitorVerdict
+    watchdog_triggered: bool
+    worst_stall: int
+    external_counts: dict[str, int]
+    interaction_counts: dict[str, int]
+
+    @property
+    def ok(self) -> bool:
+        return self.monitor.ok and not self.deadlocked
+
+    def describe(self) -> str:
+        externals = ", ".join(
+            f"{e}×{n}" for e, n in sorted(self.external_counts.items())
+        )
+        return (
+            f"seed {self.seed}: {self.steps} steps, "
+            f"{'DEADLOCK, ' if self.deadlocked else ''}"
+            f"{self.monitor.describe()}; externals: {externals or '(none)'}; "
+            f"worst stall {self.worst_stall}"
+        )
+
+
+def simulate_system(
+    components: Sequence[Specification],
+    service: Specification,
+    *,
+    steps: int = 2_000,
+    seed: int = 0,
+    policy: Policy | None = None,
+    stall_limit: int = 500,
+) -> RunReport:
+    """Run *components* for *steps* moves, monitored against *service*.
+
+    The default policy is :class:`FairRandomPolicy` (the paper's fairness
+    assumption, operationalized).  The service monitor sees exactly the
+    external events of the run.
+    """
+    chosen_policy = policy if policy is not None else FairRandomPolicy(seed)
+    simulator = Simulator(components, chosen_policy)
+    monitor = ServiceMonitor(service)
+    watchdog = ProgressWatchdog(stall_limit)
+
+    for _ in range(steps):
+        move = simulator.step()
+        if move is None:
+            break
+        monitor.observe_move(move)
+        watchdog.observe_move(move)
+
+    log: RunLog = simulator.log
+    external_counts: dict[str, int] = {}
+    interaction_counts: dict[str, int] = {}
+    for move in log.steps:
+        if move.kind == "external" and move.event:
+            external_counts[move.event] = external_counts.get(move.event, 0) + 1
+        elif move.kind == "interaction" and move.event:
+            interaction_counts[move.event] = (
+                interaction_counts.get(move.event, 0) + 1
+            )
+
+    return RunReport(
+        seed=seed,
+        steps=len(log.steps),
+        deadlocked=log.deadlocked,
+        monitor=monitor.verdict(),
+        watchdog_triggered=watchdog.triggered,
+        worst_stall=watchdog.worst_stall,
+        external_counts=external_counts,
+        interaction_counts=interaction_counts,
+    )
+
+
+@dataclass(frozen=True)
+class StressReport:
+    """Aggregate over many seeded runs."""
+
+    runs: tuple[RunReport, ...]
+
+    @property
+    def all_ok(self) -> bool:
+        return all(r.ok for r in self.runs)
+
+    @property
+    def violations(self) -> tuple[RunReport, ...]:
+        return tuple(r for r in self.runs if not r.monitor.ok)
+
+    @property
+    def deadlocks(self) -> tuple[RunReport, ...]:
+        return tuple(r for r in self.runs if r.deadlocked)
+
+    def total_external(self, event: str) -> int:
+        return sum(r.external_counts.get(event, 0) for r in self.runs)
+
+    def describe(self) -> str:
+        lines = [
+            f"{len(self.runs)} runs: "
+            f"{len(self.violations)} violation(s), "
+            f"{len(self.deadlocks)} deadlock(s), "
+            f"all_ok={self.all_ok}"
+        ]
+        for r in self.violations[:3]:
+            lines.append("  " + r.describe())
+        return "\n".join(lines)
+
+
+def stress(
+    components: Sequence[Specification],
+    service: Specification,
+    *,
+    seeds: Sequence[int] = tuple(range(10)),
+    steps: int = 2_000,
+    stall_limit: int = 500,
+) -> StressReport:
+    """Run :func:`simulate_system` across *seeds* and aggregate."""
+    return StressReport(
+        runs=tuple(
+            simulate_system(
+                components,
+                service,
+                steps=steps,
+                seed=seed,
+                stall_limit=stall_limit,
+            )
+            for seed in seeds
+        )
+    )

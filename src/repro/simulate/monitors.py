@@ -1,0 +1,138 @@
+"""Runtime monitors: check executed runs against specifications online.
+
+* :class:`ServiceMonitor` — a safety monitor synthesized from a service
+  specification: feed it the run's external events; it tracks the set of
+  service states compatible with the observed trace (online subset
+  construction) and reports the first violation with its trace.
+* :class:`ProgressWatchdog` — flags runs that go too long without any
+  external event (the operational face of a progress violation: the
+  analytical check says *may* never offer; the watchdog observes *hasn't
+  for N steps*).
+
+Monitors are deliberately independent of the analytical checkers — they
+re-derive their verdicts from raw event feeds — so simulation results can
+cross-validate the satisfaction machinery (and do, in the test suite).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..events import Event
+from ..spec.graph import close_under_lambda
+from ..spec.spec import Specification, State
+from ..traces.core import Trace, format_trace
+from ..traces.language import subset_step
+from .engine import Move
+
+
+@dataclass(frozen=True)
+class MonitorVerdict:
+    """Outcome of monitoring a run."""
+
+    ok: bool
+    violation_trace: Trace | None
+    events_seen: int
+
+    def describe(self) -> str:
+        if self.ok:
+            return f"monitor OK ({self.events_seen} external events)"
+        assert self.violation_trace is not None
+        return (
+            "monitor VIOLATION: observed "
+            f"{format_trace(self.violation_trace)} which the service forbids"
+        )
+
+
+class ServiceMonitor:
+    """Online safety monitor for a service specification."""
+
+    def __init__(self, service: Specification) -> None:
+        self._service = service
+        self._possible: frozenset[State] = close_under_lambda(
+            service, [service.initial]
+        )
+        self._trace: list[Event] = []
+        self._violation: Trace | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self._violation is None
+
+    @property
+    def trace(self) -> Trace:
+        return tuple(self._trace)
+
+    def observe(self, event: Event) -> bool:
+        """Feed one external event; returns False on (first) violation."""
+        if self._violation is not None:
+            return False
+        self._trace.append(event)
+        nxt = subset_step(self._service, self._possible, event)
+        if not nxt:
+            self._violation = tuple(self._trace)
+            return False
+        self._possible = nxt
+        return True
+
+    def observe_move(self, move: Move) -> bool:
+        """Feed a simulator move (non-external moves are ignored)."""
+        if move.kind != "external" or move.event is None:
+            return True
+        return self.observe(move.event)
+
+    def verdict(self) -> MonitorVerdict:
+        return MonitorVerdict(
+            ok=self._violation is None,
+            violation_trace=self._violation,
+            events_seen=len(self._trace),
+        )
+
+
+class ProgressWatchdog:
+    """Flags *observed* stalls: too many moves without an external event.
+
+    ``limit`` is the stall budget.  A triggered watchdog on a fair policy
+    is strong evidence of (though not a proof of) a progress problem; the
+    harness pairs it with the analytical checker.
+    """
+
+    def __init__(self, limit: int) -> None:
+        self.limit = limit
+        self._since_external = 0
+        self._worst = 0
+        self._triggered_at: int | None = None
+        self._steps = 0
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered_at is not None
+
+    @property
+    def worst_stall(self) -> int:
+        return max(self._worst, self._since_external)
+
+    @property
+    def triggered_at(self) -> int | None:
+        return self._triggered_at
+
+    def observe_move(self, move: Move) -> bool:
+        """Feed a move; returns False when the stall budget is exceeded."""
+        self._steps += 1
+        if move.kind == "external":
+            self._worst = max(self._worst, self._since_external)
+            self._since_external = 0
+            return True
+        self._since_external += 1
+        if self._since_external > self.limit and self._triggered_at is None:
+            self._triggered_at = self._steps
+        return not self.triggered
+
+    def describe(self) -> str:
+        if self.triggered:
+            return (
+                f"watchdog TRIGGERED at step {self._triggered_at}: "
+                f"{self._since_external} consecutive moves with no "
+                "external event"
+            )
+        return f"watchdog ok (worst stall {self.worst_stall} moves)"

@@ -1,0 +1,102 @@
+"""ASCII message-sequence-chart rendering of executed runs.
+
+Turns a :class:`~repro.simulate.engine.RunLog` into the classic
+protocol-paper sequence diagram: one lifeline per component plus an
+environment lifeline on the right; interactions are horizontal arrows
+between the participating lifelines, external events are arrows to/from
+the environment, internal moves are annotated ticks on their lifeline.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..spec.spec import Specification
+from .engine import RunLog
+
+ENV = "(env)"
+
+
+def _lane_positions(names: Sequence[str], width: int) -> list[int]:
+    return [i * width + width // 2 for i in range(len(names))]
+
+
+def render_msc(
+    log: RunLog,
+    components: Sequence[Specification],
+    *,
+    max_steps: int | None = None,
+    lane_width: int = 14,
+    include_internal: bool = True,
+) -> str:
+    """Render *log* (from a simulator over *components*) as an ASCII MSC.
+
+    ``max_steps`` truncates long runs; internal (λ) moves can be hidden
+    with ``include_internal=False``.
+    """
+    names = [c.name for c in components] + [ENV]
+    env_idx = len(components)
+    positions = _lane_positions(names, lane_width)
+    total_width = lane_width * len(names)
+
+    def lifeline_row() -> list[str]:
+        row = [" "] * total_width
+        for pos in positions:
+            row[pos] = "|"
+        return row
+
+    def header() -> str:
+        row = [" "] * total_width
+        for name, pos in zip(names, positions):
+            label = name[: lane_width - 2]
+            start = max(0, min(pos - len(label) // 2, total_width - len(label)))
+            row[start : start + len(label)] = label
+        return "".join(row).rstrip()
+
+    def arrow(row: list[str], src: int, dst: int, label: str) -> None:
+        a, b = positions[src], positions[dst]
+        left, right = (a, b) if a < b else (b, a)
+        for x in range(left + 1, right):
+            row[x] = "-"
+        row[right if a < b else left] = ">" if a < b else "<"
+        # place the label centred on the span
+        mid = (left + right) // 2
+        start = max(left + 1, mid - len(label) // 2)
+        end = min(start + len(label), right)
+        row[start:end] = label[: end - start]
+
+    def tick(row: list[str], lane: int, label: str) -> None:
+        pos = positions[lane]
+        row[pos] = "*"
+        text = f" {label}"
+        end = min(pos + 1 + len(text), total_width)
+        row[pos + 1 : end] = text[: end - pos - 1]
+
+    lines = [header()]
+    steps = log.steps if max_steps is None else log.steps[:max_steps]
+    for idx, move in enumerate(steps):
+        if move.kind == "internal" and not include_internal:
+            continue
+        row = lifeline_row()
+        if move.kind == "interaction":
+            i, j = move.participants
+            assert move.event is not None
+            arrow(row, i, j, move.event)
+        elif move.kind == "external":
+            (i,) = move.participants
+            assert move.event is not None
+            # receives (+x) and user-submissions flow env -> component;
+            # everything else component -> env.  Direction is cosmetic.
+            if move.event.startswith("+"):
+                arrow(row, env_idx, i, move.event)
+            else:
+                arrow(row, i, env_idx, move.event)
+        else:
+            tick(row, move.participants[0], "λ")
+        prefix = f"{idx:4d} "
+        lines.append(prefix + "".join(row).rstrip())
+    if max_steps is not None and len(log.steps) > max_steps:
+        lines.append(f"     ... ({len(log.steps) - max_steps} more steps)")
+    if log.deadlocked:
+        lines.append("     == DEADLOCK ==")
+    return "\n".join(lines)

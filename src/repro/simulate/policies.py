@@ -1,0 +1,112 @@
+"""Move-selection policies for the simulator.
+
+A policy is any callable ``(moves, step_index) -> Move``.  All built-in
+policies are deterministic for a given seed, so runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+from .engine import Move
+
+Policy = Callable[[list[Move], int], Move]
+
+
+class RandomPolicy:
+    """Uniformly random choice among enabled moves (seeded)."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+
+    def __call__(self, moves: list[Move], step_index: int) -> Move:
+        return moves[self._rng.randrange(len(moves))]
+
+
+class RoundRobinPolicy:
+    """Cycle deterministically through move indices.
+
+    Cheap, seedless, and guarantees every persistently-enabled move class
+    is eventually taken on long runs (a crude fairness).
+    """
+
+    def __call__(self, moves: list[Move], step_index: int) -> Move:
+        return moves[step_index % len(moves)]
+
+
+class FairRandomPolicy:
+    """Random choice biased toward moves taken least often.
+
+    Implements the paper's fairness assumption operationally: a repeatedly
+    enabled move cannot be pre-empted forever.  Selection weight is
+    ``1 / (1 + times_taken)`` per move label.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+        self._taken: dict[str, int] = {}
+
+    def __call__(self, moves: list[Move], step_index: int) -> Move:
+        weights = [
+            1.0 / (1 + self._taken.get(m.label(), 0)) for m in moves
+        ]
+        chosen = self._rng.choices(range(len(moves)), weights=weights)[0]
+        move = moves[chosen]
+        self._taken[move.label()] = self._taken.get(move.label(), 0) + 1
+        return move
+
+
+class BiasedPolicy:
+    """Random choice with per-kind multipliers — e.g. a loss-happy
+    adversary (``internal`` bias > 1) or a latency-free network
+    (``interaction`` bias high).
+
+    ``biases`` maps move kinds (``"internal"``, ``"interaction"``,
+    ``"external"``) or exact event names to weight multipliers (default 1).
+    Event-name entries take precedence over kind entries.
+    """
+
+    def __init__(self, biases: dict[str, float], seed: int = 0) -> None:
+        self._biases = dict(biases)
+        self._rng = random.Random(seed)
+
+    def _weight(self, move: Move) -> float:
+        if move.event is not None and move.event in self._biases:
+            return self._biases[move.event]
+        return self._biases.get(move.kind, 1.0)
+
+    def __call__(self, moves: list[Move], step_index: int) -> Move:
+        weights = [max(self._weight(m), 0.0) for m in moves]
+        if not any(w > 0 for w in weights):
+            weights = [1.0] * len(moves)
+        chosen = self._rng.choices(range(len(moves)), weights=weights)[0]
+        return moves[chosen]
+
+
+class ScriptedPolicy:
+    """Follow a fixed label script, falling back to a base policy.
+
+    Useful in tests to drive a system into a specific corner: each step,
+    if some enabled move's :meth:`~repro.simulate.engine.Move.label`
+    matches the next unconsumed script entry, take it; otherwise defer to
+    the fallback policy without consuming the entry.
+    """
+
+    def __init__(self, script: list[str], fallback: Policy | None = None) -> None:
+        self._script = list(script)
+        self._cursor = 0
+        self._fallback = fallback or RoundRobinPolicy()
+
+    @property
+    def exhausted(self) -> bool:
+        return self._cursor >= len(self._script)
+
+    def __call__(self, moves: list[Move], step_index: int) -> Move:
+        if self._cursor < len(self._script):
+            wanted = self._script[self._cursor]
+            for move in moves:
+                if move.label() == wanted:
+                    self._cursor += 1
+                    return move
+        return self._fallback(moves, step_index)

@@ -1,0 +1,117 @@
+"""Fluent construction of specifications.
+
+:class:`SpecBuilder` accumulates states and transitions incrementally and
+produces an immutable :class:`~repro.spec.spec.Specification`.  It infers the
+state set and alphabet from the transitions added (both can also be declared
+explicitly, which is how a spec declares events it *refuses* everywhere).
+
+Example — the paper's alternating accept/deliver service (Fig. 11)::
+
+    service = (
+        SpecBuilder("S")
+        .external(0, "acc", 1)
+        .external(1, "del", 0)
+        .initial(0)
+        .build()
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..errors import SpecError
+from ..events import Event
+from .spec import Specification, State
+
+
+class SpecBuilder:
+    """Incrementally build a :class:`Specification`.
+
+    All mutating methods return ``self`` so calls can be chained.  The first
+    state mentioned (via :meth:`state`, :meth:`external`, or
+    :meth:`internal`) becomes the default initial state unless
+    :meth:`initial` is called.
+    """
+
+    def __init__(self, name: str) -> None:
+        self._name = name
+        self._states: dict[State, None] = {}  # insertion-ordered set
+        self._alphabet: set[Event] = set()
+        self._external: list[tuple[State, Event, State]] = []
+        self._internal: list[tuple[State, State]] = []
+        self._initial: State | None = None
+
+    # ------------------------------------------------------------------
+    def state(self, *states: State) -> "SpecBuilder":
+        """Declare one or more states (useful for states with no transitions)."""
+        for s in states:
+            self._states.setdefault(s)
+        return self
+
+    def event(self, *events: Event) -> "SpecBuilder":
+        """Declare alphabet events explicitly.
+
+        An event declared here but never used in a transition is *refused*
+        in every state — a meaningful part of an interface declaration.
+        """
+        self._alphabet.update(events)
+        return self
+
+    def external(self, source: State, event: Event, target: State) -> "SpecBuilder":
+        """Add the external transition ``source --event--> target``."""
+        self._states.setdefault(source)
+        self._states.setdefault(target)
+        self._alphabet.add(event)
+        self._external.append((source, event, target))
+        return self
+
+    def externals(
+        self, transitions: Iterable[tuple[State, Event, State]]
+    ) -> "SpecBuilder":
+        """Add many external transitions at once."""
+        for s, e, s2 in transitions:
+            self.external(s, e, s2)
+        return self
+
+    def internal(self, source: State, target: State) -> "SpecBuilder":
+        """Add the internal transition ``source λ target``."""
+        self._states.setdefault(source)
+        self._states.setdefault(target)
+        self._internal.append((source, target))
+        return self
+
+    def internals(self, transitions: Iterable[tuple[State, State]]) -> "SpecBuilder":
+        """Add many internal transitions at once."""
+        for s, s2 in transitions:
+            self.internal(s, s2)
+        return self
+
+    def initial(self, state: State) -> "SpecBuilder":
+        """Designate the initial state ``s0`` (declared if new)."""
+        self._states.setdefault(state)
+        self._initial = state
+        return self
+
+    # ------------------------------------------------------------------
+    def build(self) -> Specification:
+        """Produce the immutable specification, validating it."""
+        if not self._states:
+            raise SpecError("builder has no states", spec_name=self._name)
+        initial = self._initial
+        if initial is None:
+            initial = next(iter(self._states))
+        return Specification(
+            self._name,
+            self._states.keys(),
+            self._alphabet,
+            self._external,
+            self._internal,
+            initial,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<SpecBuilder {self._name!r}: {len(self._states)} states, "
+            f"{len(self._external)} external, {len(self._internal)} internal>"
+        )

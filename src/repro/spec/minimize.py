@@ -1,0 +1,101 @@
+"""State-space minimization.
+
+Two reductions are provided:
+
+* :func:`minimize_bisimulation` — quotient by strong bisimilarity (λ kept
+  as a distinguished action).  Sound for *every* property this library
+  checks, since strong bisimilarity refines trace equivalence and preserves
+  sink/acceptance structure.
+* :func:`minimize_deterministic` — classical Moore-style DFA minimization
+  for λ-free deterministic specs (e.g. quotient-algorithm outputs), merging
+  states with identical enabled-event behaviour.  Since our specifications
+  carry prefix-closed languages (every state "accepts"), states are
+  distinguished only by their enabled sets and successors.
+
+Both return canonically relabeled machines.
+"""
+
+from __future__ import annotations
+
+from ..errors import SpecError
+from .equivalence import strong_bisimulation_classes
+from .ops import prune_unreachable
+from .spec import Specification, State
+
+
+def minimize_bisimulation(spec: Specification) -> Specification:
+    """Quotient *spec* by strong bisimilarity (after reachability pruning)."""
+    spec = prune_unreachable(spec)
+    classes = strong_bisimulation_classes(spec)
+    # pick deterministic representatives: block id is already deterministic
+    states = sorted(set(classes.values()))
+    external = {
+        (classes[s], e, classes[s2]) for s, e, s2 in spec.external
+    }
+    internal = {
+        (classes[s], classes[s2])
+        for s, s2 in spec.internal
+        if classes[s] != classes[s2]
+    }
+    return Specification(
+        f"min({spec.name})",
+        states,
+        spec.alphabet,
+        external,
+        internal,
+        classes[spec.initial],
+    ).map_states(None)
+
+
+def minimize_deterministic(spec: Specification) -> Specification:
+    """Minimize a deterministic λ-free spec by Moore partition refinement.
+
+    Raises :class:`SpecError` if the spec has internal transitions or
+    event fan-out.  The result is the unique (up to isomorphism) minimal
+    deterministic machine with the same trace set.
+    """
+    if not spec.is_deterministic():
+        raise SpecError(
+            "minimize_deterministic requires a deterministic λ-free spec",
+            spec_name=spec.name,
+        )
+    spec = prune_unreachable(spec)
+
+    # initial partition: by enabled-event set
+    block_of: dict[State, int] = {}
+    by_enabled: dict[frozenset, int] = {}
+    for s in spec.sorted_states():
+        key = frozenset(spec.enabled(s))
+        if key not in by_enabled:
+            by_enabled[key] = len(by_enabled)
+        block_of[s] = by_enabled[key]
+    n_blocks = len(by_enabled)
+
+    while True:
+        sig_of: dict[State, tuple] = {}
+        for s in spec.states:
+            succ_sig = tuple(
+                sorted(
+                    (e, block_of[next(iter(spec.successors(s, e)))])
+                    for e in spec.enabled(s)
+                )
+            )
+            sig_of[s] = (block_of[s], succ_sig)
+        distinct = sorted(set(sig_of.values()))
+        index = {sig: i for i, sig in enumerate(distinct)}
+        new_block_of = {s: index[sig_of[s]] for s in spec.states}
+        if len(distinct) == n_blocks:
+            block_of = new_block_of
+            break
+        block_of = new_block_of
+        n_blocks = len(distinct)
+
+    external = {(block_of[s], e, block_of[s2]) for s, e, s2 in spec.external}
+    return Specification(
+        f"min({spec.name})",
+        sorted(set(block_of.values())),
+        spec.alphabet,
+        external,
+        (),
+        block_of[spec.initial],
+    ).map_states(None)

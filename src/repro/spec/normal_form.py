@@ -1,0 +1,354 @@
+"""Normal form of service specifications (Section 3) and the ``ψ`` function.
+
+A specification is in **normal form** iff
+
+1. no state has both internal and external transitions leaving it;
+2. ``λ*`` is antisymmetric — no nontrivial cycle of internal transitions;
+3. for any states with a common λ-ancestor, transitions on the same event
+   converge: ``s λ* s' ∧ s λ* s'' ∧ s' ⇀e ŝ ∧ s'' ⇀e ŝ' ⇒ ŝ = ŝ'``.
+
+Normal form "focuses" nondeterminism: after any trace ``t`` there is a
+unique state ``ψ_A.t`` such that the set of possibly-occupied states is
+exactly its λ-closure.  A normal-form spec is structured as *hub* states
+(λ-out only) fanning out to *option* states (external-out only), each option
+being one acceptable behaviour the service may choose.
+
+This module provides:
+
+* :func:`normal_form_violations` / :func:`is_normal_form` /
+  :func:`assert_normal_form` — exact checks with witnesses;
+* :func:`psi` / :func:`psi_step` — the ``ψ_A.t`` state function and the
+  paper's hub-advance relation ``a ⟶e▷ a'`` used by the quotient algorithm;
+* :func:`determinize` — subset construction; always applicable,
+  trace-preserving, trivially normal form, but **conservative** for
+  progress (it merges all acceptance options into their union, so it demands
+  more of an implementation than the original spec did);
+* :func:`normalize` — the exact hub/option construction, which preserves
+  both the trace set and the menu of sink acceptance sets; raises
+  :class:`NormalizationError` when that is impossible (when some
+  pre-emptible external transition's event is not covered by any sibling
+  sink's acceptance set).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from ..errors import NormalFormError, NormalizationError
+from ..events import Alphabet, Event
+from .graph import (
+    close_under_lambda,
+    internal_sccs,
+    lambda_closure,
+    lambda_closure_of,
+    sink_sets,
+)
+from .spec import Specification, State, _state_sort_key
+
+
+@dataclass(frozen=True)
+class NormalFormViolation:
+    """A witness that one normal-form condition fails.
+
+    ``condition`` is ``"i"``, ``"ii"``, or ``"iii"``; ``witness`` holds the
+    offending states/event in a condition-specific shape.
+    """
+
+    condition: str
+    witness: Any
+    message: str
+
+
+def normal_form_violations(spec: Specification) -> list[NormalFormViolation]:
+    """All normal-form violations, deterministically ordered (may be empty)."""
+    violations: list[NormalFormViolation] = []
+
+    # (i) no state with both internal and external out-transitions
+    for s in sorted(spec.states, key=_state_sort_key):
+        if spec.has_internal(s) and spec.enabled(s):
+            violations.append(
+                NormalFormViolation(
+                    "i",
+                    s,
+                    f"state {s!r} has both internal and external "
+                    "outgoing transitions",
+                )
+            )
+
+    # (ii) λ* antisymmetric: every λ-SCC is a singleton
+    components, _ = internal_sccs(spec)
+    for component in components:
+        if len(component) > 1:
+            violations.append(
+                NormalFormViolation(
+                    "ii",
+                    frozenset(component),
+                    f"internal cycle through states "
+                    f"{sorted(component, key=_state_sort_key)!r}",
+                )
+            )
+
+    # (iii) e-transitions from a common λ-ancestor's closure converge
+    closure = lambda_closure(spec)
+    for s in sorted(spec.states, key=_state_sort_key):
+        targets_by_event: dict[Event, set[State]] = {}
+        for s2 in closure[s]:
+            for e in spec.enabled(s2):
+                targets_by_event.setdefault(e, set()).update(
+                    spec.successors(s2, e)
+                )
+        for e in sorted(targets_by_event):
+            targets = targets_by_event[e]
+            if len(targets) > 1:
+                violations.append(
+                    NormalFormViolation(
+                        "iii",
+                        (s, e, frozenset(targets)),
+                        f"event {e!r} from the internal closure of {s!r} "
+                        f"reaches distinct states "
+                        f"{sorted(targets, key=_state_sort_key)!r}",
+                    )
+                )
+    return violations
+
+
+def is_normal_form(spec: Specification) -> bool:
+    """True iff *spec* satisfies normal-form conditions (i)-(iii)."""
+    return not normal_form_violations(spec)
+
+
+def assert_normal_form(spec: Specification) -> None:
+    """Raise :class:`NormalFormError` (with the first witness) if not normal."""
+    violations = normal_form_violations(spec)
+    if violations:
+        first = violations[0]
+        raise NormalFormError(
+            f"{spec.name}: not in normal form — {first.message}"
+            + (f" (+{len(violations) - 1} more)" if len(violations) > 1 else ""),
+            condition=first.condition,
+            witness=first.witness,
+        )
+
+
+# ----------------------------------------------------------------------
+# ψ and the hub-advance relation
+# ----------------------------------------------------------------------
+def psi_step(spec: Specification, hub: State, event: Event) -> State | None:
+    """The paper's ``a ⟶e▷ a'`` relation for a normal-form spec.
+
+    From hub state ``a = ψ_A.q``, advance by one external event: the unique
+    target ``a' = ψ_A.(qe)``, or ``None`` if *event* is not enabled anywhere
+    in the hub's internal closure (i.e. ``event ∉ τ*.a``).
+    """
+    targets: set[State] = set()
+    for s in lambda_closure_of(spec, hub):
+        targets |= spec.successors(s, event)
+    if not targets:
+        return None
+    if len(targets) > 1:
+        raise NormalFormError(
+            f"{spec.name}: ψ-step on {event!r} from {hub!r} is not unique "
+            f"(targets {sorted(targets, key=_state_sort_key)!r}); "
+            "specification is not in normal form",
+            condition="iii",
+            witness=(hub, event, frozenset(targets)),
+        )
+    return next(iter(targets))
+
+
+def psi(spec: Specification, t: Iterable[Event]) -> State | None:
+    """``ψ_A.t`` — the unique focus state after trace *t*.
+
+    Returns ``None`` when *t* is not a trace of the specification.  The spec
+    must be in normal form (checked lazily through :func:`psi_step`).
+    ``ψ_A.ε`` is the initial state.
+    """
+    hub: State | None = spec.initial
+    for e in t:
+        assert hub is not None
+        hub = psi_step(spec, hub, e)
+        if hub is None:
+            return None
+    return hub
+
+
+def hub_enabled(spec: Specification, hub: State) -> Alphabet:
+    """``τ*.hub`` — all events enabled somewhere in the hub's closure."""
+    events: set[Event] = set()
+    for s in lambda_closure_of(spec, hub):
+        events |= spec.enabled(s)
+    return Alphabet(events)
+
+
+# ----------------------------------------------------------------------
+# determinization (conservative normal form)
+# ----------------------------------------------------------------------
+def determinize(
+    spec: Specification, *, name: str | None = None
+) -> Specification:
+    """Subset construction: a deterministic, λ-free, trace-equivalent spec.
+
+    The result is trivially in normal form.  **Progress caveat**: all of the
+    original's acceptance options collapse into one (their union), so using
+    the result as a service spec demands *more* progress of implementations
+    than the original — sound but not complete.  Use :func:`normalize` when
+    option structure must be preserved.
+
+    States of the result are frozensets of original states; apply
+    ``relabel_canonical`` for compact numbering.
+    """
+    initial = close_under_lambda(spec, [spec.initial])
+    states: set[frozenset[State]] = {initial}
+    external: list[tuple[frozenset[State], Event, frozenset[State]]] = []
+    frontier = [initial]
+    while frontier:
+        current = frontier.pop()
+        events: set[Event] = set()
+        for s in current:
+            events |= spec.enabled(s)
+        for e in sorted(events):
+            targets: set[State] = set()
+            for s in current:
+                targets |= spec.successors(s, e)
+            nxt = close_under_lambda(spec, targets)
+            external.append((current, e, nxt))
+            if nxt not in states:
+                states.add(nxt)
+                frontier.append(nxt)
+    return Specification(
+        name if name is not None else f"det({spec.name})",
+        states,
+        spec.alphabet,
+        external,
+        (),
+        initial,
+    )
+
+
+# ----------------------------------------------------------------------
+# exact normalization (hub/option construction)
+# ----------------------------------------------------------------------
+def normalize(
+    spec: Specification, *, name: str | None = None
+) -> Specification:
+    """Convert to normal form preserving traces *and* acceptance options.
+
+    Construction: determinize the trace structure (subset states ``Q``), and
+    for each ``Q`` reify the menu of acceptance options — the distinct
+    ``τ*`` sets of the sink sets contained in ``Q`` — as *option* states
+    hanging off a *hub* state by λ edges.  An option with acceptance set
+    ``F`` has an external transition on each ``e ∈ F`` to the hub of
+    ``δ(Q, e)``.
+
+    Exactness condition: every event enabled anywhere in ``Q`` must belong
+    to some option's acceptance set; otherwise the construction would drop a
+    trace (the event was only available in a pre-emptible, non-sink state)
+    and :class:`NormalizationError` is raised.  Specs that are already in
+    normal form, and all λ-free specs, always normalize successfully; a
+    λ-free deterministic spec normalizes to (an isomorph of) itself.
+    """
+    all_sinks = sink_sets(spec)
+    sink_accept: list[tuple[frozenset[State], Alphabet]] = []
+    for sink in all_sinks:
+        events: set[Event] = set()
+        for s in sink:
+            events |= spec.enabled(s)
+        sink_accept.append((sink, Alphabet(events)))
+
+    initial_q = close_under_lambda(spec, [spec.initial])
+    subset_states: set[frozenset[State]] = {initial_q}
+    delta: dict[tuple[frozenset[State], Event], frozenset[State]] = {}
+    options_of: dict[frozenset[State], list[Alphabet]] = {}
+    frontier = [initial_q]
+    while frontier:
+        current = frontier.pop()
+        enabled_here: set[Event] = set()
+        for s in current:
+            enabled_here |= spec.enabled(s)
+
+        # acceptance options: distinct τ* sets of the sinks inside Q
+        opts: list[Alphabet] = []
+        covered: set[Event] = set()
+        for sink, accept in sink_accept:
+            if sink <= current and accept not in opts:
+                opts.append(accept)
+                covered |= accept
+        uncovered = enabled_here - covered
+        if uncovered:
+            raise NormalizationError(
+                f"{spec.name}: cannot normalize exactly — events "
+                f"{sorted(uncovered)} are enabled only in pre-emptible "
+                "(non-sink) states reachable after some trace; "
+                "use determinize() for a conservative normal form"
+            )
+        options_of[current] = sorted(opts, key=lambda a: a.sorted())
+
+        for e in sorted(enabled_here):
+            targets: set[State] = set()
+            for s in current:
+                targets |= spec.successors(s, e)
+            nxt = close_under_lambda(spec, targets)
+            delta[(current, e)] = nxt
+            if nxt not in subset_states:
+                subset_states.add(nxt)
+                frontier.append(nxt)
+
+    # Build hub/option machine.  A hub with a single option that is total
+    # (covers every enabled event) collapses into a direct state.
+    new_name = name if name is not None else f"nf({spec.name})"
+    nf_states: list[State] = []
+    external: list[tuple[State, Event, State]] = []
+    internal: list[tuple[State, State]] = []
+
+    def hub_label(q: frozenset[State]) -> State:
+        return ("hub", q)
+
+    def option_label(q: frozenset[State], accept: Alphabet) -> State:
+        return ("opt", q, frozenset(accept))
+
+    for q in subset_states:
+        opts = options_of[q]
+        direct = len(opts) == 1
+        hub = hub_label(q)
+        nf_states.append(hub)
+        if direct:
+            accept = opts[0]
+            for e in accept.sorted():
+                external.append((hub, e, hub_label(delta[(q, e)])))
+        else:
+            for accept in opts:
+                opt = option_label(q, accept)
+                nf_states.append(opt)
+                internal.append((hub, opt))
+                for e in accept.sorted():
+                    external.append((opt, e, hub_label(delta[(q, e)])))
+
+    return Specification(
+        new_name,
+        nf_states,
+        spec.alphabet,
+        external,
+        internal,
+        hub_label(initial_q),
+    )
+
+
+def ensure_normal_form(
+    spec: Specification, *, conservative_fallback: bool = False
+) -> Specification:
+    """Return a normal-form spec equivalent to *spec*.
+
+    If *spec* is already in normal form it is returned unchanged; otherwise
+    it is normalized exactly, falling back to :func:`determinize` when exact
+    normalization fails and *conservative_fallback* is set (otherwise the
+    :class:`NormalizationError` propagates).
+    """
+    if is_normal_form(spec):
+        return spec
+    try:
+        return normalize(spec)
+    except NormalizationError:
+        if conservative_fallback:
+            return determinize(spec)
+        raise

@@ -1,0 +1,195 @@
+"""Structural operations on specifications.
+
+These are the standard process-algebraic spec transformers the rest of the
+library builds on: event renaming, hiding (externals become internal λ
+steps), alphabet extension/restriction, unreachable-state pruning, and
+canonical relabeling.  All return new immutable specifications.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from ..errors import SpecError
+from ..events import Alphabet, Event
+from .graph import reachable_states
+from .spec import Specification, State
+
+
+def rename_events(
+    spec: Specification, mapping: Mapping[Event, Event], *, name: str | None = None
+) -> Specification:
+    """Relabel events.  Events absent from *mapping* are kept unchanged.
+
+    The mapping must not merge two distinct alphabet events into one (that
+    would change synchronization behaviour silently); use :func:`hide_events`
+    or explicit modeling for that.
+    """
+    def ren(e: Event) -> Event:
+        return mapping.get(e, e)
+
+    new_alphabet = [ren(e) for e in spec.alphabet.sorted()]
+    if len(set(new_alphabet)) != len(new_alphabet):
+        raise SpecError(
+            "event renaming merges distinct events", spec_name=spec.name
+        )
+    return Specification(
+        name if name is not None else spec.name,
+        spec.states,
+        new_alphabet,
+        ((s, ren(e), s2) for s, e, s2 in spec.external),
+        spec.internal,
+        spec.initial,
+    )
+
+
+def hide_events(
+    spec: Specification, events: Iterable[Event], *, name: str | None = None
+) -> Specification:
+    """Hide *events*: their transitions become internal λ steps.
+
+    This is the unary abstraction operator (CSP's ``\\``); the paper's
+    composition performs the same hiding implicitly for synchronized events.
+    Hidden events leave the alphabet.
+    """
+    hidden = Alphabet(events)
+    unknown = hidden - spec.alphabet
+    if unknown:
+        raise SpecError(
+            f"cannot hide events not in alphabet: {unknown.sorted()}",
+            spec_name=spec.name,
+        )
+    external = []
+    internal = list(spec.internal)
+    for s, e, s2 in spec.external:
+        if e in hidden:
+            if s != s2:
+                internal.append((s, s2))
+        else:
+            external.append((s, e, s2))
+    return Specification(
+        name if name is not None else f"({spec.name} \\ {sorted(hidden)})",
+        spec.states,
+        spec.alphabet - hidden,
+        external,
+        internal,
+        spec.initial,
+    )
+
+
+def extend_alphabet(
+    spec: Specification, extra: Iterable[Event]
+) -> Specification:
+    """Add events to the alphabet without adding transitions.
+
+    The spec then *refuses* those events in every state — needed when
+    aligning interfaces for satisfaction checks.
+    """
+    return Specification(
+        spec.name,
+        spec.states,
+        spec.alphabet | Alphabet(extra),
+        spec.external,
+        spec.internal,
+        spec.initial,
+    )
+
+
+def restrict_events(
+    spec: Specification, keep: Iterable[Event], *, name: str | None = None
+) -> Specification:
+    """Remove all transitions on events outside *keep* and shrink the alphabet.
+
+    Unlike hiding, dropped transitions are erased, not internalized: this is
+    the "forbid those interactions" operator.
+    """
+    kept = Alphabet(keep) & spec.alphabet
+    return Specification(
+        name if name is not None else spec.name,
+        spec.states,
+        kept,
+        ((s, e, s2) for s, e, s2 in spec.external if e in kept),
+        spec.internal,
+        spec.initial,
+    )
+
+
+def prune_unreachable(spec: Specification) -> Specification:
+    """Drop states unreachable from the initial state (via ``T ∪ λ``)."""
+    keep = reachable_states(spec)
+    if keep == spec.states:
+        return spec
+    return Specification(
+        spec.name,
+        keep,
+        spec.alphabet,
+        ((s, e, s2) for s, e, s2 in spec.external if s in keep and s2 in keep),
+        ((s, s2) for s, s2 in spec.internal if s in keep and s2 in keep),
+        spec.initial,
+    )
+
+
+def relabel_canonical(spec: Specification) -> Specification:
+    """Renumber states 0..n-1 in BFS order from the initial state.
+
+    Two isomorphic reachable specs relabel to structurally equal specs when
+    their deterministic BFS orders agree, which makes golden tests readable.
+    """
+    return spec.map_states(None)
+
+
+def remove_states(
+    spec: Specification, doomed: Iterable[State], *, name: str | None = None
+) -> Specification:
+    """Remove *doomed* states and their incident transitions.
+
+    Removing the initial state is an error (the result would not be a
+    specification); callers that need "the empty quotient" represent it
+    explicitly (see :mod:`repro.quotient.types`).
+    """
+    doomed_set = set(doomed)
+    if spec.initial in doomed_set:
+        raise SpecError(
+            "cannot remove the initial state", spec_name=spec.name
+        )
+    keep = spec.states - doomed_set
+    return Specification(
+        name if name is not None else spec.name,
+        keep,
+        spec.alphabet,
+        ((s, e, s2) for s, e, s2 in spec.external if s in keep and s2 in keep),
+        ((s, s2) for s, s2 in spec.internal if s in keep and s2 in keep),
+        spec.initial,
+    )
+
+
+def complete(
+    spec: Specification, *, sink_label: State = "__sink__"
+) -> Specification:
+    """Make the spec totally defined by routing missing events to a sink.
+
+    Every state gets a transition for every alphabet event; missing ones go
+    to a fresh absorbing *sink_label* state (which self-loops on everything).
+    Useful for complementation-style constructions and for modeling
+    "anything else is an error" machines.
+    """
+    if sink_label in spec.states:
+        raise SpecError(
+            f"sink label {sink_label!r} collides with an existing state",
+            spec_name=spec.name,
+        )
+    external = list(spec.external)
+    needs_sink = False
+    for s in spec.states:
+        missing = spec.alphabet - spec.enabled(s)
+        for e in missing.sorted():
+            external.append((s, e, sink_label))
+            needs_sink = True
+    states = set(spec.states)
+    if needs_sink or spec.alphabet:
+        states.add(sink_label)
+        for e in spec.alphabet.sorted():
+            external.append((sink_label, e, sink_label))
+    return Specification(
+        spec.name, states, spec.alphabet, external, spec.internal, spec.initial
+    )

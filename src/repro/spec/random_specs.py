@@ -1,0 +1,152 @@
+"""Seeded random specification generators.
+
+Used by property-based tests and by the Section 7 complexity benchmarks.
+Everything is driven by an explicit :class:`random.Random` seed so instances
+are reproducible across runs and platforms.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from ..events import Event
+from .ops import prune_unreachable
+from .spec import Specification
+
+
+def random_spec(
+    *,
+    n_states: int,
+    events: Sequence[Event],
+    external_density: float = 0.3,
+    internal_density: float = 0.1,
+    seed: int = 0,
+    name: str | None = None,
+    ensure_connected: bool = True,
+) -> Specification:
+    """Generate a random specification.
+
+    Parameters
+    ----------
+    n_states:
+        Number of states (labeled ``0..n_states-1``; state 0 is initial).
+    events:
+        Alphabet to draw transition labels from.
+    external_density:
+        Probability that a given (state, event) pair has an outgoing
+        transition (target uniform).
+    internal_density:
+        Probability that a given ordered state pair has a λ transition.
+    seed:
+        RNG seed; equal seeds give equal specs.
+    ensure_connected:
+        Add a deterministic spanning chain of transitions so every state is
+        reachable (keeps instance sizes meaningful), then prune anything
+        still unreachable.
+    """
+    rng = random.Random(seed)
+    states = list(range(n_states))
+    external: list[tuple[int, Event, int]] = []
+    internal: list[tuple[int, int]] = []
+
+    if ensure_connected and n_states > 1:
+        for s in range(1, n_states):
+            parent = rng.randrange(s)
+            e = rng.choice(list(events))
+            external.append((parent, e, s))
+
+    for s in states:
+        for e in events:
+            if rng.random() < external_density:
+                external.append((s, e, rng.randrange(n_states)))
+    for s in states:
+        for s2 in states:
+            if s != s2 and rng.random() < internal_density:
+                internal.append((s, s2))
+
+    spec = Specification(
+        name if name is not None else f"rand(n={n_states},seed={seed})",
+        states,
+        events,
+        external,
+        internal,
+        0,
+    )
+    return prune_unreachable(spec)
+
+
+def random_deterministic_service(
+    *,
+    n_states: int,
+    events: Sequence[Event],
+    out_degree: int = 2,
+    seed: int = 0,
+    name: str | None = None,
+) -> Specification:
+    """A random deterministic λ-free service spec (always normal form).
+
+    Every state gets up to *out_degree* outgoing transitions on distinct
+    events; a spanning chain guarantees connectivity.  Suitable as the
+    ``A`` input of quotient problems in tests and benchmarks.
+    """
+    rng = random.Random(seed)
+    events = list(events)
+    states = list(range(n_states))
+    chosen: dict[tuple[int, Event], int] = {}
+
+    if n_states > 1:
+        for s in range(1, n_states):
+            parent = rng.randrange(s)
+            free = [e for e in events if (parent, e) not in chosen]
+            if not free:
+                free = events
+            chosen[(parent, rng.choice(free))] = s
+
+    for s in states:
+        degree = rng.randint(1, max(1, out_degree))
+        picks = rng.sample(events, min(degree, len(events)))
+        for e in picks:
+            if (s, e) not in chosen:
+                chosen[(s, e)] = rng.randrange(n_states)
+
+    spec = Specification(
+        name if name is not None else f"randsvc(n={n_states},seed={seed})",
+        states,
+        events,
+        [(s, e, s2) for (s, e), s2 in chosen.items()],
+        (),
+        0,
+    )
+    return prune_unreachable(spec)
+
+
+def random_quotient_instance(
+    *,
+    n_service: int = 3,
+    n_component: int = 5,
+    n_int_events: int = 3,
+    n_ext_events: int = 2,
+    seed: int = 0,
+) -> tuple[Specification, Specification, list[Event], list[Event]]:
+    """A random quotient-problem instance ``(A, B, Int, Ext)``.
+
+    ``A`` is a deterministic service over Ext (hence normal form); ``B`` is
+    a random component over Int ∪ Ext.  Instances are *not* guaranteed to
+    admit a converter — that is the point for testing both outcomes.
+    """
+    rng = random.Random(seed)
+    ext = [f"x{k}" for k in range(n_ext_events)]
+    internal_events = [f"m{k}" for k in range(n_int_events)]
+    service = random_deterministic_service(
+        n_states=n_service, events=ext, seed=rng.randrange(2**31), name="A"
+    )
+    component = random_spec(
+        n_states=n_component,
+        events=ext + internal_events,
+        external_density=0.35,
+        internal_density=0.05,
+        seed=rng.randrange(2**31),
+        name="B",
+    )
+    return service, component, internal_events, ext

@@ -1,0 +1,236 @@
+"""Simulation preorders between specifications.
+
+Complements the equivalences in :mod:`repro.spec.equivalence` with the
+asymmetric relations used to justify refinement arguments:
+
+* **strong simulation** — every move of the refined machine is matched
+  step-for-step (λ matching λ) by the abstract one;
+* **weak simulation** — visible moves are matched up to internal steps
+  (``⇒e`` against ``⇒e``), internal moves by internal closure;
+* **ready simulation (weak)** — weak simulation where, additionally, the
+  matching abstract state's eventually-enabled set covers the concrete
+  one's; refines trace inclusion toward failure-style semantics and is a
+  convenient sufficient check for safety satisfaction that also preserves
+  offerings.
+
+All three return a witness relation (greatest fixed point, computed by
+refinement from the full relation) so callers can inspect *why* a
+refinement holds.  ``simulates*`` convenience predicates compare two
+machines from their initial states.  Weak simulation implies trace
+inclusion; the property-based tests cross-check this against the
+independent :func:`repro.satisfy.safety.satisfies_safety` oracle.
+"""
+
+from __future__ import annotations
+
+from ..events import Alphabet
+from ..spec.graph import close_under_lambda, lambda_closure, tau_star
+from ..spec.spec import Specification, State
+
+Relation = frozenset[tuple[State, State]]
+
+
+def strong_simulation(
+    concrete: Specification, abstract: Specification
+) -> Relation:
+    """Greatest strong simulation of *concrete* by *abstract*.
+
+    ``(c, a)`` is in the result iff every external step ``c ⇀e c'`` has a
+    matching ``a ⇀e a'`` with ``(c', a')`` related, and every internal
+    step of ``c`` is matched by an internal step of ``a``.
+    """
+    relation = {
+        (c, a) for c in concrete.states for a in abstract.states
+    }
+
+    def simulated(c: State, a: State) -> bool:
+        for e in concrete.enabled(c):
+            for c2 in concrete.successors(c, e):
+                if not any(
+                    (c2, a2) in relation for a2 in abstract.successors(a, e)
+                ):
+                    return False
+        for c2 in concrete.internal_successors(c):
+            if not any(
+                (c2, a2) in relation
+                for a2 in abstract.internal_successors(a)
+            ):
+                return False
+        return True
+
+    changed = True
+    while changed:
+        changed = False
+        for pair in sorted(relation, key=repr):
+            if not simulated(*pair):
+                relation.discard(pair)
+                changed = True
+    return frozenset(relation)
+
+
+def _weak_step_targets(
+    spec: Specification, closure: dict[State, frozenset[State]], state: State, event
+) -> frozenset[State]:
+    """``{s' : state ⇒e s'}`` — λ* e λ* targets."""
+    targets: set[State] = set()
+    for x in closure[state]:
+        for y in spec.successors(x, event):
+            targets |= closure[y]
+    return frozenset(targets)
+
+
+def weak_simulation(
+    concrete: Specification, abstract: Specification
+) -> Relation:
+    """Greatest weak simulation of *concrete* by *abstract*.
+
+    External steps are matched by weak steps (``λ* e λ*``); an internal
+    step of *concrete* is matched by staying within the λ-closure of the
+    abstract state.
+    """
+    c_closure = lambda_closure(concrete)
+    a_closure = lambda_closure(abstract)
+    relation = {(c, a) for c in concrete.states for a in abstract.states}
+
+    def simulated(c: State, a: State) -> bool:
+        for e in concrete.enabled(c):
+            matches = _weak_step_targets(abstract, a_closure, a, e)
+            for c2 in concrete.successors(c, e):
+                if not any((c2, a2) in relation for a2 in matches):
+                    return False
+        for c2 in concrete.internal_successors(c):
+            if not any((c2, a2) in relation for a2 in a_closure[a]):
+                return False
+        return True
+
+    changed = True
+    while changed:
+        changed = False
+        for pair in sorted(relation, key=repr):
+            if not simulated(*pair):
+                relation.discard(pair)
+                changed = True
+    return frozenset(relation)
+
+
+def ready_simulation(
+    concrete: Specification, abstract: Specification
+) -> Relation:
+    """Weak simulation restricted to pairs with covered offerings.
+
+    ``(c, a)`` additionally requires ``τ*.c ⊆ τ*.a`` — whatever the
+    concrete machine may eventually offer, the abstract one may too.
+    """
+    base = weak_simulation(concrete, abstract)
+    offered_c = tau_star(concrete)
+    offered_a = tau_star(abstract)
+    relation = {
+        (c, a) for (c, a) in base if offered_c[c] <= offered_a[a]
+    }
+    # restriction can break closure; re-refine
+    c_closure = lambda_closure(concrete)
+    a_closure = lambda_closure(abstract)
+
+    def simulated(c: State, a: State) -> bool:
+        for e in concrete.enabled(c):
+            matches = _weak_step_targets(abstract, a_closure, a, e)
+            for c2 in concrete.successors(c, e):
+                if not any((c2, a2) in relation for a2 in matches):
+                    return False
+        for c2 in concrete.internal_successors(c):
+            if not any((c2, a2) in relation for a2 in a_closure[a]):
+                return False
+        return True
+
+    changed = True
+    while changed:
+        changed = False
+        for pair in sorted(relation, key=repr):
+            if not simulated(*pair):
+                relation.discard(pair)
+                changed = True
+    return frozenset(relation)
+
+
+def _initial_pair_related(
+    concrete: Specification, abstract: Specification, relation: Relation
+) -> bool:
+    """The initial states are related up to the abstract's λ-closure."""
+    starts = close_under_lambda(abstract, [abstract.initial])
+    return any((concrete.initial, a) in relation for a in starts)
+
+
+def strongly_simulates(abstract: Specification, concrete: Specification) -> bool:
+    """``abstract`` strongly simulates ``concrete`` (from the initials)."""
+    relation = strong_simulation(concrete, abstract)
+    return (concrete.initial, abstract.initial) in relation
+
+
+def weakly_simulates(abstract: Specification, concrete: Specification) -> bool:
+    """``abstract`` weakly simulates ``concrete`` (from the initials)."""
+    relation = weak_simulation(concrete, abstract)
+    return _initial_pair_related(concrete, abstract, relation)
+
+
+def ready_simulates(abstract: Specification, concrete: Specification) -> bool:
+    """``abstract`` ready-simulates ``concrete`` (from the initials)."""
+    relation = ready_simulation(concrete, abstract)
+    return _initial_pair_related(concrete, abstract, relation)
+
+
+def simulation_offering_gap(
+    concrete: Specification, abstract: Specification
+) -> dict[State, Alphabet]:
+    """Diagnostic: per reachable concrete state, the events it may
+    eventually offer that the abstract machine cannot after *any* trace
+    reaching that state.
+
+    Pairs each concrete state ``c`` with the union of the abstract's
+    possibly-occupied state sets over all traces leading to ``c`` (an
+    on-the-fly determinization, as in the safety checker) and reports
+    ``τ*.c − ∪ τ*.(abstract states)`` where nonempty.  An empty dict means
+    the concrete machine never out-offers the abstract one — a necessary
+    condition for (and useful explanation of failures of) ready
+    simulation.
+    """
+    offered_c = tau_star(concrete)
+    offered_a = tau_star(abstract)
+
+    start_subset = close_under_lambda(abstract, [abstract.initial])
+    Pair = tuple[State, frozenset[State]]
+    seen: set[Pair] = set()
+    frontier: list[Pair] = []
+    for c in close_under_lambda(concrete, [concrete.initial]):
+        pair = (c, start_subset)
+        if pair not in seen:
+            seen.add(pair)
+            frontier.append(pair)
+    abstract_states_for: dict[State, set[State]] = {}
+    while frontier:
+        c, subset = frontier.pop()
+        abstract_states_for.setdefault(c, set()).update(subset)
+        for c2 in concrete.internal_successors(c):
+            pair = (c2, subset)
+            if pair not in seen:
+                seen.add(pair)
+                frontier.append(pair)
+        for e in concrete.enabled(c):
+            targets: set[State] = set()
+            for a in subset:
+                targets |= abstract.successors(a, e)
+            nxt = close_under_lambda(abstract, targets) if targets else frozenset()
+            for c2 in concrete.successors(c, e):
+                pair = (c2, nxt)
+                if pair not in seen:
+                    seen.add(pair)
+                    frontier.append(pair)
+
+    gaps: dict[State, Alphabet] = {}
+    for c, abstract_states in abstract_states_for.items():
+        covered: set = set()
+        for a in abstract_states:
+            covered |= offered_a[a]
+        missing = offered_c[c] - Alphabet(covered)
+        if missing:
+            gaps[c] = missing
+    return gaps

@@ -1,0 +1,76 @@
+"""Traces: finite sequences of external events (Section 3).
+
+A trace represents a possible behaviour of a system as observed by its
+environment — the sequence of labels along a finite directed path from the
+initial state.  Trace sets are prefix-closed and always contain the empty
+trace ``ε``.
+
+Traces are plain tuples of event names; this module provides the small
+algebra the paper uses (concatenation by juxtaposition, prefixes) plus
+rendering helpers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from ..events import Event
+
+Trace = tuple[Event, ...]
+"""A finite sequence of events."""
+
+EPSILON: Trace = ()
+"""The empty trace ``ε`` — a possible behaviour of every system."""
+
+
+def trace(*events: Event) -> Trace:
+    """Build a trace from event arguments: ``trace("acc", "del")``."""
+    return tuple(events)
+
+
+def concat(*parts: Iterable[Event]) -> Trace:
+    """Concatenate traces/events (the paper's juxtaposition ``te``)."""
+    out: list[Event] = []
+    for part in parts:
+        out.extend(part)
+    return tuple(out)
+
+
+def prefixes(t: Trace) -> Iterator[Trace]:
+    """All prefixes of *t*, shortest first, including ``ε`` and *t* itself."""
+    for i in range(len(t) + 1):
+        yield t[:i]
+
+
+def proper_prefixes(t: Trace) -> Iterator[Trace]:
+    """All prefixes of *t* except *t* itself."""
+    for i in range(len(t)):
+        yield t[:i]
+
+
+def is_prefix(p: Trace, t: Trace) -> bool:
+    """True if *p* is a (not necessarily proper) prefix of *t*."""
+    return len(p) <= len(t) and t[: len(p)] == tuple(p)
+
+
+def format_trace(t: Trace) -> str:
+    """Render a trace for messages: ``⟨acc.del.acc⟩`` (``⟨⟩`` for ε)."""
+    return "⟨" + ".".join(t) + "⟩"
+
+
+def prefix_close(traces: Iterable[Trace]) -> frozenset[Trace]:
+    """The prefix closure of a set of traces (always contains ``ε``)."""
+    closed: set[Trace] = {EPSILON}
+    for t in traces:
+        t = tuple(t)
+        for p in prefixes(t):
+            closed.add(p)
+    return frozenset(closed)
+
+
+def is_prefix_closed(traces: Iterable[Trace]) -> bool:
+    """True if the given trace set is prefix-closed (and contains ``ε``)."""
+    traces = {tuple(t) for t in traces}
+    if EPSILON not in traces:
+        return False
+    return all(t[:-1] in traces for t in traces if t)

@@ -1,0 +1,163 @@
+"""Trace-language queries over specifications.
+
+Implements the observable-transition relation ``⟶`` of Section 3 and the
+trace-membership predicate ``A.t`` on top of it, via on-the-fly subset
+simulation (λ-transitions play the role of ε-moves).
+
+Convention: we use the *weak* step ``s ⟹e s' ≡ ∃x,y : s λ* x ∧ x ⇀e y ∧
+y λ* s'`` (closure applied before **and after** the visible event).  Trailing
+closure does not change any trace set, and it is the reading under which the
+paper's ``ψ_A.t`` ("the unique state a such that ∀a' : ↦t a' ≡ a λ* a'")
+is well defined for normal-form specifications.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from ..events import Alphabet, Event
+from ..spec.graph import close_under_lambda
+from ..spec.spec import Specification, State
+from .core import Trace
+
+
+def initial_closure(spec: Specification) -> frozenset[State]:
+    """``{s : s0 λ* s}`` — the states the system may occupy after ``ε``."""
+    return close_under_lambda(spec, [spec.initial])
+
+
+def subset_step(
+    spec: Specification, states: Iterable[State], event: Event
+) -> frozenset[State]:
+    """One weak event step of a λ-closed state set.
+
+    Given a λ-closed set ``Q``, returns the λ-closed set of states reachable
+    by taking *event* from any member.  Empty result means the event is not
+    a possible continuation.
+    """
+    targets: set[State] = set()
+    for s in states:
+        targets |= spec.successors(s, event)
+    if not targets:
+        return frozenset()
+    return close_under_lambda(spec, targets)
+
+
+def states_after(spec: Specification, t: Iterable[Event]) -> frozenset[State]:
+    """``{s : ↦t s}`` — states the system may occupy after trace *t*.
+
+    Returns the empty set when *t* is not a trace of the specification.
+    """
+    current = initial_closure(spec)
+    for e in t:
+        current = subset_step(spec, current, e)
+        if not current:
+            return frozenset()
+    return current
+
+
+def accepts(spec: Specification, t: Iterable[Event]) -> bool:
+    """The predicate ``A.t`` — is *t* a trace of the specification?"""
+    return bool(states_after(spec, t))
+
+
+def enabled_after(spec: Specification, t: Iterable[Event]) -> Alphabet:
+    """Events that can extend trace *t* (possible next observations).
+
+    This is ``∪ { τ*.s : ↦t s }`` restricted to events whose weak step is
+    nonempty; since ``states_after`` is λ-closed it is simply the union of
+    ``τ.s`` over the member states.
+    """
+    states = states_after(spec, t)
+    events: set[Event] = set()
+    for s in states:
+        events |= spec.enabled(s)
+    return Alphabet(events)
+
+
+def enumerate_traces(
+    spec: Specification, max_length: int
+) -> Iterator[Trace]:
+    """Yield every trace of the spec with length ≤ *max_length*.
+
+    Traces are produced in length-lexicographic order, deterministically.
+    The walk is over λ-closed subset states, so it terminates even for specs
+    whose state graph has cycles; the number of yielded traces can still be
+    exponential in *max_length*.
+    """
+    start = initial_closure(spec)
+    yield ()
+    frontier: list[tuple[Trace, frozenset[State]]] = [((), start)]
+    for _ in range(max_length):
+        next_frontier: list[tuple[Trace, frozenset[State]]] = []
+        for t, states in frontier:
+            events: set[Event] = set()
+            for s in states:
+                events |= spec.enabled(s)
+            for e in sorted(events):
+                nxt = subset_step(spec, states, e)
+                if nxt:
+                    t2 = t + (e,)
+                    yield t2
+                    next_frontier.append((t2, nxt))
+        frontier = next_frontier
+        if not frontier:
+            return
+
+
+def language_upto(spec: Specification, max_length: int) -> frozenset[Trace]:
+    """The (finite) set of traces with length ≤ *max_length*."""
+    return frozenset(enumerate_traces(spec, max_length))
+
+
+def longest_trace_bounded(spec: Specification, bound: int) -> Trace:
+    """A longest trace not exceeding *bound* (deterministic choice).
+
+    Useful in tests to probe how deep a spec's behaviour goes.
+    """
+    best: Trace = ()
+    for t in enumerate_traces(spec, bound):
+        if len(t) > len(best):
+            best = t
+    return best
+
+
+def sample_trace(
+    spec: Specification, length: int, seed: int = 0
+) -> Trace | None:
+    """A pseudo-random trace of exactly *length*, or None if none exists.
+
+    Deterministic for a given seed (uses a simple LCG rather than the
+    global ``random`` module so library behaviour never depends on ambient
+    RNG state).
+    """
+    state = (seed * 6364136223846793005 + 1442695040888963407) % 2**64
+
+    def next_index(n: int) -> int:
+        nonlocal state
+        state = (state * 6364136223846793005 + 1442695040888963407) % 2**64
+        return (state >> 33) % n
+
+    def go(states: frozenset[State], remaining: int, t: Trace) -> Trace | None:
+        if remaining == 0:
+            return t
+        events: set[Event] = set()
+        for s in states:
+            events |= spec.enabled(s)
+        options = sorted(events)
+        if not options:
+            return None
+        # rotate through the options starting at a pseudo-random offset so
+        # failures backtrack deterministically
+        offset = next_index(len(options))
+        for k in range(len(options)):
+            e = options[(offset + k) % len(options)]
+            nxt = subset_step(spec, states, e)
+            if not nxt:
+                continue
+            result = go(nxt, remaining - 1, t + (e,))
+            if result is not None:
+                return result
+        return None
+
+    return go(initial_closure(spec), length, ())

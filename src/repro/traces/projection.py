@@ -1,0 +1,91 @@
+"""The projection functions ``i`` and ``o`` of Section 4.
+
+A trace ``t`` of the composite ``B`` (over ``Int ∪ Ext``) decomposes into
+
+* ``i.t`` — its projection onto the converter interface ``Int``, and
+* ``o.t`` — its projection onto the environment interface ``Ext``.
+
+Both are defined by erasing the events of the other set while preserving
+order.  This module provides the general erasing projection plus the
+``i``/``o`` pair bound to an :class:`~repro.events.Interface`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..errors import AlphabetError
+from ..events import Event, Interface
+from .core import Trace
+
+
+def project(t: Iterable[Event], onto: Iterable[Event]) -> Trace:
+    """Erase from *t* every event not in *onto*, preserving order.
+
+    >>> project(("acc", "-D", "del", "+A"), {"-D", "+A"})
+    ('-D', '+A')
+    """
+    keep = frozenset(onto)
+    return tuple(e for e in t if e in keep)
+
+
+def i_projection(interface: Interface, t: Iterable[Event]) -> Trace:
+    """``i.t`` — the projection of *t* onto ``Int``."""
+    return project(t, interface.int_events)
+
+
+def o_projection(interface: Interface, t: Iterable[Event]) -> Trace:
+    """``o.t`` — the projection of *t* onto ``Ext``."""
+    return project(t, interface.ext_events)
+
+
+def split(interface: Interface, t: Iterable[Event]) -> tuple[Trace, Trace]:
+    """Return ``(i.t, o.t)`` in one pass, validating event membership.
+
+    Raises :class:`AlphabetError` if *t* contains an event outside
+    ``Int ∪ Ext`` — a composite trace must lie entirely in the interface.
+    """
+    int_part: list[Event] = []
+    ext_part: list[Event] = []
+    for e in t:
+        kind = interface.classify(e)  # raises AlphabetError for unknown events
+        if kind == "int":
+            int_part.append(e)
+        else:
+            ext_part.append(e)
+    return tuple(int_part), tuple(ext_part)
+
+
+def interleavings_count(int_len: int, ext_len: int) -> int:
+    """Number of traces projecting to given Int/Ext lengths: C(n+m, n).
+
+    Useful for sanity checks in tests: the fibres of ``(i, o)`` over a pair
+    of projections have exactly binomial(n+m, n) order-preserving merges.
+    """
+    from math import comb
+
+    if int_len < 0 or ext_len < 0:
+        raise AlphabetError("trace lengths must be nonnegative")
+    return comb(int_len + ext_len, int_len)
+
+
+def merges(int_part: Trace, ext_part: Trace) -> list[Trace]:
+    """All order-preserving interleavings of two disjoint-alphabet traces.
+
+    The inverse image of ``(i, o)``: every trace ``t`` with ``i.t = int_part``
+    and ``o.t = ext_part`` (assuming the two parts use disjoint alphabets).
+    Exponential in general — intended for tests and small examples.
+    """
+    out: list[Trace] = []
+
+    def go(prefix: tuple[Event, ...], xs: Trace, ys: Trace) -> None:
+        if not xs and not ys:
+            out.append(prefix)
+            return
+        if xs:
+            go(prefix + (xs[0],), xs[1:], ys)
+        if ys:
+            go(prefix + (ys[0],), xs, ys[1:])
+
+    go((), tuple(int_part), tuple(ext_part))
+    return out

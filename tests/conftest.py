@@ -1,0 +1,77 @@
+"""Shared fixtures: small canonical machines used across the suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.spec import SpecBuilder, Specification
+
+
+@pytest.fixture
+def alternator() -> Specification:
+    """The Fig. 11 service: strict acc/del alternation."""
+    return (
+        SpecBuilder("alt")
+        .external(0, "acc", 1)
+        .external(1, "del", 0)
+        .initial(0)
+        .build()
+    )
+
+
+@pytest.fixture
+def relay() -> Specification:
+    """A two-hop relay: x (Ext) -> m (Int) -> n (Int) -> y (Ext)."""
+    return (
+        SpecBuilder("relay")
+        .external(0, "x", 1)
+        .external(1, "m", 2)
+        .external(2, "n", 3)
+        .external(3, "y", 0)
+        .initial(0)
+        .build()
+    )
+
+
+@pytest.fixture
+def lossy_hop() -> Specification:
+    """A machine with an internal (loss-like) branch and recovery."""
+    return (
+        SpecBuilder("lossy")
+        .external(0, "send", 1)
+        .internal(1, 2)  # loss
+        .external(1, "arrive", 0)
+        .external(2, "timeout", 0)
+        .initial(0)
+        .build()
+    )
+
+
+@pytest.fixture
+def nondet_choice() -> Specification:
+    """Normal-form hub/option machine: after 'go', choose left or right."""
+    return (
+        SpecBuilder("choice")
+        .external("idle", "go", "hub")
+        .internal("hub", "left")
+        .internal("hub", "right")
+        .external("left", "l", "idle")
+        .external("right", "r", "idle")
+        .initial("idle")
+        .build()
+    )
+
+
+@pytest.fixture
+def internal_cycle() -> Specification:
+    """A sink set of two states (Fig. 4's left machine)."""
+    return (
+        SpecBuilder("cycle")
+        .external(0, "e", 1)
+        .internal(1, 2)
+        .internal(2, 1)
+        .external(1, "f", 0)
+        .external(2, "g", 0)
+        .initial(0)
+        .build()
+    )

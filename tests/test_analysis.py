@@ -1,0 +1,185 @@
+"""Unit tests for deadlock/livelock analysis, stats, and reports."""
+
+from repro.analysis import (
+    bad_state_chronicle,
+    explain_converter,
+    find_deadlocks,
+    find_livelocks,
+    is_dead,
+    spec_stats,
+    stuck_states,
+)
+from repro.analysis.deadlock import trace_of_witness
+from repro.quotient import solve_quotient
+from repro.spec import SpecBuilder
+
+
+class TestDeadlock:
+    def test_deadlock_free(self, alternator):
+        report = find_deadlocks(alternator)
+        assert report.deadlock_free
+        assert "deadlock-free" in report.describe()
+
+    def test_detects_dead_state(self):
+        spec = (
+            SpecBuilder("m")
+            .external(0, "a", 1)
+            .state(1)
+            .initial(0)
+            .build()
+        )
+        report = find_deadlocks(spec)
+        assert not report.deadlock_free
+        assert report.deadlocks == (1,)
+        assert report.witness == ("a",)
+
+    def test_unreachable_dead_state_ignored(self):
+        spec = (
+            SpecBuilder("m")
+            .external(0, "a", 0)
+            .state(99)
+            .initial(0)
+            .build()
+        )
+        assert find_deadlocks(spec).deadlock_free
+
+    def test_internal_only_state_is_not_dead(self):
+        spec = SpecBuilder("m").internal(0, 1).external(1, "a", 0).initial(0).build()
+        assert not is_dead(spec, 0)
+
+    def test_witness_through_internal_steps(self):
+        spec = (
+            SpecBuilder("m")
+            .external(0, "a", 1)
+            .internal(1, 2)
+            .state(2)
+            .initial(0)
+            .build()
+        )
+        report = find_deadlocks(spec)
+        assert report.witness == ("a", None)
+        assert trace_of_witness(report.witness) == ("a",)
+
+
+class TestLivelock:
+    def test_livelock_free(self, alternator):
+        report = find_livelocks(alternator)
+        assert report.livelock_free
+        assert not report.stuck
+
+    def test_detects_internal_spin(self):
+        spec = (
+            SpecBuilder("m")
+            .external(0, "go", 1)
+            .internal(1, 2)
+            .internal(2, 1)
+            .initial(0)
+            .build()
+        )
+        report = find_livelocks(spec)
+        assert not report.livelock_free
+        assert set(report.livelocked) == {1, 2}
+        assert report.cycle == frozenset({1, 2})
+        assert tuple(e for e in report.witness if e is not None) == ("go",)
+
+    def test_spin_with_escape_is_not_stuck(self):
+        spec = (
+            SpecBuilder("m")
+            .internal(0, 1)
+            .internal(1, 0)
+            .external(1, "out", 0)
+            .initial(0)
+            .build()
+        )
+        report = find_livelocks(spec)
+        assert report.livelock_free
+
+    def test_stuck_without_cycle_is_not_livelock(self):
+        spec = (
+            SpecBuilder("m")
+            .external(0, "go", 1)
+            .internal(1, 2)
+            .state(2)
+            .initial(0)
+            .build()
+        )
+        report = find_livelocks(spec)
+        assert report.stuck
+        assert report.livelock_free
+        assert "stuck" in report.describe()
+
+    def test_stuck_states_function(self):
+        spec = (
+            SpecBuilder("m")
+            .external(0, "go", 1)
+            .state(1)
+            .initial(0)
+            .build()
+        )
+        assert stuck_states(spec) == frozenset([1])
+
+
+class TestStats:
+    def test_basic_counts(self, lossy_hop):
+        stats = spec_stats(lossy_hop)
+        assert stats.states == 3
+        assert stats.external_transitions == 3
+        assert stats.internal_transitions == 1
+        assert not stats.deterministic
+        assert stats.deadlocks == 0
+
+    def test_normal_form_flag(self, alternator, internal_cycle):
+        assert spec_stats(alternator).normal_form
+        assert not spec_stats(internal_cycle).normal_form
+
+    def test_as_row_keys(self, alternator):
+        row = spec_stats(alternator).as_row()
+        assert row["states"] == 2
+        assert row["name"] == "alt"
+
+    def test_describe_mentions_name(self, alternator):
+        assert "alt" in spec_stats(alternator).describe()
+
+
+class TestExplain:
+    def _solved(self):
+        service = (
+            SpecBuilder("A").external(0, "x", 1).external(1, "y", 0).initial(0).build()
+        )
+        component = (
+            SpecBuilder("B")
+            .external(0, "x", 1)
+            .external(1, "m", 2)
+            .external(2, "y", 0)
+            .initial(0)
+            .build()
+        )
+        return solve_quotient(service, component)
+
+    def test_explains_existing_converter(self):
+        text = explain_converter(self._solved())
+        assert "converter C:" in text
+        assert "satisfies" in text
+
+    def test_pair_annotations_optional(self):
+        result = self._solved()
+        assert "state annotations" not in explain_converter(result)
+        assert "state annotations" in explain_converter(result, show_pairs=True)
+
+    def test_explains_nonexistence(self):
+        service = (
+            SpecBuilder("A").external(0, "x", 1).external(1, "y", 0).initial(0).build()
+        )
+        component = (
+            SpecBuilder("B").external(0, "x", 1).external(1, "m", 1)
+            .event("y").initial(0).build()
+        )
+        result = solve_quotient(service, component)
+        text = explain_converter(result)
+        assert "diagnosis" in text
+        assert "NO converter" in text
+
+    def test_chronicle(self):
+        chronicle = bad_state_chronicle(self._solved())
+        assert chronicle
+        assert chronicle[0][0] == 0

@@ -1,0 +1,259 @@
+"""Unit and comparison tests for the bottom-up baselines (Section 2)."""
+
+import pytest
+
+from repro.baselines import (
+    ConversionSeed,
+    MessageCorrespondence,
+    ProjectionMap,
+    ab_to_ns_projection_map,
+    fuse_peers,
+    is_faithful_projection,
+    okumura_converter,
+    project,
+    relay_converter,
+)
+from repro.compose import compose
+from repro.errors import QuotientError, SpecError
+from repro.protocols import (
+    ab_receiver,
+    ab_sender,
+    alternating_service,
+    colocated_scenario,
+    ns_receiver,
+    ns_sender,
+    symmetric_scenario,
+)
+from repro.satisfy import satisfies
+from repro.spec import SpecBuilder, rename_events
+from repro.traces import accepts
+
+
+class TestOkumuraConstruction:
+    def test_fuse_peers_hides_relay(self):
+        fused = fuse_peers(
+            ab_receiver(), ns_sender(), p_deliver="del", q_accept="acc"
+        )
+        assert "del" not in fused.alphabet
+        assert "acc" not in fused.alphabet
+        assert fused.internal  # the hidden handoff
+
+    def test_unknown_deliver_event_rejected(self):
+        with pytest.raises(QuotientError):
+            okumura_converter(
+                ab_receiver(), ns_sender(), p_deliver="zzz", q_accept="acc"
+            )
+
+    def test_derivation_produces_candidate(self):
+        result = okumura_converter(
+            ab_receiver(), ns_sender(), p_deliver="del", q_accept="acc"
+        )
+        assert result.exists
+        c = result.converter
+        # the candidate relays: take d0 from the AB side, send D on the NS side
+        assert accepts(c, ("+d0", "-D"))
+
+    def test_trivial_seed_is_noop(self):
+        free = okumura_converter(
+            ab_receiver(), ns_sender(), p_deliver="del", q_accept="acc"
+        )
+        seeded = okumura_converter(
+            ab_receiver(),
+            ns_sender(),
+            p_deliver="del",
+            q_accept="acc",
+            seed=ConversionSeed.trivial(),
+        )
+        assert len(free.converter.states) == len(seeded.converter.states)
+
+    def test_constraining_seed_prunes(self):
+        # seed forbids ever sending a1: machines using -a1 get cut
+        seed_spec = (
+            SpecBuilder("seed").state(0).event("-a1").initial(0).build()
+        )
+        result = okumura_converter(
+            ab_receiver(),
+            ns_sender(),
+            p_deliver="del",
+            q_accept="acc",
+            seed=ConversionSeed(seed_spec),
+        )
+        assert result.exists
+        assert all(e != "-a1" for _, e, _ in result.converter.external)
+
+
+class TestOkumuraVsTopDown:
+    """The paper's Section 2 point: a bottom-up converter must still be
+    checked against the global service, and failure of that check is
+    uninformative about existence."""
+
+    def test_bottom_up_fails_global_check_in_symmetric_config(self):
+        scen = symmetric_scenario()
+        result = okumura_converter(
+            ab_receiver(), ns_sender(), p_deliver="del", q_accept="acc"
+        )
+        composite = compose(scen.composite, result.converter)
+        report = satisfies(composite, scen.service)
+        assert not report.holds  # matches: no converter exists at all
+
+    @staticmethod
+    def _direct_ns_sender():
+        # NS sender adapted to the direct interface: -D becomes N1's +D,
+        # +A becomes N1's -A, and there is no timeout
+        return (
+            SpecBuilder("N0d")
+            .external(0, "acc", 1)
+            .external(1, "+D", 2)
+            .external(2, "-A", 0)
+            .initial(0)
+            .build()
+        )
+
+    @staticmethod
+    def _bit_tracking_seed():
+        # ack bit b toward A0 only after N1 acked datum b; re-acks free
+        return ConversionSeed(
+            SpecBuilder("seed")
+            .external("init", "+d0", "h0")
+            .external("h0", "+D", "w0")
+            .external("w0", "-A", "b0")
+            .external("b0", "-a0", "b0")
+            .external("b0", "+d0", "b0")
+            .external("b0", "+d1", "h1")
+            .external("h1", "+D", "w1")
+            .external("w1", "-A", "b1")
+            .external("b1", "-a1", "b1")
+            .external("b1", "+d1", "b1")
+            .external("b1", "+d0", "h0")
+            .initial("init")
+            .build()
+        )
+
+    def test_naive_bottom_up_fails_even_in_colocated_config(self):
+        """Without seed insight, the fused peers acknowledge the AB sender
+        before N1 has delivered: the global check catches ⟨acc.acc⟩."""
+        scen = colocated_scenario()
+        result = okumura_converter(
+            ab_receiver(),
+            self._direct_ns_sender(),
+            p_deliver="del",
+            q_accept="acc",
+        )
+        assert result.exists  # a candidate is produced...
+        composite = compose(scen.composite, result.converter)
+        report = satisfies(composite, scen.service)
+        assert not report.holds  # ...but it is wrong
+        assert report.safety.counterexample == ("acc", "acc")
+
+    def test_bottom_up_succeeds_with_full_insight_seed(self):
+        """A seed that already encodes the bit-tracking design makes the
+        derivation succeed — Okumura's method works exactly when the seed
+        carries the key insight the quotient would have derived."""
+        scen = colocated_scenario()
+        result = okumura_converter(
+            ab_receiver(),
+            self._direct_ns_sender(),
+            p_deliver="del",
+            q_accept="acc",
+            seed=self._bit_tracking_seed(),
+        )
+        assert result.exists
+        composite = compose(scen.composite, result.converter)
+        report = satisfies(composite, scen.service)
+        assert report.holds
+
+
+class TestProjection:
+    def test_project_applies_maps(self):
+        a0 = ab_sender()
+        mapping = ab_to_ns_projection_map(a0, role="sender")
+        image = project(a0, mapping)
+        assert image.alphabet == frozenset(
+            {"acc", "-D", "+A", "timeoutN"}
+        )
+        assert accepts(image, ("acc", "-D", "+A"))
+
+    def test_projection_erasure_to_internal(self):
+        spec = SpecBuilder("m").external(0, "a", 1).external(1, "b", 0).initial(0).build()
+        mapping = ProjectionMap(states={0: 0, 1: 1}, events={"a": "a", "b": None})
+        image = project(spec, mapping)
+        assert "b" not in image.alphabet
+        assert (1, 0) in image.internal
+
+    def test_projection_requires_total_maps(self):
+        spec = SpecBuilder("m").external(0, "a", 1).initial(0).build()
+        mapping = ProjectionMap(states={0: 0}, events={"a": "a"})
+        with pytest.raises(SpecError):
+            project(spec, mapping)
+
+    def test_unknown_role_rejected(self):
+        with pytest.raises(SpecError):
+            ab_to_ns_projection_map(ab_sender(), role="nope")
+
+    def test_ab_sender_projection_not_faithful_to_ns(self):
+        """The stale-ack retransmission path has no NS counterpart: the
+        bit-erased AB sender is NOT the NS sender — the heuristic's first
+        obstacle."""
+        a0 = ab_sender()
+        mapping = ab_to_ns_projection_map(a0, role="sender")
+        assert not is_faithful_projection(a0, ns_sender(), mapping)
+
+    def test_ab_receiver_projection_not_faithful_to_ns(self):
+        """Duplicate suppression (re-ack without delivery) breaks the
+        receiver-side projection too."""
+        a1 = ab_receiver()
+        mapping = ab_to_ns_projection_map(a1, role="receiver")
+        assert not is_faithful_projection(a1, ns_receiver(), mapping)
+
+    def test_faithful_projection_positive_case(self):
+        """Sanity: a genuinely refining machine projects faithfully."""
+        unrolled = (
+            SpecBuilder("u")
+            .external(0, "a", 1)
+            .external(1, "b", 2)
+            .external(2, "a", 3)
+            .external(3, "b", 0)
+            .initial(0)
+            .build()
+        )
+        folded = (
+            SpecBuilder("f").external(0, "a", 1).external(1, "b", 0).initial(0).build()
+        )
+        mapping = ProjectionMap(
+            states={0: 0, 1: 1, 2: 0, 3: 1},
+            events={"a": "a", "b": "b"},
+        )
+        assert is_faithful_projection(unrolled, folded, mapping)
+
+
+class TestRelayConverter:
+    def test_relay_shape(self):
+        relay = relay_converter(
+            MessageCorrespondence(
+                forward={"d0": "D", "d1": "D"}, backward={"A": "a0"}
+            )
+        )
+        assert accepts(relay, ("+d0", "-D"))
+        assert accepts(relay, ("+A", "-a0"))
+        assert not accepts(relay, ("+d0", "+d1"))  # must forward first
+
+    def test_stateless_relay_fails_where_paper_needs_state(self):
+        """Lam's stateless relay cannot pick the right ack bit: composed
+        into the co-located configuration it violates the service."""
+        scen = colocated_scenario()
+        relay = relay_converter(
+            MessageCorrespondence(
+                # forward data to N1's +D port; N1's ack -A answered with a0
+                forward={"d0": "D", "d1": "D"},
+                backward={},
+            )
+        )
+        # adapt port names to the co-located interface (+D toward N1, -A from N1)
+        relay = rename_events(relay, {"-D": "+D"})
+        # give it the rest of the interface (refused): -a0/-a1/-A never sent
+        from repro.spec import extend_alphabet
+
+        relay = extend_alphabet(relay, ["-A", "-a0", "-a1"])
+        composite = compose(scen.composite, relay)
+        report = satisfies(composite, scen.service)
+        assert not report.holds

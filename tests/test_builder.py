@@ -1,0 +1,78 @@
+"""Unit tests for SpecBuilder."""
+
+import pytest
+
+from repro.errors import SpecError
+from repro.events import Alphabet
+from repro.spec import SpecBuilder
+
+
+class TestBuilder:
+    def test_fluent_chaining_returns_self(self):
+        b = SpecBuilder("m")
+        assert b.external(0, "a", 1) is b
+        assert b.internal(1, 0) is b
+        assert b.initial(0) is b
+        assert b.state(2) is b
+        assert b.event("ghost") is b
+
+    def test_states_inferred_from_transitions(self):
+        spec = SpecBuilder("m").external(0, "a", 1).internal(1, 2).build()
+        assert spec.states == frozenset([0, 1, 2])
+
+    def test_alphabet_inferred_from_transitions(self):
+        spec = SpecBuilder("m").external(0, "a", 1).external(1, "b", 0).build()
+        assert spec.alphabet == Alphabet(["a", "b"])
+
+    def test_declared_event_without_transitions(self):
+        spec = SpecBuilder("m").state(0).event("refused").initial(0).build()
+        assert "refused" in spec.alphabet
+        assert spec.enabled(0) == Alphabet([])
+
+    def test_default_initial_is_first_mentioned(self):
+        spec = SpecBuilder("m").external("a0", "e", "a1").build()
+        assert spec.initial == "a0"
+
+    def test_explicit_initial_overrides(self):
+        spec = SpecBuilder("m").external(0, "e", 1).initial(1).build()
+        assert spec.initial == 1
+
+    def test_initial_declares_new_state(self):
+        spec = SpecBuilder("m").initial("lonely").build()
+        assert spec.states == frozenset(["lonely"])
+
+    def test_empty_builder_rejected(self):
+        with pytest.raises(SpecError, match="no states"):
+            SpecBuilder("m").build()
+
+    def test_bulk_externals(self):
+        spec = (
+            SpecBuilder("m")
+            .externals([(0, "a", 1), (1, "b", 0)])
+            .initial(0)
+            .build()
+        )
+        assert len(spec.external) == 2
+
+    def test_bulk_internals(self):
+        spec = (
+            SpecBuilder("m")
+            .internals([(0, 1), (1, 2)])
+            .initial(0)
+            .build()
+        )
+        assert len(spec.internal) == 2
+
+    def test_build_is_repeatable(self):
+        b = SpecBuilder("m").external(0, "a", 1).initial(0)
+        assert b.build() == b.build()
+
+    def test_duplicate_transitions_collapse(self):
+        spec = (
+            SpecBuilder("m")
+            .external(0, "a", 1)
+            .external(0, "a", 1)
+            .initial(0)
+            .build()
+        )
+        assert len(spec.external) == 1

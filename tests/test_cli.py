@@ -1,0 +1,153 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.io import dump
+from repro.protocols import alternating_service
+
+DSL = """
+spec service
+    initial 0
+    0 -> 1 : acc
+    1 -> 0 : del
+end
+
+spec component
+    initial 0
+    0 -> 1 : acc
+    1 -> 2 : fwd
+    2 -> 0 : del
+end
+
+spec badcomponent
+    initial 0
+    0 -> 1 : acc
+    1 -> 1 : fwd
+    event del
+end
+"""
+
+
+@pytest.fixture
+def dsl_file(tmp_path):
+    path = tmp_path / "specs.dsl"
+    path.write_text(DSL)
+    return str(path)
+
+
+class TestShow:
+    def test_show_all(self, dsl_file, capsys):
+        assert main(["show", dsl_file]) == 0
+        out = capsys.readouterr().out
+        assert "service" in out and "component" in out
+
+    def test_show_named(self, dsl_file, capsys):
+        assert main(["show", dsl_file, "service"]) == 0
+        out = capsys.readouterr().out
+        assert "service" in out and "badcomponent" not in out
+
+    def test_show_dot(self, dsl_file, capsys):
+        assert main(["show", dsl_file, "service", "--dot"]) == 0
+        assert "digraph" in capsys.readouterr().out
+
+    def test_show_json_file(self, tmp_path, capsys):
+        path = tmp_path / "svc.json"
+        dump(alternating_service(), str(path))
+        assert main(["show", str(path)]) == 0
+        assert "acc" in capsys.readouterr().out
+
+    def test_unknown_name_errors(self, dsl_file, capsys):
+        assert main(["show", dsl_file, "nope"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestCompose:
+    def test_compose_two(self, dsl_file, capsys):
+        assert main(["compose", dsl_file, "service", "component"]) == 0
+        out = capsys.readouterr().out
+        assert "states" in out
+
+
+class TestCheck:
+    def test_check_passing(self, dsl_file, capsys):
+        # component's acc/del view with fwd hidden would satisfy; here we
+        # check service against itself
+        assert main(["check", dsl_file, "service", "service"]) == 0
+        assert "YES" in capsys.readouterr().out
+
+    def test_check_failing_exit_code(self, tmp_path, capsys):
+        path = tmp_path / "x.dsl"
+        path.write_text(
+            "spec impl\n initial 0\n 0 -> 0 : del\n event acc\nend\n"
+            "spec svc\n initial 0\n 0 -> 1 : acc\n 1 -> 0 : del\nend\n"
+        )
+        assert main(["check", str(path), "impl", "svc"]) == 1
+        assert "NO" in capsys.readouterr().out
+
+
+class TestSolve:
+    def test_solve_success(self, dsl_file, capsys):
+        assert main(["solve", dsl_file, "service", "component"]) == 0
+        out = capsys.readouterr().out
+        assert "converter" in out
+
+    def test_solve_failure_exit_code(self, dsl_file, capsys):
+        assert main(["solve", dsl_file, "service", "badcomponent"]) == 1
+        assert "NO converter" in capsys.readouterr().out
+
+    def test_solve_with_pairs(self, dsl_file, capsys):
+        assert main(["solve", dsl_file, "service", "component", "--pairs"]) == 0
+        assert "state annotations" in capsys.readouterr().out
+
+    def test_solve_dot_output(self, dsl_file, capsys):
+        assert main(["solve", dsl_file, "service", "component", "--dot"]) == 0
+        assert "digraph" in capsys.readouterr().out
+
+
+class TestDemo:
+    def test_demo_colocated(self, capsys):
+        assert main(["demo", "colocated"]) == 0
+        out = capsys.readouterr().out
+        assert "co-located" in out and "converter" in out
+
+    def test_demo_symmetric(self, capsys):
+        assert main(["demo", "symmetric"]) == 1
+        out = capsys.readouterr().out
+        assert "NO converter" in out
+
+
+class TestDiagnose:
+    def test_diagnose_nonexistence(self, tmp_path, capsys):
+        path = tmp_path / "d.dsl"
+        path.write_text(
+            "spec svc\n initial 0\n 0 -> 1 : x\n 1 -> 0 : y\nend\n"
+            "spec comp\n initial 0\n 0 -> 1 : x\n 1 -> 1 : m\n event y\nend\n"
+        )
+        assert main(["diagnose", str(path), "svc", "comp"]) == 1
+        out = capsys.readouterr().out
+        assert "point(s) of no return" in out
+
+    def test_diagnose_when_converter_exists(self, dsl_file, capsys):
+        assert main(["diagnose", dsl_file, "service", "component"]) == 0
+        assert "nothing to diagnose" in capsys.readouterr().out
+
+
+class TestSimulate:
+    def test_simulate_with_monitor(self, dsl_file, capsys):
+        code = main([
+            "simulate", dsl_file, "component",
+            "--service", "service", "--steps", "30", "--seed", "1",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "monitor OK" in out
+        assert "ran" in out
+
+    def test_simulate_msc_output(self, dsl_file, capsys):
+        assert main([
+            "simulate", dsl_file, "component", "--steps", "10", "--msc", "5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "component" in out  # lane header
+        assert "×" in out          # histogram

@@ -1,0 +1,173 @@
+"""Unit tests for the composition operator ‖ and the synchronous product."""
+
+import pytest
+
+from repro.compose import check_composable, compose, compose_many, synchronous_product
+from repro.errors import CompositionError
+from repro.events import Alphabet
+from repro.spec import SpecBuilder, isomorphic, trace_equivalent
+from repro.traces import accepts, language_upto
+
+
+def sender():
+    return (
+        SpecBuilder("snd")
+        .external(0, "put", 1)
+        .external(1, "msg", 0)
+        .initial(0)
+        .build()
+    )
+
+
+def receiver():
+    return (
+        SpecBuilder("rcv")
+        .external(0, "msg", 1)
+        .external(1, "get", 0)
+        .initial(0)
+        .build()
+    )
+
+
+class TestBinaryCompose:
+    def test_alphabet_is_symmetric_difference(self):
+        c = compose(sender(), receiver())
+        assert c.alphabet == Alphabet(["put", "get"])
+
+    def test_shared_event_becomes_internal(self):
+        c = compose(sender(), receiver())
+        assert ((1, 0), (0, 1)) in c.internal
+
+    def test_unshared_events_interleave(self):
+        left = SpecBuilder("l").external(0, "a", 0).initial(0).build()
+        right = SpecBuilder("r").external(0, "b", 0).initial(0).build()
+        c = compose(left, right)
+        assert accepts(c, ("a", "b", "a"))
+        assert accepts(c, ("b", "b", "a"))
+
+    def test_synchronized_event_requires_both(self):
+        # receiver only accepts msg in state 0; sender only emits in state 1
+        c = compose(sender(), receiver())
+        # visible behaviour: put/get through the hidden msg handoff; the
+        # one-slot receiver allows at most one put to run ahead of its get
+        assert accepts(c, ("put", "get"))
+        assert not accepts(c, ("get",))
+        assert accepts(c, ("put", "put"))  # second put while rcv holds one
+        assert not accepts(c, ("put", "put", "put"))
+
+    def test_initial_state_is_pair(self):
+        c = compose(sender(), receiver())
+        assert c.initial == (0, 0)
+
+    def test_internal_transitions_interleave(self, lossy_hop):
+        other = SpecBuilder("o").external(0, "z", 0).initial(0).build()
+        c = compose(lossy_hop, other)
+        assert any(
+            a == (1, 0) and b == (2, 0) for a, b in c.internal
+        )
+
+    def test_reachable_only_vs_full_product(self):
+        left = sender()
+        right = receiver()
+        small = compose(left, right, reachable_only=True)
+        full = compose(left, right, reachable_only=False)
+        assert len(full.states) == len(left.states) * len(right.states)
+        assert len(small.states) <= len(full.states)
+        assert trace_equivalent(small, full)
+
+    def test_commutative_up_to_trace_equivalence(self):
+        ab = compose(sender(), receiver())
+        ba = compose(receiver(), sender())
+        assert trace_equivalent(ab, ba)
+
+    def test_custom_name(self):
+        assert compose(sender(), receiver(), name="X").name == "X"
+
+    def test_check_composable_reports_shared(self):
+        assert check_composable(sender(), receiver()) == Alphabet(["msg"])
+
+    def test_check_composable_rejects_double_empty(self):
+        empty1 = SpecBuilder("e1").initial(0).build()
+        empty2 = SpecBuilder("e2").initial(0).build()
+        with pytest.raises(CompositionError):
+            check_composable(empty1, empty2)
+
+
+class TestSynchronousProduct:
+    def test_alphabet_is_union(self):
+        p = synchronous_product(sender(), receiver())
+        assert p.alphabet == Alphabet(["put", "get", "msg"])
+
+    def test_shared_events_stay_external(self):
+        p = synchronous_product(sender(), receiver())
+        assert accepts(p, ("put", "msg", "get"))
+        assert not accepts(p, ("msg",))
+
+    def test_product_refines_both_on_shared(self):
+        # the product's msg-projection is constrained by both components
+        p = synchronous_product(sender(), receiver())
+        assert not accepts(p, ("put", "msg", "msg"))
+
+
+class TestComposeMany:
+    def test_empty_rejected(self):
+        with pytest.raises(CompositionError):
+            compose_many([])
+
+    def test_single_spec_renamed(self):
+        c = compose_many([sender()], name="only")
+        assert c.name == "only"
+        assert trace_equivalent(c, sender())
+
+    def test_flat_tuple_states(self):
+        a = SpecBuilder("a").external(0, "x", 0).initial(0).build()
+        b = SpecBuilder("b").external(0, "y", 0).initial(0).build()
+        c = SpecBuilder("c").external(0, "z", 0).initial(0).build()
+        m = compose_many([a, b, c])
+        assert m.initial == (0, 0, 0)
+
+    def test_matches_iterated_binary(self):
+        a, b = sender(), receiver()
+        c = SpecBuilder("c").external(0, "get", 1).external(1, "out", 0).initial(0).build()
+        flat = compose_many([a, b, c])
+        nested = compose(compose(a, b), c)
+        assert trace_equivalent(flat, nested)
+
+    def test_three_way_sharing_rejected(self):
+        a = SpecBuilder("a").external(0, "e", 0).initial(0).build()
+        b = SpecBuilder("b").external(0, "e", 0).initial(0).build()
+        c = SpecBuilder("c").external(0, "e", 0).initial(0).build()
+        with pytest.raises(CompositionError, match="three or more"):
+            compose_many([a, b, c])
+
+    def test_pipeline_behaviour(self):
+        """x -> (hidden m) -> y pipeline delivers in order."""
+        stage1 = (
+            SpecBuilder("s1").external(0, "x", 1).external(1, "m", 0).initial(0).build()
+        )
+        stage2 = (
+            SpecBuilder("s2").external(0, "m", 1).external(1, "y", 0).initial(0).build()
+        )
+        pipe = compose_many([stage1, stage2])
+        traces = language_upto(pipe, 4)
+        assert ("x", "y") in traces
+        assert ("x", "y", "x", "y") in traces
+        assert ("y",) not in traces
+
+
+class TestCompositionSemantics:
+    def test_paper_definition_on_full_product(self):
+        """Spot-check the textbook T and λ definitions on the full product."""
+        left = sender()
+        right = receiver()
+        full = compose(left, right, reachable_only=False)
+        # external: left moves alone on unshared event
+        assert ((0, 1), "put", (1, 1)) in full.external
+        # external: right moves alone
+        assert ((0, 1), "get", (0, 0)) in full.external
+        # internal: synchronized shared event
+        assert ((1, 0), (0, 1)) in full.internal
+        # no transition where only one side of a shared event is enabled
+        assert not any(
+            e == "msg" for _, e, _ in full.external
+        )

@@ -1,0 +1,72 @@
+"""Tests for converter coverage analysis."""
+
+from repro.analysis import converter_coverage
+from repro.protocols import colocated_scenario
+from repro.quotient import solve_quotient
+from repro.spec import SpecBuilder
+
+
+def xy_setup():
+    service = (
+        SpecBuilder("A").external(0, "x", 1).external(1, "y", 0).initial(0).build()
+    )
+    component = (
+        SpecBuilder("B")
+        .external(0, "x", 1)
+        .external(1, "m", 2)
+        .external(2, "n", 3)
+        .external(3, "y", 0)
+        .initial(0)
+        .build()
+    )
+    return service, component
+
+
+class TestCoverage:
+    def test_maximal_converter_has_unengaged_parts(self):
+        service, component = xy_setup()
+        result = solve_quotient(service, component)
+        report = converter_coverage(component, result.converter)
+        # the maximal machine includes vacuous states B never co-operates with
+        assert report.unengaged_states
+        assert report.state_coverage < 1.0
+        assert 0 < report.transition_coverage < 1.0
+
+    def test_essential_converter_fully_engaged(self):
+        service, component = xy_setup()
+        hand = (
+            SpecBuilder("C").external(0, "m", 1).external(1, "n", 0).initial(0).build()
+        )
+        report = converter_coverage(component, hand)
+        assert report.state_coverage == 1.0
+        assert report.transition_coverage == 1.0
+        assert not report.unengaged_states
+
+    def test_fig14_superfluous_quantified(self):
+        """The Fig. 14 dotted boxes, as numbers: most states engage but a
+        large fraction of the maximal machine's transitions never fire."""
+        scen = colocated_scenario()
+        result = solve_quotient(
+            scen.service, scen.composite, int_events=scen.interface.int_events
+        )
+        report = converter_coverage(scen.composite, result.converter)
+        assert report.transition_coverage < 0.6
+        assert report.state_coverage > 0.5
+
+    def test_describe_format(self):
+        service, component = xy_setup()
+        result = solve_quotient(service, component)
+        text = converter_coverage(component, result.converter).describe()
+        assert "states engaged" in text
+        assert "%" in text
+
+    def test_degenerate_empty_alphabet_converter(self):
+        service = (
+            SpecBuilder("A").external(0, "x", 1).external(1, "y", 0).initial(0).build()
+        )
+        component = service.renamed("B")
+        result = solve_quotient(service, component)
+        report = converter_coverage(component, result.converter)
+        assert report.state_coverage == 1.0
+        assert report.total_transitions == 0
+        assert report.transition_coverage == 0.0

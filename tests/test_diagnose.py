@@ -1,0 +1,97 @@
+"""Tests for the structured nonexistence diagnosis."""
+
+import pytest
+
+from repro.protocols import symmetric_scenario
+from repro.quotient import diagnose_nonexistence, solve_quotient
+from repro.spec import SpecBuilder
+
+
+@pytest.fixture(scope="module")
+def symmetric_failure():
+    scen = symmetric_scenario()
+    return solve_quotient(
+        scen.service, scen.composite, int_events=scen.interface.int_events
+    )
+
+
+class TestDiagnoseSymmetric:
+    def test_frontier_nonempty(self, symmetric_failure):
+        d = diagnose_nonexistence(symmetric_failure)
+        assert d.frontier
+        assert d.removed_total == 45
+        assert d.rounds == 2
+
+    def test_frontier_traces_are_shortest_first(self, symmetric_failure):
+        d = diagnose_nonexistence(symmetric_failure)
+        lengths = [len(f.trace) for f in d.frontier]
+        assert lengths == sorted(lengths)
+
+    def test_blocking_pairs_present(self, symmetric_failure):
+        d = diagnose_nonexistence(symmetric_failure)
+        assert any(f.blocking for f in d.frontier)
+        for f in d.frontier:
+            for b in f.blocking:
+                # the composite's offering misses every acceptance set
+                assert all(not (m <= b.offered) for m in b.menu)
+
+    def test_paper_ambiguity_detected(self, symmetric_failure):
+        """The data-vs-acknowledgement ambiguity of Section 5 appears as a
+        component state compatible with different service histories."""
+        d = diagnose_nonexistence(symmetric_failure, max_frontier=10)
+        assert any(f.ambiguous_components for f in d.frontier)
+
+    def test_describe_readable(self, symmetric_failure):
+        text = diagnose_nonexistence(symmetric_failure).describe()
+        assert "no converter exists" in text
+        assert "point(s) of no return" in text
+
+
+class TestDiagnoseValidation:
+    def test_rejects_successful_quotient(self):
+        service = (
+            SpecBuilder("A").external(0, "x", 1).external(1, "y", 0).initial(0).build()
+        )
+        component = (
+            SpecBuilder("B").external(0, "x", 1).external(1, "m", 2)
+            .external(2, "y", 0).initial(0).build()
+        )
+        result = solve_quotient(service, component)
+        with pytest.raises(ValueError, match="succeeded"):
+            diagnose_nonexistence(result)
+
+    def test_rejects_safety_failure(self):
+        service = (
+            SpecBuilder("A").external(0, "x", 1).external(1, "y", 0).initial(0).build()
+        )
+        component = (
+            SpecBuilder("B").external(0, "y", 0)
+            .event("x").event("m").initial(0).build()
+        )
+        result = solve_quotient(service, component)
+        with pytest.raises(ValueError, match="safety phase failed"):
+            diagnose_nonexistence(result)
+
+    def test_max_frontier_respected(self, symmetric_failure):
+        d = diagnose_nonexistence(symmetric_failure, max_frontier=2)
+        assert len(d.frontier) <= 2
+
+
+class TestDiagnoseSmallInstance:
+    def test_stalling_component(self):
+        """B accepts x then loops internally on m forever: the diagnosis
+        should blame the post-x obligation {y}."""
+        service = (
+            SpecBuilder("A").external(0, "x", 1).external(1, "y", 0).initial(0).build()
+        )
+        component = (
+            SpecBuilder("B").external(0, "x", 1).external(1, "m", 1)
+            .event("y").initial(0).build()
+        )
+        result = solve_quotient(service, component)
+        d = diagnose_nonexistence(result)
+        assert d.frontier
+        first = d.frontier[0]
+        assert first.trace == ()  # doomed from the start
+        hubs = {b.service_hub for b in first.blocking}
+        assert 1 in hubs  # the state owing y

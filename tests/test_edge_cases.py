@@ -1,0 +1,122 @@
+"""Edge-case tests across module boundaries."""
+
+import pytest
+
+from repro.compose import compose
+from repro.events import Alphabet
+from repro.io import dumps, loads
+from repro.quotient import solve_quotient
+from repro.satisfy import satisfies
+from repro.spec import SpecBuilder, Specification
+
+
+class TestDegenerateCompositions:
+    def test_compose_identical_alphabets_yields_closed_system(self):
+        """Fully shared alphabets leave an empty composite interface."""
+        a = SpecBuilder("a").external(0, "e", 1).external(1, "e", 0).initial(0).build()
+        b = SpecBuilder("b").external(0, "e", 0).initial(0).build()
+        c = compose(a, b)
+        assert c.alphabet == Alphabet([])
+        assert c.internal  # the synchronized steps survive as λ
+
+    def test_closed_system_satisfaction(self):
+        """A closed (empty-alphabet) system satisfies the empty service
+        iff it exists — progress over an empty menu is trivial."""
+        closed = SpecBuilder("closed").internal(0, 1).internal(1, 0).initial(0).build()
+        empty_service = SpecBuilder("svc").initial(0).build()
+        report = satisfies(closed, empty_service)
+        assert report.holds
+
+    def test_single_state_self_loop_composition(self):
+        spin = SpecBuilder("spin").external(0, "t", 0).initial(0).build()
+        c = compose(spin, spin.renamed("spin2"))
+        # shared 't' synchronizes into a λ self-loop, which is dropped
+        assert not c.external
+        assert not c.internal
+        assert len(c.states) == 1
+
+
+class TestDegenerateQuotients:
+    def test_empty_ext_service(self):
+        """Ext = ∅: the service constrains nothing; every Int behaviour of
+        B is fine and the maximal converter mirrors B's Int language."""
+        service = SpecBuilder("A").initial(0).build()  # empty alphabet
+        component = (
+            SpecBuilder("B").external(0, "m", 1).external(1, "n", 0).initial(0).build()
+        )
+        result = solve_quotient(service, component)
+        assert result.exists
+        from repro.traces import accepts
+
+        assert accepts(result.converter, ("m", "n", "m"))
+
+    def test_component_equal_to_service(self, alternator):
+        result = solve_quotient(alternator, alternator.renamed("B"))
+        assert result.exists
+        assert len(result.converter.states) == 1
+
+    def test_quotient_of_quotient_is_stable(self):
+        """Solving against a previously derived converter's composite is a
+        no-op problem: the new Int is empty and existence is immediate."""
+        service = (
+            SpecBuilder("A").external(0, "x", 1).external(1, "y", 0).initial(0).build()
+        )
+        component = (
+            SpecBuilder("B")
+            .external(0, "x", 1)
+            .external(1, "m", 2)
+            .external(2, "y", 0)
+            .initial(0)
+            .build()
+        )
+        first = solve_quotient(service, component)
+        composed = compose(component, first.converter)
+        second = solve_quotient(service, composed)
+        assert second.exists
+        assert not second.converter.alphabet
+
+    def test_converter_state_annotations_serialize(self):
+        """Pair-set states (frozensets of tuples) round-trip through the
+        JSON codec when reattached to a machine."""
+        service = (
+            SpecBuilder("A").external(0, "x", 1).external(1, "y", 0).initial(0).build()
+        )
+        component = (
+            SpecBuilder("B")
+            .external(0, "x", 1)
+            .external(1, "m", 2)
+            .external(2, "y", 0)
+            .initial(0)
+            .build()
+        )
+        result = solve_quotient(service, component)
+        pairset_machine = result.converter.map_states(dict(result.f))
+        assert loads(dumps(pairset_machine)) == pairset_machine
+
+
+class TestBigAlphabetSmallMachine:
+    def test_many_refused_events(self):
+        spec = Specification(
+            "m", [0], [f"e{i}" for i in range(200)], [], [], 0
+        )
+        assert len(spec.alphabet) == 200
+        assert spec.enabled(0) == Alphabet([])
+        assert loads(dumps(spec)) == spec
+
+
+class TestUnicodeAndOddNames:
+    def test_unicode_event_names(self):
+        spec = (
+            SpecBuilder("μ").external(0, "übergabe", 1).initial(0).build()
+        )
+        assert loads(dumps(spec)) == spec
+
+    def test_tuple_states_in_dot(self):
+        from repro.io import to_dot
+
+        spec = Specification(
+            "m", [("a", 0), ("b", 1)], ["e"],
+            [(("a", 0), "e", ("b", 1))], [], ("a", 0),
+        )
+        dot = to_dot(spec)
+        assert "digraph" in dot

@@ -1,0 +1,171 @@
+"""Unit tests for behavioural equivalences."""
+
+from repro.spec import (
+    SpecBuilder,
+    isomorphic,
+    strongly_bisimilar,
+    trace_equivalent,
+    weakly_trace_bisimilar,
+)
+
+
+def two_state_loop(name="m", e1="a", e2="b"):
+    return (
+        SpecBuilder(name)
+        .external(0, e1, 1)
+        .external(1, e2, 0)
+        .initial(0)
+        .build()
+    )
+
+
+class TestIsomorphic:
+    def test_identical_specs(self):
+        assert isomorphic(two_state_loop(), two_state_loop("other"))
+
+    def test_relabeled_states(self):
+        relabeled = two_state_loop().map_states({0: "x", 1: "y"})
+        assert isomorphic(two_state_loop(), relabeled)
+
+    def test_different_event_names_not_isomorphic(self):
+        assert not isomorphic(two_state_loop(), two_state_loop(e1="z"))
+
+    def test_different_state_counts(self):
+        bigger = (
+            SpecBuilder("m")
+            .external(0, "a", 1)
+            .external(1, "b", 2)
+            .external(2, "a", 1)
+            .initial(0)
+            .build()
+        )
+        assert not isomorphic(two_state_loop(), bigger)
+
+    def test_initial_state_must_correspond(self):
+        shifted = (
+            SpecBuilder("m")
+            .external(0, "a", 1)
+            .external(1, "b", 0)
+            .initial(1)
+            .build()
+        )
+        assert not isomorphic(two_state_loop(), shifted)
+
+    def test_internal_transitions_matter(self):
+        with_internal = (
+            SpecBuilder("m")
+            .external(0, "a", 1)
+            .external(1, "b", 0)
+            .internal(0, 1)
+            .initial(0)
+            .build()
+        )
+        assert not isomorphic(two_state_loop(), with_internal)
+
+    def test_symmetric_machine_with_automorphisms(self):
+        """A machine with internal symmetry still matches itself."""
+        diamond = (
+            SpecBuilder("d")
+            .external(0, "a", 1)
+            .external(0, "a", 2)
+            .external(1, "b", 3)
+            .external(2, "b", 3)
+            .external(3, "c", 0)
+            .initial(0)
+            .build()
+        )
+        assert isomorphic(diamond, diamond.map_states({0: 10, 1: 12, 2: 11, 3: 13}))
+
+
+class TestStrongBisimilarity:
+    def test_bisimilar_unfoldings(self):
+        # 0 -a-> 1 -a-> 0   vs a single self-loop state: bisimilar
+        loop2 = (
+            SpecBuilder("m2").external(0, "a", 1).external(1, "a", 0).initial(0).build()
+        )
+        loop1 = SpecBuilder("m1").external(0, "a", 0).initial(0).build()
+        assert strongly_bisimilar(loop1, loop2)
+
+    def test_not_bisimilar_on_branching(self):
+        # a then (b or c) chosen upfront vs chosen after a
+        early = (
+            SpecBuilder("e")
+            .external(0, "a", 1)
+            .external(0, "a", 2)
+            .external(1, "b", 0)
+            .external(2, "c", 0)
+            .initial(0)
+            .build()
+        )
+        late = (
+            SpecBuilder("l")
+            .external(0, "a", 1)
+            .external(1, "b", 0)
+            .external(1, "c", 0)
+            .initial(0)
+            .build()
+        )
+        assert not strongly_bisimilar(early, late)
+        # ... but they are trace equivalent
+        assert trace_equivalent(early, late)
+
+    def test_lambda_treated_as_action(self):
+        with_l = SpecBuilder("m").internal(0, 1).external(1, "a", 0).initial(0).build()
+        without = SpecBuilder("m").external(0, "a", 1).external(1, "a", 0).initial(0).build()
+        assert not strongly_bisimilar(with_l, without)
+
+    def test_alphabet_mismatch(self):
+        assert not strongly_bisimilar(two_state_loop(), two_state_loop(e2="z"))
+
+
+class TestWeakTraceBisimilarity:
+    def test_absorbs_internal_steps(self):
+        direct = SpecBuilder("d").external(0, "a", 1).initial(0).build()
+        padded = (
+            SpecBuilder("p")
+            .internal(0, 1)
+            .external(1, "a", 2)
+            .initial(0)
+            .build()
+        )
+        assert weakly_trace_bisimilar(direct, padded)
+
+    def test_distinguishes_behaviour(self):
+        a_only = SpecBuilder("a").external(0, "a", 1).initial(0).build()
+        ab = (
+            SpecBuilder("ab").external(0, "a", 1).external(0, "b", 1)
+            .initial(0).build()
+        )
+        assert not weakly_trace_bisimilar(a_only, ab)
+
+
+class TestTraceEquivalence:
+    def test_reflexive(self, alternator):
+        assert trace_equivalent(alternator, alternator)
+
+    def test_detects_language_difference(self, alternator):
+        shorter = SpecBuilder("s").external(0, "acc", 1).event("del").initial(0).build()
+        assert not trace_equivalent(alternator, shorter)
+
+    def test_ignores_structure(self):
+        folded = two_state_loop()
+        unfolded = (
+            SpecBuilder("u")
+            .external(0, "a", 1)
+            .external(1, "b", 2)
+            .external(2, "a", 3)
+            .external(3, "b", 0)
+            .initial(0)
+            .build()
+        )
+        assert trace_equivalent(folded, unfolded)
+
+    def test_nondeterminism_vs_determinism(self, lossy_hop):
+        from repro.spec import determinize
+
+        assert trace_equivalent(lossy_hop, determinize(lossy_hop))
+
+    def test_alphabet_mismatch_is_inequivalence(self):
+        a = SpecBuilder("a").external(0, "a", 0).initial(0).build()
+        b = SpecBuilder("b").external(0, "a", 0).event("extra").initial(0).build()
+        assert not trace_equivalent(a, b)

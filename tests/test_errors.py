@@ -1,0 +1,99 @@
+"""Tests for the exception hierarchy and its structured context."""
+
+import pytest
+
+from repro.errors import (
+    AlphabetError,
+    CodecError,
+    CompositionError,
+    DSLError,
+    NormalFormError,
+    NormalizationError,
+    QuotientError,
+    ReproError,
+    SpecError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc_type",
+        [
+            SpecError,
+            AlphabetError,
+            NormalFormError,
+            NormalizationError,
+            QuotientError,
+            CompositionError,
+            DSLError,
+            CodecError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc_type):
+        assert issubclass(exc_type, ReproError)
+
+    def test_one_catch_at_api_boundary(self):
+        """A caller can wrap any library call in one except clause."""
+        from repro.spec import Specification
+
+        with pytest.raises(ReproError):
+            Specification("m", [], [], [], [], 0)
+
+
+class TestStructuredContext:
+    def test_spec_error_carries_name(self):
+        err = SpecError("broken", spec_name="mymachine")
+        assert err.spec_name == "mymachine"
+        assert "mymachine" in str(err)
+
+    def test_spec_error_without_name(self):
+        err = SpecError("broken")
+        assert err.spec_name is None
+        assert str(err) == "broken"
+
+    def test_normal_form_error_carries_witness(self):
+        err = NormalFormError("bad", condition="ii", witness=frozenset({1, 2}))
+        assert err.condition == "ii"
+        assert err.witness == frozenset({1, 2})
+
+    def test_dsl_error_formats_location(self):
+        err = DSLError("oops", line=12, column=3)
+        assert err.line == 12
+        assert err.column == 3
+        assert "line 12" in str(err)
+        assert "col 3" in str(err)
+
+    def test_dsl_error_line_only(self):
+        assert "line 7" in str(DSLError("oops", line=7))
+
+    def test_dsl_error_without_location(self):
+        assert str(DSLError("oops")) == "oops"
+
+
+class TestRaisedWithContext:
+    def test_builder_propagates_spec_name(self):
+        from repro.spec import SpecBuilder
+
+        with pytest.raises(SpecError) as err:
+            SpecBuilder("frobnicator").build()
+        assert "frobnicator" in str(err.value)
+
+    def test_normal_form_error_from_checker(self, internal_cycle):
+        from repro.spec import assert_normal_form
+
+        with pytest.raises(NormalFormError) as err:
+            assert_normal_form(internal_cycle)
+        # the fixture violates both (i) (mixed transitions) and (ii) (cycle);
+        # the checker reports the first deterministically
+        assert err.value.condition in {"i", "ii"}
+        assert err.value.witness is not None
+
+    def test_quotient_error_names_alphabets(self):
+        from repro.quotient import QuotientProblem
+        from repro.spec import SpecBuilder
+
+        service = SpecBuilder("A").external(0, "x", 0).initial(0).build()
+        component = SpecBuilder("B").external(0, "m", 0).initial(0).build()
+        with pytest.raises(QuotientError) as err:
+            QuotientProblem.build(service, component)
+        assert "x" in str(err.value)

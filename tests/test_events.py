@@ -1,0 +1,131 @@
+"""Unit tests for events, alphabets, and interfaces."""
+
+import pytest
+
+from repro.errors import AlphabetError
+from repro.events import (
+    Alphabet,
+    Interface,
+    composition_alphabet,
+    is_receive,
+    is_send,
+    matching_receive,
+    matching_send,
+    message_of,
+    receive,
+    send,
+    shared_events,
+)
+
+
+class TestNamingConventions:
+    def test_send_receive_predicates(self):
+        assert is_send("-d0")
+        assert is_receive("+d0")
+        assert not is_send("+d0")
+        assert not is_receive("-d0")
+        assert not is_send("acc")
+        assert not is_receive("del")
+
+    def test_bare_prefix_is_not_an_event_kind(self):
+        assert not is_send("-")
+        assert not is_receive("+")
+
+    def test_message_of(self):
+        assert message_of("-d0") == "d0"
+        assert message_of("+a1") == "a1"
+        assert message_of("timeout") == "timeout"
+
+    def test_constructors(self):
+        assert send("D") == "-D"
+        assert receive("D") == "+D"
+
+    def test_matching_receive(self):
+        assert matching_receive("-d0") == "+d0"
+        with pytest.raises(AlphabetError):
+            matching_receive("+d0")
+
+    def test_matching_send(self):
+        assert matching_send("+a0") == "-a0"
+        with pytest.raises(AlphabetError):
+            matching_send("acc")
+
+
+class TestAlphabet:
+    def test_construction_and_membership(self):
+        a = Alphabet(["x", "y"])
+        assert "x" in a
+        assert len(a) == 2
+
+    def test_rejects_non_string_events(self):
+        with pytest.raises(AlphabetError):
+            Alphabet([3])
+        with pytest.raises(AlphabetError):
+            Alphabet([""])
+
+    def test_sorted_is_deterministic(self):
+        assert Alphabet(["b", "a", "c"]).sorted() == ["a", "b", "c"]
+
+    def test_set_algebra_preserves_type(self):
+        a = Alphabet(["x", "y"])
+        b = Alphabet(["y", "z"])
+        assert isinstance(a | b, Alphabet)
+        assert isinstance(a & b, Alphabet)
+        assert isinstance(a - b, Alphabet)
+        assert isinstance(a ^ b, Alphabet)
+        assert (a | b) == Alphabet(["x", "y", "z"])
+        assert (a & b) == Alphabet(["y"])
+        assert (a - b) == Alphabet(["x"])
+        assert (a ^ b) == Alphabet(["x", "z"])
+
+    def test_named_methods(self):
+        a = Alphabet(["x"])
+        assert a.union(["y"]) == Alphabet(["x", "y"])
+        assert Alphabet(["x", "y"]).intersection(["y"]) == Alphabet(["y"])
+        assert Alphabet(["x", "y"]).difference(["y"]) == Alphabet(["x"])
+        assert a.symmetric_difference(["x", "z"]) == Alphabet(["z"])
+
+    def test_equality_with_frozenset(self):
+        assert Alphabet(["x"]) == frozenset(["x"])
+
+
+class TestCompositionAlphabet:
+    def test_symmetric_difference_rule(self):
+        left = ["acc", "-d0", "+a0"]
+        right = ["-d0", "+d0", "+a0", "-a0"]
+        assert composition_alphabet(left, right) == Alphabet(
+            ["acc", "+d0", "-a0"]
+        )
+
+    def test_shared_events(self):
+        assert shared_events(["a", "b"], ["b", "c"]) == Alphabet(["b"])
+
+    def test_disjoint_alphabets_fully_exposed(self):
+        assert composition_alphabet(["a"], ["b"]) == Alphabet(["a", "b"])
+
+
+class TestInterface:
+    def test_construction(self):
+        iface = Interface(["m", "n"], ["x", "y"])
+        assert iface.int_events == Alphabet(["m", "n"])
+        assert iface.ext_events == Alphabet(["x", "y"])
+        assert iface.full == Alphabet(["m", "n", "x", "y"])
+
+    def test_overlap_rejected(self):
+        with pytest.raises(AlphabetError, match="disjoint"):
+            Interface(["m", "x"], ["x"])
+
+    def test_classify(self):
+        iface = Interface(["m"], ["x"])
+        assert iface.classify("m") == "int"
+        assert iface.classify("x") == "ext"
+        with pytest.raises(AlphabetError):
+            iface.classify("zzz")
+
+    def test_iteration_is_sorted_full_alphabet(self):
+        iface = Interface(["m"], ["a", "z"])
+        assert list(iface) == ["a", "m", "z"]
+
+    def test_empty_int_is_legal(self):
+        iface = Interface([], ["x"])
+        assert iface.int_events == Alphabet([])

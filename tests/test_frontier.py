@@ -1,0 +1,98 @@
+"""Tests for the service-frontier analysis."""
+
+import pytest
+
+from repro.analysis import service_frontier, stronger_or_equal
+from repro.errors import AlphabetError
+from repro.protocols import (
+    alternating_service,
+    at_least_once_service,
+    at_least_once_service_strict,
+    colocated_scenario,
+    symmetric_scenario,
+    windowed_alternating_service,
+)
+from repro.spec import SpecBuilder
+
+
+def candidates():
+    return [
+        alternating_service(),
+        windowed_alternating_service(2),
+        at_least_once_service(),
+        at_least_once_service_strict(),
+    ]
+
+
+class TestStrengthOrder:
+    def test_reflexive(self):
+        assert stronger_or_equal(alternating_service(), alternating_service())
+
+    def test_alternating_stronger_than_at_least_once(self):
+        assert stronger_or_equal(alternating_service(), at_least_once_service())
+        assert not stronger_or_equal(
+            at_least_once_service(), alternating_service()
+        )
+
+    def test_window_services_incomparable_with_alternating(self):
+        """S's traces are included in S(w=2)'s, but S cannot keep both
+        acc and del continuously offered after one accept — incomparable
+        under full (safety + progress) strength."""
+        s = alternating_service()
+        w2 = windowed_alternating_service(2)
+        assert not stronger_or_equal(s, w2)
+        assert not stronger_or_equal(w2, s)
+
+    def test_alphabet_mismatch_is_incomparable(self):
+        other = SpecBuilder("o").external(0, "zzz", 0).initial(0).build()
+        assert not stronger_or_equal(alternating_service(), other)
+
+    def test_strength_transitive_on_family(self):
+        """The ordering used by the frontier is transitive across the
+        candidate family (spot-check of the theoretical composition)."""
+        family = candidates()
+        for a in family:
+            for b in family:
+                for c in family:
+                    if stronger_or_equal(a, b) and stronger_or_equal(b, c):
+                        assert stronger_or_equal(a, c)
+
+
+class TestFrontier:
+    def test_symmetric_frontier_is_the_weakening(self):
+        scen = symmetric_scenario()
+        report = service_frontier(candidates(), scen.composite)
+        assert report.frontier == ("S+",)
+        by_name = {o.name: o for o in report.outcomes}
+        assert not by_name["S"].achievable
+        assert not by_name["S+det"].achievable
+        assert by_name["S+"].achievable
+
+    def test_colocated_frontier(self):
+        scen = colocated_scenario()
+        report = service_frontier(candidates(), scen.composite)
+        by_name = {o.name: o for o in report.outcomes}
+        assert by_name["S"].achievable
+        assert by_name["S+"].achievable
+        # achievable S dominates achievable S+, so S+ is off the frontier
+        assert "S" in report.frontier
+        assert "S+" not in report.frontier
+
+    def test_describe_marks_frontier(self):
+        scen = colocated_scenario()
+        report = service_frontier(candidates(), scen.composite)
+        assert "*" in report.describe()
+
+    def test_rejects_mixed_alphabets(self):
+        scen = colocated_scenario()
+        bad = SpecBuilder("bad").external(0, "zzz", 0).initial(0).build()
+        with pytest.raises(AlphabetError, match="one service alphabet"):
+            service_frontier([alternating_service(), bad], scen.composite)
+
+    def test_rejects_duplicate_names(self):
+        scen = colocated_scenario()
+        with pytest.raises(AlphabetError, match="distinct names"):
+            service_frontier(
+                [alternating_service(), alternating_service()],
+                scen.composite,
+            )

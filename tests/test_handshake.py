@@ -1,0 +1,147 @@
+"""Tests for the handshake conversion family (connection management)."""
+
+import pytest
+
+from repro.compose import compose
+from repro.protocols import (
+    handshake_scenario,
+    lossy_handshake_scenario,
+    threeway_server,
+    twoway_client,
+)
+from repro.quotient import QuotientProblem, prune_converter, solve_quotient
+from repro.satisfy import satisfies
+from repro.traces import accepts
+
+
+@pytest.fixture(scope="module")
+def accept_first_result():
+    scen = handshake_scenario(accept_first=True)
+    return scen, solve_quotient(
+        scen.service, scen.composite, int_events=scen.interface.int_events
+    )
+
+
+@pytest.fixture(scope="module")
+def confirm_first_result():
+    scen = handshake_scenario(accept_first=False)
+    return scen, solve_quotient(
+        scen.service, scen.composite, int_events=scen.interface.int_events
+    )
+
+
+class TestMachines:
+    def test_client_cycle(self):
+        client = twoway_client()
+        assert accepts(client, ("open", "-CR", "+CC", "open"))
+        assert not accepts(client, ("open", "open"))
+        assert not accepts(client, ("-CR",))
+
+    def test_server_variants_order_ready_differently(self):
+        accept_first = threeway_server(accept_first=True)
+        confirm_first = threeway_server(accept_first=False)
+        assert accepts(accept_first, ("+cr", "ready", "-cc", "+ack"))
+        assert not accepts(accept_first, ("+cr", "-cc"))
+        assert accepts(confirm_first, ("+cr", "-cc", "+ack", "ready"))
+        assert not accepts(confirm_first, ("+cr", "ready"))
+
+
+class TestAcceptFirstConversion:
+    def test_converter_exists_and_verifies(self, accept_first_result):
+        scen, result = accept_first_result
+        assert result.exists
+        assert result.verification.holds
+
+    def test_straightforward_relay_order_present(self, accept_first_result):
+        """The maximal converter contains the obvious relay discipline:
+        CR -> cr, then cc -> ack and CC (in either order)."""
+        scen, result = accept_first_result
+        c = result.converter
+        assert accepts(c, ("+CR", "+cr", "-cc", "+ack", "-CC"))
+        assert accepts(c, ("+CR", "+cr", "-cc", "-CC", "+ack"))
+
+    def test_pruned_converter_small_and_correct(self, accept_first_result):
+        scen, result = accept_first_result
+        problem = QuotientProblem.build(scen.service, scen.composite)
+        pruned = prune_converter(
+            problem, result.converter, result.f, exhaustive=True
+        )
+        assert len(pruned.states) <= 6  # one relay cycle
+        composite = compose(scen.composite, pruned)
+        assert satisfies(composite, scen.service).holds
+
+
+class TestConfirmFirstConversion:
+    def test_converter_exists_via_pipelining(self, confirm_first_result):
+        """The subtle result: although the converter never observes
+        `ready`, it can pre-open the next server handshake and use the
+        server's acceptance of a new `cr` as proof that `ready` was
+        consumed."""
+        scen, result = confirm_first_result
+        assert result.exists
+        assert result.verification.holds
+        c = result.converter
+        # the pipelined discipline: server handshake is opened before the
+        # client's request is acknowledged
+        assert accepts(c, ("+cr", "-cc", "+CR", "+ack"))
+
+    def test_naive_discipline_is_not_present(self, confirm_first_result):
+        """The straightforward relay order (confirm the client right after
+        completing the server handshake) is unsafe and must be absent."""
+        scen, result = confirm_first_result
+        c = result.converter
+        assert not accepts(c, ("+CR", "+cr", "-cc", "+ack", "-CC"))
+
+
+class TestLossyHandshake:
+    def test_no_converter_without_client_retransmission(self):
+        scen = lossy_handshake_scenario(accept_first=True)
+        result = solve_quotient(
+            scen.service, scen.composite, int_events=scen.interface.int_events
+        )
+        assert not result.exists
+        # safety is achievable; the conflict is progress (a lost CR
+        # strands the client)
+        assert result.safety.exists
+
+    def test_confirm_first_lossy_also_fails(self):
+        scen = lossy_handshake_scenario(accept_first=False)
+        result = solve_quotient(
+            scen.service, scen.composite, int_events=scen.interface.int_events
+        )
+        assert not result.exists
+
+
+class TestOperationalValidation:
+    def test_derived_converter_runs_live(self, accept_first_result):
+        from repro.protocols import handshake_channel
+        from repro.simulate import stress
+
+        scen, result = accept_first_result
+        components = [
+            twoway_client(),
+            handshake_channel(),
+            threeway_server(accept_first=True),
+            result.converter,
+        ]
+        report = stress(
+            components, scen.service, seeds=range(4), steps=800
+        )
+        assert report.all_ok
+        assert report.total_external("ready") > 0
+
+    def test_pipelined_converter_runs_live(self, confirm_first_result):
+        from repro.protocols import handshake_channel
+        from repro.simulate import stress
+
+        scen, result = confirm_first_result
+        components = [
+            twoway_client(),
+            handshake_channel(),
+            threeway_server(accept_first=False),
+            result.converter,
+        ]
+        report = stress(
+            components, scen.service, seeds=range(4), steps=800
+        )
+        assert report.all_ok

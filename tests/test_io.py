@@ -1,0 +1,225 @@
+"""Unit tests for I/O: DOT export, JSON codec, the DSL, text rendering."""
+
+import json
+
+import pytest
+
+from repro.errors import CodecError, DSLError
+from repro.io import (
+    dumps,
+    loads,
+    parse_dsl,
+    parse_spec,
+    render_adjacency,
+    render_spec,
+    render_table,
+    spec_from_dict,
+    spec_to_dict,
+    to_dot,
+    to_dsl,
+)
+from repro.spec import SpecBuilder, Specification
+
+
+class TestDot:
+    def test_valid_digraph_structure(self, alternator):
+        dot = to_dot(alternator)
+        assert dot.startswith('digraph "alt"')
+        assert dot.rstrip().endswith("}")
+        assert 'label="acc"' in dot
+        assert "doublecircle" in dot  # initial state marker
+
+    def test_internal_edges_dashed(self, lossy_hop):
+        dot = to_dot(lossy_hop)
+        assert "style=dashed" in dot
+
+    def test_annotations(self, alternator):
+        dot = to_dot(alternator, annotations={0: "start-here"})
+        assert "start-here" in dot
+
+    def test_quoting(self):
+        spec = SpecBuilder('we"ird').external(0, "a", 1).initial(0).build()
+        dot = to_dot(spec)
+        assert '\\"' in dot
+
+    def test_frozenset_states_rendered(self):
+        spec = Specification(
+            "m", [frozenset([1, 2])], [], [], [], frozenset([1, 2])
+        )
+        dot = to_dot(spec)
+        assert "{1,2}" in dot
+
+    def test_write_dot(self, alternator, tmp_path):
+        from repro.io import write_dot
+
+        path = tmp_path / "m.dot"
+        write_dot(alternator, str(path))
+        assert path.read_text().startswith("digraph")
+
+
+class TestJsonCodec:
+    def test_roundtrip_simple(self, alternator):
+        assert loads(dumps(alternator)) == alternator
+
+    def test_roundtrip_exotic_states(self):
+        spec = Specification(
+            "m",
+            [("a", 1), frozenset([("b", 2)]), None, True, 0],
+            ["e"],
+            [(("a", 1), "e", frozenset([("b", 2)]))],
+            [(None, True), (True, 0)],
+            ("a", 1),
+        )
+        assert loads(dumps(spec)) == spec
+
+    def test_roundtrip_preserves_name_and_alphabet(self, lossy_hop):
+        restored = loads(dumps(lossy_hop))
+        assert restored.name == lossy_hop.name
+        assert restored.alphabet == lossy_hop.alphabet
+
+    def test_bool_int_distinction(self):
+        spec = Specification("m", [True, 1, 0], [], [], [(True, 1)], 0)
+        restored = loads(dumps(spec))
+        assert restored == spec
+
+    def test_dict_form_is_json_serializable(self, alternator):
+        json.dumps(spec_to_dict(alternator))
+
+    def test_bad_version_rejected(self, alternator):
+        doc = spec_to_dict(alternator)
+        doc["format"] = 999
+        with pytest.raises(CodecError, match="version"):
+            spec_from_dict(doc)
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(CodecError, match="invalid JSON"):
+            loads("{nope")
+
+    def test_malformed_document_rejected(self):
+        with pytest.raises(CodecError):
+            spec_from_dict({"format": 1, "name": "x"})
+
+    def test_unencodable_state_rejected(self):
+        spec = Specification("m", [3.14], [], [], [], 3.14)
+        with pytest.raises(CodecError, match="cannot encode"):
+            dumps(spec)
+
+    def test_file_roundtrip(self, alternator, tmp_path):
+        from repro.io import dump, load
+
+        path = tmp_path / "spec.json"
+        dump(alternator, str(path))
+        assert load(str(path)) == alternator
+
+
+class TestDsl:
+    GOOD = """
+    # the Fig. 11 service
+    spec service
+        initial 0
+        0 -> 1 : acc
+        1 -> 0 : del
+    end
+
+    spec lossy
+        initial idle
+        idle -> sent : -M
+        sent ~> lost            # loss
+        sent -> idle : +M
+        lost -> idle : timeout
+        event ghost
+    end
+    """
+
+    def test_parse_multiple_specs(self):
+        specs = parse_dsl(self.GOOD)
+        assert set(specs) == {"service", "lossy"}
+
+    def test_integer_states_converted(self):
+        specs = parse_dsl(self.GOOD)
+        assert specs["service"].initial == 0
+        assert specs["service"].states == frozenset([0, 1])
+
+    def test_string_states_kept(self):
+        specs = parse_dsl(self.GOOD)
+        assert specs["lossy"].initial == "idle"
+
+    def test_internal_transitions(self):
+        specs = parse_dsl(self.GOOD)
+        assert ("sent", "lost") in specs["lossy"].internal
+
+    def test_declared_event(self):
+        specs = parse_dsl(self.GOOD)
+        assert "ghost" in specs["lossy"].alphabet
+
+    def test_parse_spec_single(self):
+        spec = parse_spec("spec m\n initial 0\n 0 -> 0 : a\nend")
+        assert spec.name == "m"
+
+    def test_parse_spec_rejects_multiple(self):
+        with pytest.raises(DSLError, match="exactly one"):
+            parse_spec(self.GOOD)
+
+    @pytest.mark.parametrize(
+        "text, message",
+        [
+            ("spec a\nspec b\nend", "nested"),
+            ("end", "outside"),
+            ("0 -> 1 : e", "outside"),
+            ("spec a\n initial 0\n", "unterminated"),
+            ("spec a\n 0 -> 1 : e\nend", "no 'initial'"),
+            ("spec a\n initial 0\n 0 -> 1\nend", "malformed external"),
+            ("spec a\n initial 0\n 0 ~> 1 : e\nend", "malformed internal"),
+            ("spec a\n initial 0\n nonsense here\nend", "unrecognized"),
+            ("spec a\n initial 0 1\nend", "exactly one"),
+            ("spec a\n initial 0\n 0 -> 1 : e!!\nend", "invalid event"),
+            ("spec a\n initial 0\nend\nspec a\n initial 0\nend", "duplicate"),
+        ],
+    )
+    def test_errors_with_line_numbers(self, text, message):
+        with pytest.raises(DSLError, match=message) as err:
+            parse_dsl(text)
+        assert "line" in str(err.value)
+
+    def test_roundtrip_through_to_dsl(self, alternator):
+        text = to_dsl(alternator)
+        restored = parse_spec(text)
+        assert restored == alternator
+
+    def test_roundtrip_with_internal_and_refused(self, lossy_hop):
+        from repro.spec import extend_alphabet
+
+        spec = extend_alphabet(lossy_hop, ["ghost"])
+        restored = parse_spec(to_dsl(spec))
+        assert restored == spec
+
+
+class TestRender:
+    def test_render_spec_has_header_and_rows(self, alternator):
+        text = render_spec(alternator)
+        assert "2 states" in text
+        assert "--acc" in text
+
+    def test_render_lambda_rows(self, lossy_hop):
+        assert "--λ" in render_spec(lossy_hop)
+
+    def test_truncation(self, alternator):
+        text = render_spec(alternator, max_rows=1)
+        assert "more" in text
+
+    def test_adjacency_marks_initial(self, alternator):
+        text = render_adjacency(alternator)
+        assert text.splitlines()[0].startswith("*")
+
+    def test_adjacency_dead_state(self):
+        spec = SpecBuilder("m").external(0, "a", 1).state(1).initial(0).build()
+        assert "(dead)" in render_adjacency(spec)
+
+    def test_render_table_alignment(self):
+        text = render_table(
+            ["col", "n"], [["a", 1], ["bb", 22]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "col" in lines[1]
+        assert set(lines[2]) <= {"-", " "}

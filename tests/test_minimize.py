@@ -1,0 +1,104 @@
+"""Unit tests for minimization."""
+
+import pytest
+
+from repro.errors import SpecError
+from repro.spec import (
+    SpecBuilder,
+    determinize,
+    minimize_bisimulation,
+    minimize_deterministic,
+    trace_equivalent,
+    strongly_bisimilar,
+)
+
+
+def redundant_loop():
+    """acc/del alternation unrolled twice: minimizes to 2 states."""
+    return (
+        SpecBuilder("m")
+        .external(0, "acc", 1)
+        .external(1, "del", 2)
+        .external(2, "acc", 3)
+        .external(3, "del", 0)
+        .initial(0)
+        .build()
+    )
+
+
+class TestMinimizeDeterministic:
+    def test_collapses_redundant_unrolling(self):
+        small = minimize_deterministic(redundant_loop())
+        assert len(small.states) == 2
+        assert trace_equivalent(small, redundant_loop())
+
+    def test_idempotent(self):
+        once = minimize_deterministic(redundant_loop())
+        assert minimize_deterministic(once) == once
+
+    def test_rejects_nondeterministic(self, lossy_hop):
+        with pytest.raises(SpecError, match="deterministic"):
+            minimize_deterministic(lossy_hop)
+
+    def test_distinguishes_by_enabled_sets(self):
+        spec = (
+            SpecBuilder("m")
+            .external(0, "a", 1)
+            .external(1, "a", 2)
+            .external(1, "b", 0)
+            .external(2, "b", 0)
+            .initial(0)
+            .build()
+        )
+        small = minimize_deterministic(spec)
+        # 0 (only a), 1 (a+b), 2 (only b) are pairwise distinguishable
+        assert len(small.states) == 3
+
+    def test_prunes_unreachable_first(self):
+        spec = (
+            SpecBuilder("m")
+            .external(0, "a", 0)
+            .external(99, "a", 0)
+            .initial(0)
+            .build()
+        )
+        small = minimize_deterministic(spec)
+        assert len(small.states) == 1
+
+    def test_minimization_of_determinized_protocol(self, alternator):
+        composed = determinize(alternator)
+        assert len(minimize_deterministic(composed).states) == 2
+
+
+class TestMinimizeBisimulation:
+    def test_preserves_bisimilarity(self, lossy_hop):
+        small = minimize_bisimulation(lossy_hop)
+        assert strongly_bisimilar(small, lossy_hop)
+
+    def test_collapses_bisimilar_states(self):
+        spec = (
+            SpecBuilder("m")
+            .external(0, "a", 1)
+            .external(0, "a", 2)
+            .external(1, "b", 0)
+            .external(2, "b", 0)
+            .initial(0)
+            .build()
+        )
+        small = minimize_bisimulation(spec)
+        assert len(small.states) == 2
+
+    def test_keeps_internal_structure(self, nondet_choice):
+        small = minimize_bisimulation(nondet_choice)
+        assert strongly_bisimilar(small, nondet_choice)
+        assert small.internal  # hub/options survive (not bisimilar to each other)
+
+    def test_idempotent_size(self, internal_cycle):
+        once = minimize_bisimulation(internal_cycle)
+        twice = minimize_bisimulation(once)
+        assert len(once.states) == len(twice.states)
+
+    def test_canonical_integer_labels(self, lossy_hop):
+        small = minimize_bisimulation(lossy_hop)
+        assert small.initial == 0
+        assert all(isinstance(s, int) for s in small.states)

@@ -1,0 +1,77 @@
+"""Tests for the ASCII message-sequence-chart renderer."""
+
+from repro.protocols import ab_channel, ab_receiver, ab_sender
+from repro.simulate import (
+    RoundRobinPolicy,
+    ScriptedPolicy,
+    Simulator,
+    render_msc,
+)
+from repro.spec import SpecBuilder
+
+
+def run_ping_pong(steps=6):
+    left = (
+        SpecBuilder("L").external(0, "ping", 1).external(1, "go", 0).initial(0).build()
+    )
+    right = (
+        SpecBuilder("R").external(0, "go", 1).external(1, "pong", 0).initial(0).build()
+    )
+    sim = Simulator([left, right], RoundRobinPolicy())
+    sim.run(steps)
+    return sim
+
+
+class TestMsc:
+    def test_header_has_all_lanes(self):
+        sim = run_ping_pong()
+        chart = render_msc(sim.log, sim.components)
+        header = chart.splitlines()[0]
+        assert "L" in header and "R" in header and "(env)" in header
+
+    def test_one_row_per_step(self):
+        sim = run_ping_pong(6)
+        chart = render_msc(sim.log, sim.components)
+        # header + 6 step rows
+        assert len(chart.splitlines()) == 7
+
+    def test_interaction_arrow_between_lanes(self):
+        sim = run_ping_pong(2)
+        chart = render_msc(sim.log, sim.components)
+        go_row = next(l for l in chart.splitlines() if "go" in l)
+        assert ">" in go_row
+
+    def test_internal_moves_marked(self, lossy_hop):
+        sim = Simulator([lossy_hop], ScriptedPolicy(["send", "λ@0", "timeout"]))
+        sim.run(3)
+        chart = render_msc(sim.log, sim.components)
+        assert "* λ" in chart
+
+    def test_internal_moves_hidden_when_asked(self, lossy_hop):
+        sim = Simulator([lossy_hop], ScriptedPolicy(["send", "λ@0", "timeout"]))
+        sim.run(3)
+        chart = render_msc(sim.log, sim.components, include_internal=False)
+        assert "* λ" not in chart
+
+    def test_truncation_note(self):
+        sim = run_ping_pong(8)
+        chart = render_msc(sim.log, sim.components, max_steps=3)
+        assert "more steps" in chart
+
+    def test_deadlock_marker(self):
+        once = SpecBuilder("S").external(0, "e", 1).initial(0).build()
+        sim = Simulator([once], RoundRobinPolicy())
+        sim.run(5)
+        chart = render_msc(sim.log, sim.components)
+        assert "DEADLOCK" in chart
+
+    def test_receive_arrows_point_inward(self):
+        components = [ab_sender(), ab_channel(), ab_receiver()]
+        sim = Simulator(
+            components, ScriptedPolicy(["acc", "-d0", "+d0", "del"])
+        )
+        sim.run(4)
+        chart = render_msc(sim.log, sim.components)
+        # +d0 is an interaction between Ach and A1, drawn with an arrow
+        assert any("+d0" in line and (">" in line or "<" in line)
+                   for line in chart.splitlines())

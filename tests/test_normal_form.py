@@ -1,0 +1,220 @@
+"""Unit tests for normal form, ψ, determinize, and normalize."""
+
+import pytest
+
+from repro.errors import NormalFormError, NormalizationError
+from repro.events import Alphabet
+from repro.spec import (
+    SpecBuilder,
+    assert_normal_form,
+    determinize,
+    ensure_normal_form,
+    hub_enabled,
+    is_normal_form,
+    normal_form_violations,
+    normalize,
+    psi,
+    psi_step,
+    trace_equivalent,
+)
+from repro.spec.graph import sink_acceptance_sets
+from repro.traces import language_upto
+
+
+class TestViolations:
+    def test_deterministic_spec_is_normal(self, alternator):
+        assert is_normal_form(alternator)
+        assert normal_form_violations(alternator) == []
+
+    def test_hub_option_machine_is_normal(self, nondet_choice):
+        assert is_normal_form(nondet_choice)
+
+    def test_condition_i_mixed_transitions(self):
+        spec = (
+            SpecBuilder("m")
+            .external(0, "a", 1)
+            .internal(0, 1)
+            .initial(0)
+            .build()
+        )
+        conditions = {v.condition for v in normal_form_violations(spec)}
+        assert "i" in conditions
+
+    def test_condition_ii_internal_cycle(self, internal_cycle):
+        conditions = {v.condition for v in normal_form_violations(internal_cycle)}
+        assert "ii" in conditions
+
+    def test_condition_iii_divergent_targets(self):
+        spec = (
+            SpecBuilder("m")
+            .external(0, "a", 1)
+            .external(0, "a", 2)
+            .initial(0)
+            .build()
+        )
+        conditions = {v.condition for v in normal_form_violations(spec)}
+        assert "iii" in conditions
+
+    def test_condition_iii_through_closure(self):
+        # two λ-successors firing the same event to different states
+        spec = (
+            SpecBuilder("m")
+            .internal("hub", "o1")
+            .internal("hub", "o2")
+            .external("o1", "e", "t1")
+            .external("o2", "e", "t2")
+            .initial("hub")
+            .build()
+        )
+        conditions = {v.condition for v in normal_form_violations(spec)}
+        assert "iii" in conditions
+
+    def test_assert_raises_with_witness(self, internal_cycle):
+        with pytest.raises(NormalFormError) as err:
+            assert_normal_form(internal_cycle)
+        assert err.value.condition in {"i", "ii", "iii"}
+
+
+class TestPsi:
+    def test_psi_empty_trace_is_initial(self, alternator):
+        assert psi(alternator, ()) == 0
+
+    def test_psi_follows_trace(self, alternator):
+        assert psi(alternator, ("acc",)) == 1
+        assert psi(alternator, ("acc", "del")) == 0
+
+    def test_psi_none_for_non_trace(self, alternator):
+        assert psi(alternator, ("del",)) is None
+
+    def test_psi_through_hub(self, nondet_choice):
+        assert psi(nondet_choice, ("go",)) == "hub"
+        assert psi(nondet_choice, ("go", "l")) == "idle"
+        assert psi(nondet_choice, ("go", "r")) == "idle"
+
+    def test_psi_step(self, nondet_choice):
+        assert psi_step(nondet_choice, "hub", "l") == "idle"
+        assert psi_step(nondet_choice, "hub", "zzz") is None
+
+    def test_psi_step_rejects_non_normal_form(self):
+        spec = (
+            SpecBuilder("m")
+            .external(0, "a", 1)
+            .external(0, "a", 2)
+            .initial(0)
+            .build()
+        )
+        with pytest.raises(NormalFormError):
+            psi_step(spec, 0, "a")
+
+    def test_hub_enabled_is_tau_star(self, nondet_choice):
+        assert hub_enabled(nondet_choice, "hub") == Alphabet(["l", "r"])
+
+
+class TestDeterminize:
+    def test_result_is_deterministic_and_normal(self, lossy_hop):
+        det = determinize(lossy_hop)
+        assert det.is_deterministic()
+        assert is_normal_form(det)
+
+    def test_trace_preserving(self, lossy_hop):
+        det = determinize(lossy_hop)
+        assert language_upto(det, 4) == language_upto(lossy_hop, 4)
+
+    def test_exact_equivalence(self, internal_cycle):
+        det = determinize(internal_cycle)
+        assert trace_equivalent(det, internal_cycle)
+
+    def test_deterministic_input_roundtrips(self, alternator):
+        det = determinize(alternator)
+        assert trace_equivalent(det, alternator)
+        assert len(det.states) == len(alternator.states)
+
+    def test_alphabet_preserved(self, lossy_hop):
+        assert determinize(lossy_hop).alphabet == lossy_hop.alphabet
+
+
+class TestNormalize:
+    def test_normalizes_internal_cycle(self, internal_cycle):
+        # Fig. 4: the two-state sink cycle collapses into a single
+        # acceptance option offering {f, g}
+        nf = normalize(internal_cycle)
+        assert is_normal_form(nf)
+        assert trace_equivalent(nf, internal_cycle)
+        hub = psi(nf, ("e",))
+        [accept] = sink_acceptance_sets(nf, hub)
+        assert accept == Alphabet(["f", "g"])
+
+    def test_preserves_acceptance_menu(self, nondet_choice):
+        nf = normalize(nondet_choice)
+        assert is_normal_form(nf)
+        assert trace_equivalent(nf, nondet_choice)
+        hub = psi(nf, ("go",))
+        menu = sorted(
+            tuple(sorted(a)) for a in sink_acceptance_sets(nf, hub)
+        )
+        assert menu == [("l",), ("r",)]
+
+    def test_deterministic_spec_keeps_shape(self, alternator):
+        nf = normalize(alternator)
+        assert is_normal_form(nf)
+        assert trace_equivalent(nf, alternator)
+        assert len(nf.states) == len(alternator.states)
+
+    def test_rejects_uncovered_preemptible_event(self):
+        # state 1 offers 'x' but can be pre-empted into sink 2 offering
+        # only 'y': no sink covers 'x', so exact normalization must fail
+        spec = (
+            SpecBuilder("m")
+            .external(0, "go", 1)
+            .external(1, "x", 0)
+            .internal(1, 2)
+            .external(2, "y", 0)
+            .initial(0)
+            .build()
+        )
+        with pytest.raises(NormalizationError, match="pre-emptible"):
+            normalize(spec)
+
+    def test_deadlock_sink_becomes_empty_option(self):
+        spec = (
+            SpecBuilder("m")
+            .external(0, "go", 1)
+            .internal(1, 2)   # may silently die
+            .external(2, "x", 0)
+            .internal(1, 3)   # ... or deadlock
+            .state(3)
+            .initial(0)
+            .build()
+        )
+        # 'x' is covered by sink {2}; the deadlock sink {3} contributes the
+        # empty acceptance option
+        nf = normalize(spec)
+        assert is_normal_form(nf)
+        hub = psi(nf, ("go",))
+        menu = sorted(tuple(sorted(a)) for a in sink_acceptance_sets(nf, hub))
+        assert menu == [(), ("x",)]
+
+
+class TestEnsureNormalForm:
+    def test_passthrough_when_already_normal(self, nondet_choice):
+        assert ensure_normal_form(nondet_choice) is nondet_choice
+
+    def test_normalizes_when_possible(self, internal_cycle):
+        nf = ensure_normal_form(internal_cycle)
+        assert is_normal_form(nf)
+
+    def test_fallback_determinize(self):
+        spec = (
+            SpecBuilder("m")
+            .external(0, "go", 1)
+            .external(1, "x", 0)
+            .internal(1, 2)
+            .external(2, "y", 0)
+            .initial(0)
+            .build()
+        )
+        with pytest.raises(NormalizationError):
+            ensure_normal_form(spec)
+        nf = ensure_normal_form(spec, conservative_fallback=True)
+        assert is_normal_form(nf)
+        assert trace_equivalent(nf, spec)

@@ -1,0 +1,83 @@
+"""Tests for the networkx bridge — including using networkx as an
+independent oracle for this library's own graph primitives."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import CodecError
+from repro.io.nx import condensation, from_networkx, internal_subgraph, to_networkx
+from repro.spec import SpecBuilder, random_spec
+from repro.spec.graph import internal_sccs, reachable_states, sink_sets
+
+
+class TestRoundTrip:
+    def test_simple_roundtrip(self, alternator):
+        assert from_networkx(to_networkx(alternator)) == alternator
+
+    def test_roundtrip_with_internal(self, lossy_hop):
+        assert from_networkx(to_networkx(lossy_hop)) == lossy_hop
+
+    def test_refused_events_preserved(self):
+        spec = SpecBuilder("m").state(0).event("ghost").initial(0).build()
+        assert from_networkx(to_networkx(spec)) == spec
+
+    def test_parallel_edges_preserved(self):
+        spec = (
+            SpecBuilder("m")
+            .external(0, "a", 1)
+            .external(0, "b", 1)
+            .internal(0, 1)
+            .initial(0)
+            .build()
+        )
+        graph = to_networkx(spec)
+        assert graph.number_of_edges(0, 1) == 3
+        assert from_networkx(graph) == spec
+
+    def test_missing_initial_rejected(self):
+        graph = nx.MultiDiGraph()
+        graph.add_node(0)
+        with pytest.raises(CodecError, match="initial"):
+            from_networkx(graph)
+
+    def test_two_initials_rejected(self):
+        graph = nx.MultiDiGraph()
+        graph.add_node(0, initial=True)
+        graph.add_node(1, initial=True)
+        with pytest.raises(CodecError, match="exactly one"):
+            from_networkx(graph)
+
+
+class TestAsOracle:
+    """Cross-check repro.spec.graph against networkx implementations."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_scc_against_networkx(self, seed):
+        spec = random_spec(
+            n_states=10, events=["a"], internal_density=0.2, seed=seed
+        )
+        ours, _ = internal_sccs(spec)
+        theirs = list(nx.strongly_connected_components(internal_subgraph(spec)))
+        assert {frozenset(c) for c in ours} == {frozenset(c) for c in theirs}
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_reachability_against_networkx(self, seed):
+        spec = random_spec(
+            n_states=10, events=["a", "b"], seed=seed, ensure_connected=False
+        )
+        graph = to_networkx(spec)
+        theirs = nx.descendants(graph, spec.initial) | {spec.initial}
+        assert reachable_states(spec) == frozenset(theirs)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_sink_sets_against_condensation(self, seed):
+        spec = random_spec(
+            n_states=10, events=["a"], internal_density=0.25, seed=seed
+        )
+        cond = condensation(spec)
+        terminal = {
+            frozenset(cond.nodes[n]["members"])
+            for n in cond.nodes
+            if cond.out_degree(n) == 0
+        }
+        assert {frozenset(s) for s in sink_sets(spec)} == terminal

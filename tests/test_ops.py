@@ -1,0 +1,147 @@
+"""Unit tests for structural spec operations."""
+
+import pytest
+
+from repro.errors import SpecError
+from repro.events import Alphabet
+from repro.spec import (
+    SpecBuilder,
+    Specification,
+    complete,
+    extend_alphabet,
+    hide_events,
+    prune_unreachable,
+    relabel_canonical,
+    remove_states,
+    rename_events,
+    restrict_events,
+)
+from repro.traces import accepts
+
+
+@pytest.fixture
+def machine():
+    return (
+        SpecBuilder("m")
+        .external(0, "a", 1)
+        .external(1, "b", 2)
+        .external(2, "c", 0)
+        .internal(1, 0)
+        .initial(0)
+        .build()
+    )
+
+
+class TestRenameEvents:
+    def test_rename(self, machine):
+        renamed = rename_events(machine, {"a": "x"})
+        assert "x" in renamed.alphabet
+        assert "a" not in renamed.alphabet
+        assert (0, "x", 1) in renamed.external
+
+    def test_unmapped_events_kept(self, machine):
+        renamed = rename_events(machine, {"a": "x"})
+        assert (1, "b", 2) in renamed.external
+
+    def test_merge_rejected(self, machine):
+        with pytest.raises(SpecError, match="merges"):
+            rename_events(machine, {"a": "b"})
+
+    def test_swap_is_legal(self, machine):
+        swapped = rename_events(machine, {"a": "b", "b": "a"})
+        assert (0, "b", 1) in swapped.external
+        assert (1, "a", 2) in swapped.external
+
+
+class TestHideEvents:
+    def test_hidden_event_becomes_internal(self, machine):
+        hidden = hide_events(machine, ["b"])
+        assert "b" not in hidden.alphabet
+        assert (1, 2) in hidden.internal
+        assert all(e != "b" for _, e, _ in hidden.external)
+
+    def test_hiding_preserves_visible_traces(self, machine):
+        hidden = hide_events(machine, ["b"])
+        assert accepts(hidden, ("a", "c"))
+        assert not accepts(hidden, ("a", "b"))
+
+    def test_hide_unknown_event_rejected(self, machine):
+        with pytest.raises(SpecError, match="not in alphabet"):
+            hide_events(machine, ["zzz"])
+
+    def test_hidden_self_loop_dropped(self):
+        spec = SpecBuilder("m").external(0, "a", 0).initial(0).build()
+        hidden = hide_events(spec, ["a"])
+        assert hidden.internal == frozenset()
+
+
+class TestAlphabetOps:
+    def test_extend_alphabet(self, machine):
+        extended = extend_alphabet(machine, ["zzz"])
+        assert "zzz" in extended.alphabet
+        assert extended.external == machine.external
+
+    def test_restrict_events_drops_transitions(self, machine):
+        restricted = restrict_events(machine, ["a", "b"])
+        assert restricted.alphabet == Alphabet(["a", "b"])
+        assert all(e != "c" for _, e, _ in restricted.external)
+
+    def test_restrict_keeps_internal(self, machine):
+        restricted = restrict_events(machine, ["a"])
+        assert restricted.internal == machine.internal
+
+
+class TestPruneAndRemove:
+    def test_prune_unreachable(self):
+        spec = Specification(
+            "m", [0, 1, 99], ["a"], [(0, "a", 1), (99, "a", 0)], [], 0
+        )
+        pruned = prune_unreachable(spec)
+        assert pruned.states == frozenset([0, 1])
+        assert all(s != 99 for s, _, _ in pruned.external)
+
+    def test_prune_noop_returns_same_object(self, machine):
+        assert prune_unreachable(machine) is machine
+
+    def test_remove_states(self, machine):
+        removed = remove_states(machine, [2])
+        assert 2 not in removed.states
+        assert all(2 not in (s, s2) for s, _, s2 in removed.external)
+
+    def test_remove_initial_rejected(self, machine):
+        with pytest.raises(SpecError, match="initial"):
+            remove_states(machine, [0])
+
+
+class TestComplete:
+    def test_every_event_enabled_everywhere(self, machine):
+        total = complete(machine)
+        for s in total.states:
+            assert total.enabled(s) == total.alphabet
+
+    def test_sink_absorbs(self, machine):
+        total = complete(machine)
+        assert "__sink__" in total.states
+        for e in total.alphabet:
+            assert total.successors("__sink__", e) == frozenset(["__sink__"])
+
+    def test_collision_rejected(self):
+        spec = SpecBuilder("m").external("__sink__", "a", "__sink__").build()
+        with pytest.raises(SpecError, match="collides"):
+            complete(spec)
+
+    def test_original_traces_preserved(self, machine):
+        total = complete(machine)
+        assert accepts(total, ("a", "b", "c"))
+        # and completion adds everything else too
+        assert accepts(total, ("c", "c", "c"))
+
+
+class TestRelabelCanonical:
+    def test_idempotent_on_canonical(self, machine):
+        once = relabel_canonical(machine)
+        assert relabel_canonical(once) == once
+
+    def test_initial_becomes_zero(self):
+        spec = SpecBuilder("m").external("x", "a", "y").initial("x").build()
+        assert relabel_canonical(spec).initial == 0

@@ -1,0 +1,203 @@
+"""Integration tests reproducing every claim of the paper's Section 5/6.
+
+These are the repository's headline checks: each test corresponds to a row
+of the experiment index in DESIGN.md / EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.analysis import find_livelocks
+from repro.compose import compose
+from repro.events import Alphabet
+from repro.protocols import (
+    ab_end_to_end,
+    alternating_service,
+    colocated_scenario,
+    ns_end_to_end,
+    symmetric_scenario,
+    weakened_symmetric_scenario,
+)
+from repro.quotient import solve_quotient
+from repro.satisfy import satisfies, satisfies_safety
+from repro.spec import is_normal_form
+from repro.traces import accepts, language_upto
+
+
+@pytest.fixture(scope="module")
+def symmetric_result():
+    scen = symmetric_scenario()
+    return scen, solve_quotient(
+        scen.service, scen.composite, int_events=scen.interface.int_events
+    )
+
+
+@pytest.fixture(scope="module")
+def colocated_result():
+    scen = colocated_scenario()
+    return scen, solve_quotient(
+        scen.service, scen.composite, int_events=scen.interface.int_events
+    )
+
+
+class TestFig7AB:
+    """FIG7: the AB protocol provides exactly-once alternating delivery."""
+
+    def test_ab_over_lossy_channel_satisfies_service(self):
+        scen = ab_end_to_end(lossy=True)
+        assert satisfies(scen.composite, scen.service).holds
+
+    def test_ab_over_reliable_channel_satisfies_service(self):
+        scen = ab_end_to_end(lossy=False)
+        assert satisfies(scen.composite, scen.service).holds
+
+    def test_composite_interface_is_user_only(self):
+        assert ab_end_to_end().composite.alphabet == Alphabet(["acc", "del"])
+
+
+class TestFig8NS:
+    """FIG8: NS guarantees at-least-once but may duplicate."""
+
+    def test_ns_violates_exactly_once(self):
+        scen = ns_end_to_end()
+        result = satisfies_safety(scen.composite, alternating_service())
+        assert not result.holds
+        assert result.counterexample == ("acc", "del", "del")
+
+    def test_ns_satisfies_at_least_once(self):
+        from repro.protocols import at_least_once_service
+
+        scen = ns_end_to_end()
+        assert satisfies(scen.composite, at_least_once_service()).holds
+
+
+class TestFig11Service:
+    """FIG11: the desired service is strict alternation, in normal form."""
+
+    def test_normal_form(self):
+        assert is_normal_form(alternating_service())
+
+    def test_trace_language(self):
+        svc = alternating_service()
+        assert accepts(svc, ("acc", "del", "acc", "del"))
+        assert not accepts(svc, ("acc", "acc"))
+        assert not accepts(svc, ("del",))
+
+
+class TestFig12Symmetric:
+    """FIG12: the symmetric configuration (Fig. 9) has a safety-correct
+    converter, but no converter satisfying progress exists."""
+
+    def test_safety_phase_nonempty(self, symmetric_result):
+        _, result = symmetric_result
+        assert result.safety is not None and result.safety.exists
+        assert result.c0 is not None and len(result.c0.states) > 0
+
+    def test_safety_phase_composite_is_safe(self, symmetric_result):
+        scen, result = symmetric_result
+        composite = compose(scen.composite, result.c0)
+        assert satisfies_safety(composite, scen.service).holds
+
+    def test_all_ext_traces_alternate(self, symmetric_result):
+        """The paper: 'All possible sequences of acc and del ... are
+        prefixes of accept, deliver, accept, deliver, ...'"""
+        scen, result = symmetric_result
+        composite = compose(scen.composite, result.c0)
+        for t in language_upto(composite, 4):
+            assert accepts(scen.service, t)
+
+    def test_no_converter_exists(self, symmetric_result):
+        _, result = symmetric_result
+        assert not result.exists
+        assert result.converter is None
+        assert result.progress is not None and not result.progress.exists
+
+    def test_livelock_region_exists(self, symmetric_result):
+        """The paper: after a loss in Nch 'the user sees no further
+        progress, while C and A0 exchange useless data and acknowledgement
+        messages forever' (states 6/8/15/17 of Fig. 12)."""
+        scen, result = symmetric_result
+        composite = compose(scen.composite, result.c0)
+        report = find_livelocks(composite)
+        assert not report.livelock_free
+        assert report.cycle is not None and len(report.cycle) >= 2
+
+    def test_livelock_reachable_after_one_accept(self, symmetric_result):
+        scen, result = symmetric_result
+        composite = compose(scen.composite, result.c0)
+        report = find_livelocks(composite)
+        visible = tuple(e for e in (report.witness or ()) if e is not None)
+        assert visible == ("acc",)
+
+
+class TestFig14Colocated:
+    """FIG13/14: co-locating the converter with N1 makes one exist."""
+
+    def test_converter_exists(self, colocated_result):
+        _, result = colocated_result
+        assert result.exists
+        assert result.converter is not None
+
+    def test_converter_independently_verified(self, colocated_result):
+        scen, result = colocated_result
+        composite = compose(scen.composite, result.converter)
+        report = satisfies(composite, scen.service)
+        assert report.holds
+
+    def test_converter_interface(self, colocated_result):
+        scen, result = colocated_result
+        assert result.converter.alphabet == scen.interface.int_events
+
+    def test_converter_core_behaviour(self, colocated_result):
+        """The essential conversion: receive d0, hand to N1, collect N1's
+        ack, ack the AB sender; then the same with bit 1."""
+        _, result = colocated_result
+        c = result.converter
+        assert accepts(c, ("+d0", "+D", "-A", "-a0", "+d1", "+D", "-A", "-a1"))
+
+    def test_converter_handles_duplicate_data(self, colocated_result):
+        """An a0 lost in Ach makes A0 resend d0; the converter must re-ack
+        without handing a duplicate to N1."""
+        _, result = colocated_result
+        c = result.converter
+        assert accepts(c, ("+d0", "+D", "-A", "-a0", "+d0", "-a0"))
+
+    def test_superfluous_portion_exists_and_prunes(self, colocated_result):
+        """Fig. 14's dotted boxes: the maximal converter carries harmless
+        but useless states; pruning removes them while staying correct."""
+        from repro.quotient import QuotientProblem, prune_converter
+
+        scen, result = colocated_result
+        problem = QuotientProblem.build(
+            scen.service, scen.composite
+        )
+        pruned = prune_converter(problem, result.converter, result.f)
+        assert len(pruned.states) < len(result.converter.states)
+        composite = compose(scen.composite, pruned)
+        assert satisfies(composite, scen.service).holds
+
+
+class TestSec5Weakened:
+    """SEC5-W: weakening the service to allow duplicates admits a converter
+    even in the symmetric configuration — provided the weakening uses the
+    paper's nondeterministic choice structure."""
+
+    def test_weakened_converter_exists(self):
+        scen = weakened_symmetric_scenario()
+        result = solve_quotient(
+            scen.service, scen.composite, int_events=scen.interface.int_events
+        )
+        assert result.exists
+        assert result.verification is not None and result.verification.holds
+
+    def test_strict_weakening_still_fails(self):
+        """The deterministic weakening (single {acc, del} acceptance set)
+        is NOT enough: both events would have to be offerable at once."""
+        from repro.protocols import at_least_once_service_strict
+
+        scen = symmetric_scenario()
+        result = solve_quotient(
+            at_least_once_service_strict(),
+            scen.composite,
+            int_events=scen.interface.int_events,
+        )
+        assert not result.exists

@@ -1,0 +1,141 @@
+"""Unit tests for progress satisfaction (the prog predicate)."""
+
+import pytest
+
+from repro.errors import NormalFormError
+from repro.events import Alphabet
+from repro.satisfy import prog, satisfies_progress
+from repro.spec import SpecBuilder
+
+
+class TestProgPredicate:
+    def test_holds_when_offering_superset(self, nondet_choice):
+        assert prog(nondet_choice, "hub", Alphabet(["l", "r"]))
+
+    def test_holds_when_covering_one_option(self, nondet_choice):
+        assert prog(nondet_choice, "hub", Alphabet(["l"]))
+        assert prog(nondet_choice, "hub", Alphabet(["r"]))
+
+    def test_fails_when_covering_nothing(self, nondet_choice):
+        assert not prog(nondet_choice, "hub", Alphabet([]))
+        assert not prog(nondet_choice, "hub", Alphabet(["zzz"]))
+
+    def test_deterministic_hub_single_set(self, alternator):
+        assert prog(alternator, 0, Alphabet(["acc"]))
+        assert not prog(alternator, 0, Alphabet(["del"]))
+
+    def test_deadlock_option_always_satisfiable(self):
+        service = (
+            SpecBuilder("svc")
+            .external(0, "go", 1)
+            .internal(1, 2)     # option: stop forever
+            .internal(1, 3)     # option: offer x
+            .external(3, "x", 0)
+            .state(2)
+            .initial(0)
+            .build()
+        )
+        # empty acceptance set of sink {2} is covered by any offering
+        assert prog(service, 1, Alphabet([]))
+
+
+class TestSatisfiesProgress:
+    def test_reflexive_on_deterministic(self, alternator):
+        assert satisfies_progress(alternator, alternator).holds
+
+    def test_stalling_impl_fails(self, alternator):
+        staller = (
+            SpecBuilder("stall")
+            .external(0, "acc", 1)
+            .event("del")
+            .initial(0)
+            .build()
+        )
+        result = satisfies_progress(staller, alternator)
+        assert not result.holds
+        assert result.violation is not None
+        assert result.violation.trace == ("acc",)
+        assert result.violation.offered == Alphabet([])
+        assert "acc" in result.describe() or "del" in result.describe()
+
+    def test_internal_divergence_that_offers_is_fine(self, alternator):
+        # impl cycles internally but keeps acc reachable in its closure
+        spinner = (
+            SpecBuilder("spin")
+            .internal(0, 1)
+            .internal(1, 0)
+            .external(1, "acc", 2)
+            .external(2, "del", 0)
+            .initial(0)
+            .build()
+        )
+        assert satisfies_progress(spinner, alternator).holds
+
+    def test_impl_settling_on_one_option(self, nondet_choice):
+        # service allows settling on 'l' only
+        settled = (
+            SpecBuilder("impl")
+            .external(0, "go", 1)
+            .external(1, "l", 0)
+            .event("r")
+            .initial(0)
+            .build()
+        )
+        assert satisfies_progress(settled, nondet_choice).holds
+
+    def test_impl_offering_neither_option_fails(self, nondet_choice):
+        stuck = (
+            SpecBuilder("impl")
+            .external(0, "go", 1)
+            .event("l")
+            .event("r")
+            .initial(0)
+            .build()
+        )
+        result = satisfies_progress(stuck, nondet_choice)
+        assert not result.holds
+        assert result.violation.service_hub == "hub"
+
+    def test_impl_nondeterministically_choosing_option(self, nondet_choice):
+        # impl internally picks l-side or r-side; each sink covers one option
+        chooser = (
+            SpecBuilder("impl")
+            .external(0, "go", 1)
+            .internal(1, 2)
+            .internal(1, 3)
+            .external(2, "l", 0)
+            .external(3, "r", 0)
+            .initial(0)
+            .build()
+        )
+        assert satisfies_progress(chooser, nondet_choice).holds
+
+    def test_service_must_be_normal_form(self, internal_cycle):
+        impl = (
+            SpecBuilder("impl")
+            .external(0, "e", 1)
+            .external(1, "f", 0)
+            .event("g")
+            .initial(0)
+            .build()
+        )
+        with pytest.raises(NormalFormError):
+            satisfies_progress(impl, internal_cycle)
+
+    def test_fair_implementation_cycle_counts_as_union(self, alternator):
+        """An impl sink cycle offers the union of its members' events."""
+        # states 1<->2 cycle internally; 1 offers del, so the union covers it
+        impl = (
+            SpecBuilder("impl")
+            .external(0, "acc", 1)
+            .internal(1, 2)
+            .internal(2, 1)
+            .external(1, "del", 0)
+            .initial(0)
+            .build()
+        )
+        assert satisfies_progress(impl, alternator).holds
+
+    def test_pairs_explored_reported(self, alternator):
+        result = satisfies_progress(alternator, alternator)
+        assert result.pairs_explored == 2

@@ -1,0 +1,92 @@
+"""Cross-validation of the progress checker against a brute-force
+evaluation of the paper's definition.
+
+``B sat A wrt progress ≡ ∀t, b : ↦t b ⇒ prog.(ψ_A.t).b`` — evaluated
+literally: enumerate traces of B up to a depth that covers the (small)
+instances' reachable pair space, compute ``ψ_A.t`` by definition, and
+check ``prog`` from the raw sink/τ* primitives.  The optimized checker in
+:mod:`repro.satisfy.progress` must agree on every instance.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.satisfy import satisfies_progress, satisfies_safety
+from repro.spec import psi, random_deterministic_service, random_spec
+from repro.spec.graph import sink_acceptance_sets, tau_star
+from repro.traces import enumerate_traces, states_after
+
+SEEDS = st.integers(min_value=0, max_value=4_000)
+EVENTS = ["a", "b"]
+DEPTH = 7  # covers the pair space of 4x4-state instances
+
+
+def brute_force_progress(impl, service, depth=DEPTH) -> bool:
+    offered = tau_star(impl)
+    for t in enumerate_traces(impl, depth):
+        hub = psi(service, t)
+        assert hub is not None  # safety already checked by caller
+        menu = sink_acceptance_sets(service, hub)
+        for b in states_after(impl, t):
+            if not any(accept <= offered[b] for accept in menu):
+                return False
+    return True
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=SEEDS)
+def test_progress_checker_matches_bruteforce(seed):
+    service = random_deterministic_service(
+        n_states=3, events=EVENTS, seed=seed
+    )
+    impl = random_spec(
+        n_states=4,
+        events=EVENTS,
+        external_density=0.35,
+        internal_density=0.15,
+        seed=seed + 50_000,
+    )
+    if not satisfies_safety(impl, service).holds:
+        return  # progress is only defined under safety
+    fast = satisfies_progress(impl, service).holds
+    slow = brute_force_progress(impl, service)
+    assert fast == slow
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=SEEDS)
+def test_progress_checker_matches_bruteforce_nondet_service(seed):
+    """Same agreement with a hub/option (genuinely nondeterministic)
+    normal-form service."""
+    from repro.spec import SpecBuilder
+
+    service = (
+        SpecBuilder("svc")
+        .external(0, "a", "hub")
+        .internal("hub", "oa")
+        .internal("hub", "ob")
+        .external("oa", "a", 0)
+        .external("ob", "b", 0)
+        .initial(0)
+        .build()
+    )
+    impl = random_spec(
+        n_states=4,
+        events=EVENTS,
+        external_density=0.3,
+        internal_density=0.1,
+        seed=seed,
+    )
+    if not satisfies_safety(impl, service).holds:
+        return
+    fast = satisfies_progress(impl, service).holds
+    slow = brute_force_progress(impl, service)
+    assert fast == slow
+
+
+def test_bruteforce_on_paper_instance():
+    """Deterministic spot check: the AB system passes both evaluations."""
+    from repro.protocols import ab_end_to_end
+
+    scen = ab_end_to_end()
+    assert satisfies_progress(scen.composite, scen.service).holds
+    assert brute_force_progress(scen.composite, scen.service, depth=6)

@@ -1,0 +1,279 @@
+"""Property-based tests (hypothesis) for the core theory.
+
+Random specifications are drawn through the library's own seeded
+generators (a seed + size is a compact, shrink-friendly representation),
+and properties are checked with the exact algorithms — no bounded
+approximations except where explicitly noted.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.compose import compose
+from repro.io import dumps, loads, parse_spec, to_dsl
+from repro.quotient import solve_quotient
+from repro.satisfy import satisfies, satisfies_safety
+from repro.spec import (
+    determinize,
+    hide_events,
+    is_normal_form,
+    minimize_bisimulation,
+    minimize_deterministic,
+    normalize,
+    prune_unreachable,
+    random_deterministic_service,
+    random_quotient_instance,
+    random_spec,
+    relabel_canonical,
+    strongly_bisimilar,
+    trace_equivalent,
+)
+from repro.spec.graph import reachable_sink_sets, reachable_states
+from repro.traces import accepts, is_prefix_closed, language_upto, project
+
+SEEDS = st.integers(min_value=0, max_value=10_000)
+SIZES = st.integers(min_value=1, max_value=8)
+EVENTS = ["a", "b", "c"]
+
+
+def draw_spec(seed: int, size: int):
+    return random_spec(
+        n_states=size,
+        events=EVENTS,
+        external_density=0.3,
+        internal_density=0.12,
+        seed=seed,
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=SEEDS, size=SIZES)
+def test_language_is_prefix_closed(seed, size):
+    spec = draw_spec(seed, size)
+    assert is_prefix_closed(language_upto(spec, 4))
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=SEEDS, size=SIZES)
+def test_every_state_reaches_a_sink(seed, size):
+    """Finiteness: each state's λ-closure contains a sink set (the paper
+    relies on this to simplify the progress definition)."""
+    spec = draw_spec(seed, size)
+    for s in spec.states:
+        assert reachable_sink_sets(spec, s)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=SEEDS, size=SIZES)
+def test_determinize_is_trace_equivalent_and_normal(seed, size):
+    spec = draw_spec(seed, size)
+    det = determinize(spec)
+    assert det.is_deterministic()
+    assert is_normal_form(det)
+    assert trace_equivalent(det, spec)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=SEEDS, size=SIZES)
+def test_normalize_when_it_succeeds_is_exact(seed, size):
+    from repro.errors import NormalizationError
+
+    spec = draw_spec(seed, size)
+    try:
+        nf = normalize(spec)
+    except NormalizationError:
+        return  # exactness is impossible; documented contract
+    assert is_normal_form(nf)
+    assert trace_equivalent(nf, spec)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=SEEDS, size=SIZES, seed2=SEEDS, size2=SIZES)
+def test_composition_commutative_up_to_traces(seed, size, seed2, size2):
+    left = draw_spec(seed, size)
+    right = random_spec(
+        n_states=size2, events=["c", "d", "e"], seed=seed2
+    )
+    ab = compose(left, right)
+    ba = compose(right, left)
+    assert ab.alphabet == ba.alphabet
+    assert trace_equivalent(ab, ba)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=SEEDS, size=SIZES)
+def test_compose_with_inert_spec_preserves_traces(seed, size):
+    """Composing with a disjoint-alphabet single-state machine neither adds
+    nor removes behaviour over the original alphabet."""
+    from repro.spec import SpecBuilder
+
+    spec = draw_spec(seed, size)
+    inert = SpecBuilder("inert").state(0).event("zzz").initial(0).build()
+    composed = compose(spec, inert)
+    for t in language_upto(spec, 4):
+        assert accepts(composed, t)
+    for t in language_upto(composed, 4):
+        assert accepts(spec, project(t, spec.alphabet))
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=SEEDS, size=SIZES)
+def test_hiding_projects_traces(seed, size):
+    spec = draw_spec(seed, size)
+    hidden_events = ["a"]
+    hidden = hide_events(spec, hidden_events)
+    keep = set(spec.alphabet) - set(hidden_events)
+    # every original trace survives as its projection
+    for t in language_upto(spec, 4):
+        assert accepts(hidden, project(t, keep))
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=SEEDS, size=SIZES)
+def test_safety_satisfaction_reflexive(seed, size):
+    spec = draw_spec(seed, size)
+    assert satisfies_safety(spec, spec).holds
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=SEEDS, size=SIZES)
+def test_full_satisfaction_reflexive_on_deterministic_services(seed, size):
+    svc = random_deterministic_service(n_states=size, events=EVENTS, seed=seed)
+    assert satisfies(svc, svc).holds
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=SEEDS, size=SIZES)
+def test_minimize_bisimulation_sound(seed, size):
+    spec = prune_unreachable(draw_spec(seed, size))
+    small = minimize_bisimulation(spec)
+    assert len(small.states) <= len(spec.states)
+    assert strongly_bisimilar(small, spec)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=SEEDS, size=SIZES)
+def test_minimize_deterministic_sound(seed, size):
+    det = determinize(draw_spec(seed, size))
+    small = minimize_deterministic(det)
+    assert len(small.states) <= len(det.states)
+    assert trace_equivalent(small, det)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=SEEDS, size=SIZES)
+def test_json_roundtrip(seed, size):
+    spec = draw_spec(seed, size)
+    assert loads(dumps(spec)) == spec
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=SEEDS, size=SIZES)
+def test_dsl_roundtrip(seed, size):
+    spec = draw_spec(seed, size)
+    assert parse_spec(to_dsl(spec)) == spec
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=SEEDS, size=SIZES)
+def test_relabel_canonical_preserves_behaviour(seed, size):
+    spec = prune_unreachable(draw_spec(seed, size))
+    relabeled = relabel_canonical(spec)
+    assert strongly_bisimilar(spec, relabeled)
+    assert reachable_states(relabeled) == relabeled.states
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=SEEDS)
+def test_quotient_roundtrip_on_random_instances(seed):
+    """The central soundness property: whenever the solver says a converter
+    exists, composing it with B satisfies A under the independent checker
+    (the solver already asserts this internally; re-state it as the
+    user-visible contract)."""
+    service, component, _, _ = random_quotient_instance(seed=seed)
+    result = solve_quotient(service, component)
+    if result.exists:
+        composite = compose(component, result.converter)
+        assert satisfies(composite, service).holds
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=SEEDS)
+def test_quotient_safety_phase_safe_even_when_no_converter(seed):
+    """Theorem 1(i) on random instances: B || C0 never violates safety."""
+    from repro.quotient import QuotientProblem, safety_phase
+
+    service, component, _, _ = random_quotient_instance(seed=seed)
+    problem = QuotientProblem.build(service, component)
+    sp = safety_phase(problem)
+    if sp.exists:
+        composite = compose(component, sp.spec)
+        assert satisfies_safety(composite, service).holds
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=SEEDS, size=SIZES)
+def test_simulation_agrees_with_composition(seed, size):
+    """Operational/analytical agreement: any executed run's external trace
+    is a trace of the composed machine, for random component pairs."""
+    from repro.simulate import RandomPolicy, Simulator
+
+    left = draw_spec(seed, size)
+    right = random_spec(
+        n_states=max(2, size - 1),
+        events=["b", "c", "d"],  # overlaps with left on b, c
+        seed=seed + 17,
+        internal_density=0.1,
+    )
+    composite = compose(left, right)
+    sim = Simulator([left, right], RandomPolicy(seed))
+    log = sim.run(60)
+    assert accepts(composite, log.external_trace)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=SEEDS, size=SIZES)
+def test_service_monitor_agrees_with_accepts(seed, size):
+    """The online monitor flags exactly the traces `accepts` rejects."""
+    from repro.simulate import ServiceMonitor
+    from repro.traces import sample_trace
+
+    service = random_deterministic_service(
+        n_states=size, events=EVENTS, seed=seed
+    )
+    good = sample_trace(service, min(size + 2, 6), seed=seed)
+    if good is not None:
+        monitor = ServiceMonitor(service)
+        for e in good:
+            assert monitor.observe(e)
+        assert monitor.verdict().ok
+    # appending an impossible continuation must be flagged
+    monitor = ServiceMonitor(service)
+    prefix = good or ()
+    for e in prefix:
+        monitor.observe(e)
+    from repro.traces import enabled_after
+
+    blocked = sorted(set(EVENTS) - set(enabled_after(service, prefix)))
+    if blocked:
+        assert not monitor.observe(blocked[0])
+        assert not monitor.verdict().ok
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=SEEDS, size=SIZES)
+def test_weak_simulation_reflexive(seed, size):
+    from repro.spec import weakly_simulates
+
+    spec = draw_spec(seed, size)
+    assert weakly_simulates(spec, spec)
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=SEEDS, size=SIZES)
+def test_determinized_abstract_weakly_simulates_original(seed, size):
+    """det(A) has the same traces and, being deterministic, weakly
+    simulates A."""
+    from repro.spec import weakly_simulates
+
+    spec = draw_spec(seed, size)
+    assert weakly_simulates(determinize(spec), spec)

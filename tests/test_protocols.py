@@ -1,0 +1,224 @@
+"""Unit tests for the protocol library (Figs. 7, 8, 10, 11)."""
+
+import pytest
+
+from repro.compose import compose_many
+from repro.errors import SpecError
+from repro.events import Alphabet
+from repro.protocols import (
+    AB_TIMEOUT,
+    NS_TIMEOUT,
+    ab_channel,
+    ab_protocol_events,
+    ab_receiver,
+    ab_sender,
+    alternating_service,
+    at_least_once_service,
+    at_least_once_service_strict,
+    choice_service,
+    lossy_duplex_channel,
+    ns_channel,
+    ns_protocol_events,
+    ns_receiver,
+    ns_sender,
+    reliable_duplex_channel,
+    simplex_channel,
+    sw_end_to_end,
+    sw_receiver,
+    sw_sender,
+    windowed_alternating_service,
+)
+from repro.satisfy import satisfies, satisfies_safety
+from repro.spec import is_normal_form
+from repro.traces import accepts, language_upto
+
+
+class TestABMachines:
+    def test_sender_shape(self):
+        a0 = ab_sender()
+        assert len(a0.states) == 6
+        assert a0.alphabet == Alphabet(
+            ["acc", "-d0", "-d1", "+a0", "+a1", AB_TIMEOUT]
+        )
+
+    def test_sender_alternates_bits(self):
+        a0 = ab_sender()
+        assert accepts(a0, ("acc", "-d0", "+a0", "acc", "-d1", "+a1"))
+        assert not accepts(a0, ("acc", "-d1"))
+
+    def test_sender_retransmits_on_timeout(self):
+        a0 = ab_sender()
+        assert accepts(a0, ("acc", "-d0", AB_TIMEOUT, "-d0", "+a0"))
+
+    def test_sender_retransmits_on_stale_ack(self):
+        a0 = ab_sender()
+        assert accepts(a0, ("acc", "-d0", "+a1", "-d0"))
+
+    def test_receiver_shape(self):
+        a1 = ab_receiver()
+        assert len(a1.states) == 6
+        assert a1.alphabet == Alphabet(["+d0", "+d1", "del", "-a0", "-a1"])
+
+    def test_receiver_delivers_expected_bit(self):
+        a1 = ab_receiver()
+        assert accepts(a1, ("+d0", "del", "-a0", "+d1", "del", "-a1"))
+
+    def test_receiver_suppresses_duplicates(self):
+        a1 = ab_receiver()
+        # duplicate d0 while expecting d1: re-ack without delivering
+        assert accepts(a1, ("+d0", "del", "-a0", "+d0", "-a0", "+d1", "del"))
+        assert not accepts(a1, ("+d0", "del", "-a0", "+d0", "del"))
+
+    def test_machines_are_deterministic(self):
+        assert ab_sender().is_deterministic()
+        assert ab_receiver().is_deterministic()
+
+    def test_event_partition(self):
+        events = ab_protocol_events()
+        a0, a1 = ab_sender(), ab_receiver()
+        assert (
+            events["user_sender"] | events["channel_sender"] == set(a0.alphabet)
+        )
+        assert (
+            events["user_receiver"] | events["channel_receiver"]
+            == set(a1.alphabet)
+        )
+
+
+class TestNSMachines:
+    def test_sender_shape(self):
+        n0 = ns_sender()
+        assert len(n0.states) == 3
+        assert n0.alphabet == Alphabet(["acc", "-D", "+A", NS_TIMEOUT])
+
+    def test_sender_retransmit_loop(self):
+        n0 = ns_sender()
+        assert accepts(n0, ("acc", "-D", NS_TIMEOUT, "-D", NS_TIMEOUT, "-D", "+A"))
+
+    def test_receiver_delivers_everything(self):
+        n1 = ns_receiver()
+        assert accepts(n1, ("+D", "del", "-A", "+D", "del", "-A"))
+        assert not accepts(n1, ("+D", "+D"))
+
+    def test_event_partition(self):
+        events = ns_protocol_events()
+        assert events["channel_sender"] == {"-D", "+A", NS_TIMEOUT}
+        assert events["channel_receiver"] == {"+D", "-A"}
+
+
+class TestChannels:
+    def test_lossy_channel_shape(self):
+        ch = lossy_duplex_channel(name="ch", messages=("M",), timeout="t")
+        assert accepts(ch, ("-M", "+M"))
+        assert accepts(ch, ("-M", "t"))  # loss then timeout
+        assert not accepts(ch, ("+M",))
+        assert not accepts(ch, ("-M", "-M"))  # capacity one
+
+    def test_loss_is_internal(self):
+        ch = lossy_duplex_channel(name="ch", messages=("M",), timeout="t")
+        assert ch.internal  # the loss transition
+
+    def test_timeout_never_premature(self):
+        ch = lossy_duplex_channel(name="ch", messages=("M",), timeout="t")
+        assert not accepts(ch, ("t",))
+        # after a clean delivery there is nothing to time out
+        assert not accepts(ch, ("-M", "+M", "t"))
+
+    def test_reliable_channel_never_times_out(self):
+        ch = reliable_duplex_channel(name="ch", messages=("M",))
+        assert not ch.internal
+        assert accepts(ch, ("-M", "+M", "-M", "+M"))
+
+    def test_empty_message_set_rejected(self):
+        with pytest.raises(SpecError):
+            lossy_duplex_channel(name="ch", messages=(), timeout="t")
+        with pytest.raises(SpecError):
+            reliable_duplex_channel(name="ch", messages=())
+
+    def test_ab_channel_carries_all_four(self):
+        ch = ab_channel()
+        for m in ("d0", "d1", "a0", "a1"):
+            assert accepts(ch, (f"-{m}", f"+{m}"))
+
+    def test_ns_channel_carries_both(self):
+        ch = ns_channel()
+        assert accepts(ch, ("-D", "+D"))
+        assert accepts(ch, ("-A", "+A"))
+
+    def test_simplex_lossy_requires_timeout(self):
+        with pytest.raises(SpecError, match="timeout"):
+            simplex_channel(name="c", messages=["M"], lossy=True)
+
+    def test_simplex_reliable(self):
+        ch = simplex_channel(name="c", messages=["M"])
+        assert accepts(ch, ("-M", "+M"))
+        assert not ch.internal
+
+
+class TestServices:
+    def test_alternating_is_normal_form(self):
+        assert is_normal_form(alternating_service())
+
+    def test_alternating_traces(self):
+        svc = alternating_service()
+        assert language_upto(svc, 3) == frozenset(
+            {(), ("acc",), ("acc", "del"), ("acc", "del", "acc")}
+        )
+
+    def test_at_least_once_normal_form_and_traces(self):
+        svc = at_least_once_service()
+        assert is_normal_form(svc)
+        assert accepts(svc, ("acc", "del", "del", "del", "acc", "del"))
+        assert not accepts(svc, ("acc", "acc"))
+        assert not accepts(svc, ("del",))
+
+    def test_strict_variant_same_traces(self):
+        a, b = at_least_once_service(), at_least_once_service_strict()
+        assert language_upto(a, 5) == language_upto(b, 5)
+
+    def test_variants_differ_in_acceptance_structure(self):
+        from repro.spec import psi
+        from repro.spec.graph import sink_acceptance_sets
+
+        nondet = at_least_once_service()
+        strict = at_least_once_service_strict()
+        hub_n = psi(nondet, ("acc", "del"))
+        hub_s = psi(strict, ("acc", "del"))
+        menu_n = sorted(tuple(sorted(m)) for m in sink_acceptance_sets(nondet, hub_n))
+        menu_s = sorted(tuple(sorted(m)) for m in sink_acceptance_sets(strict, hub_s))
+        assert menu_n == [("acc",), ("del",)]
+        assert menu_s == [("acc", "del")]
+
+    def test_windowed_service(self):
+        svc = windowed_alternating_service(2)
+        assert is_normal_form(svc)
+        assert accepts(svc, ("acc", "acc", "del", "del"))
+        assert not accepts(svc, ("acc", "acc", "acc"))
+        assert not accepts(svc, ("acc", "del", "del"))
+
+    def test_windowed_one_equals_alternating(self):
+        from repro.spec import trace_equivalent
+
+        assert trace_equivalent(
+            windowed_alternating_service(1), alternating_service()
+        )
+
+    def test_windowed_rejects_zero(self):
+        with pytest.raises(SpecError):
+            windowed_alternating_service(0)
+
+    def test_choice_service_normal_form(self):
+        assert is_normal_form(choice_service())
+
+
+class TestStopAndWait:
+    def test_end_to_end_satisfies_alternation(self):
+        system = sw_end_to_end()
+        assert satisfies(system, alternating_service()).holds
+
+    def test_machines_shape(self):
+        assert len(sw_sender().states) == 3
+        assert len(sw_receiver().states) == 3
+
+    def test_composite_interface(self):
+        assert sw_end_to_end().alphabet == Alphabet(["acc", "del"])

@@ -1,0 +1,165 @@
+"""Unit tests for the safety (Fig. 5) and progress (Fig. 6) phases."""
+
+from repro.quotient import (
+    QuotientProblem,
+    progress_phase,
+    safety_phase,
+)
+from repro.satisfy import satisfies_safety
+from repro.compose import compose
+from repro.spec import SpecBuilder
+from repro.traces import accepts, language_upto
+
+
+def xy_service():
+    return (
+        SpecBuilder("A").external(0, "x", 1).external(1, "y", 0).initial(0).build()
+    )
+
+
+def relay_component():
+    return (
+        SpecBuilder("B")
+        .external(0, "x", 1)
+        .external(1, "m", 2)
+        .external(2, "n", 3)
+        .external(3, "y", 0)
+        .initial(0)
+        .build()
+    )
+
+
+def make_problem(service=None, component=None):
+    return QuotientProblem.build(
+        service or xy_service(), component or relay_component()
+    )
+
+
+class TestSafetyPhase:
+    def test_produces_pair_set_states(self):
+        result = safety_phase(make_problem())
+        assert result.exists
+        spec = result.spec
+        assert all(isinstance(s, frozenset) for s in spec.states)
+        assert spec.initial in spec.states
+
+    def test_c0_alphabet_is_int(self):
+        result = safety_phase(make_problem())
+        assert set(result.spec.alphabet) == {"m", "n"}
+
+    def test_c0_is_deterministic_and_lambda_free(self):
+        result = safety_phase(make_problem())
+        assert result.spec.is_deterministic()
+        assert not result.spec.internal
+
+    def test_composite_is_safe(self):
+        """Theorem 1(i): every trace of B || C0 is a trace of A."""
+        problem = make_problem()
+        result = safety_phase(problem)
+        composite = compose(problem.component, result.spec)
+        assert satisfies_safety(composite, problem.service).holds
+
+    def test_maximality_on_relay(self):
+        """Theorem 1(ii): C0 contains every safe Int trace.
+
+        For the relay, the converter trace (m n)* interleaved arbitrarily is
+        the safe language plus trivially-safe unmatched traces; check a few
+        specific memberships.
+        """
+        result = safety_phase(make_problem())
+        c0 = result.spec
+        assert accepts(c0, ("m", "n"))
+        assert accepts(c0, ("m", "n", "m", "n"))
+        # 'n' before any 'm' is unmatched by B => trivially safe => present
+        assert accepts(c0, ("n",))
+
+    def test_unsafe_problem_yields_nothing(self):
+        service = xy_service()
+        component = (
+            SpecBuilder("B")
+            .external(0, "y", 0)
+            .event("x").event("m").event("n")
+            .initial(0)
+            .build()
+        )
+        result = safety_phase(QuotientProblem.build(service, component))
+        assert not result.exists
+        assert result.spec is None
+
+    def test_explored_and_rejected_counts(self):
+        result = safety_phase(make_problem())
+        assert result.explored >= len(result.spec.states)
+        assert result.rejected >= 0
+
+    def test_f_is_identity_on_pair_sets(self):
+        result = safety_phase(make_problem())
+        assert all(result.f[s] == s for s in result.spec.states)
+
+
+class TestProgressPhase:
+    def test_no_removals_when_progress_already_holds(self):
+        problem = make_problem()
+        sp = safety_phase(problem)
+        pp = progress_phase(problem, sp.spec, sp.f)
+        assert pp.exists
+        assert pp.rounds[-1].bad_states == frozenset()
+
+    def test_removal_when_component_can_stall(self):
+        """B may silently enter a state refusing everything; converter
+        states that permit reaching it must die."""
+        service = xy_service()
+        component = (
+            SpecBuilder("B")
+            .external(0, "x", 1)
+            .external(1, "m", 2)
+            .external(2, "y", 0)
+            .external(1, "k", 3)     # k leads to a dead end
+            .state(3)
+            .event("n")
+            .initial(0)
+            .build()
+        )
+        problem = QuotientProblem.build(service, component)
+        sp = safety_phase(problem)
+        # C0 includes a k-transition (safe: the dead end violates nothing)
+        assert any(e == "k" for _, e, _ in sp.spec.external)
+        pp = progress_phase(problem, sp.spec, sp.f)
+        assert pp.exists
+        # ... but progress removed every state whose pairs include b=3
+        for c in pp.spec.states:
+            assert all(b != 3 for _, b in c)
+
+    def test_total_removal_when_no_converter(self):
+        """Service demands y after x but B can never produce y."""
+        service = xy_service()
+        component = (
+            SpecBuilder("B")
+            .external(0, "x", 1)
+            .external(1, "m", 1)
+            .event("y").event("n")
+            .initial(0)
+            .build()
+        )
+        problem = QuotientProblem.build(service, component)
+        sp = safety_phase(problem)
+        assert sp.exists  # safe: nothing bad ever happens, nothing good either
+        pp = progress_phase(problem, sp.spec, sp.f)
+        assert not pp.exists
+        assert pp.spec is None
+
+    def test_rounds_recorded_monotonically(self):
+        problem = make_problem()
+        sp = safety_phase(problem)
+        pp = progress_phase(problem, sp.spec, sp.f)
+        indices = [r.round_index for r in pp.rounds]
+        assert indices == list(range(len(indices)))
+
+    def test_vacuous_states_survive_progress(self):
+        """Pair-empty states are never bad (vacuous ∀) — the paper's
+        maximal converter keeps them."""
+        problem = make_problem()
+        sp = safety_phase(problem)
+        vacuous = [s for s in sp.spec.states if not s]
+        assert vacuous  # the relay problem has unmatched Int traces
+        pp = progress_phase(problem, sp.spec, sp.f)
+        assert all(v in pp.spec.states for v in vacuous)

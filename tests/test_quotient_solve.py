@@ -1,0 +1,218 @@
+"""Unit and integration tests for the top-level quotient solver."""
+
+import pytest
+
+from repro.compose import compose
+from repro.errors import QuotientError
+from repro.quotient import QuotientProblem, solve_quotient, verify_converter
+from repro.satisfy import satisfies
+from repro.spec import SpecBuilder
+from repro.traces import accepts
+
+
+def xy_service():
+    return (
+        SpecBuilder("A").external(0, "x", 1).external(1, "y", 0).initial(0).build()
+    )
+
+
+def relay_component():
+    return (
+        SpecBuilder("B")
+        .external(0, "x", 1)
+        .external(1, "m", 2)
+        .external(2, "n", 3)
+        .external(3, "y", 0)
+        .initial(0)
+        .build()
+    )
+
+
+class TestSolveExists:
+    def test_relay_quotient_exists_and_verifies(self):
+        result = solve_quotient(xy_service(), relay_component())
+        assert result.exists
+        assert result.converter is not None
+        assert result.verification is not None and result.verification.holds
+
+    def test_converter_states_are_integers_with_f(self):
+        result = solve_quotient(xy_service(), relay_component())
+        for s in result.converter.states:
+            assert isinstance(s, int)
+            assert s in result.f
+        assert result.converter.initial == 0
+
+    def test_independent_satisfaction_check(self):
+        result = solve_quotient(xy_service(), relay_component())
+        composite = compose(relay_component(), result.converter)
+        assert satisfies(composite, xy_service()).holds
+
+    def test_converter_alphabet_is_int(self):
+        result = solve_quotient(xy_service(), relay_component())
+        assert set(result.converter.alphabet) == {"m", "n"}
+
+    def test_declared_int_accepted(self):
+        result = solve_quotient(
+            xy_service(), relay_component(), int_events=["m", "n"]
+        )
+        assert result.exists
+
+    def test_summary_mentions_converter(self):
+        text = solve_quotient(xy_service(), relay_component()).summary()
+        assert "converter:" in text
+
+    def test_c0_retained_for_inspection(self):
+        result = solve_quotient(xy_service(), relay_component())
+        assert result.c0 is not None
+        assert len(result.c0.states) >= len(result.converter.states)
+        assert set(result.c0_f) == set(result.c0.states)
+
+
+class TestSolveNotExists:
+    def test_progress_impossible(self):
+        component = (
+            SpecBuilder("B")
+            .external(0, "x", 1)
+            .external(1, "m", 1)
+            .event("y").event("n")
+            .initial(0)
+            .build()
+        )
+        result = solve_quotient(xy_service(), component)
+        assert not result.exists
+        assert not bool(result)
+        assert result.converter is None
+        assert result.c0 is not None  # safety phase succeeded
+        assert "NO converter" in result.summary()
+
+    def test_safety_impossible(self):
+        component = (
+            SpecBuilder("B")
+            .external(0, "y", 0)
+            .event("x").event("m").event("n")
+            .initial(0)
+            .build()
+        )
+        result = solve_quotient(xy_service(), component)
+        assert not result.exists
+        assert result.safety is not None and not result.safety.exists
+        assert result.c0 is None
+        assert "safety" in result.summary()
+
+
+class TestMaximality:
+    def test_hand_written_converter_traces_included(self):
+        """Theorem 1(ii)/Theorem 2: any correct converter's traces are a
+        subset of the maximal converter's."""
+        result = solve_quotient(xy_service(), relay_component())
+        maximal = result.converter
+        # the obvious converter: strictly alternate m, n
+        hand = (
+            SpecBuilder("C")
+            .external(0, "m", 1)
+            .external(1, "n", 0)
+            .initial(0)
+            .build()
+        )
+        # hand converter is itself correct
+        composite = compose(relay_component(), hand)
+        assert satisfies(composite, xy_service()).holds
+        # bounded trace-inclusion in the maximal converter
+        from repro.traces import language_upto
+
+        for t in language_upto(hand, 6):
+            assert accepts(maximal, t)
+
+    def test_maximal_includes_unmatched_traces(self):
+        result = solve_quotient(xy_service(), relay_component())
+        # "n before m" is unmatched by B: trivially safe, hence present
+        assert accepts(result.converter, ("n",))
+
+
+class TestVerifyConverter:
+    def test_accepts_correct_converter(self):
+        problem = QuotientProblem.build(xy_service(), relay_component())
+        hand = (
+            SpecBuilder("C")
+            .external(0, "m", 1)
+            .external(1, "n", 0)
+            .initial(0)
+            .build()
+        )
+        report = verify_converter(problem, hand)
+        assert report.holds
+
+    def test_rejects_wrong_converter(self):
+        problem = QuotientProblem.build(xy_service(), relay_component())
+        # refuses to ever emit n: system stalls after x.m
+        stubborn = (
+            SpecBuilder("C")
+            .external(0, "m", 0)
+            .event("n")
+            .initial(0)
+            .build()
+        )
+        with pytest.raises(QuotientError, match="verification"):
+            verify_converter(problem, stubborn)
+
+    def test_solver_verification_can_be_disabled(self):
+        result = solve_quotient(xy_service(), relay_component(), verify=False)
+        assert result.exists
+        assert result.verification is None
+
+
+class TestEdgeCases:
+    def test_empty_int_alphabet(self):
+        """Σ_B = Ext: the only possible converter is the do-nothing machine;
+        it works iff B alone satisfies A."""
+        service = xy_service()
+        component = (
+            SpecBuilder("B").external(0, "x", 1).external(1, "y", 0).initial(0).build()
+        )
+        result = solve_quotient(service, component)
+        assert result.exists
+        assert len(result.converter.states) == 1
+        assert not result.converter.external
+
+    def test_empty_int_alphabet_failure(self):
+        service = xy_service()
+        component = (
+            SpecBuilder("B").external(0, "x", 0).event("y").initial(0).build()
+        )
+        result = solve_quotient(service, component)
+        assert not result.exists
+
+    def test_component_with_internal_transitions(self, lossy_hop):
+        """A lossy component admits the trivial quotient against a service
+        whose acceptance structure allows settling on either outcome.
+
+        The deterministic service (single acceptance set {arrive, timeout})
+        must FAIL: after the loss only timeout is offered.  The
+        nondeterministic service — an internal choice between an {arrive}
+        option and a {timeout} option — succeeds.  This is the paper's
+        Section 3 rationale for nondeterminism in service specs, in
+        miniature.
+        """
+        deterministic = (
+            SpecBuilder("A")
+            .external(0, "send", 1)
+            .external(1, "arrive", 0)
+            .external(1, "timeout", 0)
+            .initial(0)
+            .build()
+        )
+        assert not solve_quotient(deterministic, lossy_hop).exists
+
+        choosy = (
+            SpecBuilder("A")
+            .external(0, "send", "hub")
+            .internal("hub", "ok")
+            .internal("hub", "to")
+            .external("ok", "arrive", 0)
+            .external("to", "timeout", 0)
+            .initial(0)
+            .build()
+        )
+        result = solve_quotient(choosy, lossy_hop)
+        assert result.exists
+        assert result.verification.holds

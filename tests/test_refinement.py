@@ -1,0 +1,151 @@
+"""Unit tests for simulation preorders."""
+
+from repro.spec import SpecBuilder
+from repro.spec.refinement import (
+    ready_simulates,
+    simulation_offering_gap,
+    strong_simulation,
+    strongly_simulates,
+    weak_simulation,
+    weakly_simulates,
+)
+
+
+def loop(name="m", *events):
+    b = SpecBuilder(name)
+    prev = 0
+    for i, e in enumerate(events):
+        b.external(i, e, (i + 1) % len(events))
+        prev = i
+    return b.initial(0).build()
+
+
+class TestStrongSimulation:
+    def test_reflexive(self, alternator):
+        assert strongly_simulates(alternator, alternator)
+
+    def test_bigger_simulates_smaller(self):
+        small = loop("s", "a")
+        bigger = (
+            SpecBuilder("b")
+            .external(0, "a", 0)
+            .external(0, "b", 0)
+            .initial(0)
+            .build()
+        )
+        assert strongly_simulates(bigger, small)
+        assert not strongly_simulates(small, bigger)
+
+    def test_internal_must_match(self):
+        with_l = SpecBuilder("l").internal(0, 1).external(1, "a", 0).initial(0).build()
+        without = SpecBuilder("w").external(0, "a", 1).external(1, "a", 0).initial(0).build()
+        assert not strongly_simulates(without, with_l)
+
+    def test_relation_contents(self):
+        small = loop("s", "a")
+        rel = strong_simulation(small, small)
+        assert (0, 0) in rel
+
+
+class TestWeakSimulation:
+    def test_absorbs_internal_steps(self):
+        padded = (
+            SpecBuilder("p").internal(0, 1).external(1, "a", 2).initial(0).build()
+        )
+        direct = SpecBuilder("d").external(0, "a", 1).initial(0).build()
+        assert weakly_simulates(direct, padded)
+        assert weakly_simulates(padded, direct)
+
+    def test_weak_implies_trace_inclusion(self):
+        """Soundness cross-check against the independent safety oracle."""
+        from repro.satisfy import satisfies_safety
+        from repro.spec import extend_alphabet, random_spec
+
+        for seed in range(12):
+            concrete = random_spec(
+                n_states=5, events=["a", "b"], seed=seed, internal_density=0.15
+            )
+            abstract = random_spec(
+                n_states=4, events=["a", "b"], seed=seed + 100,
+                internal_density=0.15,
+            )
+            if weakly_simulates(abstract, concrete):
+                assert satisfies_safety(concrete, abstract).holds
+
+    def test_distinguishes_missing_behaviour(self):
+        ab = (
+            SpecBuilder("ab").external(0, "a", 1).external(0, "b", 1)
+            .initial(0).build()
+        )
+        a_only = SpecBuilder("a").external(0, "a", 1).event("b").initial(0).build()
+        assert weakly_simulates(ab, a_only)
+        assert not weakly_simulates(a_only, ab)
+
+
+class TestReadySimulation:
+    def test_requires_offering_coverage(self):
+        rich = (
+            SpecBuilder("rich").external(0, "a", 1).external(1, "b", 0)
+            .initial(0).build()
+        )
+        poor = (
+            SpecBuilder("poor").external(0, "a", 1).event("b").initial(0).build()
+        )
+        # poor refines rich both weakly and readily: everything poor may
+        # offer, rich may offer too
+        assert weakly_simulates(rich, poor)
+        assert ready_simulates(rich, poor)
+        # rich does not refine poor in either sense: rich's b is unmatched
+        assert not weakly_simulates(poor, rich)
+        assert not ready_simulates(poor, rich)
+
+    def test_ready_stricter_than_weak(self):
+        # both do 'a'; concrete then offers {b}, abstract reaches a state
+        # offering {b} only via a different a-branch that also offers c...
+        abstract = (
+            SpecBuilder("abs")
+            .external(0, "a", 1)
+            .external(1, "b", 0)
+            .external(1, "c", 0)
+            .initial(0)
+            .build()
+        )
+        concrete = (
+            SpecBuilder("con")
+            .external(0, "a", 1)
+            .external(1, "b", 0)
+            .event("c")
+            .initial(0)
+            .build()
+        )
+        assert weakly_simulates(abstract, concrete)
+        assert ready_simulates(abstract, concrete)  # {b} ⊆ {b,c}
+        # the reverse direction fails coverage: abstract offers c
+        assert not ready_simulates(concrete, abstract)
+
+    def test_offering_gap_diagnostic(self):
+        abstract = SpecBuilder("abs").external(0, "a", 1).initial(0).build()
+        concrete = (
+            SpecBuilder("con").external(0, "a", 1).external(0, "x", 1)
+            .initial(0).build()
+        )
+        gap = simulation_offering_gap(concrete, abstract)
+        assert gap.get(0) == frozenset({"x"})
+
+    def test_offering_gap_empty_when_covered(self, alternator):
+        assert simulation_offering_gap(alternator, alternator) == {}
+
+    def test_offering_gap_through_internal_offer(self):
+        # the concrete machine silently reaches a state offering x, which
+        # the abstract never offers anywhere along matching traces
+        abstract = SpecBuilder("abs").external(0, "a", 1).initial(0).build()
+        concrete = (
+            SpecBuilder("con")
+            .internal(0, 1)
+            .external(0, "a", 2)
+            .external(1, "x", 2)
+            .initial(0)
+            .build()
+        )
+        gap = simulation_offering_gap(concrete, abstract)
+        assert "x" in gap.get(0, frozenset()) or "x" in gap.get(1, frozenset())

@@ -1,0 +1,146 @@
+"""Unit tests for safety satisfaction (trace inclusion)."""
+
+import pytest
+
+from repro.errors import AlphabetError
+from repro.satisfy import satisfies_safety, trace_inclusion_counterexample
+from repro.spec import SpecBuilder, extend_alphabet
+from repro.traces import accepts
+
+
+class TestSafetyHolds:
+    def test_reflexive(self, alternator):
+        result = satisfies_safety(alternator, alternator)
+        assert result.holds
+        assert result.counterexample is None
+        assert bool(result)
+
+    def test_subset_behaviour_satisfies(self, alternator):
+        # a machine that does one acc/del round then stops
+        once = (
+            SpecBuilder("once")
+            .external(0, "acc", 1)
+            .external(1, "del", 2)
+            .event("acc")
+            .event("del")
+            .initial(0)
+            .build()
+        )
+        assert satisfies_safety(once, alternator).holds
+
+    def test_empty_machine_satisfies_everything(self, alternator):
+        silent = (
+            SpecBuilder("silent").state(0).event("acc").event("del").initial(0).build()
+        )
+        assert satisfies_safety(silent, alternator).holds
+
+    def test_nondeterministic_impl_within_spec(self, lossy_hop, alternator):
+        renamed = (
+            SpecBuilder("svc")
+            .external(0, "send", 1)
+            .external(1, "arrive", 0)
+            .external(1, "timeout", 0)
+            .initial(0)
+            .build()
+        )
+        assert satisfies_safety(lossy_hop, renamed).holds
+
+
+class TestSafetyFails:
+    def test_counterexample_is_shortest(self, alternator):
+        eager = (
+            SpecBuilder("eager")
+            .external(0, "acc", 1)
+            .external(1, "acc", 0)
+            .event("del")
+            .initial(0)
+            .build()
+        )
+        result = satisfies_safety(eager, alternator)
+        assert not result.holds
+        assert result.counterexample == ("acc", "acc")
+
+    def test_counterexample_is_a_trace_of_impl_not_service(self, alternator):
+        bad = (
+            SpecBuilder("bad").external(0, "del", 0).event("acc").initial(0).build()
+        )
+        result = satisfies_safety(bad, alternator)
+        assert result.counterexample == ("del",)
+        assert accepts(bad, result.counterexample)
+        assert not accepts(alternator, result.counterexample)
+
+    def test_violation_behind_internal_steps(self, alternator):
+        sneaky = (
+            SpecBuilder("sneaky")
+            .external(0, "acc", 1)
+            .internal(1, 2)
+            .external(2, "acc", 0)
+            .event("del")
+            .initial(0)
+            .build()
+        )
+        result = satisfies_safety(sneaky, alternator)
+        assert not result.holds
+        assert result.counterexample == ("acc", "acc")
+
+    def test_nondeterministic_service_union_semantics(self):
+        # service can do a.b or a.c depending on hidden choice; impl doing
+        # a then both b and c is still safe (trace union), impl doing a.d is not
+        service = (
+            SpecBuilder("svc")
+            .internal(0, 1)
+            .internal(0, 2)
+            .external(1, "a", 3)
+            .external(2, "a", 4)
+            .external(3, "b", 3)
+            .external(4, "c", 4)
+            .event("d")
+            .initial(0)
+            .build()
+        )
+        both = (
+            SpecBuilder("impl")
+            .external(0, "a", 1)
+            .external(1, "b", 2)
+            .external(1, "c", 3)
+            .event("d")
+            .initial(0)
+            .build()
+        )
+        assert satisfies_safety(both, service).holds
+        bad = (
+            SpecBuilder("impl2")
+            .external(0, "a", 1)
+            .external(1, "d", 2)
+            .event("b").event("c")
+            .initial(0)
+            .build()
+        )
+        result = satisfies_safety(bad, service)
+        assert result.counterexample == ("a", "d")
+
+
+class TestInterfaceValidation:
+    def test_alphabet_mismatch_rejected(self, alternator):
+        other = SpecBuilder("o").external(0, "zzz", 0).initial(0).build()
+        with pytest.raises(AlphabetError, match="identical interfaces"):
+            satisfies_safety(other, alternator)
+
+    def test_extended_alphabet_fixes_mismatch(self, alternator):
+        partial = SpecBuilder("p").external(0, "acc", 1).initial(0).build()
+        aligned = extend_alphabet(partial, ["del"])
+        assert satisfies_safety(aligned, alternator).holds
+
+
+class TestConvenienceWrapper:
+    def test_counterexample_none_when_included(self, alternator):
+        assert trace_inclusion_counterexample(alternator, alternator) is None
+
+    def test_counterexample_returned(self, alternator):
+        bad = SpecBuilder("b").external(0, "del", 0).event("acc").initial(0).build()
+        assert trace_inclusion_counterexample(bad, alternator) == ("del",)
+
+    def test_describe_mentions_trace(self, alternator):
+        bad = SpecBuilder("b").external(0, "del", 0).event("acc").initial(0).build()
+        text = satisfies_safety(bad, alternator).describe()
+        assert "del" in text and "violated" in text

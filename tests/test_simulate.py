@@ -1,0 +1,248 @@
+"""Tests for the executable simulation layer."""
+
+import pytest
+
+from repro.compose import compose_many
+from repro.errors import CompositionError
+from repro.protocols import (
+    ab_channel,
+    ab_receiver,
+    ab_sender,
+    alternating_service,
+    ns_channel,
+    ns_receiver,
+    ns_sender,
+)
+from repro.simulate import (
+    BiasedPolicy,
+    FairRandomPolicy,
+    ProgressWatchdog,
+    RandomPolicy,
+    RoundRobinPolicy,
+    ScriptedPolicy,
+    ServiceMonitor,
+    Simulator,
+    simulate_system,
+    stress,
+)
+from repro.spec import SpecBuilder
+from repro.traces import accepts
+
+
+def ping_pong():
+    left = SpecBuilder("L").external(0, "ping", 1).external(1, "go", 0).initial(0).build()
+    right = SpecBuilder("R").external(0, "go", 1).external(1, "pong", 0).initial(0).build()
+    return [left, right]
+
+
+class TestEngine:
+    def test_enabled_moves_deterministic_order(self):
+        sim = Simulator(ping_pong(), RoundRobinPolicy())
+        first = [m.label() for m in sim.enabled_moves()]
+        second = [m.label() for m in sim.enabled_moves()]
+        assert first == second == ["ping"]
+
+    def test_interaction_requires_both(self):
+        sim = Simulator(ping_pong(), RoundRobinPolicy())
+        sim.step()  # ping (external to L)
+        labels = [m.label() for m in sim.enabled_moves()]
+        assert labels == ["go"]  # the shared handoff
+        move = sim.step()
+        assert move.kind == "interaction"
+        assert move.participants == (0, 1)
+
+    def test_run_respects_handoff_discipline(self):
+        sim = Simulator(ping_pong(), RoundRobinPolicy())
+        log = sim.run(30)
+        assert not log.deadlocked
+        assert log.external_trace[0] == "ping"
+        # pipelining is bounded: L may run at most two pings ahead of R's
+        # pongs (one in L's hand, one handed over), never the reverse
+        for i in range(1, len(log.external_trace) + 1):
+            prefix = log.external_trace[:i]
+            pings = prefix.count("ping")
+            pongs = prefix.count("pong")
+            assert 0 <= pings - pongs <= 2
+
+    def test_deadlock_reported(self):
+        stuck = SpecBuilder("S").external(0, "once", 1).initial(0).build()
+        sim = Simulator([stuck], RoundRobinPolicy())
+        log = sim.run(10)
+        assert log.deadlocked
+        assert log.external_trace == ("once",)
+
+    def test_internal_moves_logged(self, lossy_hop):
+        sim = Simulator([lossy_hop], ScriptedPolicy(["send", "λ@0", "timeout"]))
+        sim.run(3)
+        kinds = [m.kind for m in sim.log.steps]
+        assert kinds == ["external", "internal", "external"]
+
+    def test_reset(self):
+        sim = Simulator(ping_pong(), RoundRobinPolicy())
+        sim.run(5)
+        sim.reset()
+        assert sim.states == (0, 0)
+        assert not sim.log.steps
+
+    def test_three_way_sharing_rejected(self):
+        a = SpecBuilder("a").external(0, "e", 0).initial(0).build()
+        with pytest.raises(CompositionError, match="three or more"):
+            Simulator([a, a.renamed("b"), a.renamed("c")], RoundRobinPolicy())
+
+    def test_empty_components_rejected(self):
+        with pytest.raises(CompositionError):
+            Simulator([], RoundRobinPolicy())
+
+    def test_executed_trace_is_composite_trace(self):
+        """Agreement with the analytical semantics: the external trace of
+        any run is a trace of the composed machine."""
+        components = [ab_sender(), ab_channel(), ab_receiver()]
+        composite = compose_many(components)
+        for seed in range(5):
+            sim = Simulator(components, RandomPolicy(seed))
+            log = sim.run(400)
+            assert accepts(composite, log.external_trace)
+
+
+class TestPolicies:
+    def test_random_reproducible(self):
+        runs = []
+        for _ in range(2):
+            sim = Simulator(
+                [ab_sender(), ab_channel(), ab_receiver()], RandomPolicy(7)
+            )
+            runs.append(sim.run(200).external_trace)
+        assert runs[0] == runs[1]
+
+    def test_fair_policy_reaches_external_events(self):
+        components = [ab_sender(), ab_channel(), ab_receiver()]
+        sim = Simulator(components, FairRandomPolicy(3))
+        log = sim.run(2000)
+        assert log.count("acc") > 10
+        assert log.count("del") > 10
+
+    def test_biased_policy_prefers_losses(self):
+        components = [ns_sender(), ns_channel(), ns_receiver()]
+        lossy = BiasedPolicy({"internal": 25.0}, seed=5)
+        sim = Simulator(components, lossy)
+        log = sim.run(1500)
+        internal = sum(1 for m in log.steps if m.kind == "internal")
+        fair_sim = Simulator(components, RandomPolicy(5))
+        fair_log = fair_sim.run(1500)
+        fair_internal = sum(1 for m in fair_log.steps if m.kind == "internal")
+        assert internal > fair_internal
+
+    def test_scripted_policy_consumes_script(self):
+        policy = ScriptedPolicy(["ping", "go", "pong"])
+        sim = Simulator(ping_pong(), policy)
+        sim.run(3)
+        assert policy.exhausted
+        assert sim.log.external_trace == ("ping", "pong")
+
+
+class TestMonitors:
+    def test_service_monitor_accepts_valid_run(self, alternator):
+        monitor = ServiceMonitor(alternator)
+        for e in ("acc", "del", "acc", "del"):
+            assert monitor.observe(e)
+        assert monitor.verdict().ok
+
+    def test_service_monitor_flags_violation_with_trace(self, alternator):
+        monitor = ServiceMonitor(alternator)
+        monitor.observe("acc")
+        assert not monitor.observe("acc")
+        verdict = monitor.verdict()
+        assert not verdict.ok
+        assert verdict.violation_trace == ("acc", "acc")
+        assert "VIOLATION" in verdict.describe()
+
+    def test_monitor_sticky_after_violation(self, alternator):
+        monitor = ServiceMonitor(alternator)
+        monitor.observe("del")
+        assert not monitor.observe("acc")
+        assert monitor.verdict().violation_trace == ("del",)
+
+    def test_watchdog_triggers_on_stall(self):
+        watchdog = ProgressWatchdog(limit=3)
+        from repro.simulate.engine import Move
+
+        internal = Move("internal", None, (0,), (0,), (0,))
+        external = Move("external", "x", (0,), (0,), (0,))
+        for _ in range(3):
+            assert watchdog.observe_move(internal)
+        assert not watchdog.observe_move(internal)
+        assert watchdog.triggered
+        assert "TRIGGERED" in watchdog.describe()
+
+    def test_watchdog_resets_on_external(self):
+        watchdog = ProgressWatchdog(limit=3)
+        from repro.simulate.engine import Move
+
+        internal = Move("internal", None, (0,), (0,), (0,))
+        external = Move("external", "x", (0,), (0,), (0,))
+        for _ in range(10):
+            watchdog.observe_move(internal)
+            watchdog.observe_move(internal)
+            watchdog.observe_move(external)
+        assert not watchdog.triggered
+        assert watchdog.worst_stall == 2
+
+
+class TestHarness:
+    def test_ab_protocol_clean_under_stress(self):
+        components = [ab_sender(), ab_channel(), ab_receiver()]
+        report = stress(
+            components, alternating_service(), seeds=range(6), steps=1200
+        )
+        assert report.all_ok
+        assert report.total_external("del") > 0
+
+    def test_ns_protocol_violates_under_loss_pressure(self):
+        """The duplicate-delivery anomaly shows up operationally."""
+        components = [ns_sender(), ns_channel(), ns_receiver()]
+        violated = False
+        for seed in range(12):
+            report = simulate_system(
+                components,
+                alternating_service(),
+                steps=1500,
+                seed=seed,
+                policy=BiasedPolicy(
+                    {"internal": 10.0, "del": 5.0}, seed=seed
+                ),
+            )
+            if not report.monitor.ok:
+                violated = True
+                trace = report.monitor.violation_trace
+                # the witness always ends in a duplicate delivery
+                assert trace[-2:] == ("del", "del")
+                break
+        assert violated
+
+    def test_derived_converter_runs_clean(self):
+        from repro.protocols import colocated_scenario, ns_receiver
+        from repro.quotient import solve_quotient
+
+        scen = colocated_scenario()
+        result = solve_quotient(
+            scen.service, scen.composite, int_events=scen.interface.int_events
+        )
+        components = [ab_sender(), ab_channel(), ns_receiver(), result.converter]
+        report = stress(
+            components, alternating_service(), seeds=range(4), steps=1200
+        )
+        assert report.all_ok
+        # every accept is matched by a delivery (within one in flight)
+        for run in report.runs:
+            acc = run.external_counts.get("acc", 0)
+            del_ = run.external_counts.get("del", 0)
+            assert acc - 1 <= del_ <= acc
+
+    def test_report_describe(self):
+        components = [ab_sender(), ab_channel(), ab_receiver()]
+        report = simulate_system(
+            components, alternating_service(), steps=300, seed=0
+        )
+        text = report.describe()
+        assert "seed 0" in text
+        assert "monitor OK" in text

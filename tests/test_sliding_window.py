@@ -1,0 +1,87 @@
+"""Tests for the sliding-window protocol family."""
+
+import pytest
+
+from repro.errors import SpecError
+from repro.protocols import (
+    alternating_service,
+    sw_window_channel,
+    sw_window_receiver,
+    sw_window_sender,
+    sw_window_system,
+    windowed_alternating_service,
+)
+from repro.satisfy import satisfies, satisfies_safety
+from repro.spec import trace_equivalent
+from repro.traces import accepts
+
+
+class TestSender:
+    def test_window_one_alternates(self):
+        s = sw_window_sender(1)
+        assert accepts(s, ("acc", "-p0", "+k0", "acc", "-p1", "+k1"))
+        assert not accepts(s, ("acc", "acc"))
+        assert not accepts(s, ("-p0",))
+
+    def test_window_two_pipelines(self):
+        s = sw_window_sender(2)
+        assert accepts(s, ("acc", "-p0", "acc", "-p1", "+k0", "+k1"))
+        # window full: third accept must wait for an ack
+        assert not accepts(s, ("acc", "-p0", "acc", "-p1", "acc"))
+        assert accepts(s, ("acc", "-p0", "acc", "-p1", "+k0", "acc"))
+
+    def test_cumulative_ack_slides_base(self):
+        s = sw_window_sender(2)
+        # acking p1 implicitly acks p0 (base slides past both)
+        assert accepts(s, ("acc", "-p0", "acc", "-p1", "+k1", "acc", "-p2"))
+
+    def test_invalid_window(self):
+        with pytest.raises(SpecError):
+            sw_window_sender(0)
+
+
+class TestReceiver:
+    def test_in_order_delivery(self):
+        r = sw_window_receiver(1)
+        assert accepts(r, ("+p0", "del", "-k0", "+p1", "del", "-k1"))
+
+    def test_stale_data_reacked_not_delivered(self):
+        r = sw_window_receiver(1)
+        # after delivering p0, a retransmitted p0 yields a re-ack, no del
+        assert accepts(r, ("+p0", "del", "-k0", "+p0", "-k0"))
+        assert not accepts(r, ("+p0", "del", "-k0", "+p0", "del"))
+
+
+class TestChannel:
+    def test_fifo_order(self):
+        ch = sw_window_channel(2)
+        assert accepts(ch, ("-p0", "-p1", "+p0", "+p1"))
+        assert not accepts(ch, ("-p0", "-p1", "+p1"))
+
+    def test_capacity(self):
+        ch = sw_window_channel(1)
+        assert not accepts(ch, ("-p0", "-p1"))
+
+
+class TestSystem:
+    @pytest.mark.parametrize("window", [1, 2])
+    def test_satisfies_windowed_service(self, window):
+        system = sw_window_system(window)
+        service = windowed_alternating_service(window)
+        assert satisfies(system, service).holds
+
+    def test_window_one_equals_alternation(self):
+        system = sw_window_system(1)
+        assert satisfies(system, alternating_service()).holds
+
+    def test_window_two_exceeds_window_one_service(self):
+        system = sw_window_system(2)
+        result = satisfies_safety(system, windowed_alternating_service(1))
+        assert not result.holds
+        assert result.counterexample == ("acc", "acc")
+
+    def test_user_interface_only(self):
+        assert set(sw_window_system(2).alphabet) == {"acc", "del"}
+
+    def test_state_count_grows_with_window(self):
+        assert len(sw_window_system(2).states) > len(sw_window_system(1).states)

@@ -1,0 +1,167 @@
+"""Unit tests for trace theory: core algebra, projections, language queries."""
+
+import pytest
+
+from repro.errors import AlphabetError
+from repro.events import Interface
+from repro.spec import SpecBuilder
+from repro.traces import (
+    EPSILON,
+    accepts,
+    concat,
+    enabled_after,
+    enumerate_traces,
+    format_trace,
+    i_projection,
+    initial_closure,
+    interleavings_count,
+    is_prefix,
+    is_prefix_closed,
+    language_upto,
+    longest_trace_bounded,
+    merges,
+    o_projection,
+    prefix_close,
+    prefixes,
+    project,
+    proper_prefixes,
+    sample_trace,
+    split,
+    states_after,
+    subset_step,
+    trace,
+)
+
+
+class TestCoreAlgebra:
+    def test_trace_constructor(self):
+        assert trace("a", "b") == ("a", "b")
+        assert trace() == EPSILON
+
+    def test_concat_juxtaposition(self):
+        assert concat(("a",), ("b", "c")) == ("a", "b", "c")
+        assert concat((), ()) == EPSILON
+
+    def test_prefixes_shortest_first(self):
+        assert list(prefixes(("a", "b"))) == [(), ("a",), ("a", "b")]
+
+    def test_proper_prefixes(self):
+        assert list(proper_prefixes(("a", "b"))) == [(), ("a",)]
+
+    def test_is_prefix(self):
+        assert is_prefix((), ("a",))
+        assert is_prefix(("a",), ("a", "b"))
+        assert not is_prefix(("b",), ("a", "b"))
+        assert is_prefix(("a", "b"), ("a", "b"))
+
+    def test_format_trace(self):
+        assert format_trace(("acc", "del")) == "⟨acc.del⟩"
+        assert format_trace(()) == "⟨⟩"
+
+    def test_prefix_close(self):
+        closed = prefix_close([("a", "b")])
+        assert closed == frozenset({(), ("a",), ("a", "b")})
+
+    def test_is_prefix_closed(self):
+        assert is_prefix_closed({(), ("a",)})
+        assert not is_prefix_closed({("a",)})  # missing ε
+        assert not is_prefix_closed({(), ("a", "b")})  # missing ("a",)
+
+
+class TestProjections:
+    IFACE = Interface(["m", "n"], ["x", "y"])
+
+    def test_project_erases(self):
+        assert project(("x", "m", "y", "n"), {"m", "n"}) == ("m", "n")
+
+    def test_i_and_o(self):
+        t = ("x", "m", "y", "n")
+        assert i_projection(self.IFACE, t) == ("m", "n")
+        assert o_projection(self.IFACE, t) == ("x", "y")
+
+    def test_split(self):
+        assert split(self.IFACE, ("x", "m")) == (("m",), ("x",))
+
+    def test_split_rejects_unknown_event(self):
+        with pytest.raises(AlphabetError):
+            split(self.IFACE, ("zzz",))
+
+    def test_projection_concat_homomorphism(self):
+        t1, t2 = ("x", "m"), ("n", "y")
+        assert i_projection(self.IFACE, t1 + t2) == i_projection(
+            self.IFACE, t1
+        ) + i_projection(self.IFACE, t2)
+
+    def test_merges_inverse_of_projections(self):
+        for merged in merges(("m", "n"), ("x",)):
+            assert i_projection(self.IFACE, merged) == ("m", "n")
+            assert o_projection(self.IFACE, merged) == ("x",)
+
+    def test_merges_count_is_binomial(self):
+        assert len(merges(("m", "n"), ("x", "y"))) == interleavings_count(2, 2)
+        assert interleavings_count(2, 2) == 6
+
+    def test_interleavings_rejects_negative(self):
+        with pytest.raises(AlphabetError):
+            interleavings_count(-1, 0)
+
+
+class TestLanguage:
+    def test_initial_closure(self, lossy_hop):
+        assert initial_closure(lossy_hop) == frozenset([0])
+
+    def test_states_after_includes_trailing_closure(self, lossy_hop):
+        # after 'send' the system may be in 1 or silently in 2
+        assert states_after(lossy_hop, ("send",)) == frozenset([1, 2])
+
+    def test_states_after_non_trace_is_empty(self, lossy_hop):
+        assert states_after(lossy_hop, ("timeout",)) == frozenset()
+
+    def test_accepts(self, alternator):
+        assert accepts(alternator, ())
+        assert accepts(alternator, ("acc", "del", "acc"))
+        assert not accepts(alternator, ("del",))
+        assert not accepts(alternator, ("acc", "acc"))
+
+    def test_subset_step(self, lossy_hop):
+        after = subset_step(lossy_hop, frozenset([1, 2]), "timeout")
+        assert after == frozenset([0])
+        assert subset_step(lossy_hop, frozenset([0]), "timeout") == frozenset()
+
+    def test_enabled_after(self, lossy_hop):
+        assert set(enabled_after(lossy_hop, ("send",))) == {"arrive", "timeout"}
+        assert set(enabled_after(lossy_hop, ())) == {"send"}
+
+    def test_enumerate_traces_is_prefix_closed(self, alternator):
+        traces = set(enumerate_traces(alternator, 5))
+        assert is_prefix_closed(traces)
+
+    def test_enumerate_respects_bound(self, alternator):
+        assert max(len(t) for t in enumerate_traces(alternator, 3)) == 3
+
+    def test_language_upto_exact_content(self, alternator):
+        assert language_upto(alternator, 2) == frozenset(
+            {(), ("acc",), ("acc", "del")}
+        )
+
+    def test_language_of_finite_machine_saturates(self):
+        finite = SpecBuilder("f").external(0, "a", 1).initial(0).build()
+        assert language_upto(finite, 10) == frozenset({(), ("a",)})
+
+    def test_longest_trace_bounded(self, alternator):
+        assert len(longest_trace_bounded(alternator, 7)) == 7
+
+    def test_sample_trace_valid(self, alternator):
+        t = sample_trace(alternator, 6, seed=3)
+        assert t is not None
+        assert len(t) == 6
+        assert accepts(alternator, t)
+
+    def test_sample_trace_none_when_too_deep(self):
+        finite = SpecBuilder("f").external(0, "a", 1).initial(0).build()
+        assert sample_trace(finite, 5) is None
+
+    def test_sample_trace_deterministic_per_seed(self, lossy_hop):
+        assert sample_trace(lossy_hop, 8, seed=1) == sample_trace(
+            lossy_hop, 8, seed=1
+        )

@@ -1,0 +1,60 @@
+"""Unit tests for the combined satisfaction verdict."""
+
+from repro.satisfy import satisfies
+from repro.spec import SpecBuilder
+
+
+class TestSatisfies:
+    def test_full_pass(self, alternator):
+        report = satisfies(alternator, alternator)
+        assert report.holds
+        assert bool(report)
+        assert report.safety.holds
+        assert report.progress is not None and report.progress.holds
+
+    def test_safety_failure_skips_progress(self, alternator):
+        bad = (
+            SpecBuilder("bad").external(0, "del", 0).event("acc").initial(0).build()
+        )
+        report = satisfies(bad, alternator)
+        assert not report.holds
+        assert not report.safety.holds
+        assert report.progress is None
+        assert "not evaluated" in report.describe()
+
+    def test_progress_failure_detected(self, alternator):
+        staller = (
+            SpecBuilder("stall")
+            .external(0, "acc", 1)
+            .event("del")
+            .initial(0)
+            .build()
+        )
+        report = satisfies(staller, alternator)
+        assert not report.holds
+        assert report.safety.holds
+        assert report.progress is not None and not report.progress.holds
+
+    def test_describe_has_verdict_line(self, alternator):
+        text = satisfies(alternator, alternator).describe()
+        assert "YES" in text
+        assert "safety holds" in text
+        assert "progress holds" in text
+
+    def test_names_recorded(self, alternator):
+        report = satisfies(alternator.renamed("impl"), alternator.renamed("svc"))
+        assert report.impl_name == "impl"
+        assert report.service_name == "svc"
+
+    def test_safety_then_progress_necessity(self, alternator):
+        """Progress satisfaction implies safety satisfaction for these
+        machines (the theory's necessary-condition relationship)."""
+        once = (
+            SpecBuilder("once")
+            .external(0, "acc", 1)
+            .external(1, "del", 0)
+            .initial(0)
+            .build()
+        )
+        report = satisfies(once, alternator)
+        assert report.holds
