@@ -8,6 +8,7 @@ Top-level convenience re-exports; see subpackages for the full API:
 * :mod:`repro.traces` — trace theory and the i/o projections
 * :mod:`repro.satisfy` — safety/progress satisfaction checking
 * :mod:`repro.quotient` — the quotient algorithm (the paper's contribution)
+* :mod:`repro.lint` — rule-based static analysis of specs and quotient problems
 * :mod:`repro.protocols` — the paper's protocols (AB, NS, channels, services)
 * :mod:`repro.baselines` — Okumura and Lam bottom-up baselines
 * :mod:`repro.arch` — Section 6 layered-architecture modeling

@@ -75,11 +75,12 @@ def explain_converter(result: QuotientResult, *, show_pairs: bool = False) -> st
             for line in diagnosis.describe().splitlines():
                 lines.append("  " + line)
     else:
+        from ..quotient.diagnose import safety_failure_diagnostic
+
         lines.append("")
-        lines.append(
-            "diagnosis: ok(h.ε) fails — the component can violate the "
-            "service's safety with no converter interaction at all"
-        )
+        lines.append("diagnosis:")
+        for line in safety_failure_diagnostic(result).describe().splitlines():
+            lines.append("  " + line)
     return "\n".join(lines)
 
 

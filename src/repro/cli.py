@@ -4,6 +4,9 @@ Subcommands
 -----------
 ``show``
     Parse a spec file (DSL or JSON) and render its machines.
+``lint``
+    Statically analyze specs, compositions, or a quotient problem without
+    solving; emit structured diagnostics (text, JSON, or SARIF).
 ``compose``
     Compose named specs from a file and render/export the composite.
 ``check``
@@ -34,11 +37,14 @@ from .spec.spec import Specification
 
 
 def _load_specs(path: str) -> dict[str, Specification]:
-    if path.endswith(".json"):
-        spec = load_json(path)
-        return {spec.name: spec}
-    with open(path, "r", encoding="utf-8") as fh:
-        return parse_dsl(fh.read())
+    try:
+        if path.endswith(".json"):
+            spec = load_json(path)
+            return {spec.name: spec}
+        with open(path, "r", encoding="utf-8") as fh:
+            return parse_dsl(fh.read())
+    except OSError as exc:
+        raise ReproError(f"cannot read {path!r}: {exc}") from exc
 
 
 def _pick(specs: dict[str, Specification], name: str) -> Specification:
@@ -60,6 +66,51 @@ def _cmd_show(args: argparse.Namespace) -> int:
             print(render_spec(spec))
             print()
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .lint import LintReport, lint_composition, lint_problem, lint_spec
+
+    specs = _load_specs(args.file)
+    select = args.select.split(",") if args.select else None
+    ignore = args.ignore.split(",") if args.ignore else None
+
+    if (args.service is None) != (args.component is None):
+        raise ReproError("--service and --component must be given together")
+
+    if args.service is not None and args.component is not None:
+        int_events = args.int_events.split(",") if args.int_events else None
+        report = lint_problem(
+            _pick(specs, args.service),
+            _pick(specs, args.component),
+            int_events,
+            select=select,
+            ignore=ignore,
+        )
+    else:
+        names = args.names or sorted(specs)
+        parts = [_pick(specs, name) for name in names]
+        if args.compose:
+            report = lint_composition(
+                parts, include_parts=True, select=select, ignore=ignore
+            )
+        else:
+            merged: LintReport | None = None
+            for part in parts:
+                partial = lint_spec(
+                    part, role=args.role, select=select, ignore=ignore
+                )
+                merged = partial if merged is None else merged.merged_with(partial)
+            assert merged is not None
+            report = merged
+
+    if args.format == "json":
+        print(report.to_json())
+    elif args.format == "sarif":
+        print(report.to_sarif())
+    else:
+        print(report.describe())
+    return report.exit_code(strict=args.strict)
 
 
 def _cmd_compose(args: argparse.Namespace) -> int:
@@ -88,7 +139,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     specs = _load_specs(args.file)
     service = _pick(specs, args.service)
     component = _pick(specs, args.component)
-    result = solve_quotient(service, component)
+    result = solve_quotient(service, component, preflight=not args.no_preflight)
     print(explain_converter(result, show_pairs=args.pairs))
     if result.exists and args.dot:
         assert result.converter is not None
@@ -113,7 +164,11 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"no converter exists; {exc}")
         return 1
-    print(diagnosis.describe())
+    if args.format == "json":
+        target = f"{service.name}/{component.name}"
+        print(diagnosis.to_report(target=target).to_json())
+    else:
+        print(diagnosis.describe())
     return 1
 
 
@@ -195,6 +250,62 @@ def build_parser() -> argparse.ArgumentParser:
     p_show.add_argument("--dot", action="store_true", help="emit Graphviz DOT")
     p_show.set_defaults(func=_cmd_show)
 
+    p_lint = sub.add_parser(
+        "lint",
+        help="statically analyze specs without solving",
+        description=(
+            "Run the rule-based static analyzer (repro.lint) over specs, a "
+            "composition, or a full quotient problem, without executing the "
+            "quotient.  Rule codes are stable (SPEC0xx structure, NORM0xx "
+            "normal form, COMP0xx/CONV0xx composition and channel "
+            "conventions, SPEC1xx/QUOT0xx quotient preflight); see "
+            "docs/lint.md for the catalogue.  Exit code 0 means no errors "
+            "(1 with --strict if warnings), 1 means error-severity "
+            "diagnostics, 2 means the input could not be loaded."
+        ),
+    )
+    p_lint.add_argument("file")
+    p_lint.add_argument(
+        "names", nargs="*", help="spec names to lint (default: all in file)"
+    )
+    p_lint.add_argument(
+        "--service", default=None,
+        help="lint the quotient problem SERVICE / COMPONENT",
+    )
+    p_lint.add_argument(
+        "--component", default=None,
+        help="component (composite B) of the quotient problem",
+    )
+    p_lint.add_argument(
+        "--int", dest="int_events", default=None, metavar="EV,EV,...",
+        help="declared Int events to validate (with --service/--component)",
+    )
+    p_lint.add_argument(
+        "--compose", action="store_true",
+        help="treat the named specs as parts of one || composition",
+    )
+    p_lint.add_argument(
+        "--role", choices=["component", "service"], default="component",
+        help="role of the linted specs (service adds NORM0xx rules)",
+    )
+    p_lint.add_argument(
+        "--format", choices=["text", "json", "sarif"], default="text",
+        help="output format (default text)",
+    )
+    p_lint.add_argument(
+        "--select", default=None, metavar="CODES",
+        help="comma-separated rule codes/prefixes to run (e.g. SPEC,NORM001)",
+    )
+    p_lint.add_argument(
+        "--ignore", default=None, metavar="CODES",
+        help="comma-separated rule codes/prefixes to skip",
+    )
+    p_lint.add_argument(
+        "--strict", action="store_true",
+        help="exit nonzero on warnings as well as errors",
+    )
+    p_lint.set_defaults(func=_cmd_lint)
+
     p_compose = sub.add_parser("compose", help="compose specs with ||")
     p_compose.add_argument("file")
     p_compose.add_argument("names", nargs="+")
@@ -215,6 +326,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_solve.add_argument("--pairs", action="store_true",
                          help="show pair-set state annotations")
     p_solve.add_argument("--dot", action="store_true")
+    p_solve.add_argument(
+        "--no-preflight", action="store_true",
+        help="skip the static-analysis preflight (repro.lint) before solving",
+    )
     p_solve.set_defaults(func=_cmd_solve)
 
     p_diag = sub.add_parser(
@@ -225,6 +340,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_diag.add_argument("component")
     p_diag.add_argument("--frontier", type=int, default=5,
                         help="max points-of-no-return to report")
+    p_diag.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="render the diagnosis as text or structured JSON diagnostics",
+    )
     p_diag.set_defaults(func=_cmd_diagnose)
 
     p_sim = sub.add_parser(

@@ -10,10 +10,11 @@ Note on associativity: iterated binary ``‖`` hides an event as soon as two
 adjacent partial composites share it, so an event appearing in *three*
 component alphabets would be hidden after the first synchronization and the
 third component could never participate.  :func:`compose_many` detects this
-and raises :class:`CompositionError`, since it almost always indicates a
-mis-declared interface.  (Events shared by exactly two components — the
-normal point-to-point interface case — are handled exactly as the paper's
-operator does.)
+through its static-analysis preflight (rule ``COMP001``) and raises
+:class:`~repro.errors.LintError` (a :class:`CompositionError` subclass),
+since it almost always indicates a mis-declared interface.  (Events shared
+by exactly two components — the normal point-to-point interface case — are
+handled exactly as the paper's operator does.)
 """
 
 from __future__ import annotations
@@ -22,6 +23,7 @@ from collections import Counter
 from typing import Sequence
 
 from ..errors import CompositionError
+from ..lint.engine import preflight_composition
 from ..spec.spec import Specification, State
 from .binary import compose
 
@@ -40,6 +42,7 @@ def compose_many(
     name: str | None = None,
     reachable_only: bool = True,
     flatten: bool = True,
+    preflight: bool = True,
 ) -> Specification:
     """Compose ``specs[0] ‖ specs[1] ‖ ... ‖ specs[k-1]``.
 
@@ -54,6 +57,13 @@ def compose_many(
         Restrict to the reachable product (default True).
     flatten:
         Relabel composite states from nested pairs to flat k-tuples.
+    preflight:
+        Run the composition-scope static-analysis rules first (default
+        on); error-severity findings — e.g. ``COMP001``, an event shared
+        by three or more alphabets — raise :class:`~repro.errors.LintError`
+        before any product is built.  With ``preflight=False`` only the
+        hard overshared-event check runs (the composition would be
+        silently wrong without it).
 
     Raises
     ------
@@ -67,14 +77,18 @@ def compose_many(
     if len(specs) == 1:
         return specs[0].renamed(composite_name)
 
-    counts = Counter(e for s in specs for e in s.alphabet)
-    overshared = sorted(e for e, n in counts.items() if n >= 3)
-    if overshared:
-        raise CompositionError(
-            f"events {overshared} appear in three or more component alphabets; "
-            "iterated binary composition would hide them after the first "
-            "synchronization — declare distinct point-to-point interfaces"
-        )
+    if preflight:
+        preflight_composition(specs).raise_if_errors()
+    else:
+        counts = Counter(e for s in specs for e in s.alphabet)
+        overshared = sorted(e for e, n in counts.items() if n >= 3)
+        if overshared:
+            raise CompositionError(
+                f"events {overshared} appear in three or more component "
+                "alphabets; iterated binary composition would hide them after "
+                "the first synchronization — declare distinct point-to-point "
+                "interfaces"
+            )
 
     result = specs[0]
     for nxt in specs[1:]:

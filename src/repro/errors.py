@@ -82,6 +82,25 @@ class CompositionError(ReproError):
     could not be disambiguated, or an n-ary composition list is empty)."""
 
 
+class LintError(QuotientError, CompositionError):
+    """Static analysis (:mod:`repro.lint`) found error-severity diagnostics.
+
+    Raised by the opt-out preflights in :func:`repro.quotient.solve_quotient`
+    and :func:`repro.compose.compose_many` so malformed inputs are rejected
+    before the expensive product construction, with every violation collected
+    (not just the first).  ``diagnostics`` holds the structured
+    :class:`repro.lint.Diagnostic` findings; the message embeds their
+    rendered form.
+
+    Subclasses both :class:`QuotientError` and :class:`CompositionError` so
+    existing ``except`` clauses around either entry point keep working.
+    """
+
+    def __init__(self, message: str, *, diagnostics: tuple = ()) -> None:
+        self.diagnostics = tuple(diagnostics)
+        super().__init__(message)
+
+
 class DSLError(ReproError):
     """The textual spec DSL could not be parsed."""
 

@@ -1,0 +1,70 @@
+"""Static analysis of specifications and quotient problems.
+
+``repro.lint`` runs a registry of structural rules over
+:class:`~repro.spec.spec.Specification` objects, compositions, and
+``(A, B, Int, Ext)`` quotient instances, emitting structured
+:class:`Diagnostic` findings (stable code, severity, witness, fix hint)
+*without* executing the quotient.  It backs three surfaces:
+
+* the ``repro-converter lint`` CLI subcommand (text / JSON / SARIF);
+* the opt-out preflights inside :func:`repro.quotient.solve_quotient`
+  and :func:`repro.compose.compose_many`, which reject malformed inputs
+  with a :class:`~repro.errors.LintError` before product construction;
+* this public API — :func:`run_rules` and the scoped helpers.
+
+See ``docs/lint.md`` for the rule catalogue.
+"""
+
+from .diagnostics import (
+    SEVERITIES,
+    SEVERITY_ERROR,
+    SEVERITY_INFO,
+    SEVERITY_WARNING,
+    Diagnostic,
+    LintReport,
+    format_diagnostics,
+)
+from .engine import (
+    lint_composition,
+    lint_problem,
+    lint_spec,
+    preflight_composition,
+    preflight_quotient,
+    run_rules,
+    select_rules,
+)
+from .rules import (
+    ROLE_COMPONENT,
+    ROLE_SERVICE,
+    CompositionTarget,
+    ProblemTarget,
+    Rule,
+    SpecTarget,
+    all_rules,
+    get_rule,
+)
+
+__all__ = [
+    "SEVERITIES",
+    "SEVERITY_ERROR",
+    "SEVERITY_INFO",
+    "SEVERITY_WARNING",
+    "CompositionTarget",
+    "Diagnostic",
+    "LintReport",
+    "ProblemTarget",
+    "ROLE_COMPONENT",
+    "ROLE_SERVICE",
+    "Rule",
+    "SpecTarget",
+    "all_rules",
+    "format_diagnostics",
+    "get_rule",
+    "lint_composition",
+    "lint_problem",
+    "lint_spec",
+    "preflight_composition",
+    "preflight_quotient",
+    "run_rules",
+    "select_rules",
+]

@@ -1,0 +1,274 @@
+"""Structured diagnostics and reports for the static analyzer.
+
+A :class:`Diagnostic` is one finding of one rule: a stable code
+(``SPEC001``, ``NORM002``, ``QUOT101`` ...), a severity, a human-readable
+message, the offending spec/state/event witness, and a fix hint.  A
+:class:`LintReport` is an ordered collection of diagnostics with the
+renderings the CLI exposes (text, JSON, SARIF) and the raise/exit-code
+policy the preflights rely on.
+
+The same types are emitted by :mod:`repro.quotient.diagnose` and
+:mod:`repro.analysis.explain`, so ``repro-converter lint`` and
+``repro-converter diagnose`` share a single rendering path.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Mapping
+
+from ..errors import LintError
+
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+SEVERITY_INFO = "info"
+
+SEVERITIES = (SEVERITY_ERROR, SEVERITY_WARNING, SEVERITY_INFO)
+_SEVERITY_RANK: Mapping[str, int] = {s: i for i, s in enumerate(SEVERITIES)}
+
+_SARIF_LEVEL = {
+    SEVERITY_ERROR: "error",
+    SEVERITY_WARNING: "warning",
+    SEVERITY_INFO: "note",
+}
+
+
+def json_safe(value: Any) -> Any:
+    """Encode an arbitrary witness value into JSON-stable structure.
+
+    States may be ints, strings, tuples, or frozensets of those; anything
+    else falls back to ``repr``.  Sets are sorted for determinism.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return value
+    if isinstance(value, (tuple, list)):
+        return [json_safe(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        encoded = [json_safe(v) for v in value]
+        encoded.sort(key=lambda v: json.dumps(v, sort_keys=True))
+        return encoded
+    if isinstance(value, dict):
+        return {str(k): json_safe(v) for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))}
+    return repr(value)
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One structured finding of a static-analysis rule.
+
+    ``code`` is stable across releases; tooling may match on it.  ``witness``
+    holds the offending structure in a rule-specific shape (a state, an
+    event, a ``(state, event, targets)`` triple ...); ``state`` and
+    ``event`` duplicate the common cases for easy filtering.
+    """
+
+    code: str
+    severity: str
+    message: str
+    rule: str = ""
+    spec_name: str | None = None
+    state: Any = None
+    event: str | None = None
+    witness: Any = None
+    hint: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.severity not in _SEVERITY_RANK:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    @property
+    def is_error(self) -> bool:
+        return self.severity == SEVERITY_ERROR
+
+    def sort_key(self) -> tuple[int, str, str, str]:
+        return (
+            _SEVERITY_RANK[self.severity],
+            self.code,
+            self.spec_name or "",
+            repr(self.witness),
+        )
+
+    def describe(self) -> str:
+        """Render this diagnostic as indented text (the shared path used by
+        both ``lint`` and ``diagnose``)."""
+        where = f" [{self.spec_name}]" if self.spec_name else ""
+        first, *rest = self.message.splitlines() or [""]
+        lines = [f"{self.severity}[{self.code}]{where} {first}"]
+        lines.extend(f"    {line}" for line in rest)
+        if self.hint:
+            lines.append(f"    hint: {self.hint}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "code": self.code,
+            "severity": self.severity,
+            "rule": self.rule,
+            "spec": self.spec_name,
+            "message": self.message,
+            "state": json_safe(self.state),
+            "event": self.event,
+            "witness": json_safe(self.witness),
+            "hint": self.hint,
+        }
+
+
+def format_diagnostics(diagnostics: Iterable[Diagnostic]) -> str:
+    """Render a sequence of diagnostics, one block per finding."""
+    return "\n".join(d.describe() for d in diagnostics)
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """The outcome of running a set of rules over one target.
+
+    ``diagnostics`` are sorted most-severe first with deterministic
+    tie-breaking.  ``target`` names what was analyzed (for report headers).
+    """
+
+    diagnostics: tuple[Diagnostic, ...]
+    target: str = ""
+    rules_run: tuple[str, ...] = field(default=())
+
+    @classmethod
+    def collect(
+        cls,
+        diagnostics: Iterable[Diagnostic],
+        *,
+        target: str = "",
+        rules_run: Iterable[str] = (),
+    ) -> "LintReport":
+        ordered = tuple(sorted(diagnostics, key=Diagnostic.sort_key))
+        return cls(ordered, target=target, rules_run=tuple(rules_run))
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    @property
+    def errors(self) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity == SEVERITY_ERROR)
+
+    @property
+    def warnings(self) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity == SEVERITY_WARNING)
+
+    @property
+    def infos(self) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity == SEVERITY_INFO)
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity diagnostics were produced."""
+        return not self.errors
+
+    def codes(self) -> tuple[str, ...]:
+        """Distinct diagnostic codes present, sorted."""
+        return tuple(sorted({d.code for d in self.diagnostics}))
+
+    def exit_code(self, *, strict: bool = False) -> int:
+        """CLI exit code: 1 for errors (or warnings under ``strict``)."""
+        if self.errors:
+            return 1
+        if strict and self.warnings:
+            return 1
+        return 0
+
+    def raise_if_errors(self) -> None:
+        """Raise :class:`~repro.errors.LintError` when errors are present.
+
+        This is the preflight contract: warnings and infos never block; an
+        error-severity diagnostic aborts before expensive construction.
+        """
+        errors = self.errors
+        if errors:
+            raise LintError(
+                f"static analysis found {len(errors)} error(s) in "
+                f"{self.target or 'input'}:\n" + format_diagnostics(errors),
+                diagnostics=errors,
+            )
+
+    def summary(self) -> str:
+        return (
+            f"lint {self.target or '(input)'}: {len(self.errors)} error(s), "
+            f"{len(self.warnings)} warning(s), {len(self.infos)} info(s)"
+        )
+
+    def describe(self) -> str:
+        """Full text rendering: summary header plus one block per finding."""
+        lines = [self.summary()]
+        if self.diagnostics:
+            lines.append(format_diagnostics(self.diagnostics))
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # machine-readable renderings
+    # ------------------------------------------------------------------
+    def to_json_dict(self) -> dict[str, Any]:
+        return {
+            "version": 1,
+            "target": self.target,
+            "summary": {
+                "errors": len(self.errors),
+                "warnings": len(self.warnings),
+                "infos": len(self.infos),
+            },
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        return json.dumps(self.to_json_dict(), indent=indent, sort_keys=True)
+
+    def to_sarif_dict(self) -> dict[str, Any]:
+        """Minimal SARIF 2.1.0 document (one run, one result per finding)."""
+        rule_ids = sorted({d.code for d in self.diagnostics} | set(self.rules_run))
+        return {
+            "$schema": (
+                "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json"
+            ),
+            "version": "2.1.0",
+            "runs": [
+                {
+                    "tool": {
+                        "driver": {
+                            "name": "repro-lint",
+                            "informationUri": "https://example.invalid/repro",
+                            "rules": [{"id": rid} for rid in rule_ids],
+                        }
+                    },
+                    "results": [
+                        {
+                            "ruleId": d.code,
+                            "level": _SARIF_LEVEL[d.severity],
+                            "message": {"text": d.message},
+                            "properties": {
+                                "spec": d.spec_name,
+                                "witness": json_safe(d.witness),
+                                "hint": d.hint,
+                            },
+                        }
+                        for d in self.diagnostics
+                    ],
+                }
+            ],
+        }
+
+    def to_sarif(self, *, indent: int | None = 2) -> str:
+        return json.dumps(self.to_sarif_dict(), indent=indent, sort_keys=True)
+
+    def merged_with(self, other: "LintReport") -> "LintReport":
+        """Combine two reports (used when linting several specs at once)."""
+        target = self.target if self.target == other.target else (
+            ", ".join(t for t in (self.target, other.target) if t)
+        )
+        return LintReport.collect(
+            self.diagnostics + other.diagnostics,
+            target=target,
+            rules_run=tuple(dict.fromkeys(self.rules_run + other.rules_run)),
+        )

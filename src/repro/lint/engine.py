@@ -1,0 +1,219 @@
+"""The lint engine: rule selection and the public entry points.
+
+The engine never executes the quotient or a composition; it runs the
+registered structural rules over one of three target shapes and returns a
+:class:`~repro.lint.diagnostics.LintReport`:
+
+* :func:`lint_spec` — one specification (optionally in the service role,
+  which adds the ``NORM0xx`` normal-form rules);
+* :func:`lint_composition` — the parts of a ``‖`` composition
+  (``COMP0xx``/``CONV0xx`` rules, optionally each part's ``SPEC0xx``);
+* :func:`lint_problem` — an ``(A, B, Int, Ext)`` quotient instance
+  (partition rules, the service's normal form, empty-converter
+  predictors, and each input's structural rules);
+* :func:`run_rules` — the swiss-army dispatcher the CLI uses.
+
+``select``/``ignore`` filter rules by code or code prefix (``"SPEC1"``
+matches ``SPEC101``–``SPEC103``) or by rule name (``"unreachable-state"``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..events import Alphabet, Event
+from ..spec.spec import Specification
+from .diagnostics import Diagnostic, LintReport
+from .rules import (
+    ROLE_COMPONENT,
+    ROLE_SERVICE,
+    CompositionTarget,
+    ProblemTarget,
+    Rule,
+    SpecTarget,
+    all_rules,
+)
+
+Selection = Iterable[str] | None
+
+
+def _matches(rule: Rule, pattern: str) -> bool:
+    return rule.code.startswith(pattern) or rule.name == pattern
+
+
+def select_rules(
+    *,
+    scopes: Iterable[str],
+    select: Selection = None,
+    ignore: Selection = None,
+) -> tuple[Rule, ...]:
+    """Rules in *scopes*, filtered by ``select``/``ignore`` patterns."""
+    wanted_scopes = set(scopes)
+    chosen = [r for r in all_rules() if r.scope in wanted_scopes]
+    if select is not None:
+        patterns = list(select)
+        chosen = [r for r in chosen if any(_matches(r, p) for p in patterns)]
+    if ignore is not None:
+        patterns = list(ignore)
+        chosen = [r for r in chosen if not any(_matches(r, p) for p in patterns)]
+    return tuple(chosen)
+
+
+def _run(rules: Iterable[Rule], target: object) -> list[Diagnostic]:
+    found: list[Diagnostic] = []
+    for rule in rules:
+        found.extend(rule.check(target))
+    return found
+
+
+def lint_spec(
+    spec: Specification,
+    *,
+    role: str = ROLE_COMPONENT,
+    select: Selection = None,
+    ignore: Selection = None,
+) -> LintReport:
+    """Run the single-spec rules (plus ``NORM0xx`` for the service role)."""
+    scopes = ["spec"] if role != ROLE_SERVICE else ["spec", "service"]
+    rules = select_rules(scopes=scopes, select=select, ignore=ignore)
+    target = SpecTarget(spec, role=role)
+    return LintReport.collect(
+        _run(rules, target),
+        target=spec.name,
+        rules_run=(r.code for r in rules),
+    )
+
+
+def lint_composition(
+    parts: Sequence[Specification],
+    *,
+    include_parts: bool = False,
+    select: Selection = None,
+    ignore: Selection = None,
+) -> LintReport:
+    """Run the composition-scope rules over the parts of a ``‖``.
+
+    With ``include_parts`` each part is additionally linted with the
+    single-spec rules (the CLI does this; the :func:`compose_many`
+    preflight does not, because part-level findings do not invalidate the
+    composition itself).
+    """
+    comp_rules = select_rules(scopes=["composition"], select=select, ignore=ignore)
+    target_name = "||".join(p.name for p in parts) or "(empty composition)"
+    diagnostics = _run(comp_rules, CompositionTarget(tuple(parts)))
+    rules_run = [r.code for r in comp_rules]
+    if include_parts:
+        spec_rules = select_rules(scopes=["spec"], select=select, ignore=ignore)
+        rules_run.extend(r.code for r in spec_rules)
+        for part in parts:
+            diagnostics.extend(_run(spec_rules, SpecTarget(part)))
+    return LintReport.collect(
+        diagnostics, target=target_name, rules_run=dict.fromkeys(rules_run)
+    )
+
+
+def lint_problem(
+    service: Specification,
+    component: Specification,
+    int_events: Iterable[Event] | None = None,
+    *,
+    include_spec_rules: bool = True,
+    select: Selection = None,
+    ignore: Selection = None,
+) -> LintReport:
+    """Lint a quotient instance ``service / component``.
+
+    Runs the problem-scope partition/preflight rules and the service's
+    normal-form rules; with ``include_spec_rules`` (default) both inputs
+    also get the structural ``SPEC0xx`` pass.
+    """
+    declared = Alphabet(int_events) if int_events is not None else None
+    problem_rules = select_rules(scopes=["problem"], select=select, ignore=ignore)
+    service_rules = select_rules(scopes=["service"], select=select, ignore=ignore)
+    diagnostics = _run(
+        problem_rules, ProblemTarget(service, component, declared)
+    )
+    diagnostics.extend(_run(service_rules, SpecTarget(service, role=ROLE_SERVICE)))
+    rules_run = [r.code for r in problem_rules] + [r.code for r in service_rules]
+    if include_spec_rules:
+        spec_rules = select_rules(scopes=["spec"], select=select, ignore=ignore)
+        rules_run.extend(r.code for r in spec_rules)
+        for part, role in ((service, ROLE_SERVICE), (component, ROLE_COMPONENT)):
+            diagnostics.extend(_run(spec_rules, SpecTarget(part, role=role)))
+    return LintReport.collect(
+        diagnostics,
+        target=f"{service.name}/{component.name}",
+        rules_run=dict.fromkeys(rules_run),
+    )
+
+
+def preflight_quotient(
+    service: Specification,
+    component: Specification,
+    int_events: Iterable[Event] | None = None,
+) -> LintReport:
+    """The solve-time preflight: partition + normal-form + predictors.
+
+    Structural ``SPEC0xx`` findings about the inputs (unreachable states
+    and the like) are deliberately excluded: they never change the
+    quotient's answer, so they must not block a solve.  Use
+    :func:`lint_problem` for the full report.
+    """
+    return lint_problem(
+        service, component, int_events, include_spec_rules=False
+    )
+
+
+def preflight_composition(parts: Sequence[Specification]) -> LintReport:
+    """The compose-time preflight (composition-scope rules only)."""
+    return lint_composition(parts, include_parts=False)
+
+
+def run_rules(
+    *specs: Specification,
+    role: str = ROLE_COMPONENT,
+    compose: bool = False,
+    service: Specification | None = None,
+    component: Specification | None = None,
+    int_events: Iterable[Event] | None = None,
+    select: Selection = None,
+    ignore: Selection = None,
+) -> LintReport:
+    """Run the registry over whatever the caller has — the public API.
+
+    * ``run_rules(spec)`` — structural lint of one spec;
+    * ``run_rules(a, b, c)`` — each spec linted independently, one report;
+    * ``run_rules(a, b, c, compose=True)`` — additionally treat the specs
+      as parts of one ``‖`` composition (``COMP``/``CONV`` rules);
+    * ``run_rules(service=A, component=B, int_events=[...])`` — full
+      quotient-problem lint (any positional specs are linted too).
+
+    Returns a single merged :class:`LintReport`.
+    """
+    if (service is None) != (component is None):
+        raise ValueError(
+            "service and component must be passed together (or not at all)"
+        )
+    reports: list[LintReport] = []
+    for spec in specs:
+        reports.append(lint_spec(spec, role=role, select=select, ignore=ignore))
+    if compose:
+        reports.append(
+            lint_composition(list(specs), select=select, ignore=ignore)
+        )
+    if service is not None and component is not None:
+        reports.append(
+            lint_problem(
+                service,
+                component,
+                int_events,
+                select=select,
+                ignore=ignore,
+            )
+        )
+    if not reports:
+        return LintReport.collect((), target="(nothing)")
+    merged = reports[0]
+    for report in reports[1:]:
+        merged = merged.merged_with(report)
+    return merged

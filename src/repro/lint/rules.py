@@ -1,0 +1,617 @@
+"""The rule registry of the static analyzer.
+
+Each rule is a pure function from an analysis target to zero or more
+:class:`~repro.lint.diagnostics.Diagnostic` findings, registered with a
+stable code, a default severity, and a fix hint.  Rules never execute the
+quotient; they inspect structure only (reachability, λ-SCCs, alphabets,
+normal form), so a full lint pass is cheap relative to product
+construction.
+
+Code families
+-------------
+``SPEC0xx``
+    Structural problems of a single specification.
+``NORM0xx``
+    Section 3 normal-form violations of a service specification (the
+    collected-diagnostics form of :class:`~repro.errors.NormalFormError`).
+``COMP0xx`` / ``CONV0xx``
+    Problems of a *set* of components about to be composed: events shared
+    by too many alphabets, and ``-x``/``+x`` channel-convention breaks.
+``SPEC1xx`` / ``QUOT0xx``
+    Problems of an ``(A, B, Int, Ext)`` quotient instance: partition
+    violations and solve-preflight predictors of an empty converter.
+
+Scopes
+------
+A rule's ``scope`` names the target shape it understands:
+
+* ``"spec"`` — any :class:`SpecTarget`;
+* ``"service"`` — a :class:`SpecTarget` whose role is ``"service"``;
+* ``"composition"`` — a :class:`CompositionTarget` (parts of a ``‖``);
+* ``"problem"`` — a :class:`ProblemTarget` (a quotient instance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator
+
+from ..events import (
+    Alphabet,
+    is_receive,
+    is_send,
+    matching_receive,
+    matching_send,
+)
+from ..spec.graph import internal_sccs, reachable_states
+from ..spec.normal_form import normal_form_violations
+from ..spec.spec import Specification, _state_sort_key
+from .diagnostics import (
+    SEVERITY_ERROR,
+    SEVERITY_INFO,
+    SEVERITY_WARNING,
+    Diagnostic,
+)
+
+ROLE_COMPONENT = "component"
+ROLE_SERVICE = "service"
+
+
+# ----------------------------------------------------------------------
+# analysis targets
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SpecTarget:
+    """A single specification under analysis, with its intended role."""
+
+    spec: Specification
+    role: str = ROLE_COMPONENT
+
+
+@dataclass(frozen=True)
+class CompositionTarget:
+    """Components about to be composed with ``‖`` (before hiding)."""
+
+    parts: tuple[Specification, ...]
+
+
+@dataclass(frozen=True)
+class ProblemTarget:
+    """A quotient instance ``A / B`` with an optionally declared Int."""
+
+    service: Specification
+    component: Specification
+    declared_int: Alphabet | None = None
+
+    @property
+    def inferred_int(self) -> Alphabet:
+        return self.component.alphabet - self.service.alphabet
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A registered static-analysis rule."""
+
+    code: str
+    name: str
+    scope: str
+    severity: str
+    summary: str
+    hint: str
+    check: Callable[[Any], Iterator[Diagnostic]]
+
+    def diagnostic(
+        self,
+        message: str,
+        *,
+        spec_name: str | None = None,
+        state: Any = None,
+        event: str | None = None,
+        witness: Any = None,
+        severity: str | None = None,
+        hint: str | None = None,
+    ) -> Diagnostic:
+        return Diagnostic(
+            code=self.code,
+            severity=severity or self.severity,
+            message=message,
+            rule=self.name,
+            spec_name=spec_name,
+            state=state,
+            event=event,
+            witness=witness if witness is not None else state,
+            hint=hint if hint is not None else self.hint,
+        )
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def all_rules() -> tuple[Rule, ...]:
+    """Every registered rule, ordered by code."""
+    return tuple(_REGISTRY[code] for code in sorted(_REGISTRY))
+
+
+def get_rule(code: str) -> Rule:
+    return _REGISTRY[code]
+
+
+def rule(
+    code: str,
+    name: str,
+    *,
+    scope: str,
+    severity: str,
+    summary: str,
+    hint: str = "",
+) -> Callable[[Callable[[Rule, Any], Iterator[Diagnostic]]], Rule]:
+    """Register a rule.  The wrapped function receives ``(rule, target)``."""
+
+    def register(fn: Callable[[Rule, Any], Iterator[Diagnostic]]) -> Rule:
+        if code in _REGISTRY:
+            raise ValueError(f"duplicate rule code {code!r}")
+
+        def check(
+            target: Any,
+            *,
+            _fn: Callable[[Rule, Any], Iterator[Diagnostic]] = fn,
+        ) -> Iterator[Diagnostic]:
+            return _fn(_REGISTRY[code], target)
+
+        registered = Rule(
+            code=code,
+            name=name,
+            scope=scope,
+            severity=severity,
+            summary=summary,
+            hint=hint,
+            check=check,
+        )
+        _REGISTRY[code] = registered
+        return registered
+
+    return register
+
+
+def _sorted_states(states: Iterable[Any]) -> list[Any]:
+    return sorted(states, key=_state_sort_key)
+
+
+# ----------------------------------------------------------------------
+# SPEC0xx — single-specification structure
+# ----------------------------------------------------------------------
+@rule(
+    "SPEC001",
+    "unreachable-state",
+    scope="spec",
+    severity=SEVERITY_ERROR,
+    summary="a state cannot be reached from the initial state",
+    hint="remove the state or add transitions reaching it; "
+    "prune_unreachable() drops it mechanically",
+)
+def _check_unreachable(r: Rule, target: SpecTarget) -> Iterator[Diagnostic]:
+    spec = target.spec
+    reachable = reachable_states(spec)
+    for s in _sorted_states(spec.states - reachable):
+        n_dead = sum(1 for (src, _, _) in spec.external if src == s) + sum(
+            1 for (src, _) in spec.internal if src == s
+        )
+        suffix = f" (its {n_dead} outgoing transition(s) are dead)" if n_dead else ""
+        yield r.diagnostic(
+            f"state {s!r} is unreachable from the initial state "
+            f"{spec.initial!r}{suffix}",
+            spec_name=spec.name,
+            state=s,
+        )
+
+
+@rule(
+    "SPEC002",
+    "unused-event",
+    scope="spec",
+    severity=SEVERITY_INFO,
+    summary="an alphabet event labels no transition",
+    hint="a declared-but-refused event is legal (it models permanent "
+    "refusal); drop it from the alphabet if unintended",
+)
+def _check_unused_event(r: Rule, target: SpecTarget) -> Iterator[Diagnostic]:
+    spec = target.spec
+    used = {e for (_, e, _) in spec.external}
+    for e in (spec.alphabet - Alphabet(used)).sorted():
+        yield r.diagnostic(
+            f"event {e!r} is declared in the alphabet but labels no transition",
+            spec_name=spec.name,
+            event=e,
+            witness=e,
+        )
+
+
+@rule(
+    "SPEC003",
+    "terminal-state",
+    scope="spec",
+    severity=SEVERITY_WARNING,
+    summary="a reachable state has no outgoing transitions",
+    hint="a terminal state deadlocks the component; add transitions or "
+    "model explicit termination",
+)
+def _check_terminal(r: Rule, target: SpecTarget) -> Iterator[Diagnostic]:
+    spec = target.spec
+    for s in _sorted_states(reachable_states(spec)):
+        if not spec.enabled(s) and not spec.has_internal(s):
+            yield r.diagnostic(
+                f"reachable state {s!r} has no outgoing external or internal "
+                "transitions (the component deadlocks there)",
+                spec_name=spec.name,
+                state=s,
+            )
+
+
+@rule(
+    "SPEC004",
+    "silent-internal-cycle",
+    scope="spec",
+    severity=SEVERITY_WARNING,
+    summary="an internal sink cycle enables no external event (livelock)",
+    hint="under fairness the system may dwell in the cycle forever with "
+    "an empty acceptance set; enable an external event on the cycle or "
+    "break it",
+)
+def _check_silent_cycle(r: Rule, target: SpecTarget) -> Iterator[Diagnostic]:
+    spec = target.spec
+    reachable = reachable_states(spec)
+    sccs, scc_of = internal_sccs(spec)
+    for idx, component in enumerate(sccs):
+        if len(component) < 2:
+            continue
+        leaves = any(
+            scc_of[s2] != idx
+            for s in component
+            for s2 in spec.internal_successors(s)
+        )
+        offers = any(spec.enabled(s) for s in component)
+        if leaves or offers or not any(s in reachable for s in component):
+            continue
+        members = frozenset(component)
+        yield r.diagnostic(
+            f"internal cycle through {_sorted_states(members)!r} is a sink "
+            "set with an empty acceptance set: once entered, the component "
+            "exchanges internal moves forever and never offers an event",
+            spec_name=spec.name,
+            witness=members,
+        )
+
+
+@rule(
+    "SPEC005",
+    "nondeterministic-fanout",
+    scope="spec",
+    severity=SEVERITY_INFO,
+    summary="one state has several targets for the same event",
+    hint="fan-out is legal but blocks normal form condition (iii); "
+    "determinize() or normalize() resolves it",
+)
+def _check_fanout(r: Rule, target: SpecTarget) -> Iterator[Diagnostic]:
+    spec = target.spec
+    for s in _sorted_states(spec.states):
+        for e in sorted(spec.enabled(s)):
+            targets = spec.successors(s, e)
+            if len(targets) > 1:
+                yield r.diagnostic(
+                    f"state {s!r} has {len(targets)} distinct targets on "
+                    f"event {e!r}: {_sorted_states(targets)!r}",
+                    spec_name=spec.name,
+                    state=s,
+                    event=e,
+                    witness=(s, e, frozenset(targets)),
+                )
+
+
+@rule(
+    "SPEC006",
+    "preemptible-external",
+    scope="spec",
+    severity=SEVERITY_INFO,
+    summary="a state mixes internal and external outgoing transitions",
+    hint="the internal move can pre-empt the external offer; exact "
+    "normalization may be impossible (see NormalizationError)",
+)
+def _check_preemptible(r: Rule, target: SpecTarget) -> Iterator[Diagnostic]:
+    spec = target.spec
+    for s in _sorted_states(spec.states):
+        if spec.has_internal(s) and spec.enabled(s):
+            yield r.diagnostic(
+                f"state {s!r} has both internal and external outgoing "
+                f"transitions; its offers {sorted(spec.enabled(s))!r} are "
+                "pre-emptible",
+                spec_name=spec.name,
+                state=s,
+            )
+
+
+# ----------------------------------------------------------------------
+# NORM0xx — service normal form (Section 3, conditions i-iii)
+# ----------------------------------------------------------------------
+_NORM_CODE_OF_CONDITION = {"i": "NORM001", "ii": "NORM002", "iii": "NORM003"}
+
+
+def _norm_rule_check(
+    condition: str,
+) -> Callable[[Rule, SpecTarget], Iterator[Diagnostic]]:
+    def check(r: Rule, target: SpecTarget) -> Iterator[Diagnostic]:
+        for v in normal_form_violations(target.spec):
+            if v.condition != condition:
+                continue
+            yield r.diagnostic(
+                f"not in normal form (condition {v.condition}): {v.message}",
+                spec_name=target.spec.name,
+                witness=v.witness,
+            )
+
+    return check
+
+
+rule(
+    "NORM001",
+    "normal-form-mixed-state",
+    scope="service",
+    severity=SEVERITY_ERROR,
+    summary="service violates normal form (i): a state has both internal "
+    "and external transitions",
+    hint="run normalize() (exact) or determinize() (conservative) on the "
+    "service before solving",
+)(_norm_rule_check("i"))
+
+rule(
+    "NORM002",
+    "normal-form-internal-cycle",
+    scope="service",
+    severity=SEVERITY_ERROR,
+    summary="service violates normal form (ii): λ* is not antisymmetric",
+    hint="collapse the internal cycle (its members are behaviourally one "
+    "hub) or run normalize()",
+)(_norm_rule_check("ii"))
+
+rule(
+    "NORM003",
+    "normal-form-divergent-event",
+    scope="service",
+    severity=SEVERITY_ERROR,
+    summary="service violates normal form (iii): one event from a common "
+    "λ-ancestor reaches distinct states",
+    hint="merge the targets or run normalize(); ψ must be a function of "
+    "the trace",
+)(_norm_rule_check("iii"))
+
+
+# ----------------------------------------------------------------------
+# COMP0xx / CONV0xx — composition preflight
+# ----------------------------------------------------------------------
+@rule(
+    "COMP001",
+    "overshared-event",
+    scope="composition",
+    severity=SEVERITY_ERROR,
+    summary="an event appears in three or more component alphabets",
+    hint="iterated binary ‖ hides an event after its first "
+    "synchronization; declare distinct point-to-point interfaces",
+)
+def _check_overshared(r: Rule, target: CompositionTarget) -> Iterator[Diagnostic]:
+    counts: dict[str, list[str]] = {}
+    for part in target.parts:
+        for e in part.alphabet:
+            counts.setdefault(e, []).append(part.name)
+    for e in sorted(counts):
+        owners = counts[e]
+        if len(owners) >= 3:
+            yield r.diagnostic(
+                f"event {e!r} appears in three or more component alphabets "
+                f"({sorted(owners)!r}); iterated binary composition would "
+                "hide it after the first synchronization",
+                event=e,
+                witness=tuple(sorted(owners)),
+            )
+
+
+@rule(
+    "COMP002",
+    "non-synchronizing-part",
+    scope="composition",
+    severity=SEVERITY_INFO,
+    summary="a component shares no event with any other component",
+    hint="the part runs fully interleaved; check for a misspelled "
+    "interface event",
+)
+def _check_isolated_part(r: Rule, target: CompositionTarget) -> Iterator[Diagnostic]:
+    if len(target.parts) < 2:
+        return
+    for i, part in enumerate(target.parts):
+        others: set[str] = set()
+        for j, other in enumerate(target.parts):
+            if j != i:
+                others |= set(other.alphabet)
+        if not (set(part.alphabet) & others):
+            yield r.diagnostic(
+                f"component {part.name!r} shares no event with the other "
+                "components; it never synchronizes",
+                spec_name=part.name,
+                witness=part.name,
+            )
+
+
+def _union_alphabet(parts: Iterable[Specification]) -> Alphabet:
+    events: set[str] = set()
+    for part in parts:
+        events |= set(part.alphabet)
+    return Alphabet(events)
+
+
+@rule(
+    "CONV001",
+    "send-without-receive",
+    scope="composition",
+    severity=SEVERITY_WARNING,
+    summary="a send event -x has no matching receive +x in any component",
+    hint="messages passed into the channel are never removed; add the "
+    "+x receive or rename the event",
+)
+def _check_send_without_receive(
+    r: Rule, target: CompositionTarget
+) -> Iterator[Diagnostic]:
+    union = _union_alphabet(target.parts)
+    for e in union.sorted():
+        if is_send(e) and matching_receive(e) not in union:
+            owners = sorted(p.name for p in target.parts if e in p.alphabet)
+            yield r.diagnostic(
+                f"send event {e!r} (in {owners!r}) has no matching receive "
+                f"{matching_receive(e)!r} in any composed component",
+                event=e,
+                witness=e,
+            )
+
+
+@rule(
+    "CONV002",
+    "receive-without-send",
+    scope="composition",
+    severity=SEVERITY_WARNING,
+    summary="a receive event +x has no matching send -x in any component",
+    hint="nothing ever enters the channel; add the -x send or rename "
+    "the event",
+)
+def _check_receive_without_send(
+    r: Rule, target: CompositionTarget
+) -> Iterator[Diagnostic]:
+    union = _union_alphabet(target.parts)
+    for e in union.sorted():
+        if is_receive(e) and matching_send(e) not in union:
+            owners = sorted(p.name for p in target.parts if e in p.alphabet)
+            yield r.diagnostic(
+                f"receive event {e!r} (in {owners!r}) has no matching send "
+                f"{matching_send(e)!r} in any composed component",
+                event=e,
+                witness=e,
+            )
+
+
+# ----------------------------------------------------------------------
+# SPEC1xx / QUOT0xx — quotient-problem preflight
+# ----------------------------------------------------------------------
+@rule(
+    "SPEC101",
+    "int-ext-overlap",
+    scope="problem",
+    severity=SEVERITY_ERROR,
+    summary="the declared Int overlaps Ext (the service alphabet)",
+    hint="Int and Ext partition the composite's interface; an event "
+    "cannot face both the converter and the users",
+)
+def _check_int_ext_overlap(r: Rule, target: ProblemTarget) -> Iterator[Diagnostic]:
+    if target.declared_int is None:
+        return
+    overlap = target.declared_int & target.service.alphabet
+    if overlap:
+        yield r.diagnostic(
+            f"Int ∩ Ext must be empty; both contain {overlap.sorted()!r}",
+            spec_name=target.service.name,
+            witness=overlap,
+        )
+
+
+@rule(
+    "SPEC102",
+    "component-missing-ext",
+    scope="problem",
+    severity=SEVERITY_ERROR,
+    summary="the component alphabet is missing service (Ext) events",
+    hint="the quotient requires Σ_B = Int ∪ Ext; add the missing events "
+    "to B's interface (B may refuse them, but must declare them)",
+)
+def _check_component_missing_ext(
+    r: Rule, target: ProblemTarget
+) -> Iterator[Diagnostic]:
+    missing = target.service.alphabet - target.component.alphabet
+    if missing:
+        yield r.diagnostic(
+            f"component alphabet lacks service events {missing.sorted()!r}; "
+            "Σ_B must equal Int ∪ Ext",
+            spec_name=target.component.name,
+            witness=missing,
+        )
+
+
+@rule(
+    "SPEC103",
+    "declared-int-mismatch",
+    scope="problem",
+    severity=SEVERITY_ERROR,
+    summary="the declared Int differs from the inferred Σ_B − Σ_A",
+    hint="either fix the declaration or fix the component alphabet; the "
+    "converter's interface is exactly Σ_B − Σ_A",
+)
+def _check_declared_int_mismatch(
+    r: Rule, target: ProblemTarget
+) -> Iterator[Diagnostic]:
+    if target.declared_int is None:
+        return
+    inferred = target.inferred_int
+    if frozenset(target.declared_int) != frozenset(inferred):
+        yield r.diagnostic(
+            f"declared Int {target.declared_int.sorted()!r} does not match "
+            f"inferred Σ_B − Σ_A = {inferred.sorted()!r}",
+            spec_name=target.component.name,
+            witness=(
+                tuple(target.declared_int.sorted()),
+                tuple(inferred.sorted()),
+            ),
+        )
+
+
+@rule(
+    "QUOT001",
+    "ext-event-never-offered",
+    scope="problem",
+    severity=SEVERITY_WARNING,
+    summary="the service uses an Ext event the component never performs",
+    hint="no converter can make B offer it; if the service *requires* "
+    "the event, expect an empty quotient",
+)
+def _check_ext_never_offered(r: Rule, target: ProblemTarget) -> Iterator[Diagnostic]:
+    used_by_service = {e for (_, e, _) in target.service.external}
+    used_by_component = {e for (_, e, _) in target.component.external}
+    for e in sorted(used_by_service & set(target.component.alphabet)):
+        if e not in used_by_component:
+            yield r.diagnostic(
+                f"service event {e!r} labels no transition of the component: "
+                "B can never offer it, with or without a converter",
+                spec_name=target.component.name,
+                event=e,
+                witness=e,
+            )
+
+
+@rule(
+    "QUOT002",
+    "dead-converter-port",
+    scope="problem",
+    severity=SEVERITY_WARNING,
+    summary="an Int event labels no component transition",
+    hint="the converter would own an interface event that can never "
+    "fire; drop it from B's alphabet or fix B",
+)
+def _check_dead_converter_port(
+    r: Rule, target: ProblemTarget
+) -> Iterator[Diagnostic]:
+    int_events = (
+        target.declared_int if target.declared_int is not None else target.inferred_int
+    )
+    used_by_component = {e for (_, e, _) in target.component.external}
+    for e in sorted(set(int_events) - set(target.service.alphabet)):
+        if e in target.component.alphabet and e not in used_by_component:
+            yield r.diagnostic(
+                f"Int event {e!r} labels no transition of the component; the "
+                "converter could never exercise it",
+                spec_name=target.component.name,
+                event=e,
+                witness=e,
+            )

@@ -5,6 +5,7 @@ from .diagnose import (
     FrontierState,
     NonexistenceDiagnosis,
     diagnose_nonexistence,
+    safety_failure_diagnostic,
 )
 from .hmap import ext_closure, extend_pairs, initial_pairs, ok
 from .progress_phase import progress_phase
@@ -48,6 +49,7 @@ __all__ = [
     "prune_converter",
     "safety_phase",
     "diagnose_nonexistence",
+    "safety_failure_diagnostic",
     "solve_quotient",
     "verify_converter",
 ]

@@ -16,7 +16,10 @@ correct but unhelpful to a protocol designer.  This module reconstructs
   ambiguity of the paper's Section 5 example).
 
 The diagnosis is computed from the records the solver already keeps; it
-never re-runs the phases.
+never re-runs the phases.  Findings are emitted as the structured
+:class:`~repro.lint.Diagnostic` type (codes ``QUOT101``/``QUOT102``), so
+``repro-converter diagnose`` and ``repro-converter lint`` share one
+rendering path (text and JSON).
 """
 
 from __future__ import annotations
@@ -24,11 +27,22 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..events import Alphabet
+from ..lint.diagnostics import (
+    SEVERITY_ERROR,
+    SEVERITY_WARNING,
+    Diagnostic,
+    LintReport,
+    format_diagnostics,
+)
 from ..spec.graph import sink_acceptance_sets
 from ..spec.spec import Specification, State, _state_sort_key
 from ..traces.core import Trace, format_trace
 from .progress_phase import _composite_tau_star
 from .types import PairSet, QuotientResult
+
+CODE_POINT_OF_NO_RETURN = "QUOT101"
+CODE_AMBIGUITY = "QUOT102"
+CODE_SAFETY_UNSOLVABLE = "QUOT103"
 
 
 @dataclass(frozen=True)
@@ -61,21 +75,53 @@ class FrontierState:
     blocking: tuple[BlockingPair, ...]
     ambiguous_components: tuple[State, ...]
 
-    def describe(self) -> str:
+    def to_diagnostics(self) -> tuple[Diagnostic, ...]:
+        """This frontier state as structured diagnostics.
+
+        One ``QUOT101`` for the unmet progress obligations, plus a
+        ``QUOT102`` when the state also exhibits the paper's
+        cannot-tell-what-happened observational ambiguity.
+        """
         lines = [
             f"after converter trace {format_trace(self.trace)} "
             f"({len(self.pairs)} possible (service, component) pairs):"
         ]
-        for b in self.blocking:
-            lines.append("  - " + b.describe())
-        if self.ambiguous_components:
-            lines.append(
-                "  ambiguity: component state(s) "
-                f"{list(self.ambiguous_components)!r} are compatible with "
-                "different service histories — no future observation can "
-                "separate them"
+        lines.extend("  - " + b.describe() for b in self.blocking)
+        diagnostics = [
+            Diagnostic(
+                code=CODE_POINT_OF_NO_RETURN,
+                severity=SEVERITY_ERROR,
+                message="\n".join(lines),
+                rule="point-of-no-return",
+                witness=self.trace,
+                hint="any converter reaching this state is doomed; weaken "
+                "the service's progress requirement or enrich the "
+                "components' observable behaviour",
             )
-        return "\n".join(lines)
+        ]
+        if self.ambiguous_components:
+            diagnostics.append(
+                Diagnostic(
+                    code=CODE_AMBIGUITY,
+                    severity=SEVERITY_WARNING,
+                    message=(
+                        f"after converter trace {format_trace(self.trace)}: "
+                        "ambiguity — component state(s) "
+                        f"{list(self.ambiguous_components)!r} are compatible "
+                        "with different service histories; no future "
+                        "observation can separate them"
+                    ),
+                    rule="observational-ambiguity",
+                    witness=self.ambiguous_components,
+                    hint="add a distinguishing message to the component "
+                    "protocols (the paper's data-vs-acknowledgement "
+                    "ambiguity, Section 5)",
+                )
+            )
+        return tuple(diagnostics)
+
+    def describe(self) -> str:
+        return format_diagnostics(self.to_diagnostics())
 
 
 @dataclass(frozen=True)
@@ -86,15 +132,56 @@ class NonexistenceDiagnosis:
     removed_total: int
     rounds: int
 
+    def to_diagnostics(self) -> tuple[Diagnostic, ...]:
+        """All findings as structured diagnostics (the lint type)."""
+        diagnostics: list[Diagnostic] = []
+        for f in self.frontier:
+            diagnostics.extend(f.to_diagnostics())
+        return tuple(diagnostics)
+
+    def to_report(self, *, target: str = "") -> LintReport:
+        """Wrap the findings in a :class:`LintReport` (JSON/SARIF-ready).
+
+        The diagnostics keep frontier order (shortest witness traces
+        first) rather than the report's severity sort, so the narrative
+        reads front to back.
+        """
+        return LintReport(self.to_diagnostics(), target=target)
+
     def describe(self) -> str:
         lines = [
             f"no converter exists: progress removed {self.removed_total} "
             f"state(s) over {self.rounds} round(s); "
             f"{len(self.frontier)} point(s) of no return:"
         ]
-        for f in self.frontier:
-            lines.append(f.describe())
+        text = format_diagnostics(self.to_diagnostics())
+        if text:
+            lines.append(text)
         return "\n".join(lines)
+
+
+def safety_failure_diagnostic(result: QuotientResult) -> Diagnostic:
+    """The ``¬ok.(h.ε)`` case as a structured diagnostic (``QUOT103``).
+
+    Raises ``ValueError`` when the safety phase actually succeeded.
+    """
+    if result.safety is not None and result.safety.exists:
+        raise ValueError("safety phase succeeded; no safety failure to report")
+    problem = result.problem
+    return Diagnostic(
+        code=CODE_SAFETY_UNSOLVABLE,
+        severity=SEVERITY_ERROR,
+        message=(
+            "ok(h.ε) fails — the component can violate the service's "
+            "safety with no converter interaction at all: some trace of "
+            f"{problem.component.name!r} projects onto Ext outside the "
+            f"traces of {problem.service.name!r}"
+        ),
+        rule="safety-unsolvable",
+        spec_name=problem.component.name,
+        hint="no converter over Int can prevent this; restrict the "
+        "component or weaken the service's trace set",
+    )
 
 
 def _shortest_traces(

@@ -14,6 +14,7 @@ from typing import Iterable
 
 from ..compose.binary import compose
 from ..errors import QuotientError
+from ..lint.engine import preflight_quotient
 from ..satisfy.verify import SatisfactionReport, satisfies
 from ..spec.ops import prune_unreachable
 from ..spec.spec import Specification, State
@@ -39,6 +40,7 @@ def solve_quotient(
     *,
     int_events: Iterable[str] | None = None,
     verify: bool = True,
+    preflight: bool = True,
 ) -> QuotientResult:
     """Compute the quotient ``service / component``.
 
@@ -58,6 +60,13 @@ def solve_quotient(
         :func:`repro.satisfy.satisfies` (default on).  A verification
         failure raises :class:`QuotientError` — it would indicate a bug in
         the solver, never a property of the inputs.
+    preflight:
+        Statically lint the problem first (default on): partition
+        violations, a non-normal-form service, and similar malformations
+        raise :class:`~repro.errors.LintError` with *every* violation
+        collected, instead of a first-failure exception from inside the
+        algorithm.  Pass ``False`` to opt out (the per-check exceptions of
+        :class:`~repro.quotient.types.QuotientProblem` still apply).
 
     Returns
     -------
@@ -67,6 +76,8 @@ def solve_quotient(
         integer states and ``result.f`` maps each state to its ``(a, b)``
         pair set.
     """
+    if preflight:
+        preflight_quotient(service, component, int_events).raise_if_errors()
     problem = QuotientProblem.build(service, component, int_events)
 
     safety = safety_phase(problem)

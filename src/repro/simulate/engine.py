@@ -90,7 +90,7 @@ class Simulator:
     components:
         The machines, as they would be given to ``compose_many``.  Each
         event may appear in at most two components' alphabets (the same
-    	point-to-point restriction n-ary composition enforces).
+        point-to-point restriction n-ary composition enforces).
     policy:
         A move chooser: callable ``(moves, step_index) -> Move`` given the
         deterministically-ordered list of enabled moves.  See

@@ -88,7 +88,6 @@ def weak_simulation(
     step of *concrete* is matched by staying within the λ-closure of the
     abstract state.
     """
-    c_closure = lambda_closure(concrete)
     a_closure = lambda_closure(abstract)
     relation = {(c, a) for c in concrete.states for a in abstract.states}
 
@@ -128,7 +127,6 @@ def ready_simulation(
         (c, a) for (c, a) in base if offered_c[c] <= offered_a[a]
     }
     # restriction can break closure; re-refine
-    c_closure = lambda_closure(concrete)
     a_closure = lambda_closure(abstract)
 
     def simulated(c: State, a: State) -> bool:

@@ -18,7 +18,6 @@ from repro.errors import CompositionError
 from repro.events import Alphabet
 from repro.protocols import (
     alternating_service,
-    at_least_once_service,
     sw_channel,
     sw_receiver,
     sw_sender,

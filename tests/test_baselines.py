@@ -18,7 +18,6 @@ from repro.errors import QuotientError, SpecError
 from repro.protocols import (
     ab_receiver,
     ab_sender,
-    alternating_service,
     colocated_scenario,
     ns_receiver,
     ns_sender,

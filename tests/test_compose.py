@@ -5,7 +5,7 @@ import pytest
 from repro.compose import check_composable, compose, compose_many, synchronous_product
 from repro.errors import CompositionError
 from repro.events import Alphabet
-from repro.spec import SpecBuilder, isomorphic, trace_equivalent
+from repro.spec import SpecBuilder, trace_equivalent
 from repro.traces import accepts, language_upto
 
 

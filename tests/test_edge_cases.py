@@ -1,7 +1,5 @@
 """Edge-case tests across module boundaries."""
 
-import pytest
-
 from repro.compose import compose
 from repro.events import Alphabet
 from repro.io import dumps, loads

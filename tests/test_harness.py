@@ -5,7 +5,6 @@ from repro.protocols import (
     ns_channel,
     ns_receiver,
     ns_sender,
-    sw_end_to_end,
     sw_channel,
     sw_receiver,
     sw_sender,

@@ -1,0 +1,197 @@
+"""Tests for the ``lint`` CLI subcommand."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+DSL = """
+spec service
+    initial 0
+    0 -> 1 : acc
+    1 -> 0 : del
+end
+
+spec component
+    initial 0
+    0 -> 1 : acc
+    1 -> 2 : fwd
+    2 -> 0 : del
+end
+
+spec lonely
+    initial 0
+    0 -> 1 : acc
+    event ghost
+end
+"""
+
+
+@pytest.fixture
+def dsl_file(tmp_path):
+    path = tmp_path / "specs.dsl"
+    path.write_text(DSL)
+    return str(path)
+
+
+BROKEN = str(Path(__file__).resolve().parent.parent / "examples" / "broken_spec.json")
+
+
+class TestLintText:
+    def test_clean_spec_exits_zero(self, dsl_file, capsys):
+        assert main(["lint", dsl_file, "service"]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_broken_example_exits_nonzero(self, capsys):
+        assert main(["lint", BROKEN]) == 1
+        out = capsys.readouterr().out
+        assert "SPEC001" in out
+        # acceptance floor: at least 5 distinct rule codes implemented/fired
+        fired = {
+            code
+            for code in (
+                "SPEC001", "SPEC002", "SPEC003", "SPEC004", "SPEC005", "SPEC006"
+            )
+            if code in out
+        }
+        assert len(fired) >= 5
+
+    def test_warnings_exit_zero_unless_strict(self, dsl_file, capsys):
+        # "lonely" has a terminal state (warning) and unused event (info)
+        assert main(["lint", dsl_file, "lonely"]) == 0
+        assert main(["lint", dsl_file, "lonely", "--strict"]) == 1
+        out = capsys.readouterr().out
+        assert "SPEC003" in out and "SPEC002" in out
+
+    def test_lints_all_specs_by_default(self, dsl_file, capsys):
+        main(["lint", dsl_file])
+        out = capsys.readouterr().out
+        assert "lonely" in out
+
+    def test_ignore_filter(self, dsl_file, capsys):
+        assert main(["lint", dsl_file, "lonely", "--ignore", "SPEC", "--strict"]) == 0
+
+    def test_select_filter(self, dsl_file, capsys):
+        main(["lint", dsl_file, "lonely", "--select", "SPEC002"])
+        out = capsys.readouterr().out
+        assert "SPEC002" in out and "SPEC003" not in out
+
+    def test_unknown_spec_name_is_usage_error(self, dsl_file, capsys):
+        assert main(["lint", dsl_file, "nope"]) == 2
+        assert "no spec named" in capsys.readouterr().err
+
+
+class TestLintProblem:
+    def test_problem_mode_overlap(self, dsl_file, capsys):
+        code = main(
+            [
+                "lint", dsl_file,
+                "--service", "service",
+                "--component", "component",
+                "--int", "fwd,acc",
+            ]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "SPEC101" in out and "Int ∩ Ext" in out
+
+    def test_problem_mode_clean(self, dsl_file, capsys):
+        code = main(
+            [
+                "lint", dsl_file,
+                "--service", "service",
+                "--component", "component",
+                "--int", "fwd",
+            ]
+        )
+        assert code == 0
+
+    def test_service_without_component_is_usage_error(self, dsl_file, capsys):
+        assert main(["lint", dsl_file, "--service", "service"]) == 2
+        assert "together" in capsys.readouterr().err
+
+
+class TestLintFormats:
+    def test_json_format(self, capsys):
+        assert main(["lint", BROKEN, "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1
+        assert payload["summary"]["errors"] >= 1
+        codes = {d["code"] for d in payload["diagnostics"]}
+        assert "SPEC001" in codes
+        for diag in payload["diagnostics"]:
+            assert {"code", "severity", "message"} <= diag.keys()
+
+    def test_sarif_format(self, capsys):
+        assert main(["lint", BROKEN, "--format", "sarif"]) == 1
+        sarif = json.loads(capsys.readouterr().out)
+        assert sarif["version"] == "2.1.0"
+        run = sarif["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        rule_ids = {r["ruleId"] for r in run["results"]}
+        assert "SPEC001" in rule_ids
+        declared = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert rule_ids <= declared
+
+    def test_compose_mode(self, tmp_path, capsys):
+        path = tmp_path / "parts.dsl"
+        path.write_text(
+            """
+spec left
+    initial 0
+    0 -> 0 : -p
+end
+
+spec right
+    initial 0
+    0 -> 0 : -p
+end
+"""
+        )
+        main(["lint", str(path), "--compose", "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        codes = {d["code"] for d in payload["diagnostics"]}
+        assert "CONV001" in codes
+
+    def test_role_service_adds_norm_rules(self, tmp_path, capsys):
+        path = tmp_path / "nf.dsl"
+        path.write_text(
+            """
+spec mixed
+    initial 0
+    0 -> 1 : acc
+    0 ~> 1
+    1 -> 1 : acc
+end
+"""
+        )
+        assert main(["lint", str(path), "--role", "service"]) == 1
+        assert "NORM001" in capsys.readouterr().out
+
+
+class TestSolvePreflightCli:
+    def test_solve_preflight_reports_lint_error(self, tmp_path, capsys):
+        path = tmp_path / "nf.dsl"
+        path.write_text(
+            """
+spec badservice
+    initial 0
+    0 -> 1 : acc
+    0 ~> 1
+    1 -> 1 : acc
+end
+
+spec component
+    initial 0
+    0 -> 1 : acc
+    1 -> 0 : fwd
+    1 -> 1 : acc
+end
+"""
+        )
+        assert main(["solve", str(path), "badservice", "component"]) == 2
+        err = capsys.readouterr().err
+        assert "NORM001" in err

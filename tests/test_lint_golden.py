@@ -1,0 +1,41 @@
+"""Golden-file test pinning the JSON diagnostic output for a broken spec.
+
+If a deliberate change to the lint subsystem alters the report shape, update
+the pinned file with::
+
+    PYTHONPATH=src python - <<'EOF'
+    from repro.io.json_codec import load
+    from repro.lint import lint_spec
+    report = lint_spec(load("examples/broken_spec.json"))
+    with open("tests/golden/lint_broken.json", "w") as fh:
+        fh.write(report.to_json(indent=2) + "\n")
+    EOF
+"""
+
+import json
+from pathlib import Path
+
+from repro.io.json_codec import load
+from repro.lint import lint_spec
+
+ROOT = Path(__file__).resolve().parent.parent
+BROKEN = ROOT / "examples" / "broken_spec.json"
+GOLDEN = ROOT / "tests" / "golden" / "lint_broken.json"
+
+
+def test_broken_spec_json_report_matches_golden():
+    report = lint_spec(load(str(BROKEN)))
+    expected = json.loads(GOLDEN.read_text())
+    assert json.loads(report.to_json(indent=2)) == expected
+
+
+def test_golden_text_is_exactly_the_serialized_report():
+    # byte-for-byte: catches key-ordering / indentation drift, not just content
+    report = lint_spec(load(str(BROKEN)))
+    assert report.to_json(indent=2) + "\n" == GOLDEN.read_text()
+
+
+def test_golden_covers_acceptance_floor():
+    codes = {d["code"] for d in json.loads(GOLDEN.read_text())["diagnostics"]}
+    assert len(codes) >= 5
+    assert {"SPEC001", "SPEC004", "SPEC005"} <= codes

@@ -1,0 +1,64 @@
+"""Property-based tests: lint agrees with the library's own transformations."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.lint import lint_spec
+from repro.spec import ensure_normal_form, prune_unreachable, random_spec
+
+SEEDS = st.integers(min_value=0, max_value=10_000)
+SIZES = st.integers(min_value=2, max_value=7)
+
+
+def norm_codes(spec):
+    return {
+        d.code for d in lint_spec(spec, role="service") if d.code.startswith("NORM")
+    }
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=SEEDS, size=SIZES)
+def test_normal_form_specs_have_no_norm_errors(seed, size):
+    spec = random_spec(
+        n_states=size, events=["a", "b", "c"], internal_density=0.15, seed=seed
+    )
+    normed = ensure_normal_form(spec, conservative_fallback=True)
+    report = lint_spec(normed, role="service")
+    assert not [d for d in report.errors if d.code.startswith("NORM")], (
+        report.describe()
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=SEEDS, size=SIZES)
+def test_pruned_specs_never_report_unreachable_states(seed, size):
+    spec = random_spec(
+        n_states=size,
+        events=["a", "b"],
+        seed=seed,
+        ensure_connected=False,
+    )
+    pruned = prune_unreachable(spec)
+    assert "SPEC001" not in lint_spec(pruned).codes()
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=SEEDS, size=SIZES)
+def test_lint_is_deterministic(seed, size):
+    spec = random_spec(
+        n_states=size, events=["a", "b", "c"], internal_density=0.2, seed=seed
+    )
+    first = lint_spec(spec)
+    second = lint_spec(spec)
+    assert first.to_json() == second.to_json()
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=SEEDS, size=SIZES)
+def test_norm_diagnostics_match_library_verdict(seed, size):
+    from repro.spec import is_normal_form
+
+    spec = random_spec(
+        n_states=size, events=["a", "b", "c"], internal_density=0.2, seed=seed
+    )
+    # lint reports a NORM error exactly when the library rejects the spec
+    assert bool(norm_codes(spec)) == (not is_normal_form(spec))

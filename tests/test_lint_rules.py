@@ -1,0 +1,351 @@
+"""One malformed fixture per static-analysis rule, asserting code + witness."""
+
+import pytest
+
+from repro.errors import CompositionError, LintError, QuotientError
+from repro.lint import (
+    all_rules,
+    lint_composition,
+    lint_problem,
+    lint_spec,
+    preflight_quotient,
+    run_rules,
+)
+from repro.spec import SpecBuilder
+
+
+def codes(report):
+    return {d.code for d in report}
+
+
+def only(report, code):
+    found = [d for d in report if d.code == code]
+    assert found, f"expected a {code} diagnostic, got {sorted(codes(report))}"
+    return found
+
+
+def clean_pair():
+    service = (
+        SpecBuilder("A").external(0, "x", 1).external(1, "y", 0).initial(0).build()
+    )
+    component = (
+        SpecBuilder("B").external(0, "x", 1).external(1, "m", 2)
+        .external(2, "y", 0).initial(0).build()
+    )
+    return service, component
+
+
+class TestSpecRules:
+    def test_spec001_unreachable_state(self):
+        spec = (
+            SpecBuilder("s").external(0, "x", 0).external(1, "x", 0)
+            .initial(0).build()
+        )
+        [d] = only(lint_spec(spec), "SPEC001")
+        assert d.severity == "error"
+        assert d.witness == 1
+        assert d.spec_name == "s"
+
+    def test_spec002_unused_event(self):
+        spec = SpecBuilder("s").external(0, "x", 0).event("q").initial(0).build()
+        [d] = only(lint_spec(spec), "SPEC002")
+        assert d.severity == "info"
+        assert d.witness == "q"
+        assert d.event == "q"
+
+    def test_spec003_terminal_state(self):
+        spec = SpecBuilder("s").external(0, "x", 1).initial(0).build()
+        [d] = only(lint_spec(spec), "SPEC003")
+        assert d.severity == "warning"
+        assert d.witness == 1
+
+    def test_spec004_silent_internal_cycle(self):
+        spec = (
+            SpecBuilder("s").external(0, "x", 1).internal(1, 2).internal(2, 1)
+            .initial(0).build()
+        )
+        [d] = only(lint_spec(spec), "SPEC004")
+        assert d.severity == "warning"
+        assert d.witness == frozenset({1, 2})
+
+    def test_spec004_ignores_cycle_that_offers_events(self):
+        spec = (
+            SpecBuilder("s").external(0, "x", 1).external(1, "y", 0)
+            .internal(1, 2).internal(2, 1).initial(0).build()
+        )
+        assert "SPEC004" not in codes(lint_spec(spec))
+
+    def test_spec004_ignores_unreachable_cycle(self):
+        spec = (
+            SpecBuilder("s").external(0, "x", 0).internal(1, 2).internal(2, 1)
+            .initial(0).build()
+        )
+        assert "SPEC004" not in codes(lint_spec(spec))
+
+    def test_spec005_nondeterministic_fanout(self):
+        spec = (
+            SpecBuilder("s").external(0, "x", 1).external(0, "x", 2)
+            .external(1, "y", 0).external(2, "y", 0).initial(0).build()
+        )
+        [d] = only(lint_spec(spec), "SPEC005")
+        assert d.witness == (0, "x", frozenset({1, 2}))
+        assert d.state == 0 and d.event == "x"
+
+    def test_spec006_preemptible_external(self):
+        spec = (
+            SpecBuilder("s").external(0, "x", 1).internal(0, 1)
+            .external(1, "y", 0).initial(0).build()
+        )
+        [d] = only(lint_spec(spec), "SPEC006")
+        assert d.witness == 0
+
+    def test_clean_spec_is_clean(self):
+        service, _ = clean_pair()
+        report = lint_spec(service)
+        assert not report.diagnostics
+        assert report.ok and report.exit_code() == 0
+
+
+class TestNormRules:
+    def test_norm001_mixed_state(self):
+        spec = (
+            SpecBuilder("a").external(0, "x", 1).internal(0, 1)
+            .external(1, "x", 1).initial(0).build()
+        )
+        [d] = only(lint_spec(spec, role="service"), "NORM001")
+        assert d.severity == "error"
+        assert d.witness == 0
+
+    def test_norm002_internal_cycle(self):
+        spec = (
+            SpecBuilder("a").internal(0, 1).internal(1, 0)
+            .external(1, "x", 1).initial(0).build()
+        )
+        report = lint_spec(spec, role="service")
+        [d] = only(report, "NORM002")
+        assert d.witness == frozenset({0, 1})
+
+    def test_norm003_divergent_event(self):
+        spec = (
+            SpecBuilder("a").external(0, "x", 1).external(0, "x", 2)
+            .external(1, "y", 0).external(2, "y", 0).initial(0).build()
+        )
+        [d] = only(lint_spec(spec, role="service"), "NORM003")
+        state, event, targets = d.witness
+        assert event == "x" and targets == frozenset({1, 2})
+
+    def test_component_role_skips_norm_rules(self):
+        spec = (
+            SpecBuilder("a").external(0, "x", 1).external(0, "x", 2)
+            .external(1, "y", 0).external(2, "y", 0).initial(0).build()
+        )
+        assert not {c for c in codes(lint_spec(spec)) if c.startswith("NORM")}
+
+
+class TestCompositionRules:
+    def test_comp001_overshared_event(self):
+        a = SpecBuilder("a").external(0, "e", 0).initial(0).build()
+        b = a.renamed("b")
+        c = a.renamed("c")
+        report = lint_composition([a, b, c])
+        [d] = only(report, "COMP001")
+        assert d.severity == "error"
+        assert d.witness == ("a", "b", "c")
+
+    def test_comp002_non_synchronizing_part(self):
+        a = SpecBuilder("a").external(0, "e", 0).initial(0).build()
+        b = SpecBuilder("b").external(0, "e", 0).external(0, "f", 0).initial(0).build()
+        c = SpecBuilder("c").external(0, "zzz", 0).initial(0).build()
+        [d] = only(lint_composition([a, b, c]), "COMP002")
+        assert d.witness == "c"
+
+    def test_conv001_send_without_receive(self):
+        a = SpecBuilder("a").external(0, "-d0", 0).initial(0).build()
+        b = SpecBuilder("b").external(0, "-d0", 0).external(0, "+a0", 0).initial(0).build()
+        c = SpecBuilder("c2").external(0, "-a0", 0).external(0, "+a0", 0).initial(0).build()
+        report = lint_composition([a, b, c])
+        [d] = only(report, "CONV001")
+        assert d.witness == "-d0"
+
+    def test_conv002_receive_without_send(self):
+        a = SpecBuilder("a").external(0, "+k1", 0).initial(0).build()
+        b = SpecBuilder("b").external(0, "+k1", 0).initial(0).build()
+        [d] = only(lint_composition([a, b]), "CONV002")
+        assert d.witness == "+k1"
+
+    def test_paired_channel_events_are_clean(self):
+        sender = SpecBuilder("snd").external(0, "-p", 0).initial(0).build()
+        channel = (
+            SpecBuilder("ch").external(0, "-p", 1).external(1, "+p", 0)
+            .initial(0).build()
+        )
+        report = lint_composition([sender, channel])
+        assert not {c for c in codes(report) if c.startswith("CONV")}
+
+
+class TestProblemRules:
+    def test_spec101_int_ext_overlap(self):
+        service, component = clean_pair()
+        report = lint_problem(service, component, int_events=["m", "x"])
+        [d] = only(report, "SPEC101")
+        assert d.severity == "error"
+        assert set(d.witness) == {"x"}
+
+    def test_spec102_component_missing_ext(self):
+        service, _ = clean_pair()
+        component = (
+            SpecBuilder("B").external(0, "x", 1).external(1, "m", 0)
+            .initial(0).build()
+        )
+        [d] = only(lint_problem(service, component), "SPEC102")
+        assert set(d.witness) == {"y"}
+
+    def test_spec103_declared_int_mismatch(self):
+        service, component = clean_pair()
+        [d] = only(
+            lint_problem(service, component, int_events=["wrong"]), "SPEC103"
+        )
+        declared, inferred = d.witness
+        assert declared == ("wrong",) and inferred == ("m",)
+
+    def test_quot001_ext_event_never_offered(self):
+        service, _ = clean_pair()
+        component = (
+            SpecBuilder("B").external(0, "x", 1).external(1, "m", 1)
+            .event("y").initial(0).build()
+        )
+        [d] = only(lint_problem(service, component), "QUOT001")
+        assert d.witness == "y" and d.severity == "warning"
+
+    def test_quot002_dead_converter_port(self):
+        service, component = clean_pair()
+        component = (
+            SpecBuilder("B").external(0, "x", 1).external(1, "m", 2)
+            .external(2, "y", 0).event("k").initial(0).build()
+        )
+        [d] = only(lint_problem(service, component), "QUOT002")
+        assert d.witness == "k"
+
+    def test_clean_problem_is_clean(self):
+        service, component = clean_pair()
+        report = lint_problem(service, component, int_events=["m"])
+        assert not report.errors and not report.warnings
+
+
+class TestPreflight:
+    def test_solve_rejects_int_ext_overlap_with_spec_code(self):
+        from repro.quotient import solve_quotient
+
+        service, component = clean_pair()
+        with pytest.raises(LintError) as err:
+            solve_quotient(service, component, int_events=["m", "x"])
+        assert "SPEC101" in str(err.value)
+        assert any(d.code == "SPEC101" for d in err.value.diagnostics)
+        # LintError stays catchable as the legacy QuotientError
+        assert isinstance(err.value, QuotientError)
+
+    def test_solve_collects_all_normal_form_violations(self):
+        from repro.quotient import solve_quotient
+
+        bad_service = (
+            SpecBuilder("A").external(0, "x", 1).external(0, "x", 2)
+            .internal(0, 3).external(3, "y", 0)
+            .external(1, "y", 0).external(2, "y", 0).initial(0).build()
+        )
+        _, component = clean_pair()
+        component = (
+            SpecBuilder("B").external(0, "x", 1).external(1, "m", 2)
+            .external(2, "y", 0).initial(0).build()
+        )
+        with pytest.raises(LintError) as err:
+            solve_quotient(bad_service, component)
+        got = {d.code for d in err.value.diagnostics}
+        assert "NORM001" in got and "NORM003" in got  # collected, not first-failure
+
+    def test_solve_preflight_opt_out_restores_legacy_exception(self):
+        from repro.quotient import solve_quotient
+
+        service, component = clean_pair()
+        with pytest.raises(QuotientError, match="does not match"):
+            solve_quotient(
+                service, component, int_events=["wrong"], preflight=False
+            )
+
+    def test_preflight_does_not_block_on_warnings(self):
+        service, _ = clean_pair()
+        component = (
+            SpecBuilder("B").external(0, "x", 1).external(1, "m", 1)
+            .event("y").initial(0).build()
+        )
+        report = preflight_quotient(service, component)
+        assert report.ok
+        assert "QUOT001" in report.codes()
+        report.raise_if_errors()  # must not raise
+
+    def test_preflight_excludes_structural_spec_rules(self):
+        # an unreachable state in B never changes the quotient's answer,
+        # so the solve preflight must not reject it
+        service, _ = clean_pair()
+        component = (
+            SpecBuilder("B").external(0, "x", 1).external(1, "m", 2)
+            .external(2, "y", 0).external(9, "m", 9).initial(0).build()
+        )
+        assert preflight_quotient(service, component).ok
+
+    def test_compose_many_raises_lint_error_as_composition_error(self):
+        from repro.compose import compose_many
+
+        a = SpecBuilder("a").external(0, "e", 0).initial(0).build()
+        with pytest.raises(CompositionError, match="three or more") as err:
+            compose_many([a, a.renamed("b"), a.renamed("c")])
+        assert isinstance(err.value, LintError)
+        assert any(d.code == "COMP001" for d in err.value.diagnostics)
+
+
+class TestEngine:
+    def test_all_rules_have_unique_codes_and_docs(self):
+        rules = all_rules()
+        assert len({r.code for r in rules}) == len(rules)
+        for r in rules:
+            assert r.summary and r.hint
+            assert r.scope in {"spec", "service", "composition", "problem"}
+        assert len(rules) >= 15
+
+    def test_select_filters_by_prefix(self):
+        spec = (
+            SpecBuilder("s").external(0, "x", 1).external(1, "x", 1)
+            .event("q").initial(0).build()
+        )
+        report = lint_spec(spec, select=["SPEC002"])
+        assert set(report.codes()) <= {"SPEC002"}
+
+    def test_ignore_filters_by_name(self):
+        spec = SpecBuilder("s").external(0, "x", 1).event("q").initial(0).build()
+        report = lint_spec(spec, ignore=["unused-event"])
+        assert "SPEC002" not in report.codes()
+
+    def test_run_rules_problem_dispatch(self):
+        service, component = clean_pair()
+        report = run_rules(service=service, component=component, int_events=["m", "x"])
+        assert "SPEC101" in report.codes()
+
+    def test_run_rules_compose_dispatch(self):
+        a = SpecBuilder("a").external(0, "-p", 0).initial(0).build()
+        b = SpecBuilder("b").external(0, "-p", 0).initial(0).build()
+        report = run_rules(a, b, compose=True)
+        assert "CONV001" in report.codes()
+
+    def test_run_rules_requires_paired_service_component(self):
+        service, _ = clean_pair()
+        with pytest.raises(ValueError, match="together"):
+            run_rules(service=service)
+
+    def test_report_renderings_are_consistent(self):
+        spec = SpecBuilder("s").external(0, "x", 1).initial(0).build()
+        report = lint_spec(spec)
+        payload = report.to_json_dict()
+        assert payload["summary"]["warnings"] == len(report.warnings)
+        sarif = report.to_sarif_dict()
+        results = sarif["runs"][0]["results"]
+        assert [r["ruleId"] for r in results] == [d.code for d in report]
+        assert "SPEC003" in report.describe()

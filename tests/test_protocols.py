@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.compose import compose_many
 from repro.errors import SpecError
 from repro.events import Alphabet
 from repro.protocols import (
@@ -28,7 +27,7 @@ from repro.protocols import (
     sw_sender,
     windowed_alternating_service,
 )
-from repro.satisfy import satisfies, satisfies_safety
+from repro.satisfy import satisfies
 from repro.spec import is_normal_form
 from repro.traces import accepts, language_upto
 

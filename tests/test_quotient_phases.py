@@ -8,7 +8,7 @@ from repro.quotient import (
 from repro.satisfy import satisfies_safety
 from repro.compose import compose
 from repro.spec import SpecBuilder
-from repro.traces import accepts, language_upto
+from repro.traces import accepts
 
 
 def xy_service():

@@ -6,17 +6,14 @@ from repro.spec.refinement import (
     simulation_offering_gap,
     strong_simulation,
     strongly_simulates,
-    weak_simulation,
     weakly_simulates,
 )
 
 
 def loop(name="m", *events):
     b = SpecBuilder(name)
-    prev = 0
     for i, e in enumerate(events):
         b.external(i, e, (i + 1) % len(events))
-        prev = i
     return b.initial(0).build()
 
 
@@ -59,7 +56,7 @@ class TestWeakSimulation:
     def test_weak_implies_trace_inclusion(self):
         """Soundness cross-check against the independent safety oracle."""
         from repro.satisfy import satisfies_safety
-        from repro.spec import extend_alphabet, random_spec
+        from repro.spec import random_spec
 
         for seed in range(12):
             concrete = random_spec(

@@ -167,7 +167,6 @@ class TestMonitors:
         from repro.simulate.engine import Move
 
         internal = Move("internal", None, (0,), (0,), (0,))
-        external = Move("external", "x", (0,), (0,), (0,))
         for _ in range(3):
             assert watchdog.observe_move(internal)
         assert not watchdog.observe_move(internal)

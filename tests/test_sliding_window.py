@@ -12,7 +12,6 @@ from repro.protocols import (
     windowed_alternating_service,
 )
 from repro.satisfy import satisfies, satisfies_safety
-from repro.spec import trace_equivalent
 from repro.traces import accepts
 
 
