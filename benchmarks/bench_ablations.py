@@ -22,7 +22,7 @@ where the paper left latitude:
 
 import time
 
-from paper import emit, table
+from paper import bench_ms, emit, table
 
 from repro.compose import compose, compose_many
 from repro.protocols import (
@@ -95,6 +95,12 @@ def test_abl_normal_form_vs_determinize(benchmark):
             ],
         )
         + "\nvalidates DESIGN.md's normalize-vs-determinize distinction.",
+        metrics={
+            "exact_exists": exact.exists,
+            "exact_converter_states": len(exact.converter.states),
+            "determinized_exists": conservative.exists,
+            "mean_ms": bench_ms(benchmark),
+        },
     )
 
 
@@ -114,6 +120,11 @@ def test_abl_reachable_vs_full_product(benchmark):
         f"A0 || Ach: reachable-only {len(reach.states)} states vs full "
         f"product {len(full.states)} states (trace-equivalent; the library "
         "defaults to reachable-only)",
+        metrics={
+            "reachable_states": len(reach.states),
+            "full_product_states": len(full.states),
+            "mean_ms": bench_ms(benchmark),
+        },
     )
 
 
@@ -166,16 +177,26 @@ def test_abl_progress_trim_equivalence(benchmark):
                 f"equivalent ({len(paper_spec.states)} vs "
                 f"{len(trim_spec.states)} states)"
             )
-        printable.append(
-            [title, verdict, f"{t_paper * 1e3:.1f}", f"{t_trim * 1e3:.1f}"]
-        )
+        printable.append([title, verdict])
+    # wall times are machine-dependent: JSON metrics only, never the
+    # diffed text report (output-hygiene policy)
     emit(
         "ABL-progress-trim",
         "paper-faithful fixed-f progress phase vs trim-each-round variant:\n"
-        + table(
-            ["instance", "outcome", "fixed-f ms", "trimming ms"], printable
-        )
+        + table(["instance", "outcome"], printable)
         + "\nsame verdicts and behaviour on the paper's instances.",
+        metrics={
+            "instances": len(rows),
+            **{
+                f"fixed_f_ms_{title.split()[0]}": round(t_paper * 1e3, 3)
+                for title, _, _, t_paper, _ in rows
+            },
+            **{
+                f"trimming_ms_{title.split()[0]}": round(t_trim * 1e3, 3)
+                for title, _, _, _, t_trim in rows
+            },
+            "mean_ms": bench_ms(benchmark),
+        },
     )
 
 
@@ -214,6 +235,13 @@ def test_abl_pruning_ladder(benchmark):
                 ["greedy deletion (inclusion-minimal)", sizes[3]],
             ],
         ),
+        metrics={
+            "maximal_states": sizes[0],
+            "no_vacuous_states": sizes[1],
+            "merged_states": sizes[2],
+            "minimal_states": sizes[3],
+            "mean_ms": bench_ms(benchmark),
+        },
     )
 
 
@@ -238,4 +266,10 @@ def test_abl_new_conversion_problem(benchmark):
         f"  B: {len(result.problem.component.states)} states; converter "
         f"{len(result.converter.states)} states, verified\n"
         "  (the AB sequence bit maps onto the window-1 sequence number)",
+        metrics={
+            "component_states": len(result.problem.component.states),
+            "converter_states": len(result.converter.states),
+            "verified": result.verification.holds,
+            "mean_ms": bench_ms(benchmark),
+        },
     )

@@ -18,7 +18,7 @@ tabulates the comparison the prose makes qualitatively:
   correct by construction.
 """
 
-from paper import emit, table
+from paper import bench_ms, emit, table
 
 from repro.baselines import (
     ConversionSeed,
@@ -186,4 +186,11 @@ def test_baseline_comparison(benchmark):
         + "\npaper's Section 2 position (only the top-down method certifies\n"
         "nonexistence; bottom-up methods need the global check and the\n"
         "design insight up front) -> REPRODUCED",
+        metrics={
+            "methods_compared": len(rows),
+            "colocated_exists": td_co.exists,
+            "colocated_converter_states": len(td_co.converter.states),
+            "symmetric_exists": td_sym.exists,
+            "mean_ms": bench_ms(benchmark),
+        },
     )

@@ -5,7 +5,7 @@ delivery with duplicates possible over the lossy channel — i.e. the NS
 service is strictly weaker than the AB service.
 """
 
-from paper import emit, table
+from paper import bench_ms, emit, table
 
 from repro.analysis import spec_stats
 from repro.protocols import (
@@ -52,4 +52,10 @@ def test_fig08_ns_protocol(benchmark):
         + format_trace(exact.counterexample)
         + "\n  at-least-once delivery holds -> "
         + ("REPRODUCED" if weak.holds else "FAILED"),
+        metrics={
+            "composite_states": len(scen.composite.states),
+            "exactly_once_holds": exact.holds,
+            "at_least_once_holds": weak.holds,
+            "mean_ms": bench_ms(benchmark),
+        },
     )

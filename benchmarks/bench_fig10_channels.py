@@ -5,7 +5,7 @@ internal transition, a loss leads to exactly one (never-premature) timeout,
 and capacity is one message in flight.
 """
 
-from paper import emit, table
+from paper import bench_ms, emit, table
 
 from repro.analysis import spec_stats
 from repro.protocols import AB_TIMEOUT, NS_TIMEOUT, ab_channel, ns_channel
@@ -51,6 +51,12 @@ def test_fig10_channels(benchmark):
             f"  {name:24s} {'yes' if val else 'no'}"
             for name, val in probes.items()
         ),
+        metrics={
+            "ab_channel_states": len(ach.states),
+            "ns_channel_states": len(nch.states),
+            **{f"probe_{name}": bool(val) for name, val in probes.items()},
+            "mean_ms": bench_ms(benchmark),
+        },
     )
 
 
@@ -68,4 +74,8 @@ def test_fig10_channel_language_growth(benchmark):
         "FIG10-language",
         "NS channel trace-count by depth: "
         + ", ".join(f"k={k}:{n}" for k, n in enumerate(sizes, start=1)),
+        metrics={
+            **{f"traces_k{k}": n for k, n in enumerate(sizes, start=1)},
+            "mean_ms": bench_ms(benchmark),
+        },
     )

@@ -5,7 +5,7 @@ properties: trace set = prefixes of (acc del)*, normal form, and the
 acceptance-set structure the quotient algorithm consumes.
 """
 
-from paper import emit
+from paper import bench_ms, emit
 
 from repro.protocols import alternating_service
 from repro.spec import is_normal_form, psi
@@ -44,4 +44,10 @@ def test_fig11_service(benchmark):
         "trace set: prefixes of (acc del)* — one trace per length up to 6: "
         f"{sorted(len(t) for t in lang)}\n"
         "acceptance sets: after ε {acc}; after acc {del}; after acc.del {acc}",
+        metrics={
+            "service_states": len(svc.states),
+            "normal_form": is_normal_form(svc),
+            "traces_upto_6": len(lang),
+            "mean_ms": bench_ms(benchmark),
+        },
     )

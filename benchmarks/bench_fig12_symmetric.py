@@ -15,7 +15,7 @@ re-checks every claim the paper makes about it:
 The timed pipeline is the full quotient computation.
 """
 
-from paper import emit, table
+from paper import bench_ms, emit, table
 
 from repro.analysis import find_livelocks
 from repro.compose import compose
@@ -70,6 +70,15 @@ def test_fig12_symmetric_quotient(benchmark):
         "progress phase rounds:\n"
         + table(["round", "removed", "remaining"], rounds)
         + "\nresult: NO converter exists -> REPRODUCED",
+        metrics={
+            "composite_states": len(scen.composite.states),
+            "c0_states": len(result.c0.states),
+            "c0_transitions": len(result.c0.external),
+            "converter_exists": result.exists,
+            "livelocked_states": len(livelock.livelocked),
+            "progress_rounds": len(result.progress.rounds),
+            "mean_ms": bench_ms(benchmark),
+        },
     )
 
 
@@ -86,4 +95,10 @@ def test_fig12_safety_phase_cost(benchmark):
         "FIG12-safety-cost",
         f"safety phase explored {sp.explored} pair sets "
         f"({sp.rejected} rejected) for a {len(sp.spec.states)}-state C0",
+        metrics={
+            "pairs_explored": sp.explored,
+            "pairs_rejected": sp.rejected,
+            "c0_states": len(sp.spec.states),
+            "mean_ms": bench_ms(benchmark),
+        },
     )

@@ -6,7 +6,7 @@ to N1; the maximal machine carries superfluous-but-harmless portions (the
 dotted boxes), which can be pruned while preserving correctness.
 """
 
-from paper import emit, table
+from paper import bench_ms, emit, table
 
 from repro.compose import compose
 from repro.protocols import colocated_scenario
@@ -57,6 +57,16 @@ def test_fig14_colocated_quotient(benchmark):
         "  bit-0/bit-1 relay + duplicate re-acknowledgement behaviour "
         "present\n"
         f"  independently verified: {report.holds}",
+        metrics={
+            "composite_states": len(scen.composite.states),
+            "c0_states": len(result.c0.states),
+            "converter_states": len(converter.states),
+            "converter_transitions": len(converter.external),
+            "converter_exists": result.exists,
+            "verified": report.holds,
+            "progress_rounds": len(result.progress.rounds),
+            "mean_ms": bench_ms(benchmark),
+        },
     )
 
 
@@ -78,4 +88,9 @@ def test_fig14_superfluous_pruning(benchmark):
         "(paper: removing the superfluous portions 'is computationally\n"
         " expensive and is best done by hand' — here automated for this "
         "machine size)",
+        metrics={
+            "maximal_states": len(result.converter.states),
+            "pruned_states": len(pruned.states),
+            "mean_ms": bench_ms(benchmark),
+        },
     )

@@ -8,7 +8,7 @@ every achievable service and the *strongest* achievable ones, for both
 paper configurations.
 """
 
-from paper import emit, table
+from paper import bench_ms, emit, table
 
 from repro.analysis import service_frontier
 from repro.protocols import (
@@ -75,4 +75,11 @@ def test_service_frontier_both_configs(benchmark):
         )
         + "\nsymmetric: exactly the paper's weakening (S+) is the frontier;\n"
         "co-located: strict alternation itself is achievable (Fig. 14).",
+        metrics={
+            "candidates": len(symmetric.outcomes),
+            "symmetric_frontier": ",".join(symmetric.frontier),
+            "colocated_frontier": ",".join(colocated.frontier),
+            "colocated_S_converter_states": by_name["S"].converter_states,
+            "mean_ms": bench_ms(benchmark),
+        },
     )

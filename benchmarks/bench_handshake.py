@@ -17,7 +17,7 @@ Three measured outcomes:
   exists.
 """
 
-from paper import emit, table
+from paper import bench_ms, emit, table
 
 from repro.protocols import handshake_scenario, lossy_handshake_scenario
 from repro.quotient import solve_quotient
@@ -81,4 +81,14 @@ def test_hs_conversion_family(benchmark):
         + table(["server variant", "converter", "states", "discipline"], rows)
         + "\nnote: the confirm-first converter was NOT hand-designed — the "
         "maximal\nquotient discovered the pipelining side channel.",
+        metrics={
+            "accept_first_converter_states": len(
+                accept_first.converter.states
+            ),
+            "confirm_first_converter_states": len(
+                confirm_first.converter.states
+            ),
+            "lossy_exists": lossy.exists,
+            "mean_ms": bench_ms(benchmark),
+        },
     )

@@ -13,7 +13,7 @@ nondeterminism-as-choice idiom —
   while recovery is in flight.
 """
 
-from paper import emit, table
+from paper import bench_ms, emit, table
 
 from repro.protocols import (
     at_least_once_service,
@@ -78,4 +78,10 @@ def test_sec5_weakened_service(benchmark):
         + "\npaper claim (converter obtainable by weakening) -> REPRODUCED\n"
         "additional finding: the weakening must use the paper's\n"
         "nondeterministic choice structure; equal trace sets are not enough.",
+        metrics={
+            "nondet_exists": nondet.exists,
+            "nondet_converter_states": len(nondet.converter.states),
+            "strict_exists": strict.exists,
+            "mean_ms": bench_ms(benchmark),
+        },
     )

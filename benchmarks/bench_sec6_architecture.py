@@ -12,7 +12,7 @@ Machine-checks Section 6's three claims:
   verifies — same instance as FIG14).
 """
 
-from paper import emit, table
+from paper import bench_ms, emit, table
 
 from repro.arch import (
     asymmetric_conversion_scenario,
@@ -62,6 +62,13 @@ def test_sec6_architectures(benchmark):
         "SEC6",
         "architectural comparison:\n"
         + table(["configuration", "paper claim", "measured"], rows),
+        metrics={
+            "fig16_sync_lost": finding.holds,
+            "fig17_exists": fig17_result.exists,
+            "fig18_exists": fig18_result.exists,
+            "fig18_converter_states": len(fig18_result.converter.states),
+            "mean_ms": bench_ms(benchmark),
+        },
     )
 
 
@@ -73,4 +80,9 @@ def test_sec6_concatenation_size(benchmark):
         "SEC6-concat",
         f"concatenated system: {len(system.states)} reachable states, "
         f"{len(system.internal)} internal transitions across 7 components",
+        metrics={
+            "reachable_states": len(system.states),
+            "internal_transitions": len(system.internal),
+            "mean_ms": bench_ms(benchmark),
+        },
     )

@@ -11,7 +11,7 @@ proved analytically:
   accept/deliver indefinitely.
 """
 
-from paper import emit, table
+from paper import bench_ms, emit, table
 
 from repro.protocols import (
     ab_channel,
@@ -41,6 +41,13 @@ def test_sim_ab_protocol_clean(benchmark):
         "SIM-ab",
         f"AB protocol, 5 seeded runs × 1500 steps: all clean; "
         f"{report.total_external('del')} total deliveries",
+        metrics={
+            "runs": len(report.runs),
+            "steps_per_run": 1500,
+            "deliveries": report.total_external("del"),
+            "all_ok": report.all_ok,
+            "mean_ms": bench_ms(benchmark),
+        },
     )
 
 
@@ -69,6 +76,11 @@ def test_sim_ns_protocol_duplicates(benchmark):
         "NS protocol under loss pressure: runtime monitor catches the\n"
         f"duplicate delivery after {len(trace)} external events "
         f"(seed {witness.seed}); witness ends ...del.del",
+        metrics={
+            "witness_seed": witness.seed,
+            "external_events_to_violation": len(trace),
+            "mean_ms": bench_ms(benchmark),
+        },
     )
 
 
@@ -106,4 +118,10 @@ def test_sim_derived_converter(benchmark):
         + table(["seed", "steps", "accepts", "deliveries", "worst stall"], rows)
         + "\nmonitor green on every run; accept/deliver counts stay within "
         "one in flight.",
+        metrics={
+            "runs": len(report.runs),
+            "deliveries": report.total_external("del"),
+            "all_ok": report.all_ok,
+            "mean_ms": bench_ms(benchmark),
+        },
     )

@@ -6,7 +6,7 @@ protocol-shaped (rather than synthetic) scaling axis for the quotient
 algorithm, complementing the SEC7 relay family.
 """
 
-from paper import emit, table
+from paper import bench_ms, emit, table
 
 from repro.compose import compose_many
 from repro.protocols import (
@@ -42,6 +42,14 @@ def test_sw_system_validation(benchmark):
                 for w, system, report in results
             ],
         ),
+        metrics={
+            **{
+                f"system_states_w{w}": len(system.states)
+                for w, system, _ in results
+            },
+            "all_satisfy": all(r.holds for _, _, r in results),
+            "mean_ms": bench_ms(benchmark),
+        },
     )
 
 
@@ -78,4 +86,11 @@ def test_sw_conversion_sweep(benchmark):
         )
         + "\nthe quotient machinery generalizes beyond the paper's example; "
         "converter size tracks the receiver's sequence space.",
+        metrics={
+            **{
+                f"converter_states_w{w}": len(result.converter.states)
+                for w, _, result in rows
+            },
+            "mean_ms": bench_ms(benchmark),
+        },
     )

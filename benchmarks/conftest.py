@@ -1,6 +1,20 @@
-"""Benchmark-suite conftest: makes `paper` importable from bench modules."""
+"""Benchmark-suite conftest: makes `paper` importable from bench modules
+and aggregates emitted metrics into BENCH_quotient.json after the run."""
 
 import os
 import sys
 
 sys.path.insert(0, os.path.dirname(__file__))
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Merge this session's emitted metrics into the aggregate BENCH file.
+
+    Only writes when at least one benchmark emitted metrics, so running
+    the tier-1 suite (or an unrelated subset) never touches the file.
+    """
+    import paper
+
+    if paper.metrics_registry():
+        target = paper.write_bench_json()
+        print(f"\nbench metrics merged into {target}")

@@ -23,8 +23,11 @@ parsed as the spec DSL (see :mod:`repro.io.dsl`).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from typing import Callable
 
+from . import obs
 from .analysis.explain import explain_converter
 from .errors import ReproError
 from .io.dot import to_dot
@@ -53,6 +56,63 @@ def _pick(specs: dict[str, Specification], name: str) -> Specification:
             f"no spec named {name!r} in file (available: {sorted(specs)})"
         )
     return specs[name]
+
+
+# ----------------------------------------------------------------------
+# observability flags (shared by solve / compose / check / simulate /
+# diagnose; see docs/observability.md)
+# ----------------------------------------------------------------------
+def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("observability")
+    group.add_argument(
+        "--profile", action="store_true",
+        help="after the command, print the span tree (per-phase wall "
+        "times) and all counters/gauges",
+    )
+    group.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="write a Chrome trace_event file loadable in "
+        "chrome://tracing or https://ui.perfetto.dev",
+    )
+    group.add_argument(
+        "--metrics", choices=["text", "json"], default=None,
+        help="after the command, print the metrics snapshot (text: "
+        "counters/gauges; json: full snapshot including spans)",
+    )
+
+
+def _wants_observation(args: argparse.Namespace) -> bool:
+    return bool(
+        getattr(args, "profile", False)
+        or getattr(args, "trace", None)
+        or getattr(args, "metrics", None)
+    )
+
+
+def _run_observed(args: argparse.Namespace, body: Callable[[], int]) -> int:
+    """Run *body* under a recording collector when any obs flag is set,
+    then export as requested (exports go after the command's own output)."""
+    if not _wants_observation(args):
+        return body()
+    collector = obs.MetricsCollector()
+    with obs.use_collector(collector):
+        code = body()
+    snapshot = collector.snapshot()
+    if args.trace:
+        try:
+            obs.write_chrome_trace(snapshot, args.trace)
+        except OSError as exc:
+            raise ReproError(f"cannot write trace {args.trace!r}: {exc}") from exc
+        print(f"trace written to {args.trace}", file=sys.stderr)
+    if args.profile:
+        print()
+        print(snapshot.render_text())
+    if args.metrics == "text":
+        print()
+        print(snapshot.render_metrics_text())
+    elif args.metrics == "json":
+        print(snapshot.to_json())
+    return code
 
 
 def _cmd_show(args: argparse.Namespace) -> int:
@@ -118,34 +178,53 @@ def _cmd_compose(args: argparse.Namespace) -> int:
 
     specs = _load_specs(args.file)
     parts = [_pick(specs, name) for name in args.names]
-    composite = compose_many(parts)
-    if args.dot:
-        print(to_dot(composite))
-    else:
-        print(render_spec(composite, max_rows=args.max_rows))
-    return 0
+
+    def body() -> int:
+        composite = compose_many(parts)
+        if args.dot:
+            print(to_dot(composite))
+        else:
+            print(render_spec(composite, max_rows=args.max_rows))
+        return 0
+
+    return _run_observed(args, body)
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
     specs = _load_specs(args.file)
     impl = _pick(specs, args.impl)
     service = _pick(specs, args.service)
-    report = satisfies(impl, service)
-    print(report.describe())
-    return 0 if report.holds else 1
+
+    def body() -> int:
+        report = satisfies(impl, service)
+        print(report.describe())
+        return 0 if report.holds else 1
+
+    return _run_observed(args, body)
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
     specs = _load_specs(args.file)
     service = _pick(specs, args.service)
     component = _pick(specs, args.component)
-    result = solve_quotient(service, component, preflight=not args.no_preflight)
-    print(explain_converter(result, show_pairs=args.pairs))
-    if result.exists and args.dot:
-        assert result.converter is not None
-        print()
-        print(to_dot(result.converter))
-    return 0 if result.exists else 1
+
+    def body() -> int:
+        result = solve_quotient(
+            service, component, preflight=not args.no_preflight
+        )
+        if args.format == "json":
+            # phase counters are always included, so an empty result still
+            # says which phase emptied the machine and what survived safety
+            print(json.dumps(result.to_json_dict(), indent=2, sort_keys=True))
+        else:
+            print(explain_converter(result, show_pairs=args.pairs))
+            if result.exists and args.dot:
+                assert result.converter is not None
+                print()
+                print(to_dot(result.converter))
+        return 0 if result.exists else 1
+
+    return _run_observed(args, body)
 
 
 def _cmd_diagnose(args: argparse.Namespace) -> int:
@@ -154,7 +233,12 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
     specs = _load_specs(args.file)
     service = _pick(specs, args.service)
     component = _pick(specs, args.component)
-    result = solve_quotient(service, component)
+
+    # diagnose always records, so the JSON report can carry result.stats
+    # (the "why is this slow" half of the shared diagnostics surface)
+    collector = obs.MetricsCollector()
+    with obs.use_collector(collector):
+        result = solve_quotient(service, component)
     if result.exists:
         print("a converter exists — nothing to diagnose:")
         print(result.summary())
@@ -166,7 +250,11 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
         return 1
     if args.format == "json":
         target = f"{service.name}/{component.name}"
-        print(diagnosis.to_report(target=target).to_json())
+        payload = diagnosis.to_report(target=target).to_json_dict()
+        payload["phases"] = result.phase_counters()
+        if result.stats is not None:
+            payload["stats"] = result.stats.to_dict()
+        print(json.dumps(payload, indent=2, sort_keys=True))
     else:
         print(diagnosis.describe())
     return 1
@@ -179,35 +267,43 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     components = [_pick(specs, name) for name in args.components]
     service = _pick(specs, args.service) if args.service else None
 
-    simulator = Simulator(components, FairRandomPolicy(args.seed))
-    monitor = ServiceMonitor(service) if service is not None else None
-    for _ in range(args.steps):
-        move = simulator.step()
-        if move is None:
-            break
-        if (
-            monitor is not None
-            and move.kind == "external"
-            and move.event in service.alphabet
-        ):
-            # only service-interface events are the monitored behaviour;
-            # other externals are open converter-side ports
-            monitor.observe(move.event)
+    def body() -> int:
+        simulator = Simulator(components, FairRandomPolicy(args.seed))
+        monitor = ServiceMonitor(service) if service is not None else None
+        with obs.span("simulate.run", max_steps=args.steps) as sp:
+            for _ in range(args.steps):
+                move = simulator.step()
+                if move is None:
+                    break
+                if (
+                    monitor is not None
+                    and move.kind == "external"
+                    and move.event in service.alphabet
+                ):
+                    # only service-interface events are the monitored
+                    # behaviour; other externals are open converter-side ports
+                    monitor.observe(move.event)
+            sp.set(
+                steps=len(simulator.log.steps),
+                deadlocked=simulator.log.deadlocked,
+            )
 
-    log = simulator.log
-    if args.msc:
-        print(render_msc(log, components, max_steps=args.msc))
-        print()
-    print(
-        f"ran {len(log.steps)} steps (seed {args.seed})"
-        + ("; DEADLOCKED" if log.deadlocked else "")
-    )
-    for label, count in log.histogram().items():
-        print(f"  {label:16s} ×{count}")
-    if monitor is not None:
-        print(monitor.verdict().describe())
-        return 0 if monitor.verdict().ok else 1
-    return 0
+        log = simulator.log
+        if args.msc:
+            print(render_msc(log, components, max_steps=args.msc))
+            print()
+        print(
+            f"ran {len(log.steps)} steps (seed {args.seed})"
+            + ("; DEADLOCKED" if log.deadlocked else "")
+        )
+        for label, count in log.histogram().items():
+            print(f"  {label:16s} ×{count}")
+        if monitor is not None:
+            print(monitor.verdict().describe())
+            return 0 if monitor.verdict().ok else 1
+        return 0
+
+    return _run_observed(args, body)
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
@@ -311,12 +407,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_compose.add_argument("names", nargs="+")
     p_compose.add_argument("--dot", action="store_true")
     p_compose.add_argument("--max-rows", type=int, default=None)
+    _add_obs_arguments(p_compose)
     p_compose.set_defaults(func=_cmd_compose)
 
     p_check = sub.add_parser("check", help="check impl satisfies service")
     p_check.add_argument("file")
     p_check.add_argument("impl")
     p_check.add_argument("service")
+    _add_obs_arguments(p_check)
     p_check.set_defaults(func=_cmd_check)
 
     p_solve = sub.add_parser("solve", help="derive a converter (quotient)")
@@ -330,6 +428,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-preflight", action="store_true",
         help="skip the static-analysis preflight (repro.lint) before solving",
     )
+    p_solve.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="output format; json always includes the phase-level counters "
+        "(which phase emptied the machine, pairs surviving safety)",
+    )
+    _add_obs_arguments(p_solve)
     p_solve.set_defaults(func=_cmd_solve)
 
     p_diag = sub.add_parser(
@@ -342,7 +446,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="max points-of-no-return to report")
     p_diag.add_argument(
         "--format", choices=["text", "json"], default="text",
-        help="render the diagnosis as text or structured JSON diagnostics",
+        help="render the diagnosis as text or structured JSON diagnostics "
+        "(json includes the phase counters and the metrics snapshot)",
     )
     p_diag.set_defaults(func=_cmd_diagnose)
 
@@ -357,6 +462,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--seed", type=int, default=0)
     p_sim.add_argument("--msc", type=int, default=None, metavar="N",
                        help="render the first N steps as a sequence chart")
+    _add_obs_arguments(p_sim)
     p_sim.set_defaults(func=_cmd_simulate)
 
     p_demo = sub.add_parser("demo", help="run a paper scenario")

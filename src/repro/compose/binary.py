@@ -23,6 +23,7 @@ external) used by verification procedures.
 
 from __future__ import annotations
 
+from .. import obs
 from ..errors import CompositionError
 from ..events import Alphabet, composition_alphabet, shared_events
 from ..spec.spec import Specification, State, _state_sort_key
@@ -45,9 +46,22 @@ def compose(
     shared = shared_events(left.alphabet, right.alphabet)
     alphabet = composition_alphabet(left.alphabet, right.alphabet)
 
-    if reachable_only:
-        return _compose_reachable(left, right, composite_name, shared, alphabet)
-    return _compose_full(left, right, composite_name, shared, alphabet)
+    with obs.span("compose", left=left.name, right=right.name) as sp:
+        if reachable_only:
+            result = _compose_reachable(
+                left, right, composite_name, shared, alphabet
+            )
+        else:
+            result = _compose_full(left, right, composite_name, shared, alphabet)
+        product = len(left.states) * len(right.states)
+        sp.set(product_states=product, reachable_states=len(result.states))
+        obs.add("compose.calls", 1)
+        obs.add("compose.product_states", product)
+        obs.add("compose.reachable_states", len(result.states))
+        obs.add(
+            "compose.transitions", len(result.external) + len(result.internal)
+        )
+    return result
 
 
 def _moves(
@@ -151,6 +165,7 @@ def synchronous_product(
     not the paper's ``‖`` (which hides shared events).
     """
     product_name = name if name is not None else f"({left.name}×{right.name})"
+    obs.add("compose.synchronous_products", 1)
     shared = shared_events(left.alphabet, right.alphabet)
     alphabet = left.alphabet | right.alphabet
     initial = (left.initial, right.initial)

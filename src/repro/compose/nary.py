@@ -22,6 +22,7 @@ from __future__ import annotations
 from collections import Counter
 from typing import Sequence
 
+from .. import obs
 from ..errors import CompositionError
 from ..lint.engine import preflight_composition
 from ..spec.spec import Specification, State
@@ -90,12 +91,14 @@ def compose_many(
                 "interfaces"
             )
 
-    result = specs[0]
-    for nxt in specs[1:]:
-        result = compose(result, nxt, reachable_only=reachable_only)
-    result = result.renamed(composite_name)
-    if flatten:
-        depth = len(specs)
-        mapping = {s: _flatten_state(s, depth) for s in result.states}
-        result = result.map_states(mapping)
+    with obs.span("compose_many", parts=len(specs), composite=composite_name) as sp:
+        result = specs[0]
+        for nxt in specs[1:]:
+            result = compose(result, nxt, reachable_only=reachable_only)
+        result = result.renamed(composite_name)
+        if flatten:
+            depth = len(specs)
+            mapping = {s: _flatten_state(s, depth) for s in result.states}
+            result = result.map_states(mapping)
+        sp.set(states=len(result.states))
     return result

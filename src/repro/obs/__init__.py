@@ -1,0 +1,68 @@
+"""repro.obs — zero-dependency observability for the quotient pipeline.
+
+Spans (hierarchical wall-time intervals), counters, and gauges, recorded by
+a pluggable collector and exported as a text tree, JSON, or the Chrome
+``trace_event`` format (``chrome://tracing`` / Perfetto).
+
+The default collector is a no-op, so instrumented code is effectively free
+until a :class:`MetricsCollector` is installed::
+
+    from repro import obs
+
+    with obs.use_collector() as collector:
+        solve_quotient(service, component)
+    print(collector.snapshot().render_text())
+
+See ``docs/observability.md`` for the full API, the metric name catalogue,
+and how to read a solve trace.
+"""
+
+from .core import (
+    NULL,
+    Collector,
+    MetricsCollector,
+    MetricsSnapshot,
+    NullCollector,
+    SpanHandle,
+    SpanRecord,
+    add,
+    current_collector,
+    gauge,
+    set_collector,
+    snapshot_if_recording,
+    span,
+    use_collector,
+)
+from .export import (
+    attr_safe,
+    render_metrics_text,
+    render_text,
+    snapshot_to_chrome_trace,
+    snapshot_to_dict,
+    snapshot_to_json,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "NULL",
+    "Collector",
+    "MetricsCollector",
+    "MetricsSnapshot",
+    "NullCollector",
+    "SpanHandle",
+    "SpanRecord",
+    "add",
+    "attr_safe",
+    "current_collector",
+    "gauge",
+    "render_metrics_text",
+    "render_text",
+    "set_collector",
+    "snapshot_if_recording",
+    "snapshot_to_chrome_trace",
+    "snapshot_to_dict",
+    "snapshot_to_json",
+    "span",
+    "use_collector",
+    "write_chrome_trace",
+]

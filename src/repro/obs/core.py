@@ -1,0 +1,308 @@
+"""Core instrumentation primitives: spans, counters, gauges, collectors.
+
+The observability layer is deliberately **zero-dependency and standalone**
+(it imports nothing from the rest of :mod:`repro`), so every other module
+can instrument itself without creating import cycles.
+
+Design
+------
+A module-level *current collector* receives all telemetry.  The default is
+:data:`NULL` — a :class:`NullCollector` whose every method is a no-op — so
+instrumented code pays only a global read and an attribute check when
+observability is off.  Install a :class:`MetricsCollector` (usually via the
+:func:`use_collector` context manager) to record:
+
+* **spans** — named, nested wall-time intervals with arbitrary attributes
+  (``with span("safety_phase") as sp: ...; sp.set(states=n)``);
+* **counters** — monotonically accumulated values (``add("pairs", 120)``);
+* **gauges** — last-write-wins values (``gauge("c0.states", 14)``).
+
+:meth:`MetricsCollector.snapshot` freezes the recorded data into a
+:class:`MetricsSnapshot`, which renders as a text tree, JSON, or the Chrome
+``trace_event`` format (see :mod:`repro.obs.export`).
+
+The clock is injectable (``MetricsCollector(clock=...)``) so exporter
+output can be made deterministic in tests.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Mapping, Union
+
+
+@dataclass
+class SpanRecord:
+    """One recorded span: a named wall-time interval in the span tree.
+
+    ``start``/``end`` are seconds relative to the collector's epoch
+    (``end`` is ``None`` while the span is open).  ``parent`` is the index
+    of the enclosing span in the collector's flat span list, or ``None``
+    for roots.
+    """
+
+    index: int
+    name: str
+    parent: int | None
+    start: float
+    end: float | None = None
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Span length in seconds (0.0 while still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+
+class NullCollector:
+    """The default collector: records nothing, costs (almost) nothing."""
+
+    recording = False
+
+    def span_start(self, name: str, attrs: Mapping[str, Any] | None = None) -> int:
+        return -1
+
+    def span_end(self, index: int, attrs: Mapping[str, Any] | None = None) -> None:
+        pass
+
+    def add(self, name: str, value: float = 1) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+
+NULL = NullCollector()
+
+Collector = Union[NullCollector, "MetricsCollector"]
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """An immutable view of everything a collector recorded.
+
+    ``spans`` is the flat span list in start order (tree structure via
+    ``SpanRecord.parent``); ``counters`` and ``gauges`` are name → value
+    maps.  Rendering methods delegate to :mod:`repro.obs.export`.
+    """
+
+    spans: tuple[SpanRecord, ...]
+    counters: Mapping[str, float]
+    gauges: Mapping[str, float]
+
+    def children_of(self, parent: int | None) -> tuple[SpanRecord, ...]:
+        return tuple(s for s in self.spans if s.parent == parent)
+
+    def find(self, name: str) -> tuple[SpanRecord, ...]:
+        """All spans with the given name, in start order."""
+        return tuple(s for s in self.spans if s.name == name)
+
+    def to_dict(self) -> dict[str, Any]:
+        from .export import snapshot_to_dict
+
+        return snapshot_to_dict(self)
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        from .export import snapshot_to_json
+
+        return snapshot_to_json(self, indent=indent)
+
+    def to_chrome_trace(self) -> dict[str, Any]:
+        from .export import snapshot_to_chrome_trace
+
+        return snapshot_to_chrome_trace(self)
+
+    def render_text(self) -> str:
+        from .export import render_text
+
+        return render_text(self)
+
+    def render_metrics_text(self) -> str:
+        from .export import render_metrics_text
+
+        return render_metrics_text(self)
+
+
+class MetricsCollector:
+    """A recording collector: span tree, counters, gauges.
+
+    Not thread-safe: one collector observes one single-threaded run (the
+    library itself is single-threaded).  ``ops`` counts every call received,
+    so tests can bound the instrumentation volume of a workload.
+    """
+
+    recording = True
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self._clock = clock
+        self._epoch = clock()
+        self.spans: list[SpanRecord] = []
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        self.ops = 0
+        self._stack: list[int] = []
+
+    def _now(self) -> float:
+        return self._clock() - self._epoch
+
+    # ------------------------------------------------------------------
+    def span_start(self, name: str, attrs: Mapping[str, Any] | None = None) -> int:
+        self.ops += 1
+        index = len(self.spans)
+        parent = self._stack[-1] if self._stack else None
+        self.spans.append(
+            SpanRecord(index, name, parent, self._now(), attrs=dict(attrs or {}))
+        )
+        self._stack.append(index)
+        return index
+
+    def span_end(self, index: int, attrs: Mapping[str, Any] | None = None) -> None:
+        self.ops += 1
+        record = self.spans[index]
+        if attrs:
+            record.attrs.update(attrs)
+        record.end = self._now()
+        # tolerate out-of-order ends: unwind to (and including) this span
+        while self._stack:
+            top = self._stack.pop()
+            if top == index:
+                break
+
+    def add(self, name: str, value: float = 1) -> None:
+        self.ops += 1
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        self.ops += 1
+        self.gauges[name] = value
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> MetricsSnapshot:
+        """Freeze the current state (open spans keep ``end=None``)."""
+        spans = tuple(
+            SpanRecord(s.index, s.name, s.parent, s.start, s.end, dict(s.attrs))
+            for s in self.spans
+        )
+        return MetricsSnapshot(
+            spans=spans, counters=dict(self.counters), gauges=dict(self.gauges)
+        )
+
+
+# ----------------------------------------------------------------------
+# the module-level current collector and the instrumentation facade
+# ----------------------------------------------------------------------
+_collector: Collector = NULL
+
+
+def current_collector() -> Collector:
+    """The collector receiving telemetry right now (default: :data:`NULL`)."""
+    return _collector
+
+
+def set_collector(collector: Collector) -> Collector:
+    """Install *collector* globally; returns the previous one."""
+    global _collector
+    previous = _collector
+    _collector = collector
+    return previous
+
+
+@contextmanager
+def use_collector(
+    collector: MetricsCollector | None = None,
+) -> Iterator[MetricsCollector]:
+    """Scope a recording collector: installed on entry, restored on exit.
+
+    Creates a fresh :class:`MetricsCollector` when none is given.
+    """
+    active = collector if collector is not None else MetricsCollector()
+    previous = set_collector(active)
+    try:
+        yield active
+    finally:
+        set_collector(previous)
+
+
+class _NoopSpan:
+    """Shared do-nothing span handle returned while observability is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> None:
+        pass
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class _Span:
+    """Live span handle: context manager plus late attribute setting."""
+
+    __slots__ = ("_collector", "_index")
+
+    def __init__(self, collector: MetricsCollector, index: int) -> None:
+        self._collector = collector
+        self._index = index
+
+    def __enter__(self) -> "_Span":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        self._collector.span_end(self._index)
+        return False
+
+    def set(self, **attrs: Any) -> None:
+        self._collector.spans[self._index].attrs.update(attrs)
+
+
+SpanHandle = Union[_NoopSpan, _Span]
+
+
+def span(name: str, **attrs: Any) -> SpanHandle:
+    """Open a span under the current collector.
+
+    Usage::
+
+        with obs.span("safety_phase", service=name) as sp:
+            ...
+            sp.set(states=len(states))
+
+    With the null collector this returns a shared no-op handle without
+    allocating anything.
+    """
+    collector = _collector
+    if not collector.recording:
+        return _NOOP_SPAN
+    return _Span(collector, collector.span_start(name, attrs))
+
+
+def add(name: str, value: float = 1) -> None:
+    """Increment counter *name* by *value* on the current collector."""
+    collector = _collector
+    if collector.recording:
+        collector.add(name, value)
+
+
+def gauge(name: str, value: float) -> None:
+    """Set gauge *name* to *value* on the current collector."""
+    collector = _collector
+    if collector.recording:
+        collector.gauge(name, value)
+
+
+def snapshot_if_recording() -> MetricsSnapshot | None:
+    """The current collector's snapshot, or ``None`` when not recording."""
+    collector = _collector
+    if isinstance(collector, MetricsCollector):
+        return collector.snapshot()
+    return None

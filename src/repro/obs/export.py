@@ -1,0 +1,197 @@
+"""Exporters for :class:`~repro.obs.core.MetricsSnapshot`.
+
+Three renderings, all pure functions of the snapshot:
+
+* :func:`render_text` — a human-readable span tree (durations in ms,
+  attributes inline) followed by the counter/gauge tables; what the CLI's
+  ``--profile`` flag prints;
+* :func:`snapshot_to_dict` / :func:`snapshot_to_json` — a stable JSON
+  structure (``version`` 1) for scripts and the benchmark harness;
+* :func:`snapshot_to_chrome_trace` — the Chrome ``trace_event`` format
+  (JSON-object flavour with a ``traceEvents`` list), loadable in
+  ``chrome://tracing`` and https://ui.perfetto.dev.  Spans become complete
+  (``"ph": "X"``) events with microsecond timestamps; counters and gauges
+  become counter (``"ph": "C"``) events.
+
+This module stays standalone like the rest of :mod:`repro.obs`: the
+attribute encoder below is local, not imported from :mod:`repro.lint`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from .core import MetricsSnapshot, SpanRecord
+
+
+def attr_safe(value: Any) -> Any:
+    """Encode an arbitrary span attribute into JSON-stable structure.
+
+    Tuples/lists/sets recurse (sets sorted for determinism); anything not
+    JSON-representable falls back to ``repr``.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (tuple, list)):
+        return [attr_safe(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        encoded = [attr_safe(v) for v in value]
+        encoded.sort(key=lambda v: json.dumps(v, sort_keys=True))
+        return encoded
+    if isinstance(value, dict):
+        return {
+            str(k): attr_safe(v)
+            for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))
+        }
+    return repr(value)
+
+
+def _format_attrs(attrs: dict[str, Any]) -> str:
+    if not attrs:
+        return ""
+    parts = [f"{k}={attr_safe(v)!r}" for k, v in sorted(attrs.items())]
+    return "  [" + " ".join(parts) + "]"
+
+
+def _format_ms(seconds: float) -> str:
+    return f"{seconds * 1000.0:9.3f} ms"
+
+
+def render_text(snapshot: "MetricsSnapshot") -> str:
+    """The full text rendering: span tree plus counters and gauges."""
+    lines: list[str] = []
+    if snapshot.spans:
+        lines.append("spans:")
+        children: dict[int | None, list["SpanRecord"]] = {}
+        for record in snapshot.spans:
+            children.setdefault(record.parent, []).append(record)
+
+        def walk(parent: int | None, prefix: str) -> None:
+            siblings = children.get(parent, [])
+            for pos, record in enumerate(siblings):
+                last = pos == len(siblings) - 1
+                connector = "`- " if last else "|- "
+                open_marker = "" if record.end is not None else "  (open)"
+                lines.append(
+                    f"  {prefix}{connector}{record.name:<24s} "
+                    f"{_format_ms(record.duration)}{open_marker}"
+                    f"{_format_attrs(record.attrs)}"
+                )
+                walk(record.index, prefix + ("   " if last else "|  "))
+
+        walk(None, "")
+    if snapshot.counters or snapshot.gauges:
+        lines.append(render_metrics_text(snapshot))
+    if not lines:
+        lines.append("(no telemetry recorded)")
+    return "\n".join(lines)
+
+
+def render_metrics_text(snapshot: "MetricsSnapshot") -> str:
+    """Only the counter/gauge tables (the ``--metrics text`` rendering)."""
+    lines: list[str] = []
+    if snapshot.counters:
+        lines.append("counters:")
+        width = max(len(name) for name in snapshot.counters)
+        for name in sorted(snapshot.counters):
+            lines.append(f"  {name:<{width}s}  {snapshot.counters[name]:g}")
+    if snapshot.gauges:
+        lines.append("gauges:")
+        width = max(len(name) for name in snapshot.gauges)
+        for name in sorted(snapshot.gauges):
+            lines.append(f"  {name:<{width}s}  {snapshot.gauges[name]:g}")
+    if not lines:
+        lines.append("(no metrics recorded)")
+    return "\n".join(lines)
+
+
+def snapshot_to_dict(snapshot: "MetricsSnapshot") -> dict[str, Any]:
+    """Stable JSON structure: spans flat (parent indices), metrics maps."""
+    return {
+        "version": 1,
+        "spans": [
+            {
+                "index": s.index,
+                "name": s.name,
+                "parent": s.parent,
+                "start_ms": round(s.start * 1000.0, 6),
+                "duration_ms": round(s.duration * 1000.0, 6),
+                "attrs": {k: attr_safe(v) for k, v in sorted(s.attrs.items())},
+            }
+            for s in snapshot.spans
+        ],
+        "counters": {k: snapshot.counters[k] for k in sorted(snapshot.counters)},
+        "gauges": {k: snapshot.gauges[k] for k in sorted(snapshot.gauges)},
+    }
+
+
+def snapshot_to_json(snapshot: "MetricsSnapshot", *, indent: int | None = 2) -> str:
+    return json.dumps(snapshot_to_dict(snapshot), indent=indent, sort_keys=True)
+
+
+def snapshot_to_chrome_trace(snapshot: "MetricsSnapshot") -> dict[str, Any]:
+    """The Chrome ``trace_event`` JSON-object document for this snapshot.
+
+    One process (pid 1), one thread (tid 1).  Spans are complete events
+    (``ph: "X"``, ``ts``/``dur`` in integer microseconds); counters and
+    gauges are emitted as counter events (``ph: "C"``) at the end of the
+    trace so the values show as tracks in Perfetto.
+    """
+    events: list[dict[str, Any]] = [
+        {
+            "ph": "M",
+            "pid": 1,
+            "tid": 1,
+            "name": "process_name",
+            "args": {"name": "repro"},
+        }
+    ]
+    end_ts = 0
+    for s in snapshot.spans:
+        ts = int(round(s.start * 1_000_000))
+        dur = int(round(s.duration * 1_000_000))
+        end_ts = max(end_ts, ts + dur)
+        events.append(
+            {
+                "ph": "X",
+                "pid": 1,
+                "tid": 1,
+                "name": s.name,
+                "cat": "repro",
+                "ts": ts,
+                "dur": dur,
+                "args": {k: attr_safe(v) for k, v in sorted(s.attrs.items())},
+            }
+        )
+    for name in sorted(snapshot.counters):
+        events.append(
+            {
+                "ph": "C",
+                "pid": 1,
+                "tid": 1,
+                "name": name,
+                "ts": end_ts,
+                "args": {"value": snapshot.counters[name]},
+            }
+        )
+    for name in sorted(snapshot.gauges):
+        events.append(
+            {
+                "ph": "C",
+                "pid": 1,
+                "tid": 1,
+                "name": name,
+                "ts": end_ts,
+                "args": {"value": snapshot.gauges[name]},
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(snapshot: "MetricsSnapshot", path: str) -> None:
+    """Write the ``trace_event`` document to *path* (UTF-8 JSON)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(snapshot_to_chrome_trace(snapshot), fh, indent=2, sort_keys=True)
+        fh.write("\n")

@@ -24,6 +24,7 @@ reachability trim is applied afterwards by the solver, as presentation.
 
 from __future__ import annotations
 
+from .. import obs
 from ..events import Alphabet, Event
 from ..spec.graph import sink_acceptance_sets
 from ..spec.spec import Specification, State, _state_sort_key
@@ -31,6 +32,15 @@ from .types import PairSet, ProgressPhaseResult, ProgressRound, QuotientProblem
 
 
 def _composite_tau_star(
+    problem: QuotientProblem,
+    converter: Specification,
+    pairs_needed: list[tuple[State, State]],
+) -> dict[tuple[State, State], Alphabet]:
+    with obs.span("tau_star", pairs=len(pairs_needed)):
+        return _composite_tau_star_impl(problem, converter, pairs_needed)
+
+
+def _composite_tau_star_impl(
     problem: QuotientProblem,
     converter: Specification,
     pairs_needed: list[tuple[State, State]],
@@ -159,6 +169,8 @@ def _composite_tau_star(
                 if j != comp_idx:
                     events |= scc_events[j]
 
+    obs.add("quotient.progress.tau_star_nodes", len(adjacency))
+    obs.add("quotient.progress.tau_star_sccs", len(scc_events))
     return {
         node: Alphabet(scc_events[scc_of[node]]) for node in pairs_needed
     }
@@ -186,44 +198,58 @@ def progress_phase(
 
     current = c0
     rounds: list[ProgressRound] = []
-    while True:
-        # compute τ*.⟨b,c⟩ for every pair associated with a surviving state
-        needed: list[tuple[State, State]] = []
-        for c in current.states:
-            for a, b in sorted(f[c], key=lambda p: (_state_sort_key(p[0]), _state_sort_key(p[1]))):
-                needed.append((b, c))
-        offered = _composite_tau_star(problem, current, needed)
+    with obs.span("progress_phase") as phase_span:
+        while True:
+            with obs.span("progress_round", round=len(rounds)) as round_span:
+                # τ*.⟨b,c⟩ for every pair associated with a surviving state
+                needed: list[tuple[State, State]] = []
+                for c in current.states:
+                    for a, b in sorted(f[c], key=lambda p: (_state_sort_key(p[0]), _state_sort_key(p[1]))):
+                        needed.append((b, c))
+                offered = _composite_tau_star(problem, current, needed)
 
-        bad: set[State] = set()
-        for c in sorted(current.states, key=_state_sort_key):
-            for a, b in f[c]:
-                menu = acceptance(a)
-                if not any(accept <= offered[(b, c)] for accept in menu):
-                    bad.add(c)
-                    break
-        rounds.append(
-            ProgressRound(
-                round_index=len(rounds),
-                bad_states=frozenset(bad),
-                remaining=len(current.states) - len(bad),
+                bad: set[State] = set()
+                for c in sorted(current.states, key=_state_sort_key):
+                    for a, b in f[c]:
+                        menu = acceptance(a)
+                        if not any(accept <= offered[(b, c)] for accept in menu):
+                            bad.add(c)
+                            break
+                rounds.append(
+                    ProgressRound(
+                        round_index=len(rounds),
+                        bad_states=frozenset(bad),
+                        remaining=len(current.states) - len(bad),
+                    )
+                )
+                round_span.set(
+                    pairs_checked=len(needed),
+                    bad=len(bad),
+                    remaining=len(current.states) - len(bad),
+                )
+                obs.add("quotient.progress.rounds", 1)
+                obs.add("quotient.progress.pairs_checked", len(needed))
+                obs.add("quotient.progress.bad_states_removed", len(bad))
+            if not bad:
+                phase_span.set(exists=True, rounds=len(rounds))
+                obs.gauge("quotient.progress.final_states", len(current.states))
+                return ProgressPhaseResult(spec=current, rounds=tuple(rounds))
+            if current.initial in bad or len(bad) == len(current.states):
+                # removing the initial state makes all states unreachable:
+                # no quotient exists (Theorem 2)
+                phase_span.set(exists=False, rounds=len(rounds))
+                obs.gauge("quotient.progress.final_states", 0)
+                return ProgressPhaseResult(spec=None, rounds=tuple(rounds))
+            keep = current.states - bad
+            current = Specification(
+                current.name,
+                keep,
+                current.alphabet,
+                (
+                    (s, e, s2)
+                    for s, e, s2 in current.external
+                    if s in keep and s2 in keep
+                ),
+                (),
+                current.initial,
             )
-        )
-        if not bad:
-            return ProgressPhaseResult(spec=current, rounds=tuple(rounds))
-        if current.initial in bad or len(bad) == len(current.states):
-            # removing the initial state makes all states unreachable:
-            # no quotient exists (Theorem 2)
-            return ProgressPhaseResult(spec=None, rounds=tuple(rounds))
-        keep = current.states - bad
-        current = Specification(
-            current.name,
-            keep,
-            current.alphabet,
-            (
-                (s, e, s2)
-                for s, e, s2 in current.external
-                if s in keep and s2 in keep
-            ),
-            (),
-            current.initial,
-        )

@@ -26,6 +26,7 @@ converter is exactly as trustworthy as the original.
 
 from __future__ import annotations
 
+from .. import obs
 from ..compose.binary import compose
 from ..satisfy.verify import satisfies
 from ..spec.minimize import minimize_deterministic
@@ -45,6 +46,7 @@ def drop_vacuous_states(
     """
     vacuous = {s for s in converter.states if not f.get(s, frozenset())}
     vacuous.discard(converter.initial)
+    obs.add("quotient.prune.vacuous_states_removed", len(vacuous))
     if not vacuous:
         return converter
     return prune_unreachable(remove_states(converter, vacuous))
@@ -102,10 +104,16 @@ def prune_converter(
 
     The result is re-verified against the problem before being returned.
     """
-    pruned = drop_vacuous_states(converter, f)
-    pruned = merge_equivalent_states(pruned)
-    if exhaustive:
-        pruned = minimize_converter(problem, pruned)
+    with obs.span("prune_converter", exhaustive=exhaustive) as sp:
+        pruned = drop_vacuous_states(converter, f)
+        pruned = merge_equivalent_states(pruned)
+        if exhaustive:
+            pruned = minimize_converter(problem, pruned)
+        sp.set(before=len(converter.states), after=len(pruned.states))
+        obs.add(
+            "quotient.prune.states_removed",
+            len(converter.states) - len(pruned.states),
+        )
     composite = compose(problem.component, pruned)
     report = satisfies(composite, problem.service)
     if not report.holds:  # pragma: no cover - internal consistency guard

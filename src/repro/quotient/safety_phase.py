@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from collections import deque
 
+from .. import obs
 from ..spec.spec import Specification
 from .hmap import extend_pairs, initial_pairs
 from .types import PairSet, QuotientProblem, SafetyPhaseResult
@@ -32,28 +33,44 @@ def safety_phase(problem: QuotientProblem) -> SafetyPhaseResult:
     """
     int_events = sorted(problem.interface.int_events)
 
-    start = initial_pairs(problem)
-    explored = 1
-    if start is None:
-        # ¬ok.(h.ε): by property P1 no specification C can be safe.
-        return SafetyPhaseResult(spec=None, f={}, explored=1, rejected=1)
+    with obs.span("safety_phase") as sp:
+        start = initial_pairs(problem)
+        explored = 1
+        if start is None:
+            # ¬ok.(h.ε): by property P1 no specification C can be safe.
+            sp.set(exists=False, explored=1, rejected=1)
+            obs.add("quotient.safety.pairs_explored", 1)
+            obs.add("quotient.safety.pairs_rejected", 1)
+            return SafetyPhaseResult(spec=None, f={}, explored=1, rejected=1)
 
-    states: set[PairSet] = {start}
-    transitions: list[tuple[PairSet, str, PairSet]] = []
-    rejected = 0
-    worklist: deque[PairSet] = deque([start])
-    while worklist:
-        current = worklist.popleft()
-        for event in int_events:
-            candidate = extend_pairs(problem, current, event)
-            explored += 1
-            if candidate is None:
-                rejected += 1
-                continue
-            if candidate not in states:
-                states.add(candidate)
-                worklist.append(candidate)
-            transitions.append((current, event, candidate))
+        states: set[PairSet] = {start}
+        transitions: list[tuple[PairSet, str, PairSet]] = []
+        rejected = 0
+        worklist: deque[PairSet] = deque([start])
+        while worklist:
+            current = worklist.popleft()
+            for event in int_events:
+                candidate = extend_pairs(problem, current, event)
+                explored += 1
+                if candidate is None:
+                    rejected += 1
+                    continue
+                if candidate not in states:
+                    states.add(candidate)
+                    worklist.append(candidate)
+                transitions.append((current, event, candidate))
+
+        sp.set(
+            exists=True,
+            explored=explored,
+            rejected=rejected,
+            states=len(states),
+            transitions=len(transitions),
+        )
+        obs.add("quotient.safety.pairs_explored", explored)
+        obs.add("quotient.safety.pairs_rejected", rejected)
+        obs.gauge("quotient.safety.c0_states", len(states))
+        obs.gauge("quotient.safety.c0_transitions", len(transitions))
 
     spec = Specification(
         f"C0({problem.service.name}/{problem.component.name})",

@@ -10,8 +10,10 @@ different code path), so a returned converter is never taken on faith.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Iterable
 
+from .. import obs
 from ..compose.binary import compose
 from ..errors import QuotientError
 from ..lint.engine import preflight_quotient
@@ -74,10 +76,37 @@ def solve_quotient(
         ``result.exists`` tells whether a converter exists; when it does,
         ``result.converter`` is the maximal converter (Theorem 1 / 2) with
         integer states and ``result.f`` maps each state to its ``(a, b)``
-        pair set.
+        pair set.  When an :mod:`repro.obs` collector is recording,
+        ``result.stats`` carries the collected metrics snapshot.
     """
+    with obs.span(
+        "solve_quotient", service=service.name, component=component.name
+    ) as sp:
+        result = _solve(
+            service,
+            component,
+            int_events=int_events,
+            verify=verify,
+            preflight=preflight,
+        )
+        sp.set(exists=result.exists)
+    stats = obs.snapshot_if_recording()
+    if stats is not None:
+        result = replace(result, stats=stats)
+    return result
+
+
+def _solve(
+    service: Specification,
+    component: Specification,
+    *,
+    int_events: Iterable[str] | None,
+    verify: bool,
+    preflight: bool,
+) -> QuotientResult:
     if preflight:
-        preflight_quotient(service, component, int_events).raise_if_errors()
+        with obs.span("preflight"):
+            preflight_quotient(service, component, int_events).raise_if_errors()
     problem = QuotientProblem.build(service, component, int_events)
 
     safety = safety_phase(problem)
@@ -107,15 +136,20 @@ def solve_quotient(
         )
     assert progress.spec is not None
 
-    final = prune_unreachable(progress.spec)
-    converter, f = _relabel_with_f(final)
-    converter = converter.renamed(
-        f"C({problem.service.name}/{problem.component.name})"
-    )
+    with obs.span("finalize") as sp:
+        final = prune_unreachable(progress.spec)
+        converter, f = _relabel_with_f(final)
+        converter = converter.renamed(
+            f"C({problem.service.name}/{problem.component.name})"
+        )
+        sp.set(states=len(converter.states), transitions=len(converter.external))
+        obs.gauge("quotient.converter.states", len(converter.states))
+        obs.gauge("quotient.converter.transitions", len(converter.external))
 
     verification: SatisfactionReport | None = None
     if verify:
-        verification = verify_converter(problem, converter)
+        with obs.span("verify"):
+            verification = verify_converter(problem, converter)
 
     return QuotientResult(
         problem=problem,

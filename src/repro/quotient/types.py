@@ -17,6 +17,7 @@ from typing import Iterable
 
 from ..errors import QuotientError
 from ..events import Interface
+from ..obs import MetricsSnapshot
 from ..spec.normal_form import assert_normal_form
 from ..spec.spec import Specification, State
 
@@ -140,7 +141,10 @@ class QuotientResult:
     * ``safety`` / ``progress`` — per-phase records;
     * ``verification`` — the independent satisfaction report of
       ``B ‖ converter`` against the service (populated when the solver was
-      asked to verify and a converter exists).
+      asked to verify and a converter exists);
+    * ``stats`` — the :class:`~repro.obs.MetricsSnapshot` collected during
+      the run (populated only when an :mod:`repro.obs` collector was
+      recording; ``None`` under the default no-op collector).
     """
 
     problem: QuotientProblem
@@ -152,9 +156,87 @@ class QuotientResult:
     safety: SafetyPhaseResult | None = None
     progress: ProgressPhaseResult | None = None
     verification: object | None = None
+    stats: MetricsSnapshot | None = None
 
     def __bool__(self) -> bool:
         return self.exists
+
+    def phase_counters(self) -> dict:
+        """Phase-level counters as a JSON-ready dict.
+
+        Always available (derived from the per-phase records the solver
+        keeps), independent of whether an obs collector was recording.
+        ``emptied_by`` names the phase that proved nonexistence
+        (``"safety"`` / ``"progress"``), or is ``None`` when a converter
+        exists.
+        """
+        emptied_by = None
+        if not self.exists:
+            emptied_by = (
+                "safety"
+                if self.safety is None or not self.safety.exists
+                else "progress"
+            )
+        counters: dict = {"emptied_by": emptied_by}
+        if self.safety is not None:
+            counters["safety"] = {
+                "exists": self.safety.exists,
+                "pairs_explored": self.safety.explored,
+                "pairs_rejected": self.safety.rejected,
+                "states_surviving": (
+                    len(self.c0.states) if self.c0 is not None else 0
+                ),
+                "transitions": (
+                    len(self.c0.external) if self.c0 is not None else 0
+                ),
+            }
+        if self.progress is not None:
+            counters["progress"] = {
+                "exists": self.progress.exists,
+                "rounds": [
+                    {
+                        "round": r.round_index,
+                        "removed": len(r.bad_states),
+                        "remaining": r.remaining,
+                    }
+                    for r in self.progress.rounds
+                ],
+                "states_removed": sum(
+                    len(r.bad_states) for r in self.progress.rounds
+                ),
+            }
+        return counters
+
+    def to_json_dict(self) -> dict:
+        """The machine-readable outcome (the CLI's ``solve --format json``).
+
+        Contains the verdict, the phase counters (so an empty result says
+        *which* phase emptied the machine and how many pairs survived
+        safety), the converter shape, the verification verdict, and — when
+        an obs collector was recording — the full metrics snapshot.
+        """
+        payload: dict = {
+            "version": 1,
+            "service": self.problem.service.name,
+            "component": self.problem.component.name,
+            "int_events": self.problem.interface.int_events.sorted(),
+            "exists": self.exists,
+            "phases": self.phase_counters(),
+        }
+        if self.converter is not None:
+            payload["converter"] = {
+                "name": self.converter.name,
+                "states": len(self.converter.states),
+                "transitions": len(self.converter.external),
+                "alphabet": self.converter.alphabet.sorted(),
+            }
+        else:
+            payload["converter"] = None
+        if self.verification is not None:
+            payload["verified"] = bool(getattr(self.verification, "holds", False))
+        if self.stats is not None:
+            payload["stats"] = self.stats.to_dict()
+        return payload
 
     def summary(self) -> str:
         lines = [

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from .. import obs
 from ..spec.spec import Specification
 from .progress import ProgressResult, satisfies_progress
 from .safety import SafetyResult, satisfies_safety
@@ -53,11 +54,19 @@ def satisfies(impl: Specification, service: Specification) -> SatisfactionReport
     share the implementation's interface.  Safety is checked first; progress
     only if safety holds.
     """
-    safety = satisfies_safety(impl, service)
-    progress = satisfies_progress(impl, service) if safety.holds else None
-    return SatisfactionReport(
-        impl_name=impl.name,
-        service_name=service.name,
-        safety=safety,
-        progress=progress,
-    )
+    with obs.span("satisfies", impl=impl.name, service=service.name) as sp:
+        with obs.span("satisfy.safety"):
+            safety = satisfies_safety(impl, service)
+        progress = None
+        if safety.holds:
+            with obs.span("satisfy.progress"):
+                progress = satisfies_progress(impl, service)
+        report = SatisfactionReport(
+            impl_name=impl.name,
+            service_name=service.name,
+            safety=safety,
+            progress=progress,
+        )
+        sp.set(holds=report.holds)
+        obs.add("satisfy.checks", 1)
+    return report

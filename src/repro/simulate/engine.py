@@ -24,11 +24,20 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from .. import obs
 from ..errors import CompositionError
 from ..events import Event
 from ..spec.spec import Specification, State, _state_sort_key
 
 StateVector = tuple[State, ...]
+
+# precomputed counter names: Simulator.step is hot, so the disabled path
+# must not pay for per-step string formatting
+_MOVE_COUNTER = {
+    "internal": "sim.moves.internal",
+    "interaction": "sim.moves.interaction",
+    "external": "sim.moves.external",
+}
 
 
 @dataclass(frozen=True)
@@ -80,6 +89,22 @@ class RunLog:
         for m in self.steps:
             out[m.label()] = out.get(m.label(), 0) + 1
         return dict(sorted(out.items()))
+
+    def metrics(self) -> dict:
+        """Per-run step/move metrics as a JSON-ready dict.
+
+        The machine-readable companion of :meth:`histogram`: total steps,
+        deadlock flag, move counts by kind, and the per-label histogram.
+        """
+        by_kind = {"internal": 0, "interaction": 0, "external": 0}
+        for m in self.steps:
+            by_kind[m.kind] += 1
+        return {
+            "steps": len(self.steps),
+            "deadlocked": self.deadlocked,
+            "moves": by_kind,
+            "events": self.histogram(),
+        }
 
 
 class Simulator:
@@ -182,6 +207,7 @@ class Simulator:
         moves = self.enabled_moves()
         if not moves:
             self._log.deadlocked = True
+            obs.add("sim.deadlocks", 1)
             return None
         move = self._policy(moves, len(self._log.steps))
         if move not in moves:
@@ -190,13 +216,17 @@ class Simulator:
             )
         self._states = move.after
         self._log.steps.append(move)
+        obs.add("sim.steps", 1)
+        obs.add(_MOVE_COUNTER[move.kind], 1)
         return move
 
     def run(self, max_steps: int) -> RunLog:
         """Execute up to *max_steps* moves (stops early on deadlock)."""
-        for _ in range(max_steps):
-            if self.step() is None:
-                break
+        with obs.span("simulate.run", max_steps=max_steps) as sp:
+            for _ in range(max_steps):
+                if self.step() is None:
+                    break
+            sp.set(steps=len(self._log.steps), deadlocked=self._log.deadlocked)
         return self._log
 
     def reset(self) -> None:

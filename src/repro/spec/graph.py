@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Callable, Iterable
 
+from .. import obs
 from ..events import Alphabet, Event
 from .spec import Specification, State, _state_sort_key
 
@@ -61,6 +62,7 @@ def lambda_closure(spec: Specification) -> dict[State, frozenset[State]]:
     Computed via the condensation of the λ-graph so shared suffixes are not
     re-explored per state.
     """
+    obs.add("graph.lambda_closure_runs", 1)
     sccs, scc_of = internal_sccs(spec)
     # closure over SCC DAG, in reverse topological order
     order = _topological_scc_order(spec, sccs, scc_of)
@@ -151,6 +153,8 @@ def internal_sccs(
                 components.append(component)
                 for member in component:
                     scc_of[member] = comp_idx
+    obs.add("graph.scc_runs", 1)
+    obs.add("graph.scc_components", len(components))
     return components, scc_of
 
 
@@ -233,6 +237,7 @@ def tau_star_of(spec: Specification, state: State) -> Alphabet:
 
 def tau_star(spec: Specification) -> dict[State, Alphabet]:
     """``τ*`` for every state at once (condensation-DAG propagation)."""
+    obs.add("graph.tau_star_runs", 1)
     sccs, scc_of = internal_sccs(spec)
     order = _topological_scc_order(spec, sccs, scc_of)
     scc_events: list[set[Event]] = [set() for _ in sccs]
