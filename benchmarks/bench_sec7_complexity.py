@@ -21,7 +21,7 @@ from paper import bench_ms, emit, table
 
 from repro.compose import compose_many
 from repro.quotient import QuotientProblem, progress_phase, safety_phase, solve_quotient
-from repro.spec import SpecBuilder
+from repro.spec import SpecBuilder, use_kernel
 
 
 def _relay_problem(k: int):
@@ -109,6 +109,71 @@ def test_sec7_exponential_safety_phase(benchmark):
             },
             "growth_ratio_k2": round(explored[1] / explored[0], 2),
             "growth_ratio_k3": round(explored[2] / explored[1], 2),
+            "mean_ms": bench_ms(benchmark),
+        },
+    )
+
+
+def test_sec7_kernel_speedup(benchmark):
+    """The compiled integer-indexed kernel against the reference labeled
+    paths on the largest relay instance (k=5, the biggest size this file
+    configures).  The text report carries only deterministic work counters
+    and the machine-equality verdict; wall times and the speedup factor are
+    machine-dependent and go to the JSON metrics only."""
+    k = 5
+    service, component = _relay_problem(k)
+    problem = QuotientProblem.build(service, component)
+
+    def run_phases(enabled: bool):
+        with use_kernel(enabled):
+            t0 = time.perf_counter()
+            sp = safety_phase(problem)
+            t_safety = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            pp = progress_phase(problem, sp.spec, sp.f)
+            t_progress = time.perf_counter() - t0
+        return sp, pp, t_safety * 1e3, t_progress * 1e3
+
+    ref_sp, ref_pp, ref_safety_ms, ref_progress_ms = run_phases(False)
+    sp, pp, kernel_safety_ms, kernel_progress_ms = benchmark.pedantic(
+        run_phases, args=(True,), rounds=1, iterations=1
+    )
+
+    # identical outputs, work counters, and per-round removal records
+    assert sp.spec == ref_sp.spec
+    assert sp.f == ref_sp.f
+    assert (sp.explored, sp.rejected) == (ref_sp.explored, ref_sp.rejected)
+    assert pp.spec == ref_pp.spec
+    assert pp.rounds == ref_pp.rounds
+
+    ref_ms = ref_safety_ms + ref_progress_ms
+    kernel_ms = kernel_safety_ms + kernel_progress_ms
+    speedup = ref_ms / kernel_ms
+    # conservative in-test floor (measured ~18x; see BENCH_quotient.json)
+    assert speedup > 3
+
+    emit(
+        "SEC7-kernel",
+        "compiled kernel vs reference labeled paths on the largest relay\n"
+        f"instance (k={k}); both paths must produce identical machines:\n"
+        + table(
+            ["k", "|C0|", "pair sets explored", "progress rounds"],
+            [[k, len(sp.spec.states), sp.explored, len(pp.rounds)]],
+        )
+        + "\nkernel output == reference output (C0, f, converter, per-round\n"
+        "removals, work counters) -> VERIFIED\n"
+        "wall times and the speedup factor are machine-dependent: see the\n"
+        "kernel_* metrics in BENCH_quotient.json",
+        metrics={
+            "k": k,
+            "c0_states": len(sp.spec.states),
+            "explored_k5": sp.explored,
+            "rounds": len(pp.rounds),
+            "ref_safety_ms": round(ref_safety_ms, 3),
+            "ref_progress_ms": round(ref_progress_ms, 3),
+            "kernel_safety_ms": round(kernel_safety_ms, 3),
+            "kernel_progress_ms": round(kernel_progress_ms, 3),
+            "speedup": round(speedup, 2),
             "mean_ms": bench_ms(benchmark),
         },
     )

@@ -168,6 +168,96 @@ def validate_bench_json(path: str) -> list[str]:
 
 
 # ----------------------------------------------------------------------
+# perf gate: deterministic work counters vs the committed baseline
+# ----------------------------------------------------------------------
+def _sec7_work_counters() -> dict[str, dict[str, float]]:
+    """Recompute the SEC7 *work* counters in-process (kernel on, cheap).
+
+    These are deterministic exploration counts — pair sets examined by the
+    safety phase, pairs checked by the progress phase — not wall times, so
+    they are stable across machines and suitable for a CI regression gate.
+    """
+    src = os.path.join(REPO_ROOT, "src")
+    for entry in (src, HERE):
+        if entry not in sys.path:
+            sys.path.insert(0, entry)
+    from bench_sec7_complexity import _relay_problem
+
+    from repro import obs
+    from repro.protocols import colocated_scenario, symmetric_scenario
+    from repro.quotient import QuotientProblem, progress_phase, safety_phase
+
+    fresh: dict[str, dict[str, float]] = {
+        "SEC7-safety": {},
+        "SEC7-progress": {},
+        "SEC7-kernel": {},
+    }
+    instances = []
+    for k in (1, 2, 3):
+        service, component = _relay_problem(k)
+        instances.append((f"relay^{k}", service, component))
+    for scen, label in (
+        (colocated_scenario(), "Fig13"),
+        (symmetric_scenario(), "Fig9"),
+    ):
+        instances.append((label, scen.service, scen.composite))
+    for label, service, component in instances:
+        problem = QuotientProblem.build(service, component)
+        sp = safety_phase(problem)
+        with obs.use_collector(obs.MetricsCollector()) as collector:
+            progress_phase(problem, sp.spec, sp.f)
+        checked = collector.counters.get("quotient.progress.pairs_checked", 0)
+        if label.startswith("relay^"):
+            k = int(label.split("^")[1])
+            fresh["SEC7-safety"][f"explored_k{k}"] = sp.explored
+        fresh["SEC7-progress"][f"pairs_checked_{label}"] = checked
+    service, component = _relay_problem(5)
+    problem = QuotientProblem.build(service, component)
+    sp = safety_phase(problem)
+    pp = progress_phase(problem, sp.spec, sp.f)
+    fresh["SEC7-kernel"]["explored_k5"] = sp.explored
+    fresh["SEC7-kernel"]["c0_states"] = len(sp.spec.states)
+    fresh["SEC7-kernel"]["rounds"] = len(pp.rounds)
+    return fresh
+
+
+def perf_gate(path: str) -> list[str]:
+    """Regressions of the deterministic SEC7 work counters ([] when clean).
+
+    Fails when a fresh counter *exceeds* its committed baseline in *path*
+    (the algorithm started doing more work); a fresh counter below the
+    baseline is an improvement and only asks for a baseline refresh.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except (OSError, ValueError) as exc:
+        return [f"cannot read baseline {path!r}: {exc}"]
+    committed = payload.get("experiments", {})
+    problems: list[str] = []
+    for exp_id, counters in sorted(_sec7_work_counters().items()):
+        entry = committed.get(exp_id)
+        base = entry.get("metrics") if isinstance(entry, dict) else None
+        if not isinstance(base, dict):
+            problems.append(f"{exp_id}: no committed baseline in {path}")
+            continue
+        for key, value in sorted(counters.items()):
+            baseline = base.get(key)
+            if baseline is None:
+                problems.append(f"{exp_id}: baseline lacks counter {key!r}")
+            elif value > baseline:
+                problems.append(
+                    f"{exp_id}.{key}: work regressed ({baseline} -> {value})"
+                )
+            elif value < baseline:
+                print(
+                    f"note: {exp_id}.{key} improved ({baseline} -> {value}); "
+                    "refresh the baseline with: python benchmarks/paper.py"
+                )
+    return problems
+
+
+# ----------------------------------------------------------------------
 # the driver: regenerate / check / validate
 # ----------------------------------------------------------------------
 def _run_suite(out_dir: str, bench_json: str, *, smoke: bool = False) -> int:
@@ -234,7 +324,24 @@ def main(argv: list[str] | None = None) -> int:
         "--smoke", action="store_true",
         help="run only the fast CI subset of benchmarks",
     )
+    parser.add_argument(
+        "--perf-gate", nargs="?", const=BENCH_JSON, default=None,
+        metavar="FILE",
+        help="recompute the deterministic SEC7 work counters and fail if "
+        "any exceeds its baseline in FILE (default: the committed "
+        "BENCH_quotient.json); wall times are never compared",
+    )
     args = parser.parse_args(argv)
+
+    if args.perf_gate is not None:
+        problems = perf_gate(args.perf_gate)
+        if problems:
+            print("perf gate FAILED (deterministic work counters regressed):")
+            for p in problems:
+                print(f"  {p}")
+            return 1
+        print(f"perf gate passed against {args.perf_gate}")
+        return 0
 
     if args.validate is not None:
         problems = validate_bench_json(args.validate)

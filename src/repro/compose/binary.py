@@ -26,6 +26,7 @@ from __future__ import annotations
 from .. import obs
 from ..errors import CompositionError
 from ..events import Alphabet, composition_alphabet, shared_events
+from ..spec.compiled import CompiledSpec, compiled, kernel_enabled
 from ..spec.spec import Specification, State, _state_sort_key
 
 
@@ -48,9 +49,14 @@ def compose(
 
     with obs.span("compose", left=left.name, right=right.name) as sp:
         if reachable_only:
-            result = _compose_reachable(
-                left, right, composite_name, shared, alphabet
-            )
+            if kernel_enabled():
+                result = _compose_reachable_kernel(
+                    left, right, composite_name, shared, alphabet
+                )
+            else:
+                result = _compose_reachable(
+                    left, right, composite_name, shared, alphabet
+                )
         else:
             result = _compose_full(left, right, composite_name, shared, alphabet)
         product = len(left.states) * len(right.states)
@@ -131,6 +137,103 @@ def _compose_reachable(
     return Specification(name, states, alphabet, external, internal, initial)
 
 
+def _compose_reachable_kernel(
+    left: Specification,
+    right: Specification,
+    name: str,
+    shared: Alphabet,
+    alphabet: Alphabet,
+) -> Specification:
+    """Reachable composition over interned ``(int, int)`` pair codes.
+
+    Explores the product over dense integers (pair code ``ia * |S_R| + ib``)
+    and decodes back to the labeled ``(a, b)`` states only at the boundary.
+    The resulting specification is identical to :func:`_compose_reachable`'s
+    (states, transitions, and initial are *sets* — exploration order cannot
+    leak into the value).
+    """
+    cl: CompiledSpec = compiled(left)
+    cr: CompiledSpec = compiled(right)
+    nr = cr.n_states
+    shared_l = cl.encode_events(shared)
+    shared_r = cr.encode_events(shared)
+    shared_pairs = [(cl.event_index[e], cr.event_index[e]) for e in shared]
+    levents, revents = cl.events, cr.events
+
+    initial = cl.initial * nr + cr.initial
+    seen = {initial}
+    stack = [initial]
+    ext_edges: list[tuple[int, str, int]] = []
+    int_edges: list[tuple[int, int]] = []
+    while stack:
+        code = stack.pop()
+        ia, ib = divmod(code, nr)
+        base_a = ia * nr
+        for eid, targets in cl.ext_moves[ia]:
+            if shared_l >> eid & 1:
+                continue
+            e = levents[eid]
+            for ta in targets:
+                t = ta * nr + ib
+                ext_edges.append((code, e, t))
+                if t not in seen:
+                    seen.add(t)
+                    stack.append(t)
+        for eid, targets in cr.ext_moves[ib]:
+            if shared_r >> eid & 1:
+                continue
+            e = revents[eid]
+            for tb in targets:
+                t = base_a + tb
+                ext_edges.append((code, e, t))
+                if t not in seen:
+                    seen.add(t)
+                    stack.append(t)
+        for ta in cl.int_succ[ia]:
+            t = ta * nr + ib
+            if t != code:
+                int_edges.append((code, t))
+            if t not in seen:
+                seen.add(t)
+                stack.append(t)
+        for tb in cr.int_succ[ib]:
+            t = base_a + tb
+            if t != code:
+                int_edges.append((code, t))
+            if t not in seen:
+                seen.add(t)
+                stack.append(t)
+        ext_a = cl.ext_by_eid[ia]
+        ext_b = cr.ext_by_eid[ib]
+        for leid, reid in shared_pairs:
+            lts = ext_a.get(leid)
+            if not lts:
+                continue
+            rts = ext_b.get(reid)
+            if not rts:
+                continue
+            for ta in lts:
+                ta_base = ta * nr
+                for tb in rts:
+                    t = ta_base + tb
+                    if t != code:
+                        int_edges.append((code, t))
+                    if t not in seen:
+                        seen.add(t)
+                        stack.append(t)
+
+    lstates, rstates = cl.states, cr.states
+    label = {c: (lstates[c // nr], rstates[c % nr]) for c in seen}
+    return Specification(
+        name,
+        label.values(),
+        alphabet,
+        ((label[s], e, label[t]) for s, e, t in ext_edges),
+        ((label[s], label[t]) for s, t in int_edges),
+        label[initial],
+    )
+
+
 def _compose_full(
     left: Specification,
     right: Specification,
@@ -168,6 +271,10 @@ def synchronous_product(
     obs.add("compose.synchronous_products", 1)
     shared = shared_events(left.alphabet, right.alphabet)
     alphabet = left.alphabet | right.alphabet
+    if kernel_enabled():
+        return _synchronous_product_kernel(
+            left, right, product_name, shared, alphabet
+        )
     initial = (left.initial, right.initial)
     states: set[tuple[State, State]] = {initial}
     external = []
@@ -203,6 +310,89 @@ def synchronous_product(
                 states.add(target)
                 frontier.append(target)
     return Specification(product_name, states, alphabet, external, internal, initial)
+
+
+def _synchronous_product_kernel(
+    left: Specification,
+    right: Specification,
+    name: str,
+    shared: Alphabet,
+    alphabet: Alphabet,
+) -> Specification:
+    """Hiding-free product over interned pair codes (see the compose kernel)."""
+    cl: CompiledSpec = compiled(left)
+    cr: CompiledSpec = compiled(right)
+    nr = cr.n_states
+    shared_l = cl.encode_events(shared)
+    shared_r = cr.encode_events(shared)
+    levents, revents = cl.events, cr.events
+
+    initial = cl.initial * nr + cr.initial
+    seen = {initial}
+    stack = [initial]
+    ext_edges: list[tuple[int, str, int]] = []
+    int_edges: list[tuple[int, int]] = []
+    while stack:
+        code = stack.pop()
+        ia, ib = divmod(code, nr)
+        base_a = ia * nr
+        ext_b = cr.ext_by_eid[ib]
+        for eid, targets in cl.ext_moves[ia]:
+            e = levents[eid]
+            if shared_l >> eid & 1:
+                rts = ext_b.get(cr.event_index[e])
+                if not rts:
+                    continue
+                for ta in targets:
+                    ta_base = ta * nr
+                    for tb in rts:
+                        t = ta_base + tb
+                        ext_edges.append((code, e, t))
+                        if t not in seen:
+                            seen.add(t)
+                            stack.append(t)
+            else:
+                for ta in targets:
+                    t = ta * nr + ib
+                    ext_edges.append((code, e, t))
+                    if t not in seen:
+                        seen.add(t)
+                        stack.append(t)
+        for eid, targets in cr.ext_moves[ib]:
+            if shared_r >> eid & 1:
+                continue
+            e = revents[eid]
+            for tb in targets:
+                t = base_a + tb
+                ext_edges.append((code, e, t))
+                if t not in seen:
+                    seen.add(t)
+                    stack.append(t)
+        for ta in cl.int_succ[ia]:
+            t = ta * nr + ib
+            if t != code:
+                int_edges.append((code, t))
+            if t not in seen:
+                seen.add(t)
+                stack.append(t)
+        for tb in cr.int_succ[ib]:
+            t = base_a + tb
+            if t != code:
+                int_edges.append((code, t))
+            if t not in seen:
+                seen.add(t)
+                stack.append(t)
+
+    lstates, rstates = cl.states, cr.states
+    label = {c: (lstates[c // nr], rstates[c % nr]) for c in seen}
+    return Specification(
+        name,
+        label.values(),
+        alphabet,
+        ((label[s], e, label[t]) for s, e, t in ext_edges),
+        ((label[s], label[t]) for s, t in int_edges),
+        label[initial],
+    )
 
 
 def check_composable(left: Specification, right: Specification) -> Alphabet:

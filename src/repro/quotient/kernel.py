@@ -1,0 +1,460 @@
+"""Integer-indexed kernel for the quotient phases (Fig. 5 / Fig. 6).
+
+The safety and progress phases both walk graphs whose nodes are built from
+``(a, b)`` pairs of service and component states.  The reference
+implementations (:mod:`repro.quotient.safety_phase`,
+:mod:`repro.quotient.progress_phase`) operate directly on labeled states
+and pay for ``repr()``-based sorting and tuple hashing on every step.
+
+This module runs the same explorations over the compiled forms of the two
+input machines (:mod:`repro.spec.compiled`): a pair ``(a, b)`` becomes the
+int code ``a_id * |S_B| + b_id``, the ``ψ``-advance of the service hub is a
+table lookup, and the ``ok`` check of the Ext-closure is a row of ints.
+Results decode back to the reference pair-set representation at the
+boundary, so the constructed ``C0``/converter specifications — and every
+phase counter — are identical to the reference path's.
+
+Compiled problems are memoized in a small bounded cache keyed on the
+:class:`~repro.quotient.types.QuotientProblem` (a frozen, hashable value
+object), so the safety and progress phases of one solve share a single
+compilation.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Iterator
+
+from .. import obs
+from ..spec.compiled import CompiledSpec, compiled
+from ..spec.spec import Specification
+from .types import Pair, PairSet, QuotientProblem
+
+__all__ = [
+    "CompiledProblem",
+    "compiled_problem",
+    "problem_cache_clear",
+    "safety_explore_kernel",
+    "progress_phase_kernel",
+]
+
+#: Bound on the compiled-problem cache (each entry also pins the compiled
+#: service and component in the spec-level cache).
+PROBLEM_CACHE_MAXSIZE = 64
+
+
+class CompiledProblem:
+    """A quotient problem over interned ids.
+
+    Pairs ``(a, b)`` are coded as ``a_id * n_component + b_id``, where ids
+    come from the compiled service (``ca``) and component (``cb``).
+    """
+
+    __slots__ = (
+        "problem",
+        "ca",
+        "cb",
+        "n_component",
+        "psi",
+        "menus",
+        "int_events",
+        "ext_moves_b",
+        "int_moves_b",
+        "int_moves_map_b",
+        "ext_mask_b",
+    )
+
+    def __init__(self, problem: QuotientProblem) -> None:
+        self.problem = problem
+        ca: CompiledSpec = compiled(problem.service)
+        cb: CompiledSpec = compiled(problem.component)
+        self.ca = ca
+        self.cb = cb
+        self.n_component = cb.n_states
+        self.psi = ca.psi_table()
+        self.menus = ca.acceptance_menus()
+
+        ext = problem.interface.ext_events
+        self.int_events = sorted(problem.interface.int_events)
+        int_index = {e: k for k, e in enumerate(self.int_events)}
+
+        # Component moves, partitioned by the interface: Ext moves carry the
+        # *service* event id (they drive the ψ table); Int moves carry the
+        # index into the sorted Int-event list (they drive φ and the
+        # converter's transitions).
+        ext_moves_b: list[tuple[tuple[int, tuple[int, ...]], ...]] = []
+        int_moves_b: list[tuple[tuple[int, tuple[int, ...]], ...]] = []
+        ext_mask_b: list[int] = []
+        for b in range(cb.n_states):
+            ext_here: list[tuple[int, tuple[int, ...]]] = []
+            int_here: list[tuple[int, tuple[int, ...]]] = []
+            mask = 0
+            for eid, targets in cb.ext_moves[b]:
+                event = cb.events[eid]
+                if event in ext:
+                    svc_eid = ca.event_index[event]
+                    ext_here.append((svc_eid, targets))
+                    mask |= 1 << svc_eid
+                else:
+                    int_here.append((int_index[event], targets))
+            ext_moves_b.append(tuple(ext_here))
+            int_moves_b.append(tuple(int_here))
+            ext_mask_b.append(mask)
+        self.ext_moves_b = tuple(ext_moves_b)
+        self.int_moves_b = tuple(int_moves_b)
+        self.int_moves_map_b = tuple(dict(moves) for moves in int_moves_b)
+        self.ext_mask_b = tuple(ext_mask_b)
+
+    # ------------------------------------------------------------------
+    # pair-code helpers
+    # ------------------------------------------------------------------
+    def decode_pairs(self, codes: frozenset[int]) -> PairSet:
+        """A frozenset of pair codes as the reference ``PairSet``."""
+        nb = self.n_component
+        a_states = self.ca.states
+        b_states = self.cb.states
+        return frozenset(
+            (a_states[code // nb], b_states[code % nb]) for code in codes
+        )
+
+    def encode_pair(self, pair: Pair) -> int:
+        a, b = pair
+        return self.ca.index[a] * self.n_component + self.cb.index[b]
+
+    # ------------------------------------------------------------------
+    # the Ext-closure (h / φ saturation with the ok check)
+    # ------------------------------------------------------------------
+    def ext_closure(self, seed: set[int]) -> frozenset[int] | None:
+        """Saturate *seed* under B's λ steps and service-mirrored Ext events.
+
+        Returns ``None`` when some reached pair ``(a, b)`` has ``B`` enabling
+        an Ext event the service hub cannot perform (``¬ok``), mirroring
+        :func:`repro.quotient.hmap.ext_closure`.
+        """
+        nb = self.n_component
+        lam = self.cb.int_succ
+        ext_moves = self.ext_moves_b
+        psi = self.psi
+        closed = set(seed)
+        stack = list(closed)
+        while stack:
+            code = stack.pop()
+            a, b = divmod(code, nb)
+            base = a * nb
+            for b2 in lam[b]:
+                c2 = base + b2
+                if c2 not in closed:
+                    closed.add(c2)
+                    stack.append(c2)
+            row = psi[a]
+            for svc_eid, targets in ext_moves[b]:
+                a2 = row[svc_eid]
+                if a2 < 0:
+                    # τ.b ∩ Ext ⊄ τ*.a — ok fails for any set containing (a, b)
+                    return None
+                base2 = a2 * nb
+                for b2 in targets:
+                    c2 = base2 + b2
+                    if c2 not in closed:
+                        closed.add(c2)
+                        stack.append(c2)
+        return frozenset(closed)
+
+    def extend(self, codes: frozenset[int], int_idx: int) -> frozenset[int] | None:
+        """``φ(J, e)`` over pair codes for the Int event at *int_idx*."""
+        nb = self.n_component
+        moves = self.int_moves_map_b
+        seed: set[int] = set()
+        for code in codes:
+            b = code % nb
+            targets = moves[b].get(int_idx)
+            if targets:
+                base = code - b
+                for b2 in targets:
+                    seed.add(base + b2)
+        return self.ext_closure(seed)
+
+
+# ----------------------------------------------------------------------
+# the bounded problem cache
+# ----------------------------------------------------------------------
+_PROBLEM_CACHE: OrderedDict[QuotientProblem, CompiledProblem] = OrderedDict()
+
+
+def compiled_problem(problem: QuotientProblem) -> CompiledProblem:
+    """The compiled form of *problem*, from a bounded LRU cache."""
+    entry = _PROBLEM_CACHE.get(problem)
+    if entry is not None:
+        _PROBLEM_CACHE.move_to_end(problem)
+        obs.add("kernel.problem_cache_hits", 1)
+        return entry
+    obs.add("kernel.problem_cache_misses", 1)
+    entry = CompiledProblem(problem)
+    _PROBLEM_CACHE[problem] = entry
+    if len(_PROBLEM_CACHE) > PROBLEM_CACHE_MAXSIZE:
+        _PROBLEM_CACHE.popitem(last=False)
+    return entry
+
+
+def problem_cache_clear() -> None:
+    """Drop every cached compiled problem (testing aid)."""
+    _PROBLEM_CACHE.clear()
+
+
+# ----------------------------------------------------------------------
+# safety phase (Fig. 5) over pair codes
+# ----------------------------------------------------------------------
+def safety_explore_kernel(
+    problem: QuotientProblem,
+) -> tuple[PairSet | None, set[PairSet], list[tuple[PairSet, str, PairSet]], int, int]:
+    """The Fig. 5 exploration, returning the reference representation.
+
+    Returns ``(start, states, transitions, explored, rejected)`` — exactly
+    what the labeled loop in :mod:`repro.quotient.safety_phase` computes
+    (``start is None`` when ``¬ok.(h.ε)``).
+    """
+    cp = compiled_problem(problem)
+    start_codes = cp.ext_closure(
+        {cp.ca.initial * cp.n_component + cp.cb.initial}
+    )
+    explored = 1
+    if start_codes is None:
+        return None, set(), [], explored, 1
+
+    start = cp.decode_pairs(start_codes)
+    decoded: dict[frozenset[int], PairSet] = {start_codes: start}
+    states: set[PairSet] = {start}
+    transitions: list[tuple[PairSet, str, PairSet]] = []
+    rejected = 0
+    seen: set[frozenset[int]] = {start_codes}
+    worklist: deque[frozenset[int]] = deque([start_codes])
+    int_events = cp.int_events
+    while worklist:
+        current = worklist.popleft()
+        current_label = decoded[current]
+        for int_idx, event in enumerate(int_events):
+            candidate = cp.extend(current, int_idx)
+            explored += 1
+            if candidate is None:
+                rejected += 1
+                continue
+            label = decoded.get(candidate)
+            if label is None:
+                label = cp.decode_pairs(candidate)
+                decoded[candidate] = label
+            if candidate not in seen:
+                seen.add(candidate)
+                states.add(label)
+                worklist.append(candidate)
+            transitions.append((current_label, event, label))
+    return start, states, transitions, explored, rejected
+
+
+# ----------------------------------------------------------------------
+# progress phase (Fig. 6) over interned converter states
+# ----------------------------------------------------------------------
+def _round_tau_star(
+    cp: CompiledProblem,
+    succ_c: tuple[dict[int, tuple[int, ...]], ...],
+    alive: set[int],
+    n_converter: int,
+    needed: list[int],
+) -> dict[int, int]:
+    """``τ*.⟨b, c⟩`` event masks for the requested product nodes.
+
+    Node code is ``b_id * n_converter + ci``.  Mirrors
+    ``_composite_tau_star_impl``: one shared exploration of the internal
+    subgraph, Tarjan condensation, Ext-event propagation children-first.
+    """
+    lam = cp.cb.int_succ
+    int_moves_b = cp.int_moves_b
+    ext_mask_b = cp.ext_mask_b
+    m = n_converter
+
+    def successors(node: int) -> list[int]:
+        b, ci = divmod(node, m)
+        result: list[int] = []
+        for b2 in lam[b]:
+            result.append(b2 * m + ci)
+        row = succ_c[ci]
+        for int_idx, targets in int_moves_b[b]:
+            cjs = row.get(int_idx)
+            if not cjs:
+                continue
+            for cj in cjs:
+                if cj in alive:
+                    for b2 in targets:
+                        result.append(b2 * m + cj)
+        return result
+
+    adjacency: dict[int, list[int]] = {}
+    stack = list(dict.fromkeys(needed))
+    while stack:
+        node = stack.pop()
+        if node in adjacency:
+            continue
+        succs = successors(node)
+        adjacency[node] = succs
+        for nxt in succs:
+            if nxt not in adjacency:
+                stack.append(nxt)
+
+    index: dict[int, int] = {}
+    lowlink: dict[int, int] = {}
+    on_stack: set[int] = set()
+    scc_stack: list[int] = []
+    scc_of: dict[int, int] = {}
+    scc_events: list[int] = []
+    counter = 0
+    for root in adjacency:
+        if root in index:
+            continue
+        work: list[tuple[int, Iterator[int]]] = [(root, iter(adjacency[root]))]
+        index[root] = lowlink[root] = counter
+        counter += 1
+        scc_stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, succ_iter = work[-1]
+            advanced = False
+            for nxt in succ_iter:
+                if nxt not in index:
+                    index[nxt] = lowlink[nxt] = counter
+                    counter += 1
+                    scc_stack.append(nxt)
+                    on_stack.add(nxt)
+                    work.append((nxt, iter(adjacency[nxt])))
+                    advanced = True
+                    break
+                if nxt in on_stack:
+                    lowlink[node] = min(lowlink[node], index[nxt])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                comp_idx = len(scc_events)
+                events = 0
+                while True:
+                    member = scc_stack.pop()
+                    on_stack.discard(member)
+                    scc_of[member] = comp_idx
+                    events |= ext_mask_b[member // m]
+                    if member == node:
+                        break
+                scc_events.append(events)
+
+    # propagate successor events (emission order = reverse topological)
+    members_of: dict[int, list[int]] = {}
+    for node, comp_idx in scc_of.items():
+        members_of.setdefault(comp_idx, []).append(node)
+    for comp_idx in range(len(scc_events)):
+        events = scc_events[comp_idx]
+        for node in members_of[comp_idx]:
+            for nxt in adjacency[node]:
+                j = scc_of[nxt]
+                if j != comp_idx:
+                    events |= scc_events[j]
+        scc_events[comp_idx] = events
+
+    obs.add("quotient.progress.tau_star_nodes", len(adjacency))
+    obs.add("quotient.progress.tau_star_sccs", len(scc_events))
+    return {node: scc_events[scc_of[node]] for node in adjacency}
+
+
+def progress_phase_kernel(problem, c0, f):
+    """The Fig. 6 loop over interned ids; see ``progress_phase``.
+
+    Imports of the result types are deferred to the caller's module to keep
+    a single definition site; this function returns the identical
+    ``ProgressPhaseResult`` the reference loop produces (including returning
+    the *original* ``c0`` object when round 0 removes nothing).
+    """
+    from .types import ProgressPhaseResult, ProgressRound
+
+    cp = compiled_problem(problem)
+    int_index = {e: k for k, e in enumerate(cp.int_events)}
+
+    # intern the converter: its states are the safety-phase pair sets
+    c_states = list(c0.states)
+    c_index = {c: ci for ci, c in enumerate(c_states)}
+    m = len(c_states)
+    succ_c_build: list[dict[int, list[int]]] = [{} for _ in range(m)]
+    for s, e, s2 in c0.external:
+        succ_c_build[c_index[s]].setdefault(int_index[e], []).append(c_index[s2])
+    succ_c: tuple[dict[int, tuple[int, ...]], ...] = tuple(
+        {k: tuple(v) for k, v in row.items()} for row in succ_c_build
+    )
+    # pair codes per converter state (duplicates impossible: f[c] is a set)
+    ca_index = cp.ca.index
+    cb_index = cp.cb.index
+    nb = cp.n_component
+    pairs_of: list[list[int]] = [
+        [ca_index[a] * nb + cb_index[b] for a, b in f[c]] for c in c_states
+    ]
+    menus = cp.menus
+    initial_ci = c_index[c0.initial]
+
+    alive = set(range(m))
+    rounds: list = []
+    with obs.span("progress_phase") as phase_span:
+        while True:
+            with obs.span("progress_round", round=len(rounds)) as round_span:
+                needed: list[int] = []
+                for ci in alive:
+                    base = ci
+                    for code in pairs_of[ci]:
+                        needed.append((code % nb) * m + base)
+                with obs.span("tau_star", pairs=len(needed)):
+                    offered = _round_tau_star(cp, succ_c, alive, m, needed)
+
+                bad: set[int] = set()
+                for ci in alive:
+                    for code in pairs_of[ci]:
+                        off = offered[(code % nb) * m + ci]
+                        menu = menus[code // nb]
+                        if not any(accept & off == accept for accept in menu):
+                            bad.add(ci)
+                            break
+                rounds.append(
+                    ProgressRound(
+                        round_index=len(rounds),
+                        bad_states=frozenset(c_states[ci] for ci in bad),
+                        remaining=len(alive) - len(bad),
+                    )
+                )
+                round_span.set(
+                    pairs_checked=len(needed),
+                    bad=len(bad),
+                    remaining=len(alive) - len(bad),
+                )
+                obs.add("quotient.progress.rounds", 1)
+                obs.add("quotient.progress.pairs_checked", len(needed))
+                obs.add("quotient.progress.bad_states_removed", len(bad))
+            if not bad:
+                phase_span.set(exists=True, rounds=len(rounds))
+                obs.gauge("quotient.progress.final_states", len(alive))
+                if len(rounds) == 1:
+                    spec = c0
+                else:
+                    keep = {c_states[ci] for ci in alive}
+                    spec = Specification(
+                        c0.name,
+                        keep,
+                        c0.alphabet,
+                        (
+                            (s, e, s2)
+                            for s, e, s2 in c0.external
+                            if s in keep and s2 in keep
+                        ),
+                        (),
+                        c0.initial,
+                    )
+                return ProgressPhaseResult(spec=spec, rounds=tuple(rounds))
+            if initial_ci in bad or len(bad) == len(alive):
+                phase_span.set(exists=False, rounds=len(rounds))
+                obs.gauge("quotient.progress.final_states", 0)
+                return ProgressPhaseResult(spec=None, rounds=tuple(rounds))
+            alive -= bad

@@ -26,8 +26,10 @@ from __future__ import annotations
 
 from .. import obs
 from ..events import Alphabet, Event
+from ..spec.compiled import kernel_enabled
 from ..spec.graph import sink_acceptance_sets
 from ..spec.spec import Specification, State, _state_sort_key
+from .kernel import progress_phase_kernel
 from .types import PairSet, ProgressPhaseResult, ProgressRound, QuotientProblem
 
 
@@ -187,6 +189,8 @@ def progress_phase(
     :func:`~repro.quotient.safety_phase.safety_phase` (``f`` maps each state
     to its pair set; with the canonical encoding it is the identity).
     """
+    if kernel_enabled():
+        return progress_phase_kernel(problem, c0, f)
     service = problem.service
 
     accept_cache: dict[State, list[Alphabet]] = {}

@@ -20,9 +20,38 @@ from __future__ import annotations
 from collections import deque
 
 from .. import obs
+from ..spec.compiled import kernel_enabled
 from ..spec.spec import Specification
 from .hmap import extend_pairs, initial_pairs
+from .kernel import safety_explore_kernel
 from .types import PairSet, QuotientProblem, SafetyPhaseResult
+
+
+def _explore_reference(
+    problem: QuotientProblem, int_events: list[str]
+) -> tuple[PairSet | None, set[PairSet], list[tuple[PairSet, str, PairSet]], int, int]:
+    """The labeled Fig. 5 worklist loop (reference path)."""
+    start = initial_pairs(problem)
+    explored = 1
+    if start is None:
+        return None, set(), [], explored, 1
+    states: set[PairSet] = {start}
+    transitions: list[tuple[PairSet, str, PairSet]] = []
+    rejected = 0
+    worklist: deque[PairSet] = deque([start])
+    while worklist:
+        current = worklist.popleft()
+        for event in int_events:
+            candidate = extend_pairs(problem, current, event)
+            explored += 1
+            if candidate is None:
+                rejected += 1
+                continue
+            if candidate not in states:
+                states.add(candidate)
+                worklist.append(candidate)
+            transitions.append((current, event, candidate))
+    return start, states, transitions, explored, rejected
 
 
 def safety_phase(problem: QuotientProblem) -> SafetyPhaseResult:
@@ -34,31 +63,20 @@ def safety_phase(problem: QuotientProblem) -> SafetyPhaseResult:
     int_events = sorted(problem.interface.int_events)
 
     with obs.span("safety_phase") as sp:
-        start = initial_pairs(problem)
-        explored = 1
+        if kernel_enabled():
+            start, states, transitions, explored, rejected = (
+                safety_explore_kernel(problem)
+            )
+        else:
+            start, states, transitions, explored, rejected = _explore_reference(
+                problem, int_events
+            )
         if start is None:
             # ¬ok.(h.ε): by property P1 no specification C can be safe.
             sp.set(exists=False, explored=1, rejected=1)
             obs.add("quotient.safety.pairs_explored", 1)
             obs.add("quotient.safety.pairs_rejected", 1)
             return SafetyPhaseResult(spec=None, f={}, explored=1, rejected=1)
-
-        states: set[PairSet] = {start}
-        transitions: list[tuple[PairSet, str, PairSet]] = []
-        rejected = 0
-        worklist: deque[PairSet] = deque([start])
-        while worklist:
-            current = worklist.popleft()
-            for event in int_events:
-                candidate = extend_pairs(problem, current, event)
-                explored += 1
-                if candidate is None:
-                    rejected += 1
-                    continue
-                if candidate not in states:
-                    states.add(candidate)
-                    worklist.append(candidate)
-                transitions.append((current, event, candidate))
 
         sp.set(
             exists=True,

@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..events import Alphabet, Event
+from ..spec.compiled import compiled, iter_bits, kernel_enabled
 from ..spec.graph import close_under_lambda, sink_acceptance_sets, tau_star
 from ..spec.normal_form import assert_normal_form, psi_step
 from ..spec.spec import Specification, State, _state_sort_key
@@ -91,6 +92,98 @@ def prog(
     )
 
 
+def _satisfies_progress_kernel(
+    impl: Specification, service: Specification
+) -> ProgressResult:
+    """The same hub-tracking walk over compiled ids.
+
+    ``τ*`` of the implementation, the service's acceptance menus, and the
+    ``ψ``-advance are all table lookups on the compiled forms; the BFS
+    mirrors the labeled walk's visit order exactly, so ``pairs_explored``
+    and any :class:`ProgressViolation` (including the duplicate-preserving
+    ``required`` menu) are identical.
+    """
+    ci = compiled(impl)
+    cs = compiled(service)
+    # identical interfaces ⇒ shared event ids between impl and service
+    offered_masks = ci.tau_star_masks()
+    menus = cs.acceptance_menus()
+    psi = cs.psi_table()
+    events = ci.events
+    int_succ = ci.int_succ
+    ext_moves = ci.ext_moves
+
+    Pair = tuple[int, int]
+    parent: dict[Pair, tuple[Pair, int | None]] = {}
+    seen: set[Pair] = set()
+    frontier: list[Pair] = []
+    for b in iter_bits(ci.closure_masks()[ci.initial]):
+        pair = (b, cs.initial)
+        if pair not in seen:
+            seen.add(pair)
+            frontier.append(pair)
+
+    def trace_to(pair: Pair) -> Trace:
+        labels: list[Event] = []
+        while pair in parent:
+            pair, eid = parent[pair]
+            if eid is not None:
+                labels.append(events[eid])
+        labels.reverse()
+        return tuple(labels)
+
+    def make_violation(pair: Pair, extra: int | None) -> ProgressViolation:
+        b, hub = pair
+        trace = trace_to(pair)
+        if extra is not None:
+            trace = trace + (events[extra],)
+        return ProgressViolation(
+            trace=trace,
+            impl_state=ci.states[b],
+            service_hub=cs.states[hub],
+            offered=ci.decode_event_mask(offered_masks[b]),
+            required=tuple(cs.decode_event_mask(m) for m in menus[hub]),
+        )
+
+    violation: ProgressViolation | None = None
+    while frontier and violation is None:
+        next_frontier: list[Pair] = []
+        for pair in frontier:
+            b, hub = pair
+            offered = offered_masks[b]
+            if not any(accept & offered == accept for accept in menus[hub]):
+                violation = make_violation(pair, None)
+                break
+            for b2 in int_succ[b]:
+                nxt = (b2, hub)
+                if nxt not in seen:
+                    seen.add(nxt)
+                    parent[nxt] = (pair, None)
+                    next_frontier.append(nxt)
+            psi_row = psi[hub]
+            for eid, targets in ext_moves[b]:
+                hub2 = psi_row[eid]
+                if hub2 < 0:
+                    # implementation performs a trace the service cannot:
+                    # a safety violation surfacing during progress analysis
+                    violation = make_violation(pair, eid)
+                    break
+                for b2 in targets:
+                    nxt = (b2, hub2)
+                    if nxt not in seen:
+                        seen.add(nxt)
+                        parent[nxt] = (pair, eid)
+                        next_frontier.append(nxt)
+            if violation is not None:
+                break
+        frontier = next_frontier
+    return ProgressResult(
+        holds=violation is None,
+        violation=violation,
+        pairs_explored=len(seen),
+    )
+
+
 def satisfies_progress(
     impl: Specification, service: Specification
 ) -> ProgressResult:
@@ -103,6 +196,8 @@ def satisfies_progress(
     """
     _check_same_interface(impl, service)
     assert_normal_form(service)
+    if kernel_enabled():
+        return _satisfies_progress_kernel(impl, service)
 
     offered_of = tau_star(impl)
     accept_cache: dict[State, list[Alphabet]] = {}

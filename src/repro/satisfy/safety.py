@@ -16,6 +16,7 @@ from dataclasses import dataclass
 
 from ..errors import AlphabetError
 from ..events import Event
+from ..spec.compiled import compiled, iter_bits, kernel_enabled
 from ..spec.graph import close_under_lambda
 from ..spec.spec import Specification, State, _state_sort_key
 from ..traces.core import Trace, format_trace
@@ -58,12 +59,94 @@ def _check_same_interface(impl: Specification, service: Specification) -> None:
         )
 
 
+def _satisfies_safety_kernel(
+    impl: Specification, service: Specification
+) -> SafetyResult:
+    """The same product walk over compiled ids and subset bitmasks.
+
+    The implementation state is an int id; the service subset is an int
+    bitmask over service state ids.  Loop structure and visit order mirror
+    the labeled walk exactly (ascending ids ≡ the sorted-state order,
+    ascending event ids ≡ sorted events), so ``pairs_explored`` and the
+    counterexample trace are byte-identical.
+    """
+    ci = compiled(impl)
+    cs = compiled(service)
+    # identical interfaces ⇒ identical sorted event lists ⇒ shared event ids
+    closures = cs.closure_masks()
+    # per service state: event id → λ-closed successor mask
+    step: list[dict[int, int]] = []
+    for i in range(cs.n_states):
+        row: dict[int, int] = {}
+        for eid, targets in cs.ext_moves[i]:
+            mask = 0
+            for t in targets:
+                mask |= closures[t]
+            row[eid] = mask
+        step.append(row)
+
+    events = ci.events
+    int_succ = ci.int_succ
+    ext_moves = ci.ext_moves
+    start_subset = closures[cs.initial]
+
+    Pair = tuple[int, int]
+    parent: dict[Pair, tuple[Pair, int | None]] = {}
+    seen: set[Pair] = set()
+    frontier: list[Pair] = []
+    for b in iter_bits(ci.closure_masks()[ci.initial]):
+        pair = (b, start_subset)
+        if pair not in seen:
+            seen.add(pair)
+            frontier.append(pair)
+
+    def trace_to(pair: Pair) -> Trace:
+        labels: list[Event] = []
+        while pair in parent:
+            pair, eid = parent[pair]
+            if eid is not None:
+                labels.append(events[eid])
+        labels.reverse()
+        return tuple(labels)
+
+    while frontier:
+        next_frontier: list[Pair] = []
+        for pair in frontier:
+            b, subset = pair
+            for b2 in int_succ[b]:
+                nxt = (b2, subset)
+                if nxt not in seen:
+                    seen.add(nxt)
+                    parent[nxt] = (pair, None)
+                    next_frontier.append(nxt)
+            for eid, targets in ext_moves[b]:
+                service_next = 0
+                for i in iter_bits(subset):
+                    service_next |= step[i].get(eid, 0)
+                if not service_next:
+                    return SafetyResult(
+                        holds=False,
+                        counterexample=trace_to(pair) + (events[eid],),
+                        pairs_explored=len(seen),
+                    )
+                for b2 in targets:
+                    nxt = (b2, service_next)
+                    if nxt not in seen:
+                        seen.add(nxt)
+                        parent[nxt] = (pair, eid)
+                        next_frontier.append(nxt)
+        frontier = next_frontier
+    return SafetyResult(holds=True, counterexample=None, pairs_explored=len(seen))
+
+
 def satisfies_safety(impl: Specification, service: Specification) -> SafetyResult:
     """Check ``impl`` satisfies ``service`` with respect to safety.
 
     Raises :class:`AlphabetError` if the interfaces differ.
     """
     _check_same_interface(impl, service)
+    if kernel_enabled():
+        return _satisfies_safety_kernel(impl, service)
 
     Pair = tuple[State, frozenset[State]]
     start_subset = close_under_lambda(service, [service.initial])

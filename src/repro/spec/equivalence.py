@@ -37,14 +37,26 @@ def _signature(
     return frozenset(sig)
 
 
-def strong_bisimulation_classes(spec: Specification) -> dict[State, int]:
+def strong_bisimulation_classes(
+    spec: Specification,
+    initial_partition: dict[State, int] | None = None,
+) -> dict[State, int]:
     """Partition-refinement strong bisimulation over one spec.
 
     λ steps are treated as transitions on a distinguished action.  Returns
     a map from state to block index (blocks numbered deterministically).
+
+    *initial_partition* seeds the refinement with a finer starting
+    partition (refinement only ever splits blocks, so every seed split is
+    preserved).  The default seed is the trivial one-block partition, which
+    yields the coarsest strong bisimulation.
     """
-    block_of = {s: 0 for s in spec.states}
-    n_blocks = 1
+    if initial_partition is None:
+        block_of = {s: 0 for s in spec.states}
+        n_blocks = 1
+    else:
+        block_of = dict(initial_partition)
+        n_blocks = len(set(block_of.values()))
     while True:
         sig_of = {
             s: (block_of[s], _signature(spec, s, block_of)) for s in spec.states

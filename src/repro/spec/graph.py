@@ -60,9 +60,25 @@ def lambda_closure(spec: Specification) -> dict[State, frozenset[State]]:
     """``λ*`` for every state, as a dict ``s -> {s' : s λ* s'}``.
 
     Computed via the condensation of the λ-graph so shared suffixes are not
-    re-explored per state.
+    re-explored per state.  With the kernel enabled the closure comes from
+    the compiled spec's memoized bitmask analysis (value-identical).
     """
     obs.add("graph.lambda_closure_runs", 1)
+    from .compiled import compiled, kernel_enabled
+
+    if kernel_enabled():
+        cs = compiled(spec)
+        masks = cs.closure_masks()
+        decoded: dict[int, frozenset[State]] = {}
+        result: dict[State, frozenset[State]] = {}
+        for i, s in enumerate(cs.states):
+            mask = masks[i]
+            members = decoded.get(mask)
+            if members is None:
+                members = cs.decode_state_mask(mask)
+                decoded[mask] = members
+            result[s] = members
+        return result
     sccs, scc_of = internal_sccs(spec)
     # closure over SCC DAG, in reverse topological order
     order = _topological_scc_order(spec, sccs, scc_of)
@@ -238,6 +254,21 @@ def tau_star_of(spec: Specification, state: State) -> Alphabet:
 def tau_star(spec: Specification) -> dict[State, Alphabet]:
     """``τ*`` for every state at once (condensation-DAG propagation)."""
     obs.add("graph.tau_star_runs", 1)
+    from .compiled import compiled, kernel_enabled
+
+    if kernel_enabled():
+        cs = compiled(spec)
+        masks = cs.tau_star_masks()
+        decoded: dict[int, Alphabet] = {}
+        result: dict[State, Alphabet] = {}
+        for i, s in enumerate(cs.states):
+            mask = masks[i]
+            events = decoded.get(mask)
+            if events is None:
+                events = cs.decode_event_mask(mask)
+                decoded[mask] = events
+            result[s] = events
+        return result
     sccs, scc_of = internal_sccs(spec)
     order = _topological_scc_order(spec, sccs, scc_of)
     scc_events: list[set[Event]] = [set() for _ in sccs]

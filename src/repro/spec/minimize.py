@@ -24,9 +24,36 @@ from .spec import Specification, State
 
 
 def minimize_bisimulation(spec: Specification) -> Specification:
-    """Quotient *spec* by strong bisimilarity (after reachability pruning)."""
+    """Quotient *spec* by strong bisimilarity (after reachability pruning).
+
+    A block whose members are joined by internal transitions cannot be
+    merged faithfully: the quotient state would need a λ self-loop, which
+    :class:`Specification` drops (self-loops are inert for ``λ*`` but not
+    for strong bisimilarity, where λ is an explicit action).  Such blocks
+    are split into singletons and the partition re-refined from that seed —
+    splitting never *creates* intra-block λ edges, so one pass suffices and
+    the result is strongly bisimilar to the input (if not always minimal).
+    """
     spec = prune_unreachable(spec)
     classes = strong_bisimulation_classes(spec)
+    offending = {
+        classes[s] for s, s2 in spec.internal if classes[s] == classes[s2]
+    }
+    if offending:
+        seed: dict[State, int] = {}
+        block_map: dict[int, int] = {}
+        next_id = 0
+        for s in spec.sorted_by_rank(spec.states):
+            old = classes[s]
+            if old in offending:
+                seed[s] = next_id
+                next_id += 1
+            else:
+                if old not in block_map:
+                    block_map[old] = next_id
+                    next_id += 1
+                seed[s] = block_map[old]
+        classes = strong_bisimulation_classes(spec, initial_partition=seed)
     # pick deterministic representatives: block id is already deterministic
     states = sorted(set(classes.values()))
     external = {

@@ -22,6 +22,7 @@ is structural (same name is *not* required); use
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Hashable, Iterable, Iterator, Mapping
 
 from ..errors import SpecError
@@ -37,6 +38,9 @@ InternalTransition = tuple[State, State]
 def _state_sort_key(state: State) -> tuple[str, str]:
     """Deterministic ordering key for heterogeneous hashable states."""
     return (type(state).__name__, repr(state))
+
+
+_EMPTY: frozenset = frozenset()
 
 
 class Specification:
@@ -73,6 +77,9 @@ class Specification:
         "_int_adj",
         "_ext_radj",
         "_int_radj",
+        "_order",
+        "_rank",
+        "_enabled",
         "_hash",
     )
 
@@ -97,7 +104,9 @@ class Specification:
         self._initial = initial
         self._validate()
 
-        # Adjacency indices, built once (specs are immutable).
+        # Adjacency indices, built once (specs are immutable).  The inner
+        # successor/predecessor sets are frozen here so the query methods can
+        # hand them out directly without a per-call copy.
         ext_adj: dict[State, dict[Event, set[State]]] = {s: {} for s in self._states}
         ext_radj: dict[State, dict[Event, set[State]]] = {s: {} for s in self._states}
         for s, e, s2 in self._external:
@@ -108,10 +117,25 @@ class Specification:
         for s, s2 in self._internal:
             int_adj[s].add(s2)
             int_radj[s2].add(s)
-        self._ext_adj = ext_adj
-        self._ext_radj = ext_radj
-        self._int_adj = int_adj
-        self._int_radj = int_radj
+        self._ext_adj = {
+            s: {e: frozenset(targets) for e, targets in adj.items()}
+            for s, adj in ext_adj.items()
+        }
+        self._ext_radj = {
+            s: {e: frozenset(sources) for e, sources in adj.items()}
+            for s, adj in ext_radj.items()
+        }
+        self._int_adj = {s: frozenset(targets) for s, targets in int_adj.items()}
+        self._int_radj = {s: frozenset(sources) for s, sources in int_radj.items()}
+        # Deterministic state order, computed once: _state_sort_key builds a
+        # repr() per state, so caching the order here means sorting anywhere
+        # else in the library is a cheap integer-rank sort.
+        self._order = tuple(sorted(self._states, key=_state_sort_key))
+        self._rank = {s: i for i, s in enumerate(self._order)}
+        self._enabled = {
+            s: Alphabet(e for e, targets in adj.items() if targets)
+            for s, adj in self._ext_adj.items()
+        }
         self._hash = hash(
             (self._states, self._alphabet, self._external, self._internal,
              self._initial)
@@ -189,26 +213,39 @@ class Specification:
     # ------------------------------------------------------------------
     def successors(self, state: State, event: Event) -> frozenset[State]:
         """States ``s'`` with ``state --event--> s'`` in ``T``."""
-        return frozenset(self._ext_adj[state].get(event, ()))
+        return self._ext_adj[state].get(event, _EMPTY)
 
     def predecessors(self, state: State, event: Event) -> frozenset[State]:
         """States ``s`` with ``s --event--> state`` in ``T``."""
-        return frozenset(self._ext_radj[state].get(event, ()))
+        return self._ext_radj[state].get(event, _EMPTY)
 
     def internal_successors(self, state: State) -> frozenset[State]:
         """States reachable from *state* by a single λ step."""
-        return frozenset(self._int_adj[state])
+        return self._int_adj[state]
 
     def internal_predecessors(self, state: State) -> frozenset[State]:
         """States with a single λ step into *state*."""
-        return frozenset(self._int_radj[state])
+        return self._int_radj[state]
 
     def enabled(self, state: State) -> Alphabet:
         """``τ.s`` — the external events enabled in *state*.
 
         ``e ∈ τ.s ≡ (∃s' : s --e--> s')``
         """
-        return Alphabet(e for e, targets in self._ext_adj[state].items() if targets)
+        return self._enabled[state]
+
+    def state_rank(self, state: State) -> int:
+        """Position of *state* in the cached deterministic order.
+
+        Equivalent to sorting by :func:`_state_sort_key`, but the repr-based
+        key is computed once per state at construction instead of once per
+        comparison — use ``key=spec.state_rank`` in hot sorts.
+        """
+        return self._rank[state]
+
+    def sorted_by_rank(self, states: Iterable[State]) -> list[State]:
+        """*states* (members of this spec) in the deterministic order."""
+        return sorted(states, key=self._rank.__getitem__)
 
     def has_internal(self, state: State) -> bool:
         """True if *state* has at least one outgoing internal transition."""
@@ -217,8 +254,9 @@ class Specification:
     def out_transitions(self, state: State) -> Iterator[tuple[Event, State]]:
         """All external transitions leaving *state*, deterministically ordered."""
         adj = self._ext_adj[state]
+        rank = self._rank
         for e in sorted(adj):
-            for s2 in sorted(adj[e], key=_state_sort_key):
+            for s2 in sorted(adj[e], key=rank.__getitem__):
                 yield e, s2
 
     def is_deterministic(self) -> bool:
@@ -233,10 +271,10 @@ class Specification:
 
     def sorted_states(self) -> list[State]:
         """States in a deterministic order (initial state first)."""
-        rest = sorted(
-            (s for s in self._states if s != self._initial), key=_state_sort_key
-        )
-        return [self._initial, *rest]
+        return [
+            self._initial,
+            *(s for s in self._order if s != self._initial),
+        ]
 
     # ------------------------------------------------------------------
     # structural helpers
@@ -272,26 +310,25 @@ class Specification:
 
     def _bfs_order(self) -> list[State]:
         """States in BFS order from the initial state, deterministic."""
+        rank = self._rank
         order: list[State] = []
         seen: set[State] = set()
-        frontier = [self._initial]
+        frontier: deque[State] = deque([self._initial])
         seen.add(self._initial)
         while frontier:
-            state = frontier.pop(0)
+            state = frontier.popleft()
             order.append(state)
             nexts: list[State] = []
             for e in sorted(self._ext_adj[state]):
                 nexts.extend(
-                    sorted(self._ext_adj[state][e], key=_state_sort_key)
+                    sorted(self._ext_adj[state][e], key=rank.__getitem__)
                 )
-            nexts.extend(sorted(self._int_adj[state], key=_state_sort_key))
+            nexts.extend(sorted(self._int_adj[state], key=rank.__getitem__))
             for s2 in nexts:
                 if s2 not in seen:
                     seen.add(s2)
                     frontier.append(s2)
-        order.extend(
-            sorted((s for s in self._states if s not in seen), key=_state_sort_key)
-        )
+        order.extend(s for s in self._order if s not in seen)
         return order
 
     # ------------------------------------------------------------------
