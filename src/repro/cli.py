@@ -13,6 +13,10 @@ Subcommands
     Check one spec satisfies another (safety + progress).
 ``solve``
     Run the quotient algorithm: derive a converter or prove none exists.
+``resilience``
+    Sweep a grid of fault models over a conversion system and report,
+    per cell, whether the derived converter survives (see
+    ``docs/robustness.md``).
 ``demo``
     Run the paper's Section 5 scenarios end to end.
 
@@ -29,7 +33,7 @@ from typing import Callable
 
 from . import obs
 from .analysis.explain import explain_converter
-from .errors import ReproError
+from .errors import BudgetExceeded, ReproError
 from .io.dot import to_dot
 from .io.dsl import parse_dsl
 from .io.json_codec import load as load_json
@@ -113,6 +117,43 @@ def _run_observed(args: argparse.Namespace, body: Callable[[], int]) -> int:
     elif args.metrics == "json":
         print(snapshot.to_json())
     return code
+
+
+# ----------------------------------------------------------------------
+# budget flags (shared by solve / resilience; see docs/robustness.md)
+# ----------------------------------------------------------------------
+def _add_budget_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("budget")
+    group.add_argument(
+        "--budget-pairs", type=int, default=None, metavar="N",
+        help="abort any single phase after exploring N pairs "
+        "(exit code 3, with partial statistics)",
+    )
+    group.add_argument(
+        "--budget-states", type=int, default=None, metavar="N",
+        help="abort any single phase after materializing N states",
+    )
+    group.add_argument(
+        "--budget-time", type=float, default=None, metavar="SECONDS",
+        help="abort any single phase after SECONDS of wall time "
+        "(checked periodically, so slightly approximate)",
+    )
+
+
+def _budget_from_args(args: argparse.Namespace):
+    from .quotient.budget import Budget
+
+    if (
+        args.budget_pairs is None
+        and args.budget_states is None
+        and args.budget_time is None
+    ):
+        return None
+    return Budget(
+        max_pairs=args.budget_pairs,
+        max_states=args.budget_states,
+        wall_time_s=args.budget_time,
+    )
 
 
 def _cmd_show(args: argparse.Namespace) -> int:
@@ -209,9 +250,19 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     component = _pick(specs, args.component)
 
     def body() -> int:
-        result = solve_quotient(
-            service, component, preflight=not args.no_preflight
-        )
+        try:
+            result = solve_quotient(
+                service,
+                component,
+                preflight=not args.no_preflight,
+                budget=_budget_from_args(args),
+            )
+        except BudgetExceeded as exc:
+            if args.format == "json":
+                print(json.dumps(exc.to_json_dict(), indent=2, sort_keys=True))
+            else:
+                print(f"budget exceeded: {exc}")
+            return 3
         if args.format == "json":
             # phase counters are always included, so an empty result still
             # says which phase emptied the machine and what survived safety
@@ -296,11 +347,116 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             f"ran {len(log.steps)} steps (seed {args.seed})"
             + ("; DEADLOCKED" if log.deadlocked else "")
         )
+        if log.deadlocked:
+            vector = ", ".join(
+                f"{c.name}={s!r}"
+                for c, s in zip(components, simulator.states)
+            )
+            print(f"  deadlock at step {len(log.steps)} in state ({vector})")
         for label, count in log.histogram().items():
             print(f"  {label:16s} ×{count}")
         if monitor is not None:
             print(monitor.verdict().describe())
             return 0 if monitor.verdict().ok else 1
+        return 0
+
+    return _run_observed(args, body)
+
+
+def _cmd_resilience(args: argparse.Namespace) -> int:
+    from .compose.nary import compose_many
+    from .faults import FAULT_KINDS, default_grid, evaluate_resilience
+
+    if args.scenario is not None:
+        if args.file is not None:
+            raise ReproError(
+                "--scenario and FILE are mutually exclusive"
+            )
+        from .protocols.configs import (
+            colocated_scenario,
+            weakened_symmetric_scenario,
+        )
+
+        scenario = {
+            "colocated": colocated_scenario,
+            "weakened": weakened_symmetric_scenario,
+        }[args.scenario]()
+        service = scenario.service
+        components = list(scenario.components)
+        int_events = scenario.interface.int_events
+    else:
+        if args.file is None or args.service is None or not args.components:
+            raise ReproError(
+                "resilience needs FILE SERVICE COMPONENT [COMPONENT ...] "
+                "or --scenario"
+            )
+        specs = _load_specs(args.file)
+        service = _pick(specs, args.service)
+        components = [_pick(specs, name) for name in args.components]
+        int_events = args.int_events.split(",") if args.int_events else None
+
+    target: int | str | None = args.target
+    if target is not None:
+        try:
+            target = int(target)
+        except ValueError:
+            pass
+
+    try:
+        severities = tuple(
+            int(s) for s in args.severities.split(",") if s.strip()
+        )
+    except ValueError as exc:
+        raise ReproError(f"bad --severities: {exc}") from exc
+    if not severities:
+        raise ReproError("--severities must name at least one level")
+    grid = default_grid(severities, timeout=args.timeout)
+    if args.faults:
+        kinds = [k for k in args.faults.split(",") if k]
+        unknown = sorted(set(kinds) - set(FAULT_KINDS))
+        if unknown:
+            raise ReproError(
+                f"unknown fault kinds {unknown} "
+                f"(available: {list(FAULT_KINDS)})"
+            )
+        grid = [m for m in grid if m.kind in set(kinds)]
+
+    budget = _budget_from_args(args)
+
+    def body() -> int:
+        try:
+            composite = compose_many(components, budget=budget)
+            result = solve_quotient(
+                service, composite, int_events=int_events, budget=budget
+            )
+        except BudgetExceeded as exc:
+            if args.format == "json":
+                print(json.dumps(exc.to_json_dict(), indent=2, sort_keys=True))
+            else:
+                print(f"budget exceeded deriving baseline converter: {exc}")
+            return 3
+        if not result.exists:
+            print(
+                "no baseline converter exists for this system; "
+                "nothing to evaluate"
+            )
+            return 1
+        assert result.converter is not None
+        matrix = evaluate_resilience(
+            service,
+            components,
+            result.converter,
+            int_events=int_events,
+            target=target,
+            grid=grid,
+            rederive=not args.no_rederive,
+            budget=budget,
+            timeout=args.timeout,
+        )
+        if args.format == "json":
+            print(json.dumps(matrix.to_json_dict(), indent=2, sort_keys=True))
+        else:
+            print(matrix.render_text())
         return 0
 
     return _run_observed(args, body)
@@ -354,7 +510,8 @@ def build_parser() -> argparse.ArgumentParser:
             "composition, or a full quotient problem, without executing the "
             "quotient.  Rule codes are stable (SPEC0xx structure, NORM0xx "
             "normal form, COMP0xx/CONV0xx composition and channel "
-            "conventions, SPEC1xx/QUOT0xx quotient preflight); see "
+            "conventions, CHAN1xx fault-model conventions, "
+            "SPEC1xx/QUOT0xx quotient preflight); see "
             "docs/lint.md for the catalogue.  Exit code 0 means no errors "
             "(1 with --strict if warnings), 1 means error-severity "
             "diagnostics, 2 means the input could not be loaded."
@@ -433,8 +590,65 @@ def build_parser() -> argparse.ArgumentParser:
         help="output format; json always includes the phase-level counters "
         "(which phase emptied the machine, pairs surviving safety)",
     )
+    _add_budget_arguments(p_solve)
     _add_obs_arguments(p_solve)
     p_solve.set_defaults(func=_cmd_solve)
+
+    p_res = sub.add_parser(
+        "resilience",
+        help="evaluate converter resilience under a grid of fault models",
+        description=(
+            "Derive the baseline converter for a conversion system, then "
+            "sweep severity-parameterized fault models (loss, duplication, "
+            "reorder, corruption, crash_restart) over one component — by "
+            "default the channel — and report per cell whether the fixed "
+            "converter still satisfies the service, and if not whether a "
+            "converter can be re-derived for the faultier world.  See "
+            "docs/robustness.md for the verdict taxonomy and JSON schema.  "
+            "Exit code 0 on a completed matrix, 1 when no baseline "
+            "converter exists, 3 when a budget interrupts the baseline "
+            "derivation."
+        ),
+    )
+    p_res.add_argument("file", nargs="?", default=None)
+    p_res.add_argument("service", nargs="?", default=None)
+    p_res.add_argument("components", nargs="*")
+    p_res.add_argument(
+        "--scenario", choices=["colocated", "weakened"], default=None,
+        help="evaluate a built-in paper scenario instead of FILE specs",
+    )
+    p_res.add_argument(
+        "--int", dest="int_events", default=None, metavar="EV,EV,...",
+        help="declared Int events (converter-facing interface)",
+    )
+    p_res.add_argument(
+        "--target", default=None, metavar="NAME|IDX",
+        help="component to fault (default: the first channel-shaped one)",
+    )
+    p_res.add_argument(
+        "--severities", default="1,2", metavar="N,N,...",
+        help="severity levels to sweep (default 1,2)",
+    )
+    p_res.add_argument(
+        "--faults", default=None, metavar="KIND,KIND,...",
+        help="restrict the grid to these fault kinds (default: all)",
+    )
+    p_res.add_argument(
+        "--timeout", default="timeout", metavar="EVENT",
+        help="timeout event the loss model adds (default 'timeout')",
+    )
+    p_res.add_argument(
+        "--no-rederive", action="store_true",
+        help="skip re-derivation attempts for broken cells (faster; "
+        "verdicts stay safety-broken/progress-broken)",
+    )
+    p_res.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="output format (default text)",
+    )
+    _add_budget_arguments(p_res)
+    _add_obs_arguments(p_res)
+    p_res.set_defaults(func=_cmd_resilience)
 
     p_diag = sub.add_parser(
         "diagnose", help="explain why no converter exists"

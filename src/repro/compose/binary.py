@@ -23,11 +23,17 @@ external) used by verification procedures.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from .. import obs
 from ..errors import CompositionError
 from ..events import Alphabet, composition_alphabet, shared_events
 from ..spec.compiled import CompiledSpec, compiled, kernel_enabled
 from ..spec.spec import Specification, State, _state_sort_key
+
+if TYPE_CHECKING:
+    # type-only: a runtime import would be circular (quotient imports compose)
+    from ..quotient.budget import Budget, BudgetMeter
 
 
 def compose(
@@ -36,29 +42,43 @@ def compose(
     *,
     name: str | None = None,
     reachable_only: bool = True,
+    budget: Budget | None = None,
 ) -> Specification:
     """``left ‖ right`` per the paper's definition.
 
     State labels of the composite are ``(a, b)`` pairs.  With
     ``reachable_only=True`` (default) only product states reachable from
     ``(a0, b0)`` are kept; the full product is trace-equivalent but larger.
+
+    With a *budget*, every materialized product state charges one
+    ``states`` unit against it; exceeding ``max_states`` (or the wall-clock
+    ceiling) raises :class:`~repro.errors.BudgetExceeded` with phase
+    ``"compose"``.  The kernel and reference explorations materialize the
+    same states, so count limits trip at the same total on both paths.
     """
     composite_name = name if name is not None else f"({left.name}||{right.name})"
     shared = shared_events(left.alphabet, right.alphabet)
     alphabet = composition_alphabet(left.alphabet, right.alphabet)
+    meter = (
+        budget.meter("compose")
+        if budget is not None and not budget.unlimited
+        else None
+    )
 
     with obs.span("compose", left=left.name, right=right.name) as sp:
         if reachable_only:
             if kernel_enabled():
                 result = _compose_reachable_kernel(
-                    left, right, composite_name, shared, alphabet
+                    left, right, composite_name, shared, alphabet, meter
                 )
             else:
                 result = _compose_reachable(
-                    left, right, composite_name, shared, alphabet
+                    left, right, composite_name, shared, alphabet, meter
                 )
         else:
-            result = _compose_full(left, right, composite_name, shared, alphabet)
+            result = _compose_full(
+                left, right, composite_name, shared, alphabet, meter
+            )
         product = len(left.states) * len(right.states)
         sp.set(product_states=product, reachable_states=len(result.states))
         obs.add("compose.calls", 1)
@@ -112,12 +132,15 @@ def _compose_reachable(
     name: str,
     shared: Alphabet,
     alphabet: Alphabet,
+    meter: "BudgetMeter | None" = None,
 ) -> Specification:
     initial = (left.initial, right.initial)
     states: set[tuple[State, State]] = {initial}
     external: list[tuple[tuple[State, State], str, tuple[State, State]]] = []
     internal: list[tuple[tuple[State, State], tuple[State, State]]] = []
     frontier = [initial]
+    if meter is not None:
+        meter.charge(states=1, frontier=1)
     while frontier:
         a, b = current = frontier.pop()
         externals, internals = _moves(left, right, shared, a, b)
@@ -127,6 +150,8 @@ def _compose_reachable(
             if target not in states:
                 states.add(target)
                 frontier.append(target)
+                if meter is not None:
+                    meter.charge(states=1, frontier=len(frontier))
         for a2, b2 in internals:
             target = (a2, b2)
             if target != current:
@@ -134,6 +159,8 @@ def _compose_reachable(
             if target not in states:
                 states.add(target)
                 frontier.append(target)
+                if meter is not None:
+                    meter.charge(states=1, frontier=len(frontier))
     return Specification(name, states, alphabet, external, internal, initial)
 
 
@@ -143,6 +170,7 @@ def _compose_reachable_kernel(
     name: str,
     shared: Alphabet,
     alphabet: Alphabet,
+    meter: "BudgetMeter | None" = None,
 ) -> Specification:
     """Reachable composition over interned ``(int, int)`` pair codes.
 
@@ -163,6 +191,8 @@ def _compose_reachable_kernel(
     initial = cl.initial * nr + cr.initial
     seen = {initial}
     stack = [initial]
+    if meter is not None:
+        meter.charge(states=1, frontier=1)
     ext_edges: list[tuple[int, str, int]] = []
     int_edges: list[tuple[int, int]] = []
     while stack:
@@ -179,6 +209,8 @@ def _compose_reachable_kernel(
                 if t not in seen:
                     seen.add(t)
                     stack.append(t)
+                    if meter is not None:
+                        meter.charge(states=1, frontier=len(stack))
         for eid, targets in cr.ext_moves[ib]:
             if shared_r >> eid & 1:
                 continue
@@ -189,6 +221,8 @@ def _compose_reachable_kernel(
                 if t not in seen:
                     seen.add(t)
                     stack.append(t)
+                    if meter is not None:
+                        meter.charge(states=1, frontier=len(stack))
         for ta in cl.int_succ[ia]:
             t = ta * nr + ib
             if t != code:
@@ -196,6 +230,8 @@ def _compose_reachable_kernel(
             if t not in seen:
                 seen.add(t)
                 stack.append(t)
+                if meter is not None:
+                    meter.charge(states=1, frontier=len(stack))
         for tb in cr.int_succ[ib]:
             t = base_a + tb
             if t != code:
@@ -203,6 +239,8 @@ def _compose_reachable_kernel(
             if t not in seen:
                 seen.add(t)
                 stack.append(t)
+                if meter is not None:
+                    meter.charge(states=1, frontier=len(stack))
         ext_a = cl.ext_by_eid[ia]
         ext_b = cr.ext_by_eid[ib]
         for leid, reid in shared_pairs:
@@ -221,6 +259,8 @@ def _compose_reachable_kernel(
                     if t not in seen:
                         seen.add(t)
                         stack.append(t)
+                        if meter is not None:
+                            meter.charge(states=1, frontier=len(stack))
 
     lstates, rstates = cl.states, cr.states
     label = {c: (lstates[c // nr], rstates[c % nr]) for c in seen}
@@ -240,8 +280,11 @@ def _compose_full(
     name: str,
     shared: Alphabet,
     alphabet: Alphabet,
+    meter: "BudgetMeter | None" = None,
 ) -> Specification:
     states = [(a, b) for a in left.states for b in right.states]
+    if meter is not None:
+        meter.charge(states=len(states))
     external = []
     internal = []
     for a, b in states:

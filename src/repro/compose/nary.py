@@ -20,13 +20,17 @@ handled exactly as the paper's operator does.)
 from __future__ import annotations
 
 from collections import Counter
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from .. import obs
 from ..errors import CompositionError
 from ..lint.engine import preflight_composition
 from ..spec.spec import Specification, State
 from .binary import compose
+
+if TYPE_CHECKING:
+    # type-only: a runtime import would be circular (quotient imports compose)
+    from ..quotient.budget import Budget
 
 
 def _flatten_state(state: State, depth: int) -> tuple:
@@ -44,6 +48,7 @@ def compose_many(
     reachable_only: bool = True,
     flatten: bool = True,
     preflight: bool = True,
+    budget: "Budget | None" = None,
 ) -> Specification:
     """Compose ``specs[0] ‖ specs[1] ‖ ... ‖ specs[k-1]``.
 
@@ -65,6 +70,10 @@ def compose_many(
         before any product is built.  With ``preflight=False`` only the
         hard overshared-event check runs (the composition would be
         silently wrong without it).
+    budget:
+        Optional :class:`~repro.quotient.budget.Budget` passed to every
+        binary :func:`~repro.compose.compose` in the fold; each binary
+        step gets a fresh meter, so the limits apply per step.
 
     Raises
     ------
@@ -94,7 +103,9 @@ def compose_many(
     with obs.span("compose_many", parts=len(specs), composite=composite_name) as sp:
         result = specs[0]
         for nxt in specs[1:]:
-            result = compose(result, nxt, reachable_only=reachable_only)
+            result = compose(
+                result, nxt, reachable_only=reachable_only, budget=budget
+            )
         result = result.renamed(composite_name)
         if flatten:
             depth = len(specs)

@@ -101,6 +101,73 @@ class LintError(QuotientError, CompositionError):
         super().__init__(message)
 
 
+class BudgetExceeded(ReproError):
+    """A bounded solve ran out of its :class:`~repro.quotient.budget.Budget`.
+
+    Raised by the budgeted entry points (``solve_quotient``, the quotient
+    phases, ``compose``) when exploration exceeds ``max_pairs``,
+    ``max_states``, or ``wall_time_s``.  Unlike an OOM kill or a wall-clock
+    timeout imposed from outside, the error is *structured*: it names the
+    phase that was interrupted, the limit that tripped, and carries the
+    partial exploration statistics (including the frontier size at the
+    moment of interruption) so callers can report how far the solve got and
+    decide whether to retry with a larger budget.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        phase: str,
+        limit: str,
+        partial: dict | None = None,
+    ) -> None:
+        self.phase = phase
+        self.limit = limit
+        self.partial = dict(partial or {})
+        super().__init__(message)
+
+    def to_json_dict(self) -> dict:
+        """Machine-readable form (the CLI's JSON error payload)."""
+        return {
+            "error": "budget-exceeded",
+            "phase": self.phase,
+            "limit": self.limit,
+            "partial": self.partial,
+            "message": str(self),
+        }
+
+
+class DeadlockError(ReproError):
+    """A simulated system has no enabled move.
+
+    Raised by simulator policies invoked with an empty move list and by
+    :meth:`repro.simulate.engine.Simulator.step` in strict mode; carries the
+    composite state vector and the step index so the deadlock is locatable
+    without re-running the simulation.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        state_vector: tuple | None = None,
+        step_index: int | None = None,
+    ) -> None:
+        self.state_vector = state_vector
+        self.step_index = step_index
+        super().__init__(message)
+
+
+class FaultModelError(ReproError):
+    """A fault transformer cannot be applied to the given specification.
+
+    Raised e.g. for a negative severity, or for shape-restricted models
+    (``reorder`` requires a channel-shaped alphabet of matched ``-x``/``+x``
+    pairs).
+    """
+
+
 class DSLError(ReproError):
     """The textual spec DSL could not be parsed."""
 

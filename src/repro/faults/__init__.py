@@ -1,0 +1,48 @@
+"""Fault models and resilience evaluation.
+
+The paper's only fault model is the hand-built lossy channel of Fig. 10
+(:func:`repro.protocols.channels.lossy_duplex_channel`).  This package
+generalizes it into a catalogue of composable, severity-parameterized
+**specification transformers** (:mod:`repro.faults.models`) and an
+analytical **resilience harness** (:mod:`repro.faults.resilience`) that
+sweeps a grid of fault models over a conversion system and reports, per
+cell, whether the derived converter survives — and when it does not,
+whether the quotient can be re-derived for the faultier world or no
+converter exists at all.
+
+See ``docs/robustness.md`` for the catalogue and the matrix schema.
+"""
+
+from .models import (
+    FAULT_KINDS,
+    FaultModel,
+    apply_faults,
+    corruption,
+    crash_restart,
+    duplication,
+    fault_model,
+    loss,
+    reorder,
+)
+from .resilience import (
+    ResilienceCell,
+    ResilienceMatrix,
+    default_grid,
+    evaluate_resilience,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultModel",
+    "ResilienceCell",
+    "ResilienceMatrix",
+    "apply_faults",
+    "corruption",
+    "crash_restart",
+    "default_grid",
+    "duplication",
+    "evaluate_resilience",
+    "fault_model",
+    "loss",
+    "reorder",
+]

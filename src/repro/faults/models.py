@@ -1,0 +1,386 @@
+"""Severity-parameterized fault transformers over specifications.
+
+Each transformer is a **pure function** ``Specification -> Specification``:
+it returns a new, valid specification modeling the original component
+subjected to a class of faults, at an integer *severity*.  Severity ``0``
+is always the identity; severity ``1`` is the mildest non-trivial fault
+(for :func:`loss`, exactly the paper's Fig. 10 model); higher severities
+strictly widen the fault behavior.  Transformers compose by ordinary
+function composition (see :func:`apply_faults`).
+
+Catalogue
+---------
+
+``loss``
+    Receive-enabled states may internally drop their message into a
+    ``lost`` state from which a (never premature) *timeout* returns to the
+    initial state.  Severity ≥ 2 additionally allows **silent** loss (an
+    internal move from ``lost`` straight back to the initial state, with
+    no timeout) — the failure mode retransmission protocols cannot detect.
+    Idempotent: ``loss(loss(s)) == loss(s)`` at equal severity/timeout.
+``duplication``
+    Each receive may leave up to *severity* ghost copies behind: delivery
+    branches into a chain of redelivery states, each of which may also
+    silently evaporate (so extra deliveries are possible, never forced).
+``reorder``
+    Rebuilds the component as a capacity-*severity* **bag** channel over
+    its matched ``-x``/``+x`` message alphabet: any held message may be
+    delivered next, so two messages in flight can cross.  Requires a
+    channel-shaped alphabet (every prefixed event matched), else
+    :class:`~repro.errors.FaultModelError`.
+``corruption``
+    A held message may be internally garbled and delivered as one of the
+    *severity* nearest **other** receive events of the alphabet
+    (cross-message delivery).
+``crash_restart``
+    The component may crash at any moment and restart from its initial
+    state, at most *severity* times: states become ``(s, crash_count)``
+    planes joined by internal crash edges.
+
+Alphabet discipline: :func:`loss` adds its *timeout* event; every other
+transformer preserves the external alphabet exactly.  This contract is
+what the Hypothesis property suite pins down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from .. import obs
+from ..errors import FaultModelError
+from ..events import Event, is_receive, is_send, message_of
+from ..spec.spec import Specification, State
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultModel",
+    "apply_faults",
+    "corruption",
+    "crash_restart",
+    "duplication",
+    "fault_model",
+    "loss",
+    "reorder",
+]
+
+#: State label of the loss state, shared with the hand-built channels so
+#: ``loss`` applied to a reliable channel reproduces the lossy one exactly.
+LOST = "lost"
+
+
+def _check_severity(kind: str, severity: int) -> None:
+    if not isinstance(severity, int) or isinstance(severity, bool):
+        raise FaultModelError(
+            f"{kind}: severity must be an int, got {severity!r}"
+        )
+    if severity < 0:
+        raise FaultModelError(
+            f"{kind}: severity must be >= 0, got {severity}"
+        )
+
+
+def _receive_events(spec: Specification) -> list[Event]:
+    """The receive (``+x``) events of the alphabet, sorted."""
+    return sorted(e for e in spec.alphabet if is_receive(e))
+
+
+# ----------------------------------------------------------------------
+# loss (Fig. 10, generalized)
+# ----------------------------------------------------------------------
+def loss(
+    spec: Specification, severity: int = 1, *, timeout: Event = "timeout"
+) -> Specification:
+    """Message loss with a never-premature *timeout* (the paper's model).
+
+    Every **loss-prone** state — one enabling at least one receive event,
+    i.e. currently holding something deliverable — gains an internal
+    transition to the ``lost`` state; ``lost`` enables only *timeout*,
+    which returns to the initial state.  Applied to
+    :func:`repro.protocols.channels.reliable_duplex_channel` this yields
+    :func:`~repro.protocols.channels.lossy_duplex_channel` byte-for-byte.
+
+    Severity ≥ 2 adds **silent loss**: an internal move ``lost λ initial``
+    that recovers the component without ever signaling the timeout, so the
+    loss becomes undetectable to a retransmission protocol (this is what
+    typically breaks progress).
+
+    Declares *timeout* into the alphabet.  Idempotent at equal
+    severity/timeout: the ``lost`` state enables no receive, so it is
+    never itself loss-prone.
+    """
+    _check_severity("loss", severity)
+    if severity == 0:
+        return spec
+    prone = [s for s in spec.sorted_states() if any(
+        is_receive(e) for e in spec.enabled(s)
+    )]
+    if not prone:
+        # nothing deliverable can be lost; only the declared timeout is added
+        return Specification(
+            spec.name,
+            spec.states,
+            spec.alphabet | {timeout},
+            spec.external,
+            spec.internal,
+            spec.initial,
+        )
+    states = set(spec.states)
+    states.add(LOST)
+    external = set(spec.external)
+    external.add((LOST, timeout, spec.initial))
+    internal = set(spec.internal)
+    for s in prone:
+        if s != LOST:
+            internal.add((s, LOST))
+    if severity >= 2 and LOST != spec.initial:
+        internal.add((LOST, spec.initial))
+    return Specification(
+        spec.name,
+        states,
+        spec.alphabet | {timeout},
+        external,
+        internal,
+        spec.initial,
+    )
+
+
+# ----------------------------------------------------------------------
+# duplication
+# ----------------------------------------------------------------------
+def duplication(spec: Specification, severity: int = 1) -> Specification:
+    """Up to *severity* extra deliveries per receive, never forced.
+
+    Each receive transition ``s --+x--> s'`` branches: the delivery may
+    instead move to a ghost state holding ``i`` further copies
+    (``("dup", s, +x, s', i)``); each ghost may redeliver ``+x`` (down to
+    ``s'`` when the last copy goes) **or** silently evaporate to ``s'``
+    (internal), so duplication widens behavior without forcing the
+    environment to accept redeliveries.  The alphabet is unchanged.
+    """
+    _check_severity("duplication", severity)
+    if severity == 0:
+        return spec
+    states = set(spec.states)
+    external = set(spec.external)
+    internal = set(spec.internal)
+    for s, e, s2 in spec.external:
+        if not is_receive(e):
+            continue
+        ghosts = [("dup", s, e, s2, i) for i in range(1, severity + 1)]
+        states.update(ghosts)
+        # first delivery may leave `severity` copies behind
+        external.add((s, e, ghosts[-1]))
+        for i, ghost in enumerate(ghosts):
+            nxt = s2 if i == 0 else ghosts[i - 1]
+            external.add((ghost, e, nxt))
+            internal.add((ghost, s2))
+    return Specification(
+        spec.name, states, spec.alphabet, external, internal, spec.initial
+    )
+
+
+# ----------------------------------------------------------------------
+# reorder
+# ----------------------------------------------------------------------
+def reorder(spec: Specification, severity: int = 1) -> Specification:
+    """A capacity-*severity* bag channel over the matched message alphabet.
+
+    Holding several messages, **any** of them may be delivered next — the
+    defining behavior of a reordering medium.  The component is rebuilt
+    from its alphabet: every ``-x`` must have a matching ``+x`` (and vice
+    versa), else :class:`~repro.errors.FaultModelError` — reordering is
+    only meaningful for channel-shaped specifications.  Unprefixed events
+    (e.g. a declared timeout) stay in the alphabet, refused in every
+    state, so composition interfaces are preserved.
+
+    At severity 1 the bag holds one message, i.e. a reliable capacity-one
+    channel — reordering needs at least two messages in flight to bite.
+    """
+    _check_severity("reorder", severity)
+    if severity == 0:
+        return spec
+    sends = {message_of(e) for e in spec.alphabet if is_send(e)}
+    receives = {message_of(e) for e in spec.alphabet if is_receive(e)}
+    if sends != receives:
+        unmatched = sorted(sends ^ receives)
+        raise FaultModelError(
+            f"reorder: {spec.name} is not channel-shaped; unmatched "
+            f"messages {unmatched} (every -x needs a +x and vice versa)"
+        )
+    if not sends:
+        raise FaultModelError(
+            f"reorder: {spec.name} has no -x/+x message events to reorder"
+        )
+    messages = sorted(sends)
+    capacity = severity
+
+    empty: tuple = ()
+    states: set[State] = {empty}
+    external: set[tuple[State, Event, State]] = set()
+    frontier = [empty]
+    while frontier:
+        bag = frontier.pop()
+        if len(bag) < capacity:
+            for m in messages:
+                nxt = tuple(sorted(bag + (m,)))
+                external.add((bag, f"-{m}", nxt))
+                if nxt not in states:
+                    states.add(nxt)
+                    frontier.append(nxt)
+        for m in sorted(set(bag)):
+            held = list(bag)
+            held.remove(m)
+            nxt = tuple(held)
+            external.add((bag, f"+{m}", nxt))
+    return Specification(
+        spec.name, states, spec.alphabet, external, (), empty
+    )
+
+
+# ----------------------------------------------------------------------
+# corruption
+# ----------------------------------------------------------------------
+def corruption(spec: Specification, severity: int = 1) -> Specification:
+    """Cross-message delivery: a held message may garble into another.
+
+    For each receive transition ``s --+x--> s'`` the component may
+    internally corrupt the message and deliver one of the *severity*
+    nearest **other** receive events ``+y`` of the alphabet instead
+    (nearest in the sorted receive-event list, ties toward the smaller
+    event), reaching the same ``s'``.  The alphabet is unchanged; a
+    single-message component has nothing to garble into and is returned
+    unchanged.
+    """
+    _check_severity("corruption", severity)
+    if severity == 0:
+        return spec
+    receives = _receive_events(spec)
+    if len(receives) < 2:
+        return spec
+    pos = {e: i for i, e in enumerate(receives)}
+    states = set(spec.states)
+    external = set(spec.external)
+    internal = set(spec.internal)
+    changed = False
+    for s, e, s2 in spec.external:
+        if not is_receive(e) or e not in pos:
+            continue
+        i = pos[e]
+        others = sorted(
+            (r for r in receives if r != e),
+            key=lambda r: (abs(pos[r] - i), r),
+        )[:severity]
+        for e2 in others:
+            corrupt = ("corrupt", s, e, s2, e2)
+            states.add(corrupt)
+            internal.add((s, corrupt))
+            external.add((corrupt, e2, s2))
+            changed = True
+    if not changed:
+        return spec
+    return Specification(
+        spec.name, states, spec.alphabet, external, internal, spec.initial
+    )
+
+
+# ----------------------------------------------------------------------
+# crash-restart
+# ----------------------------------------------------------------------
+def crash_restart(spec: Specification, severity: int = 1) -> Specification:
+    """The component may crash and restart, at most *severity* times.
+
+    States become ``(s, crashes)`` planes for ``crashes`` in
+    ``0..severity``; every transition is replicated within each plane, and
+    from any state the component may internally crash into
+    ``(initial, crashes + 1)`` — losing all protocol state it held.  The
+    alphabet is unchanged.
+    """
+    _check_severity("crash_restart", severity)
+    if severity == 0:
+        return spec
+    planes = range(severity + 1)
+    states = {(s, c) for s in spec.states for c in planes}
+    external = {
+        ((s, c), e, (s2, c)) for s, e, s2 in spec.external for c in planes
+    }
+    internal = {
+        ((s, c), (s2, c)) for s, s2 in spec.internal for c in planes
+    }
+    for c in range(severity):
+        for s in spec.states:
+            internal.add(((s, c), (spec.initial, c + 1)))
+    return Specification(
+        spec.name, states, spec.alphabet, external, internal, (spec.initial, 0)
+    )
+
+
+# ----------------------------------------------------------------------
+# the registry and the value-object form
+# ----------------------------------------------------------------------
+_TRANSFORMERS: dict[str, Callable[..., Specification]] = {
+    "loss": loss,
+    "duplication": duplication,
+    "reorder": reorder,
+    "corruption": corruption,
+    "crash_restart": crash_restart,
+}
+
+FAULT_KINDS: tuple[str, ...] = tuple(sorted(_TRANSFORMERS))
+"""The registered fault kinds, sorted."""
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """A named, parameterized fault: ``kind`` at ``severity``.
+
+    A frozen value object so grids of models hash and sort; ``params``
+    holds transformer keyword arguments (e.g. ``loss``'s *timeout*) as a
+    sorted tuple of pairs.
+    """
+
+    kind: str
+    severity: int
+    params: tuple[tuple[str, object], ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.kind not in _TRANSFORMERS:
+            raise FaultModelError(
+                f"unknown fault kind {self.kind!r}; "
+                f"known: {', '.join(FAULT_KINDS)}"
+            )
+        _check_severity(self.kind, self.severity)
+
+    @property
+    def label(self) -> str:
+        """Stable display label, e.g. ``loss@2``."""
+        return f"{self.kind}@{self.severity}"
+
+    def apply(self, spec: Specification) -> Specification:
+        """Transform *spec* under this fault (pure; counts ``faults.applied``)."""
+        obs.add("faults.applied", 1)
+        obs.add(f"faults.applied.{self.kind}", 1)
+        return _TRANSFORMERS[self.kind](
+            spec, self.severity, **dict(self.params)
+        )
+
+    def to_json_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "severity": self.severity,
+            "params": {k: v for k, v in self.params},
+        }
+
+
+def fault_model(kind: str, severity: int = 1, **params: object) -> FaultModel:
+    """Build a :class:`FaultModel` (keyword params sorted for hashability)."""
+    return FaultModel(kind, severity, tuple(sorted(params.items())))
+
+
+def apply_faults(
+    spec: Specification, models: Iterable[FaultModel] | Sequence[FaultModel]
+) -> Specification:
+    """Apply *models* to *spec* left to right (function composition)."""
+    for model in models:
+        spec = model.apply(spec)
+    return spec

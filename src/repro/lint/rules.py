@@ -615,3 +615,103 @@ def _check_dead_converter_port(
                 event=e,
                 witness=e,
             )
+
+
+# ----------------------------------------------------------------------
+# CHAN1xx — fault-model conventions (see docs/robustness.md)
+# ----------------------------------------------------------------------
+_FAULT_STATE = "lost"
+
+
+def _fault_states(spec: Specification) -> list[Any]:
+    """States marked as fault states by the ``"lost"`` naming convention
+    (used by :func:`repro.protocols.channels.lossy_duplex_channel` and the
+    :mod:`repro.faults` transformers), including composite tuple states
+    with a ``"lost"`` coordinate."""
+    found = []
+    for s in spec.sorted_states():
+        if s == _FAULT_STATE or (
+            isinstance(s, tuple) and _FAULT_STATE in s
+        ):
+            found.append(s)
+    return found
+
+
+def _is_timeout_like(event: str) -> bool:
+    return not is_send(event) and not is_receive(event)
+
+
+@rule(
+    "CHAN101",
+    "active-fault-state",
+    scope="spec",
+    severity=SEVERITY_WARNING,
+    summary="a fault state enables events other than a timeout",
+    hint="a loss must be announced (timeout) before the channel acts "
+    "again; drop the extra transitions or rename the state if it is "
+    "not a fault state",
+)
+def _check_active_fault_state(r: Rule, target: SpecTarget) -> Iterator[Diagnostic]:
+    spec = target.spec
+    for s in _fault_states(spec):
+        extra = sorted(
+            e for e in spec.enabled(s) if not _is_timeout_like(e)
+        )
+        if extra:
+            yield r.diagnostic(
+                f"fault state {s!r} enables {extra!r} — message traffic "
+                "from a fault state lets the system act on a loss before "
+                "any timeout announces it (premature-timeout hazard)",
+                spec_name=spec.name,
+                state=s,
+                witness=tuple(extra),
+            )
+
+
+@rule(
+    "CHAN102",
+    "timeout-sharing-hazard",
+    scope="composition",
+    severity=SEVERITY_WARNING,
+    summary="a fault state's timeout event is unshared or ambiguous",
+    hint="a timeout announced from a fault state must synchronize with "
+    "exactly one fault-free partner; rename per-component timeout "
+    "events apart (e.g. faults.loss(timeout=...)) or add the partner",
+)
+def _check_timeout_sharing(
+    r: Rule, target: CompositionTarget
+) -> Iterator[Diagnostic]:
+    # which components announce which timeout-like events from fault states
+    announcers: dict[str, list[str]] = {}
+    for part in target.parts:
+        for s in _fault_states(part):
+            for e in part.enabled(s):
+                if _is_timeout_like(e):
+                    owners = announcers.setdefault(e, [])
+                    if part.name not in owners:
+                        owners.append(part.name)
+    for e in sorted(announcers):
+        owners = announcers[e]
+        if len(owners) > 1:
+            yield r.diagnostic(
+                f"timeout event {e!r} is announced from fault states of "
+                f"multiple components ({sorted(owners)!r}); their losses "
+                "are indistinguishable to the synchronizing partner",
+                event=e,
+                witness=tuple(sorted(owners)),
+            )
+            continue
+        listeners = [
+            p.name
+            for p in target.parts
+            if e in p.alphabet and p.name not in owners
+        ]
+        if not listeners:
+            yield r.diagnostic(
+                f"timeout event {e!r} announced by {owners[0]!r} is in no "
+                "other component's alphabet; losses are silent (the fault "
+                "is never observed, so no recovery can trigger)",
+                spec_name=owners[0],
+                event=e,
+                witness=e,
+            )

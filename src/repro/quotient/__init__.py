@@ -1,5 +1,6 @@
 """The quotient algorithm (Section 4) — the paper's primary contribution."""
 
+from .budget import Budget, BudgetExceeded, BudgetMeter
 from .diagnose import (
     BlockingPair,
     FrontierState,
@@ -29,6 +30,9 @@ from .types import (
 
 __all__ = [
     "BlockingPair",
+    "Budget",
+    "BudgetExceeded",
+    "BudgetMeter",
     "FrontierState",
     "NonexistenceDiagnosis",
     "Pair",

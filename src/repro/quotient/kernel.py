@@ -206,20 +206,27 @@ def problem_cache_clear() -> None:
 # ----------------------------------------------------------------------
 def safety_explore_kernel(
     problem: QuotientProblem,
+    meter=None,
 ) -> tuple[PairSet | None, set[PairSet], list[tuple[PairSet, str, PairSet]], int, int]:
     """The Fig. 5 exploration, returning the reference representation.
 
     Returns ``(start, states, transitions, explored, rejected)`` — exactly
     what the labeled loop in :mod:`repro.quotient.safety_phase` computes
-    (``start is None`` when ``¬ok.(h.ε)``).
+    (``start is None`` when ``¬ok.(h.ε)``).  *meter* is an optional
+    :class:`~repro.quotient.budget.BudgetMeter`; charges land at the same
+    points as the reference loop's, so count limits trip identically.
     """
     cp = compiled_problem(problem)
     start_codes = cp.ext_closure(
         {cp.ca.initial * cp.n_component + cp.cb.initial}
     )
     explored = 1
+    if meter is not None:
+        meter.charge(pairs=1)
     if start_codes is None:
         return None, set(), [], explored, 1
+    if meter is not None:
+        meter.charge(states=1)
 
     start = cp.decode_pairs(start_codes)
     decoded: dict[frozenset[int], PairSet] = {start_codes: start}
@@ -235,6 +242,8 @@ def safety_explore_kernel(
         for int_idx, event in enumerate(int_events):
             candidate = cp.extend(current, int_idx)
             explored += 1
+            if meter is not None:
+                meter.charge(pairs=1, frontier=len(worklist))
             if candidate is None:
                 rejected += 1
                 continue
@@ -246,6 +255,8 @@ def safety_explore_kernel(
                 seen.add(candidate)
                 states.add(label)
                 worklist.append(candidate)
+                if meter is not None:
+                    meter.charge(states=1, frontier=len(worklist))
             transitions.append((current_label, event, label))
     return start, states, transitions, explored, rejected
 
@@ -364,13 +375,15 @@ def _round_tau_star(
     return {node: scc_events[scc_of[node]] for node in adjacency}
 
 
-def progress_phase_kernel(problem, c0, f):
+def progress_phase_kernel(problem, c0, f, meter=None):
     """The Fig. 6 loop over interned ids; see ``progress_phase``.
 
     Imports of the result types are deferred to the caller's module to keep
     a single definition site; this function returns the identical
     ``ProgressPhaseResult`` the reference loop produces (including returning
-    the *original* ``c0`` object when round 0 removes nothing).
+    the *original* ``c0`` object when round 0 removes nothing).  *meter* is
+    an optional :class:`~repro.quotient.budget.BudgetMeter`, charged one
+    ``pairs`` unit per product-pair check exactly as the reference loop.
     """
     from .types import ProgressPhaseResult, ProgressRound
 
@@ -407,6 +420,8 @@ def progress_phase_kernel(problem, c0, f):
                     base = ci
                     for code in pairs_of[ci]:
                         needed.append((code % nb) * m + base)
+                if meter is not None:
+                    meter.charge(pairs=len(needed), frontier=len(alive))
                 with obs.span("tau_star", pairs=len(needed)):
                     offered = _round_tau_star(cp, succ_c, alive, m, needed)
 

@@ -29,6 +29,7 @@ from ..events import Alphabet, Event
 from ..spec.compiled import kernel_enabled
 from ..spec.graph import sink_acceptance_sets
 from ..spec.spec import Specification, State, _state_sort_key
+from .budget import Budget
 from .kernel import progress_phase_kernel
 from .types import PairSet, ProgressPhaseResult, ProgressRound, QuotientProblem
 
@@ -182,15 +183,28 @@ def progress_phase(
     problem: QuotientProblem,
     c0: Specification,
     f: dict[State, PairSet],
+    *,
+    budget: Budget | None = None,
 ) -> ProgressPhaseResult:
     """Run the Fig. 6 loop on the safety-phase machine.
 
     *c0*'s states must be the pair sets produced by
     :func:`~repro.quotient.safety_phase.safety_phase` (``f`` maps each state
     to its pair set; with the canonical encoding it is the identity).
+
+    With a *budget*, each round charges its ``(b, c)`` product-pair checks
+    as ``pairs`` (the round's surviving-state count is reported as the
+    frontier); exceeding ``max_pairs`` or the wall-clock ceiling raises
+    :class:`~repro.errors.BudgetExceeded` with phase ``"progress"``.
+    Charges are identical on the kernel and reference paths.
     """
+    meter = (
+        budget.meter("progress")
+        if budget is not None and not budget.unlimited
+        else None
+    )
     if kernel_enabled():
-        return progress_phase_kernel(problem, c0, f)
+        return progress_phase_kernel(problem, c0, f, meter)
     service = problem.service
 
     accept_cache: dict[State, list[Alphabet]] = {}
@@ -210,6 +224,8 @@ def progress_phase(
                 for c in current.states:
                     for a, b in sorted(f[c], key=lambda p: (_state_sort_key(p[0]), _state_sort_key(p[1]))):
                         needed.append((b, c))
+                if meter is not None:
+                    meter.charge(pairs=len(needed), frontier=len(current.states))
                 offered = _composite_tau_star(problem, current, needed)
 
                 bad: set[State] = set()

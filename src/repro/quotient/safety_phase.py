@@ -22,19 +22,26 @@ from collections import deque
 from .. import obs
 from ..spec.compiled import kernel_enabled
 from ..spec.spec import Specification
+from .budget import Budget, BudgetMeter
 from .hmap import extend_pairs, initial_pairs
 from .kernel import safety_explore_kernel
 from .types import PairSet, QuotientProblem, SafetyPhaseResult
 
 
 def _explore_reference(
-    problem: QuotientProblem, int_events: list[str]
+    problem: QuotientProblem,
+    int_events: list[str],
+    meter: BudgetMeter | None = None,
 ) -> tuple[PairSet | None, set[PairSet], list[tuple[PairSet, str, PairSet]], int, int]:
     """The labeled Fig. 5 worklist loop (reference path)."""
     start = initial_pairs(problem)
     explored = 1
+    if meter is not None:
+        meter.charge(pairs=1)
     if start is None:
         return None, set(), [], explored, 1
+    if meter is not None:
+        meter.charge(states=1)
     states: set[PairSet] = {start}
     transitions: list[tuple[PairSet, str, PairSet]] = []
     rejected = 0
@@ -44,32 +51,50 @@ def _explore_reference(
         for event in int_events:
             candidate = extend_pairs(problem, current, event)
             explored += 1
+            if meter is not None:
+                meter.charge(pairs=1, frontier=len(worklist))
             if candidate is None:
                 rejected += 1
                 continue
             if candidate not in states:
                 states.add(candidate)
                 worklist.append(candidate)
+                if meter is not None:
+                    meter.charge(states=1, frontier=len(worklist))
             transitions.append((current, event, candidate))
     return start, states, transitions, explored, rejected
 
 
-def safety_phase(problem: QuotientProblem) -> SafetyPhaseResult:
+def safety_phase(
+    problem: QuotientProblem, *, budget: Budget | None = None
+) -> SafetyPhaseResult:
     """Run the Fig. 5 construction, returning ``C0`` (or its nonexistence).
 
     The returned specification's states are pair sets; its alphabet is
     ``Int``; it has no internal transitions (``λ_C0 = ∅`` by definition).
+
+    With a *budget*, pair-set evaluations are charged as ``pairs`` and
+    surviving pair-set states as ``states``; exceeding either limit (or the
+    wall-clock ceiling) raises :class:`~repro.errors.BudgetExceeded` with
+    the phase name ``"safety"``.  The kernel and reference paths charge at
+    identical points, so a count-limited run trips deterministically on
+    both.  A budget that is never hit leaves the result byte-identical.
     """
     int_events = sorted(problem.interface.int_events)
+    meter = (
+        budget.meter("safety")
+        if budget is not None and not budget.unlimited
+        else None
+    )
 
     with obs.span("safety_phase") as sp:
         if kernel_enabled():
             start, states, transitions, explored, rejected = (
-                safety_explore_kernel(problem)
+                safety_explore_kernel(problem, meter)
             )
         else:
             start, states, transitions, explored, rejected = _explore_reference(
-                problem, int_events
+                problem, int_events, meter
             )
         if start is None:
             # ¬ok.(h.ε): by property P1 no specification C can be safe.

@@ -20,6 +20,7 @@ from ..lint.engine import preflight_quotient
 from ..satisfy.verify import SatisfactionReport, satisfies
 from ..spec.ops import prune_unreachable
 from ..spec.spec import Specification, State
+from .budget import Budget
 from .progress_phase import progress_phase
 from .safety_phase import safety_phase
 from .types import PairSet, QuotientProblem, QuotientResult
@@ -43,6 +44,7 @@ def solve_quotient(
     int_events: Iterable[str] | None = None,
     verify: bool = True,
     preflight: bool = True,
+    budget: Budget | None = None,
 ) -> QuotientResult:
     """Compute the quotient ``service / component``.
 
@@ -69,6 +71,14 @@ def solve_quotient(
         collected, instead of a first-failure exception from inside the
         algorithm.  Pass ``False`` to opt out (the per-check exceptions of
         :class:`~repro.quotient.types.QuotientProblem` still apply).
+    budget:
+        Optional :class:`~repro.quotient.budget.Budget` bounding the solve.
+        Each phase (safety, progress, the verification composition) gets a
+        fresh meter, so count/time limits apply per phase; exceeding a
+        limit raises :class:`~repro.errors.BudgetExceeded` naming the
+        interrupted phase and carrying its partial statistics.  A budget
+        that is never hit leaves the result byte-identical to an
+        unbudgeted run.
 
     Returns
     -------
@@ -88,6 +98,7 @@ def solve_quotient(
             int_events=int_events,
             verify=verify,
             preflight=preflight,
+            budget=budget,
         )
         sp.set(exists=result.exists)
     stats = obs.snapshot_if_recording()
@@ -103,13 +114,14 @@ def _solve(
     int_events: Iterable[str] | None,
     verify: bool,
     preflight: bool,
+    budget: Budget | None = None,
 ) -> QuotientResult:
     if preflight:
         with obs.span("preflight"):
             preflight_quotient(service, component, int_events).raise_if_errors()
     problem = QuotientProblem.build(service, component, int_events)
 
-    safety = safety_phase(problem)
+    safety = safety_phase(problem, budget=budget)
     if not safety.exists:
         return QuotientResult(
             problem=problem,
@@ -120,7 +132,7 @@ def _solve(
         )
     assert safety.spec is not None
 
-    progress = progress_phase(problem, safety.spec, safety.f)
+    progress = progress_phase(problem, safety.spec, safety.f, budget=budget)
 
     c0_relabeled, c0_f = _relabel_with_f(safety.spec)
 
@@ -149,7 +161,7 @@ def _solve(
     verification: SatisfactionReport | None = None
     if verify:
         with obs.span("verify"):
-            verification = verify_converter(problem, converter)
+            verification = verify_converter(problem, converter, budget=budget)
 
     return QuotientResult(
         problem=problem,
@@ -165,7 +177,10 @@ def _solve(
 
 
 def verify_converter(
-    problem: QuotientProblem, converter: Specification
+    problem: QuotientProblem,
+    converter: Specification,
+    *,
+    budget: Budget | None = None,
 ) -> SatisfactionReport:
     """Independently check ``B ‖ converter`` satisfies the service.
 
@@ -174,8 +189,9 @@ def verify_converter(
     failure; for hand-written converters it is the answer to "is this
     converter correct?" (catch the exception or call
     :func:`repro.satisfy.satisfies` directly for a non-raising check).
+    An optional *budget* bounds the verification composition.
     """
-    composite = compose(problem.component, converter)
+    composite = compose(problem.component, converter, budget=budget)
     report = satisfies(composite, problem.service)
     if not report.holds:
         raise QuotientError(

@@ -3,6 +3,7 @@ and runtime monitors (the operational counterpart of the analytical
 satisfaction checks)."""
 
 from .engine import Move, RunLog, Simulator
+from .faults import DropInjector, DuplicateInjector, StallInjector
 from .harness import RunReport, StressReport, simulate_system, stress
 from .msc import render_msc
 from .monitors import MonitorVerdict, ProgressWatchdog, ServiceMonitor
@@ -16,6 +17,8 @@ from .policies import (
 
 __all__ = [
     "BiasedPolicy",
+    "DropInjector",
+    "DuplicateInjector",
     "FairRandomPolicy",
     "Move",
     "MonitorVerdict",
@@ -27,6 +30,7 @@ __all__ = [
     "ScriptedPolicy",
     "ServiceMonitor",
     "Simulator",
+    "StallInjector",
     "render_msc",
     "StressReport",
     "simulate_system",

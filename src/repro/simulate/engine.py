@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from .. import obs
-from ..errors import CompositionError
+from ..errors import CompositionError, DeadlockError
 from ..events import Event
 from ..spec.spec import Specification, State, _state_sort_key
 
@@ -202,12 +202,25 @@ class Simulator:
         )
 
     # ------------------------------------------------------------------
-    def step(self) -> Move | None:
-        """Execute one move chosen by the policy; ``None`` on deadlock."""
+    def step(self, *, strict: bool = False) -> Move | None:
+        """Execute one move chosen by the policy; ``None`` on deadlock.
+
+        With ``strict=True`` a deadlock raises a structured
+        :class:`~repro.errors.DeadlockError` carrying the composite state
+        vector and the step index instead of returning ``None`` (the log's
+        ``deadlocked`` flag is set either way).
+        """
         moves = self.enabled_moves()
         if not moves:
             self._log.deadlocked = True
             obs.add("sim.deadlocks", 1)
+            if strict:
+                raise DeadlockError(
+                    f"no enabled move at step {len(self._log.steps)} "
+                    f"in state {self._states!r}",
+                    state_vector=self._states,
+                    step_index=len(self._log.steps),
+                )
             return None
         move = self._policy(moves, len(self._log.steps))
         if move not in moves:
@@ -220,11 +233,15 @@ class Simulator:
         obs.add(_MOVE_COUNTER[move.kind], 1)
         return move
 
-    def run(self, max_steps: int) -> RunLog:
-        """Execute up to *max_steps* moves (stops early on deadlock)."""
+    def run(self, max_steps: int, *, strict: bool = False) -> RunLog:
+        """Execute up to *max_steps* moves (stops early on deadlock).
+
+        ``strict`` propagates to :meth:`step`: a deadlock raises
+        :class:`~repro.errors.DeadlockError` instead of ending the run.
+        """
         with obs.span("simulate.run", max_steps=max_steps) as sp:
             for _ in range(max_steps):
-                if self.step() is None:
+                if self.step(strict=strict) is None:
                     break
             sp.set(steps=len(self._log.steps), deadlocked=self._log.deadlocked)
         return self._log

@@ -1,0 +1,142 @@
+"""Runtime fault injection: adversarial schedulers for the simulator.
+
+The analytical fault models of :mod:`repro.faults` change *what a
+component can do* (they rewrite the specification); the injectors here
+change *what the scheduler chooses to do*.  Each injector wraps a base
+policy and, with a seeded probability, steers the run toward a fault
+pattern the semantics already permits:
+
+* :class:`DropInjector` — prefer a component's internal (λ) moves.  On a
+  lossy channel the holding→lost λ **is** the loss event, so a high-rate
+  drop injector is an adversarial network that loses as many messages as
+  the specification allows.
+* :class:`StallInjector` — prefer any non-external move, starving the
+  observable interface.  The operational face of an *unfair* scheduler:
+  a system can satisfy progress analytically (which assumes fairness)
+  while a stall injector drives its :class:`ProgressWatchdog` past any
+  finite budget.
+* :class:`DuplicateInjector` — when the most recently executed
+  interaction is enabled again, prefer re-taking it (replayed deliveries
+  and retransmissions scheduled back-to-back).
+
+Injectors never invent moves: every choice comes from the enabled-move
+list, so injected runs remain valid runs of the composed system — a
+triggered watchdog under injection is evidence about scheduling, not a
+semantics bug.  When no target move is enabled (or the dice say no) the
+wrapped base policy chooses, so ``rate=0.0`` reduces every injector to
+its base policy.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .engine import Move
+from .policies import FairRandomPolicy, Policy, _require_moves
+
+
+class _Injector:
+    """Shared machinery: seeded dice, a wrapped base policy, a counter."""
+
+    def __init__(
+        self,
+        base: Policy | None = None,
+        *,
+        rate: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"rate must be within [0, 1], got {rate}")
+        self._base = base if base is not None else FairRandomPolicy(seed)
+        self._rate = rate
+        self._rng = random.Random(seed)
+        self.injected = 0
+
+    def _candidates(self, moves: list[Move]) -> list[Move]:
+        raise NotImplementedError
+
+    def _observe(self, move: Move) -> None:
+        """Hook: see every executed move (chosen by us or the base)."""
+
+    def __call__(self, moves: list[Move], step_index: int) -> Move:
+        _require_moves(moves, step_index)
+        candidates = self._candidates(moves)
+        if candidates and self._rng.random() < self._rate:
+            self.injected += 1
+            move = candidates[self._rng.randrange(len(candidates))]
+        else:
+            move = self._base(moves, step_index)
+        self._observe(move)
+        return move
+
+
+class DropInjector(_Injector):
+    """Prefer internal (λ) moves of one component — message loss, when
+    that component is a lossy channel.
+
+    ``component`` is the index of the targeted component in the
+    simulator's component list (``None`` targets every component's λ
+    moves).
+    """
+
+    def __init__(
+        self,
+        base: Policy | None = None,
+        *,
+        component: int | None = None,
+        rate: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(base, rate=rate, seed=seed)
+        self._component = component
+
+    def _candidates(self, moves: list[Move]) -> list[Move]:
+        return [
+            m
+            for m in moves
+            if m.kind == "internal"
+            and (
+                self._component is None
+                or m.participants[0] == self._component
+            )
+        ]
+
+
+class StallInjector(_Injector):
+    """Prefer non-external moves, starving the observable interface."""
+
+    def _candidates(self, moves: list[Move]) -> list[Move]:
+        return [m for m in moves if m.kind != "external"]
+
+
+class DuplicateInjector(_Injector):
+    """Prefer immediately re-taking the last executed interaction.
+
+    Whenever the most recently executed interaction event is enabled
+    again, take it (with probability ``rate``) — scheduling retransmitted
+    deliveries back-to-back, the runtime counterpart of the analytical
+    :func:`repro.faults.duplication` model.
+    """
+
+    def __init__(
+        self,
+        base: Policy | None = None,
+        *,
+        rate: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(base, rate=rate, seed=seed)
+        self._last_interaction: object = None
+
+    def _candidates(self, moves: list[Move]) -> list[Move]:
+        if self._last_interaction is None:
+            return []
+        return [
+            m
+            for m in moves
+            if m.kind == "interaction" and m.event == self._last_interaction
+        ]
+
+    def _observe(self, move: Move) -> None:
+        if move.kind == "interaction":
+            self._last_interaction = move.event

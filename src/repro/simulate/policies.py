@@ -2,6 +2,13 @@
 
 A policy is any callable ``(moves, step_index) -> Move``.  All built-in
 policies are deterministic for a given seed, so runs are reproducible.
+
+Every built-in policy guards against an empty move list with a structured
+:class:`~repro.errors.DeadlockError` instead of whatever arithmetic
+accident the selection code would otherwise hit (``randrange(0)``,
+``step_index % 0``, weighted choice over nothing) — a policy is only ever
+given moves to choose among; an empty list means the caller skipped the
+simulator's deadlock handling.
 """
 
 from __future__ import annotations
@@ -9,9 +16,18 @@ from __future__ import annotations
 import random
 from typing import Callable
 
+from ..errors import DeadlockError
 from .engine import Move
 
 Policy = Callable[[list[Move], int], Move]
+
+
+def _require_moves(moves: list[Move], step_index: int) -> None:
+    if not moves:
+        raise DeadlockError(
+            f"policy invoked with no enabled moves at step {step_index}",
+            step_index=step_index,
+        )
 
 
 class RandomPolicy:
@@ -21,6 +37,7 @@ class RandomPolicy:
         self._rng = random.Random(seed)
 
     def __call__(self, moves: list[Move], step_index: int) -> Move:
+        _require_moves(moves, step_index)
         return moves[self._rng.randrange(len(moves))]
 
 
@@ -32,6 +49,7 @@ class RoundRobinPolicy:
     """
 
     def __call__(self, moves: list[Move], step_index: int) -> Move:
+        _require_moves(moves, step_index)
         return moves[step_index % len(moves)]
 
 
@@ -48,6 +66,7 @@ class FairRandomPolicy:
         self._taken: dict[str, int] = {}
 
     def __call__(self, moves: list[Move], step_index: int) -> Move:
+        _require_moves(moves, step_index)
         weights = [
             1.0 / (1 + self._taken.get(m.label(), 0)) for m in moves
         ]
@@ -77,6 +96,7 @@ class BiasedPolicy:
         return self._biases.get(move.kind, 1.0)
 
     def __call__(self, moves: list[Move], step_index: int) -> Move:
+        _require_moves(moves, step_index)
         weights = [max(self._weight(m), 0.0) for m in moves]
         if not any(w > 0 for w in weights):
             weights = [1.0] * len(moves)
@@ -103,6 +123,7 @@ class ScriptedPolicy:
         return self._cursor >= len(self._script)
 
     def __call__(self, moves: list[Move], step_index: int) -> Move:
+        _require_moves(moves, step_index)
         if self._cursor < len(self._script):
             wanted = self._script[self._cursor]
             for move in moves:

@@ -1,0 +1,158 @@
+"""Tests for budgeted solving (:mod:`repro.quotient.budget`).
+
+The contract under test:
+
+* a budget that is never hit leaves every result **byte-identical** to an
+  unbudgeted run (same converter, same ``f``, same phase records);
+* count limits (``max_pairs`` / ``max_states``) trip **deterministically**
+  — at the same charge, with the same partial statistics — on the
+  compiled-kernel and reference paths alike;
+* :class:`~repro.errors.BudgetExceeded` is structured: it names the
+  interrupted phase, the violated limit, and carries partial progress.
+"""
+
+import pytest
+
+from repro.compose import compose
+from repro.errors import BudgetExceeded
+from repro.protocols.configs import colocated_scenario
+from repro.quotient import Budget, solve_quotient
+from repro.quotient.budget import BudgetMeter
+from repro.spec import use_kernel
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return colocated_scenario()
+
+
+def _solve(scenario, **kwargs):
+    return solve_quotient(
+        scenario.service,
+        scenario.composite,
+        int_events=scenario.interface.int_events,
+        **kwargs,
+    )
+
+
+class TestBudgetValueObject:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Budget(max_pairs=0)
+        with pytest.raises(ValueError):
+            Budget(max_states=-1)
+        with pytest.raises(ValueError):
+            Budget(wall_time_s=0.0)
+
+    def test_unlimited(self):
+        assert Budget().unlimited
+        assert not Budget(max_pairs=1).unlimited
+
+    def test_json(self):
+        d = Budget(max_pairs=5, wall_time_s=1.5).to_json_dict()
+        assert d == {
+            "max_pairs": 5,
+            "max_states": None,
+            "wall_time_s": 1.5,
+        }
+
+    def test_meter_charges_and_trips(self):
+        meter = Budget(max_pairs=2).meter("safety")
+        meter.charge(pairs=1)
+        meter.charge(pairs=1)
+        with pytest.raises(BudgetExceeded) as exc:
+            meter.charge(pairs=1, frontier=7)
+        err = exc.value
+        assert err.phase == "safety"
+        assert err.limit == "max_pairs"
+        assert err.partial["pairs"] == 3
+        assert err.partial["frontier"] == 7
+        assert err.to_json_dict()["error"] == "budget-exceeded"
+
+    def test_meter_is_per_phase(self):
+        budget = Budget(max_states=3)
+        a = budget.meter("safety")
+        b = budget.meter("progress")
+        assert isinstance(a, BudgetMeter) and a is not b
+        a.charge(states=3)
+        b.charge(states=3)  # fresh count — no trip
+
+
+class TestByteIdenticalWhenNotHit:
+    def test_generous_budget_changes_nothing(self, scenario):
+        plain = _solve(scenario)
+        budgeted = _solve(
+            scenario, budget=Budget(max_pairs=10**6, max_states=10**6)
+        )
+        assert budgeted.exists == plain.exists
+        assert budgeted.converter == plain.converter
+        assert budgeted.f == plain.f
+        assert budgeted.safety.explored == plain.safety.explored
+        assert (
+            budgeted.progress.rounds == plain.progress.rounds
+            if plain.progress is not None
+            else budgeted.progress is None
+        )
+
+    def test_none_budget_is_default(self, scenario):
+        assert _solve(scenario, budget=None).converter == _solve(
+            scenario
+        ).converter
+
+
+class TestDeterministicTrips:
+    def _trip(self, scenario, budget):
+        with pytest.raises(BudgetExceeded) as exc:
+            _solve(scenario, budget=budget)
+        return exc.value
+
+    @pytest.mark.parametrize("limit", [3, 5, 9])
+    def test_kernel_and_reference_trip_identically(self, scenario, limit):
+        budget = Budget(max_pairs=limit)
+        with use_kernel(True):
+            on = self._trip(scenario, budget)
+        with use_kernel(False):
+            off = self._trip(scenario, budget)
+        assert on.phase == off.phase == "safety"
+        assert on.limit == off.limit == "max_pairs"
+        assert on.partial["pairs"] == off.partial["pairs"]
+        assert on.partial["states"] == off.partial["states"]
+
+    def test_max_states_trips_safety(self, scenario):
+        err = self._trip(scenario, Budget(max_states=2))
+        assert err.phase == "safety"
+        assert err.limit == "max_states"
+
+    def test_progress_phase_budget(self, scenario):
+        # generous safety, tight total pairs: safety passes (36 states,
+        # ~200 pair evaluations), progress's per-round charges then trip
+        plain = _solve(scenario)
+        safety_pairs = plain.safety.explored
+        budget = Budget(max_pairs=safety_pairs)
+        # safety alone fits exactly; progress gets a fresh meter but its
+        # first rounds charge len(needed) per surviving state and exceed it
+        result_or_err = None
+        try:
+            result_or_err = _solve(scenario, budget=budget)
+        except BudgetExceeded as exc:
+            result_or_err = exc
+        if isinstance(result_or_err, BudgetExceeded):
+            assert result_or_err.phase in {"progress", "compose"}
+
+    def test_compose_budget(self, scenario):
+        big = scenario.composite
+        with pytest.raises(BudgetExceeded) as exc:
+            compose(big, scenario.service, budget=Budget(max_states=2))
+        assert exc.value.phase == "compose"
+        assert exc.value.limit == "max_states"
+
+    def test_compose_generous_budget_identical(self, scenario):
+        parts = scenario.components
+        plain = compose(parts[0], parts[1])
+        budgeted = compose(parts[0], parts[1], budget=Budget(max_states=10**6))
+        assert plain == budgeted
+
+    def test_wall_time_budget_trips(self, scenario):
+        err = self._trip(scenario, Budget(wall_time_s=1e-9))
+        assert err.limit == "wall_time_s"
+        assert err.partial["elapsed_s"] > 0

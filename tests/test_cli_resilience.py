@@ -1,0 +1,169 @@
+"""CLI tests for the ``resilience`` subcommand and the budget flags."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+GOLDEN = Path(__file__).resolve().parent / "golden"
+
+
+class TestResilienceCommand:
+    def test_scenario_text_matches_golden(self, capsys):
+        assert main(["resilience", "--scenario", "colocated"]) == 0
+        out = capsys.readouterr().out
+        assert out == (GOLDEN / "resilience_colocated.txt").read_text()
+
+    def test_scenario_json_matches_golden(self, capsys):
+        assert (
+            main(["resilience", "--scenario", "colocated", "--format", "json"])
+            == 0
+        )
+        ours = json.loads(capsys.readouterr().out)
+        golden = json.loads(
+            (GOLDEN / "resilience_colocated.json").read_text()
+        )
+        assert ours == golden
+
+    def test_fault_and_severity_filters(self, capsys):
+        assert (
+            main(
+                [
+                    "resilience",
+                    "--scenario",
+                    "colocated",
+                    "--faults",
+                    "loss",
+                    "--severities",
+                    "1",
+                    "--format",
+                    "json",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["cells"]) == 1
+        assert payload["cells"][0]["model"]["kind"] == "loss"
+        assert payload["cells"][0]["verdict"] == "tolerated"
+
+    def test_unknown_fault_kind_is_an_error(self, capsys):
+        assert (
+            main(["resilience", "--scenario", "colocated", "--faults", "nope"])
+            == 2
+        )
+        assert "unknown fault kinds" in capsys.readouterr().err
+
+    def test_budget_interrupt_exits_3(self, capsys):
+        assert (
+            main(
+                [
+                    "resilience",
+                    "--scenario",
+                    "colocated",
+                    "--budget-pairs",
+                    "3",
+                ]
+            )
+            == 3
+        )
+        assert "budget exceeded" in capsys.readouterr().out
+
+    def test_file_mode_requires_arguments(self, capsys):
+        assert main(["resilience"]) == 2
+        assert "resilience needs" in capsys.readouterr().err
+
+    def test_scenario_and_file_are_exclusive(self, capsys, tmp_path):
+        f = tmp_path / "x.spec"
+        f.write_text("spec S\n    initial 0\n    0 -> 0 : acc\nend\n")
+        assert (
+            main(["resilience", str(f), "--scenario", "colocated"]) == 2
+        )
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_no_rederive_runs(self, capsys):
+        assert (
+            main(
+                [
+                    "resilience",
+                    "--scenario",
+                    "colocated",
+                    "--no-rederive",
+                    "--faults",
+                    "duplication",
+                    "--severities",
+                    "1",
+                    "--format",
+                    "json",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        cell = payload["cells"][0]
+        assert cell["verdict"] == "safety-broken"
+        assert cell["rederive"]["attempted"] is False
+
+
+class TestSolveBudgetFlags:
+    @pytest.fixture()
+    def problem_file(self, tmp_path):
+        # tiny solvable quotient problem: service = component's externals
+        path = tmp_path / "p.spec"
+        path.write_text(
+            "spec service\n"
+            "    initial 0\n"
+            "    0 -> 1 : a\n"
+            "    1 -> 0 : b\n"
+            "end\n"
+            "spec component\n"
+            "    initial 0\n"
+            "    0 -> 1 : a\n"
+            "    1 -> 2 : m\n"
+            "    2 -> 0 : b\n"
+            "end\n"
+        )
+        return str(path)
+
+    def test_budget_exceeded_exit_code(self, problem_file, capsys):
+        code = main(
+            ["solve", problem_file, "service", "component",
+             "--budget-pairs", "1"]
+        )
+        assert code == 3
+        assert "budget exceeded" in capsys.readouterr().out
+
+    def test_budget_exceeded_json(self, problem_file, capsys):
+        code = main(
+            ["solve", problem_file, "service", "component",
+             "--budget-pairs", "1", "--format", "json"]
+        )
+        assert code == 3
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["error"] == "budget-exceeded"
+        assert payload["phase"] == "safety"
+
+    def test_generous_budget_solves_normally(self, problem_file, capsys):
+        code = main(
+            ["solve", problem_file, "service", "component",
+             "--budget-pairs", "100000"]
+        )
+        assert code == 0
+
+
+class TestSimulateDeadlockSurfacing:
+    def test_deadlock_location_is_printed(self, capsys, tmp_path):
+        f = tmp_path / "dead.spec"
+        # `stop` leads to a state with no outgoing transition: deadlock
+        f.write_text(
+            "spec only\n"
+            "    initial 0\n"
+            "    0 -> 1 : stop\n"
+            "end\n"
+        )
+        assert main(["simulate", str(f), "only", "--steps", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "DEADLOCKED" in out
+        assert "deadlock at step 1 in state (only=1)" in out

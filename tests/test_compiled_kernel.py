@@ -413,3 +413,68 @@ class TestGoldenReports:
             fresh = (tmp_path / "out" / name).read_bytes()
             committed = (REPO / "benchmarks" / "out" / name).read_bytes()
             assert fresh == committed, f"{name} drifted from committed report"
+
+
+# ----------------------------------------------------------------------
+# differential: budgeted solving
+# ----------------------------------------------------------------------
+class TestBudgetDifferential:
+    """Count-limited budgets must trip at the same unit of work on both
+    paths (same phase, same limit, same partial counts) — and a budget
+    that is not hit must leave the result byte-identical to an
+    unbudgeted solve.  The fingerprint is structural: ``elapsed_s`` is
+    machine-dependent and excluded."""
+
+    @staticmethod
+    def _budgeted_fingerprint(service, component, int_events, budget):
+        from repro.errors import BudgetExceeded
+
+        try:
+            return (
+                "ok",
+                _quotient_fingerprint(
+                    solve_quotient(
+                        service,
+                        component,
+                        int_events=int_events,
+                        budget=budget,
+                    )
+                ),
+            )
+        except BudgetExceeded as exc:
+            return (
+                "budget",
+                exc.phase,
+                exc.limit,
+                exc.partial["pairs"],
+                exc.partial["states"],
+            )
+        except Exception as exc:  # noqa: BLE001 — both paths must fail alike
+            return ("raise", type(exc).__name__, str(exc))
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        seed=SEEDS,
+        limit=st.integers(min_value=1, max_value=40),
+        kind=st.sampled_from(["max_pairs", "max_states"]),
+    )
+    def test_budget_trips_identically_on_both_paths(self, seed, limit, kind):
+        from repro.quotient import Budget
+
+        service, component, int_events, _ = random_quotient_instance(seed=seed)
+        budget = Budget(**{kind: limit})
+        with use_kernel(True):
+            fast = self._budgeted_fingerprint(
+                service, component, int_events, budget
+            )
+        with use_kernel(False):
+            slow = self._budgeted_fingerprint(
+                service, component, int_events, budget
+            )
+        assert fast == slow
+        if fast[0] == "ok":
+            with use_kernel(True):
+                plain = _quotient_fingerprint(
+                    solve_quotient(service, component, int_events=int_events)
+                )
+            assert fast[1] == plain

@@ -1,0 +1,239 @@
+"""Unit and differential tests for the fault-model transformers.
+
+The anchor result: :func:`repro.faults.loss` applied to the reliable
+duplex channel reproduces the hand-built lossy channel of the paper's
+Fig. 10 **byte-identically** — same states, same alphabet, same
+transition sets, same initial state — so the generalized transformer
+provably contains the paper's only fault model as its severity-1 case.
+"""
+
+import pytest
+
+from repro.errors import FaultModelError
+from repro.faults import (
+    FAULT_KINDS,
+    FaultModel,
+    apply_faults,
+    corruption,
+    crash_restart,
+    duplication,
+    fault_model,
+    loss,
+    reorder,
+)
+from repro.protocols.abp import AB_TIMEOUT, ab_sender
+from repro.protocols.channels import (
+    ab_channel,
+    lossy_duplex_channel,
+    reliable_duplex_channel,
+)
+from repro.spec.spec import Specification
+
+
+def _reliable(name="Ch", messages=("d0", "d1", "a0", "a1")):
+    return reliable_duplex_channel(name=name, messages=list(messages))
+
+
+def _lossy(name="Ch", messages=("d0", "d1", "a0", "a1"), timeout="timeout"):
+    return lossy_duplex_channel(
+        name=name, messages=list(messages), timeout=timeout
+    )
+
+
+class TestLossDifferential:
+    """loss(reliable) == hand-built lossy, field by field."""
+
+    def test_reproduces_lossy_duplex_channel_exactly(self):
+        derived = loss(_reliable(), severity=1, timeout="timeout")
+        golden = _lossy()
+        assert derived.states == golden.states
+        assert derived.alphabet == golden.alphabet
+        assert derived.external == golden.external
+        assert derived.internal == golden.internal
+        assert derived.initial == golden.initial
+        assert derived == golden
+
+    def test_reproduces_ab_channel(self):
+        derived = loss(
+            ab_channel(lossy=False), severity=1, timeout=AB_TIMEOUT
+        )
+        assert derived == ab_channel(lossy=True)
+
+    def test_idempotent(self):
+        once = loss(_reliable(), severity=1)
+        twice = loss(once, severity=1)
+        assert once == twice
+
+    def test_severity_zero_is_identity(self):
+        spec = _reliable()
+        assert loss(spec, severity=0) is spec
+
+    def test_severity_two_adds_silent_loss(self):
+        mild = loss(_reliable(), severity=1)
+        silent = loss(_reliable(), severity=2)
+        assert silent.internal - mild.internal == {("lost", "empty")}
+        assert silent.external == mild.external
+
+    def test_no_receive_states_only_declares_timeout(self):
+        sender = ab_sender()
+        # every state of the sender enables something, but a spec with no
+        # receive-enabled state gains only the declared timeout
+        no_rx = Specification(
+            "W", {0, 1}, frozenset({"-m"}), {(0, "-m", 1)}, frozenset(), 0
+        )
+        out = loss(no_rx, severity=1, timeout="t")
+        assert out.states == no_rx.states
+        assert out.alphabet == no_rx.alphabet | {"t"}
+        assert out.external == no_rx.external
+        # and the sender (which has +a receives) does gain a lost state
+        assert "lost" in loss(sender, severity=1).states
+
+
+class TestDuplication:
+    def test_widens_behavior_only(self):
+        base = _reliable()
+        dup = duplication(base, severity=1)
+        assert base.external <= dup.external
+        assert base.internal <= dup.internal
+        assert dup.alphabet == base.alphabet
+        assert dup.initial == base.initial
+
+    def test_ghost_chain_depth_matches_severity(self):
+        base = _reliable()
+        for k in (1, 2, 3):
+            dup = duplication(base, severity=k)
+            ghosts = {
+                s
+                for s in dup.states
+                if isinstance(s, tuple) and s and s[0] == "dup"
+            }
+            receives = {
+                (s, e, s2) for s, e, s2 in base.external if e.startswith("+")
+            }
+            assert len(ghosts) == k * len(receives)
+
+
+class TestReorder:
+    def test_bag_states_at_capacity(self):
+        # 4 messages: capacity k gives sum_{i<=k} multisets of size i
+        ch = _reliable()
+        assert len(reorder(ch, severity=1).states) == 5
+        assert len(reorder(ch, severity=2).states) == 15
+        assert len(reorder(ch, severity=3).states) == 35
+
+    def test_crossing_is_possible_at_capacity_two(self):
+        ch = reorder(_reliable(messages=("x", "y")), severity=2)
+        # -x then -y then +y: the later message overtakes the earlier
+        s = ch.initial
+        (s,) = ch.successors(s, "-x")
+        (s,) = ch.successors(s, "-y")
+        assert ch.successors(s, "+y")
+
+    def test_alphabet_preserved_including_declared_timeout(self):
+        ch = ab_channel(lossy=False)  # declares timeout, refused everywhere
+        out = reorder(ch, severity=2)
+        assert out.alphabet == ch.alphabet
+        assert all(e != AB_TIMEOUT for (_, e, _) in out.external)
+
+    def test_rejects_non_channel_shape(self):
+        with pytest.raises(FaultModelError, match="not channel-shaped"):
+            reorder(ab_sender(), severity=1)
+
+    def test_rejects_messageless_spec(self):
+        plain = Specification(
+            "P", {0}, frozenset({"go"}), {(0, "go", 0)}, frozenset(), 0
+        )
+        with pytest.raises(FaultModelError, match="no -x/\\+x"):
+            reorder(plain, severity=1)
+
+
+class TestCorruption:
+    def test_adds_cross_delivery(self):
+        base = _reliable(messages=("x", "y"))
+        out = corruption(base, severity=1)
+        assert base.external < out.external
+        assert out.alphabet == base.alphabet
+        # a held x may now be delivered as +y (to +x's target state)
+        garbled = {
+            (s, e, s2)
+            for s, e, s2 in out.external
+            if isinstance(s, tuple) and s and s[0] == "corrupt"
+        }
+        assert any(e == "+y" for (_, e, _) in garbled)
+        assert any(e == "+x" for (_, e, _) in garbled)
+
+    def test_single_message_unchanged(self):
+        base = _reliable(messages=("x",))
+        assert corruption(base, severity=1) is base
+
+    def test_severity_bounds_fanout(self):
+        base = _reliable(messages=("a", "b", "c", "d"))
+        for k in (1, 2, 3):
+            out = corruption(base, severity=k)
+            for s in out.states:
+                if isinstance(s, tuple) and s and s[0] == "corrupt":
+                    continue
+            per_receive = {}
+            for s, e, s2 in out.external - base.external:
+                key = s  # corrupt state: ("corrupt", s0, e0, s2_, e2)
+                per_receive.setdefault(key[1:4], set()).add(e)
+            assert all(len(es) <= k for es in per_receive.values())
+
+
+class TestCrashRestart:
+    def test_planes_and_crash_edges(self):
+        base = _reliable(messages=("x",))
+        out = crash_restart(base, severity=2)
+        assert len(out.states) == 3 * len(base.states)
+        assert out.initial == (base.initial, 0)
+        crash_edges = out.internal - {
+            ((s, c), (s2, c))
+            for s, s2 in base.internal
+            for c in range(3)
+        }
+        assert crash_edges == {
+            ((s, c), (base.initial, c + 1))
+            for s in base.states
+            for c in range(2)
+        }
+
+    def test_alphabet_preserved(self):
+        base = _reliable()
+        assert crash_restart(base, severity=1).alphabet == base.alphabet
+
+
+class TestFaultModelRegistry:
+    def test_kinds_sorted_and_complete(self):
+        assert FAULT_KINDS == (
+            "corruption",
+            "crash_restart",
+            "duplication",
+            "loss",
+            "reorder",
+        )
+
+    def test_label_and_apply(self):
+        m = fault_model("loss", 2, timeout="t")
+        assert m.label == "loss@2"
+        assert m.apply(_reliable()) == loss(_reliable(), 2, timeout="t")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultModelError, match="unknown fault kind"):
+            fault_model("gamma-rays", 1)
+
+    def test_bad_severity_rejected(self):
+        with pytest.raises(FaultModelError):
+            fault_model("loss", -1)
+        with pytest.raises(FaultModelError):
+            loss(_reliable(), severity=True)
+
+    def test_models_hash_and_compare(self):
+        a = fault_model("loss", 1, timeout="t")
+        b = fault_model("loss", 1, timeout="t")
+        assert a == b and hash(a) == hash(b)
+        assert FaultModel("loss", 1) != FaultModel("loss", 2)
+
+    def test_apply_faults_composes_left_to_right(self):
+        spec = _reliable()
+        models = [fault_model("loss", 1), fault_model("duplication", 1)]
+        assert apply_faults(spec, models) == duplication(loss(spec, 1), 1)

@@ -1,0 +1,136 @@
+"""Property-based tests (hypothesis) for the fault transformers.
+
+Random channel-flavored specifications are drawn through the library's
+seeded generator over a ``-x``/``+x`` alphabet, and the documented
+contracts are checked exactly:
+
+* every transformer, at every severity, returns a **valid**
+  specification (the ``Specification`` constructor enforces the
+  well-formedness invariants, so construction *is* the oracle);
+* severity ``0`` is the identity for every transformer;
+* ``loss`` is idempotent at equal severity/timeout;
+* alphabet discipline — ``loss`` adds exactly its timeout event, every
+  other transformer preserves the alphabet;
+* transformers only ever *widen* behavior on kept states (loss,
+  duplication, corruption never remove a transition).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.faults import (
+    FAULT_KINDS,
+    corruption,
+    crash_restart,
+    duplication,
+    fault_model,
+    loss,
+    reorder,
+)
+from repro.protocols.channels import reliable_duplex_channel
+from repro.spec import random_spec
+
+SEEDS = st.integers(min_value=0, max_value=10_000)
+SIZES = st.integers(min_value=1, max_value=6)
+SEVERITIES = st.integers(min_value=0, max_value=3)
+# channel-flavored events: matched sends/receives plus a bare event
+CHANNEL_EVENTS = ["-x", "+x", "-y", "+y", "go"]
+
+
+def draw_spec(seed: int, size: int):
+    return random_spec(
+        n_states=size,
+        events=CHANNEL_EVENTS,
+        external_density=0.35,
+        internal_density=0.1,
+        seed=seed,
+    )
+
+
+MESSAGE_LISTS = st.lists(
+    st.sampled_from(["a", "b", "c", "d"]), min_size=1, max_size=4, unique=True
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=SEEDS, size=SIZES, severity=SEVERITIES)
+def test_transformers_yield_valid_specs(seed, size, severity):
+    spec = draw_spec(seed, size)
+    for transform in (loss, duplication, corruption, crash_restart):
+        out = transform(spec, severity)
+        # Specification.__init__ validates; reaching here means valid.
+        # The transformed machine must still start where the original did
+        # (possibly re-labeled into a plane).
+        assert out.states
+    # reorder only applies to channel-shaped specs — exercised separately
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=SEEDS, size=SIZES)
+def test_severity_zero_is_identity(seed, size):
+    spec = draw_spec(seed, size)
+    for transform in (loss, duplication, corruption, crash_restart):
+        assert transform(spec, 0) is spec
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=SEEDS, size=SIZES, severity=st.integers(min_value=1, max_value=3))
+def test_loss_is_idempotent(seed, size, severity):
+    spec = draw_spec(seed, size)
+    once = loss(spec, severity)
+    assert loss(once, severity) == once
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=SEEDS, size=SIZES, severity=st.integers(min_value=1, max_value=3))
+def test_alphabet_discipline(seed, size, severity):
+    spec = draw_spec(seed, size)
+    assert loss(spec, severity, timeout="tick").alphabet == (
+        spec.alphabet | {"tick"}
+    )
+    for transform in (duplication, corruption, crash_restart):
+        assert transform(spec, severity).alphabet == spec.alphabet
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=SEEDS, size=SIZES, severity=st.integers(min_value=1, max_value=3))
+def test_loss_duplication_corruption_only_widen(seed, size, severity):
+    """On the original states, no external transition is removed."""
+    spec = draw_spec(seed, size)
+    for transform in (loss, duplication, corruption):
+        out = transform(spec, severity)
+        assert spec.external <= out.external
+        assert spec.initial == out.initial
+
+
+@settings(max_examples=30, deadline=None)
+@given(messages=MESSAGE_LISTS, severity=st.integers(min_value=1, max_value=3))
+def test_reorder_bag_invariants(messages, severity):
+    ch = reliable_duplex_channel(name="Ch", messages=messages)
+    out = reorder(ch, severity)
+    assert out.alphabet == ch.alphabet
+    assert out.initial == ()
+    # every state is a sorted bag within capacity
+    for s in out.states:
+        assert isinstance(s, tuple) and len(s) <= severity
+        assert list(s) == sorted(s)
+    # a full bag accepts no further sends
+    for s, e, _ in out.external:
+        if e.startswith("-"):
+            assert len(s) < severity
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=SEEDS,
+    size=SIZES,
+    kinds=st.lists(
+        st.sampled_from([k for k in FAULT_KINDS if k != "reorder"]),
+        min_size=1,
+        max_size=3,
+    ),
+)
+def test_fault_model_pipelines_stay_valid(seed, size, kinds):
+    spec = draw_spec(seed, size)
+    for kind in kinds:
+        spec = fault_model(kind, 1).apply(spec)
+    assert spec.states

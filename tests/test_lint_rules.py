@@ -12,6 +12,7 @@ from repro.lint import (
     run_rules,
 )
 from repro.spec import SpecBuilder
+from repro.spec.spec import Specification
 
 
 def codes(report):
@@ -349,3 +350,64 @@ class TestEngine:
         results = sarif["runs"][0]["results"]
         assert [r["ruleId"] for r in results] == [d.code for d in report]
         assert "SPEC003" in report.describe()
+
+
+class TestChannelFaultRules:
+    """CHAN1xx — fault-model conventions (docs/robustness.md)."""
+
+    def test_chan101_fires_on_active_fault_state(self):
+        bad = Specification(
+            "Bad",
+            {"empty", "lost"},
+            frozenset({"+m", "timeout"}),
+            {
+                ("empty", "+m", "lost"),
+                ("lost", "+m", "empty"),
+                ("lost", "timeout", "empty"),
+            },
+            frozenset(),
+            "empty",
+        )
+        report = lint_spec(bad)
+        assert "CHAN101" in report.codes()
+
+    def test_chan101_quiet_on_paper_lossy_channel(self):
+        from repro.protocols.channels import ab_channel
+
+        report = lint_spec(ab_channel(lossy=True), select=["CHAN"])
+        assert not list(report)
+
+    def test_chan102_quiet_on_correct_sharing(self):
+        from repro.protocols.abp import ab_sender
+        from repro.protocols.channels import ab_channel
+        from repro.protocols.nonseq import ns_receiver
+
+        report = lint_composition(
+            [ab_sender(), ab_channel(lossy=True), ns_receiver()],
+            select=["CHAN"],
+        )
+        assert not list(report)
+
+    def test_chan102_fires_on_silent_timeout(self):
+        from repro.faults import loss
+        from repro.protocols.abp import ab_sender
+        from repro.protocols.channels import ab_channel
+
+        faulted = loss(ab_sender(), severity=1, timeout="timeoutX")
+        report = lint_composition(
+            [faulted, ab_channel(lossy=True)], select=["CHAN"]
+        )
+        assert "CHAN102" in report.codes()
+        assert any("silent" in d.message for d in report)
+
+    def test_chan102_fires_on_ambiguous_announcers(self):
+        from repro.faults import loss
+        from repro.protocols.channels import ab_channel
+        from repro.protocols.nonseq import ns_receiver
+
+        f2 = loss(ns_receiver(), severity=1, timeout="timeout")
+        report = lint_composition(
+            [ab_channel(lossy=True), f2], select=["CHAN"]
+        )
+        assert "CHAN102" in report.codes()
+        assert any("multiple components" in d.message for d in report)

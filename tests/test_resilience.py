@@ -1,0 +1,204 @@
+"""Resilience harness tests, pinned by golden matrix files.
+
+The colocated scenario (Fig. 13, lossy channel) is the anchor: its
+resilience matrix is stored as goldens in both renderings and must
+reproduce **exactly** (the library promises deterministic exploration).
+Regenerate after an intentional change with::
+
+    PYTHONPATH=src python -m repro.cli resilience --scenario colocated \
+        > tests/golden/resilience_colocated.txt
+    PYTHONPATH=src python -m repro.cli resilience --scenario colocated \
+        --format json > tests/golden/resilience_colocated.json
+
+— and record the change in EXPERIMENTS.md.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.compose import compose_many
+from repro.errors import FaultModelError
+from repro.faults import default_grid, evaluate_resilience, fault_model
+from repro.protocols.abp import AB_TIMEOUT
+from repro.protocols.configs import colocated_scenario
+from repro.quotient import Budget, solve_quotient
+
+GOLDEN = Path(__file__).resolve().parent / "golden"
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return colocated_scenario()
+
+
+@pytest.fixture(scope="module")
+def converter(scenario):
+    result = solve_quotient(
+        scenario.service,
+        scenario.composite,
+        int_events=scenario.interface.int_events,
+    )
+    assert result.exists
+    return result.converter
+
+
+@pytest.fixture(scope="module")
+def matrix(scenario, converter):
+    return evaluate_resilience(
+        scenario.service,
+        scenario.components,
+        converter,
+        int_events=scenario.interface.int_events,
+        timeout=AB_TIMEOUT,
+    )
+
+
+class TestGoldenMatrix:
+    def test_text_rendering_exact(self, matrix):
+        golden = (GOLDEN / "resilience_colocated.txt").read_text()
+        assert matrix.render_text() + "\n" == golden
+
+    def test_json_exact(self, matrix):
+        golden = json.loads(
+            (GOLDEN / "resilience_colocated.json").read_text()
+        )
+        ours = json.loads(
+            json.dumps(matrix.to_json_dict(), indent=2, sort_keys=True)
+        )
+        assert ours == golden
+
+    def test_grid_shape(self, matrix):
+        kinds = {c.model.kind for c in matrix.cells}
+        severities = {c.model.severity for c in matrix.cells}
+        assert len(kinds) >= 4
+        assert len(severities) >= 2
+
+    def test_verdict_coverage(self, matrix):
+        counts = matrix.counts()
+        assert counts.get("tolerated", 0) >= 1
+        assert counts.get("progress-broken", 0) >= 1
+        assert counts.get("safety-broken", 0) >= 1
+        assert counts.get("re-derivable", 0) >= 1
+
+    def test_failure_cells_carry_counterexamples(self, matrix):
+        for cell in matrix.cells:
+            if cell.failure_phase is not None:
+                assert cell.counterexample is not None, cell
+
+    def test_loss_on_lossy_channel_is_tolerated(self, matrix):
+        """The paper's own fault model is a fixed point: the colocated
+        channel is already lossy, so loss@1 changes nothing."""
+        assert matrix.cell("loss", 1).verdict == "tolerated"
+
+    def test_silent_loss_breaks_progress(self, matrix):
+        cell = matrix.cell("loss", 2)
+        assert cell.verdict == "re-derivable"
+        assert cell.failure_phase == "progress"
+        assert cell.rederive_exists is True
+
+
+class TestHarnessMechanics:
+    def test_target_auto_resolves_to_channel(self, matrix):
+        assert matrix.target == "Ach"
+
+    def test_target_by_name_and_index(self, scenario, converter):
+        grid = [fault_model("loss", 1, timeout=AB_TIMEOUT)]
+        by_name = evaluate_resilience(
+            scenario.service,
+            scenario.components,
+            converter,
+            int_events=scenario.interface.int_events,
+            target="Ach",
+            grid=grid,
+        )
+        by_index = evaluate_resilience(
+            scenario.service,
+            scenario.components,
+            converter,
+            int_events=scenario.interface.int_events,
+            target=1,
+            grid=grid,
+        )
+        assert by_name.cells == by_index.cells
+
+    def test_bad_target_rejected(self, scenario, converter):
+        with pytest.raises(FaultModelError, match="no component named"):
+            evaluate_resilience(
+                scenario.service,
+                scenario.components,
+                converter,
+                int_events=scenario.interface.int_events,
+                target="nope",
+            )
+
+    def test_no_rederive_keeps_broken_verdicts(self, scenario, converter):
+        grid = [fault_model("duplication", 1)]
+        m = evaluate_resilience(
+            scenario.service,
+            scenario.components,
+            converter,
+            int_events=scenario.interface.int_events,
+            rederive=False,
+            grid=grid,
+        )
+        (cell,) = m.cells
+        assert cell.verdict == "safety-broken"
+        assert cell.rederive_attempted is False
+
+    def test_inapplicable_fault_is_no_converter(self, scenario, converter):
+        m = evaluate_resilience(
+            scenario.service,
+            scenario.components,
+            converter,
+            int_events=scenario.interface.int_events,
+            target=0,  # the sender is not channel-shaped
+            grid=[fault_model("reorder", 1)],
+        )
+        (cell,) = m.cells
+        assert cell.verdict == "no-converter"
+        assert "not applicable" in cell.detail
+
+    def test_budget_interrupt_is_recorded(self, scenario, converter):
+        m = evaluate_resilience(
+            scenario.service,
+            scenario.components,
+            converter,
+            int_events=scenario.interface.int_events,
+            grid=[fault_model("duplication", 1)],
+            budget=Budget(max_states=5),
+        )
+        (cell,) = m.cells
+        assert cell.verdict == "no-converter"
+        assert cell.budget_exceeded is not None
+        assert cell.budget_exceeded["error"] == "budget-exceeded"
+
+    def test_default_grid_covers_all_kinds(self):
+        grid = default_grid((1, 2))
+        assert len(grid) == 10
+        assert {m.kind for m in grid} == {
+            "loss",
+            "duplication",
+            "reorder",
+            "corruption",
+            "crash_restart",
+        }
+
+
+class TestRederivedConvertersAreReal:
+    def test_rederived_converter_actually_works(self, scenario, converter):
+        """A `re-derivable` verdict is not taken on faith: re-deriving for
+        the faulted world and re-checking must succeed."""
+        model = fault_model("duplication", 1)
+        parts = list(scenario.components)
+        parts[1] = model.apply(parts[1])
+        composite = compose_many(parts, preflight=False)
+        result = solve_quotient(
+            scenario.service,
+            composite,
+            int_events=scenario.interface.int_events,
+        )
+        assert result.exists  # matches the matrix's re-derivable cell
+        assert result.verification is not None
+        assert result.verification.holds

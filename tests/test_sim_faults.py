@@ -1,0 +1,178 @@
+"""Runtime fault injection and structured deadlock reporting.
+
+Cross-validation is the point: the injectors steer *scheduling* only, so
+their effects must line up with the analytical results — a total-loss
+adversary starves progress exactly where the satisfaction checker says
+silent loss breaks it, while a fair policy keeps the watchdog quiet; and
+every injected run remains a valid run of the composed system.
+"""
+
+import pytest
+
+from repro.errors import DeadlockError
+from repro.protocols.configs import ab_end_to_end
+from repro.simulate import (
+    BiasedPolicy,
+    DropInjector,
+    DuplicateInjector,
+    FairRandomPolicy,
+    ProgressWatchdog,
+    RandomPolicy,
+    RoundRobinPolicy,
+    ScriptedPolicy,
+    ServiceMonitor,
+    Simulator,
+    StallInjector,
+)
+from repro.spec.spec import Specification
+from repro.traces import accepts
+
+
+def _dead_spec():
+    """One state, one declared-refused event: deadlocked immediately."""
+    return Specification(
+        "D", {0}, frozenset({"x"}), frozenset(), frozenset(), 0
+    )
+
+
+class TestPolicyDeadlockGuards:
+    @pytest.mark.parametrize(
+        "policy",
+        [
+            RandomPolicy(),
+            RoundRobinPolicy(),
+            FairRandomPolicy(),
+            BiasedPolicy({"internal": 2.0}),
+            ScriptedPolicy(["x"]),
+            DropInjector(),
+            StallInjector(),
+            DuplicateInjector(),
+        ],
+        ids=lambda p: type(p).__name__,
+    )
+    def test_empty_moves_raise_structured_deadlock(self, policy):
+        with pytest.raises(DeadlockError) as exc:
+            policy([], 42)
+        assert exc.value.step_index == 42
+
+    def test_strict_step_raises_with_state_vector(self):
+        sim = Simulator([_dead_spec()], FairRandomPolicy())
+        with pytest.raises(DeadlockError) as exc:
+            sim.step(strict=True)
+        assert exc.value.state_vector == (0,)
+        assert exc.value.step_index == 0
+        assert sim.log.deadlocked  # the log still records the deadlock
+
+    def test_strict_run_raises(self):
+        sim = Simulator([_dead_spec()], FairRandomPolicy())
+        with pytest.raises(DeadlockError):
+            sim.run(10, strict=True)
+
+    def test_non_strict_step_still_returns_none(self):
+        # back-compat: the default contract is unchanged
+        sim = Simulator([_dead_spec()], FairRandomPolicy())
+        assert sim.step() is None
+        assert sim.log.deadlocked
+
+
+class TestInjectorWatchdogCrossValidation:
+    """The operational counterpart of the analytical loss results."""
+
+    def test_fair_policy_keeps_watchdog_quiet(self):
+        scenario = ab_end_to_end(lossy=True)
+        sim = Simulator(scenario.components, FairRandomPolicy(seed=1))
+        watchdog = ProgressWatchdog(limit=60)
+        for _ in range(300):
+            move = sim.step()
+            if move is None:
+                break
+            watchdog.observe_move(move)
+        assert not watchdog.triggered
+
+    def test_total_loss_adversary_triggers_watchdog(self):
+        """Losing every message starves `del` forever — the scheduling
+        face of the analytical result that undetectable loss breaks
+        progress (cf. the loss@2 cell of the resilience matrix)."""
+        scenario = ab_end_to_end(lossy=True)
+        injector = DropInjector(
+            FairRandomPolicy(seed=1), component=1, rate=1.0, seed=1
+        )
+        sim = Simulator(scenario.components, injector)
+        watchdog = ProgressWatchdog(limit=60)
+        for _ in range(300):
+            move = sim.step()
+            if move is None:
+                break
+            watchdog.observe_move(move)
+        assert watchdog.triggered
+        assert injector.injected > 0
+        # the adversary never let a delivery through
+        assert "del" not in set(sim.log.external_trace)
+
+    def test_stall_injector_worsens_stalls_but_cannot_break_ab(self):
+        """The AB protocol serializes delivery, so even a maximal stall
+        adversary is forced to let externals through — stalls worsen but
+        the run stays safe."""
+        scenario = ab_end_to_end(lossy=True)
+
+        def worst(policy):
+            sim = Simulator(scenario.components, policy)
+            watchdog = ProgressWatchdog(limit=10**9)
+            monitor = ServiceMonitor(scenario.service)
+            for _ in range(300):
+                move = sim.step()
+                if move is None:
+                    break
+                watchdog.observe_move(move)
+                monitor.observe_move(move)
+            assert monitor.ok
+            return watchdog.worst_stall
+
+        fair = worst(FairRandomPolicy(seed=1))
+        stalled = worst(
+            StallInjector(FairRandomPolicy(seed=1), rate=1.0, seed=1)
+        )
+        assert stalled >= fair
+
+    def test_duplicate_injector_runs_stay_safe(self):
+        scenario = ab_end_to_end(lossy=True)
+        injector = DuplicateInjector(FairRandomPolicy(seed=3), rate=0.8, seed=3)
+        sim = Simulator(scenario.components, injector)
+        monitor = ServiceMonitor(scenario.service)
+        for _ in range(300):
+            move = sim.step()
+            if move is None:
+                break
+            monitor.observe_move(move)
+        assert monitor.ok
+
+    def test_rate_zero_reduces_to_base_policy(self):
+        scenario = ab_end_to_end(lossy=True)
+        plain = Simulator(scenario.components, FairRandomPolicy(seed=7))
+        wrapped = Simulator(
+            scenario.components,
+            StallInjector(FairRandomPolicy(seed=7), rate=0.0, seed=7),
+        )
+        plain.run(100)
+        wrapped.run(100)
+        assert [m.label() for m in plain.log.steps] == [
+            m.label() for m in wrapped.log.steps
+        ]
+
+    def test_injected_runs_are_valid_runs(self):
+        """Injectors never invent moves: the external trace of an injected
+        run is accepted by the analytically composed system."""
+        from repro.compose import compose_many
+
+        scenario = ab_end_to_end(lossy=True)
+        injector = DropInjector(
+            FairRandomPolicy(seed=5), component=1, rate=0.7, seed=5
+        )
+        sim = Simulator(scenario.components, injector)
+        sim.run(200)
+        composed = compose_many(scenario.components)
+        assert accepts(composed, sim.log.external_trace)
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError, match="rate"):
+            DropInjector(rate=1.5)
