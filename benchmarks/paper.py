@@ -25,6 +25,7 @@ Run ``python benchmarks/paper.py --help`` for the driver's modes.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import difflib
 import json
 import os
@@ -101,7 +102,9 @@ def write_bench_json(path: str | None = None) -> str:
 
     Merging (rather than overwriting) keeps subset runs — the CI smoke
     job, a single re-run module — from erasing experiments they did not
-    execute.
+    execute.  The write is crash-safe: the merged payload goes to a
+    temporary file in the same directory and is renamed over the target,
+    so a crash mid-write can never leave a truncated aggregate behind.
     """
     target = path or BENCH_JSON
     experiments: dict[str, dict] = {}
@@ -120,9 +123,21 @@ def write_bench_json(path: str | None = None) -> str:
         "source": "benchmarks/ (see benchmarks/paper.py)",
         "experiments": {k: experiments[k] for k in sorted(experiments)},
     }
-    with open(target, "w", encoding="utf-8") as fh:
-        json.dump(payload, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    directory = os.path.dirname(os.path.abspath(target))
+    fd, tmp = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(target) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, target)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp)
+        raise
     return target
 
 

@@ -1,0 +1,22 @@
+# Tiny conversion problem used by the CI resume-smoke step (and handy for
+# trying --checkpoint/--resume by hand):
+#
+#   repro-converter solve examples/resume_smoke.dsl service component \
+#       --budget-pairs 3 --checkpoint /tmp/smoke.ckpt        # exits 4
+#   repro-converter solve examples/resume_smoke.dsl service component \
+#       --checkpoint /tmp/smoke.ckpt --resume                # exits 0
+#
+# The resumed run's output is byte-identical to an uninterrupted one.
+
+spec service
+    initial 0
+    0 -> 1 : acc
+    1 -> 0 : del
+end
+
+spec component
+    initial 0
+    0 -> 1 : acc
+    1 -> 2 : fwd
+    2 -> 0 : del
+end

@@ -22,6 +22,11 @@ Subcommands
 
 Files ending in ``.json`` are read with the JSON codec; anything else is
 parsed as the spec DSL (see :mod:`repro.io.dsl`).
+
+Exit codes are uniform across subcommands (see ``docs/CLI.md``): 0
+success, 1 negative verdict, 2 usage/input error, 3 budget exceeded
+without a checkpoint, 4 interrupted or budget exceeded *with* a
+checkpoint written (resume with ``--resume``).
 """
 
 from __future__ import annotations
@@ -33,7 +38,7 @@ from typing import Callable
 
 from . import obs
 from .analysis.explain import explain_converter
-from .errors import BudgetExceeded, ReproError
+from .errors import BudgetExceeded, InterruptRequested, ReproError
 from .io.dot import to_dot
 from .io.dsl import parse_dsl
 from .io.json_codec import load as load_json
@@ -156,6 +161,100 @@ def _budget_from_args(args: argparse.Namespace):
     )
 
 
+# ----------------------------------------------------------------------
+# checkpoint / resume / deadline flags (solve, resilience; docs/CLI.md)
+# ----------------------------------------------------------------------
+def _add_persist_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("checkpointing")
+    group.add_argument(
+        "--checkpoint", metavar="FILE", default=None,
+        help="write a durable, resumable snapshot here when the run is "
+        "interrupted or runs out of budget (exit code 4); resilience "
+        "sweeps also snapshot after every completed cell",
+    )
+    group.add_argument(
+        "--resume", action="store_true",
+        help="load --checkpoint FILE and continue exactly where the "
+        "interrupted run stopped (a checkpoint for a different problem "
+        "is rejected by lint rule QUOT104)",
+    )
+    group.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="stop cooperatively after SECONDS of wall time with a "
+        "consistent checkpoint, unlike the hard per-phase --budget-time",
+    )
+
+
+def _interrupt_from_args(args: argparse.Namespace):
+    """A controller when graceful interruption is wanted, else ``None``.
+
+    A checkpoint path alone is enough: with a controller installed,
+    Ctrl-C stops at a charge boundary and the snapshot is written.
+    """
+    if args.deadline is None and args.checkpoint is None:
+        return None
+    from .persist import InterruptController
+
+    return InterruptController(deadline_s=args.deadline)
+
+
+def _sigint_scope(interrupt):
+    if interrupt is None:
+        import contextlib
+
+        return contextlib.nullcontext()
+    return interrupt.install_sigint()
+
+
+def _resume_checkpoint_from_args(args: argparse.Namespace):
+    if not getattr(args, "resume", False):
+        return None
+    if args.checkpoint is None:
+        raise ReproError("--resume requires --checkpoint FILE")
+    from .persist import load_checkpoint
+
+    return load_checkpoint(args.checkpoint)
+
+
+def _emit_partial(
+    args: argparse.Namespace, exc: BudgetExceeded | InterruptRequested
+) -> int:
+    """Report an interrupted/over-budget run and write its checkpoint.
+
+    The output always carries the explicit ``guarantees: partial``
+    marker.  Exit code is 4 when a checkpoint was written (or the stop
+    was a cooperative interrupt), 3 for a plain budget trip.
+    """
+    from .persist import anytime_summary, render_anytime_text, save_checkpoint
+
+    ckpt = getattr(exc, "checkpoint", None)
+    written = None
+    if args.checkpoint is not None and ckpt is not None:
+        save_checkpoint(args.checkpoint, ckpt)
+        written = args.checkpoint
+    if args.format == "json":
+        payload = exc.to_json_dict()
+        payload["guarantees"] = "partial"
+        if ckpt is not None:
+            payload["anytime"] = anytime_summary(ckpt)
+        payload["checkpoint"] = written
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        label = (
+            "interrupted"
+            if isinstance(exc, InterruptRequested)
+            else "budget exceeded"
+        )
+        print(f"{label}: {exc}")
+        if ckpt is not None:
+            print(render_anytime_text(anytime_summary(ckpt)))
+        else:
+            print("guarantees: partial")
+        if written is not None:
+            print(f"checkpoint written to {written} (continue with --resume)")
+    return 4 if written is not None or isinstance(exc, InterruptRequested) else 3
+
+
 def _cmd_show(args: argparse.Namespace) -> int:
     specs = _load_specs(args.file)
     names = args.names or sorted(specs)
@@ -250,19 +349,20 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     component = _pick(specs, args.component)
 
     def body() -> int:
+        resume_from = _resume_checkpoint_from_args(args)
+        interrupt = _interrupt_from_args(args)
         try:
-            result = solve_quotient(
-                service,
-                component,
-                preflight=not args.no_preflight,
-                budget=_budget_from_args(args),
-            )
-        except BudgetExceeded as exc:
-            if args.format == "json":
-                print(json.dumps(exc.to_json_dict(), indent=2, sort_keys=True))
-            else:
-                print(f"budget exceeded: {exc}")
-            return 3
+            with _sigint_scope(interrupt):
+                result = solve_quotient(
+                    service,
+                    component,
+                    preflight=not args.no_preflight,
+                    budget=_budget_from_args(args),
+                    interrupt=interrupt,
+                    resume_from=resume_from,
+                )
+        except (BudgetExceeded, InterruptRequested) as exc:
+            return _emit_partial(args, exc)
         if args.format == "json":
             # phase counters are always included, so an empty result still
             # says which phase emptied the machine and what survived safety
@@ -424,7 +524,11 @@ def _cmd_resilience(args: argparse.Namespace) -> int:
     budget = _budget_from_args(args)
 
     def body() -> int:
+        if args.resume and args.checkpoint is None:
+            raise ReproError("--resume requires --checkpoint FILE")
         try:
+            # the baseline derivation is not checkpointed here (a sweep's
+            # unit of resume is the cell), so its budget trips stay exit 3
             composite = compose_many(components, budget=budget)
             result = solve_quotient(
                 service, composite, int_events=int_events, budget=budget
@@ -442,17 +546,25 @@ def _cmd_resilience(args: argparse.Namespace) -> int:
             )
             return 1
         assert result.converter is not None
-        matrix = evaluate_resilience(
-            service,
-            components,
-            result.converter,
-            int_events=int_events,
-            target=target,
-            grid=grid,
-            rederive=not args.no_rederive,
-            budget=budget,
-            timeout=args.timeout,
-        )
+        interrupt = _interrupt_from_args(args)
+        try:
+            with _sigint_scope(interrupt):
+                matrix = evaluate_resilience(
+                    service,
+                    components,
+                    result.converter,
+                    int_events=int_events,
+                    target=target,
+                    grid=grid,
+                    rederive=not args.no_rederive,
+                    budget=budget,
+                    timeout=args.timeout,
+                    interrupt=interrupt,
+                    checkpoint=args.checkpoint,
+                    resume=args.resume,
+                )
+        except InterruptRequested as exc:
+            return _emit_partial(args, exc)
         if args.format == "json":
             print(json.dumps(matrix.to_json_dict(), indent=2, sort_keys=True))
         else:
@@ -591,6 +703,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(which phase emptied the machine, pairs surviving safety)",
     )
     _add_budget_arguments(p_solve)
+    _add_persist_arguments(p_solve)
     _add_obs_arguments(p_solve)
     p_solve.set_defaults(func=_cmd_solve)
 
@@ -647,6 +760,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="output format (default text)",
     )
     _add_budget_arguments(p_res)
+    _add_persist_arguments(p_res)
     _add_obs_arguments(p_res)
     p_res.set_defaults(func=_cmd_resilience)
 

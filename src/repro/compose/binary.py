@@ -33,6 +33,7 @@ from ..spec.spec import Specification, State, _state_sort_key
 
 if TYPE_CHECKING:
     # type-only: a runtime import would be circular (quotient imports compose)
+    from ..persist.interrupt import InterruptController
     from ..quotient.budget import Budget, BudgetMeter
 
 
@@ -43,6 +44,7 @@ def compose(
     name: str | None = None,
     reachable_only: bool = True,
     budget: Budget | None = None,
+    interrupt: "InterruptController | None" = None,
 ) -> Specification:
     """``left ‖ right`` per the paper's definition.
 
@@ -55,15 +57,17 @@ def compose(
     ceiling) raises :class:`~repro.errors.BudgetExceeded` with phase
     ``"compose"``.  The kernel and reference explorations materialize the
     same states, so count limits trip at the same total on both paths.
+    An *interrupt* controller cancels the exploration cooperatively at the
+    same charge boundaries (:class:`~repro.errors.InterruptRequested`);
+    compositions are not checkpointed — they are cheap relative to the
+    quotient phases and are simply redone on resume.
     """
+    from ..quotient.budget import make_meter
+
     composite_name = name if name is not None else f"({left.name}||{right.name})"
     shared = shared_events(left.alphabet, right.alphabet)
     alphabet = composition_alphabet(left.alphabet, right.alphabet)
-    meter = (
-        budget.meter("compose")
-        if budget is not None and not budget.unlimited
-        else None
-    )
+    meter = make_meter(budget, "compose", interrupt)
 
     with obs.span("compose", left=left.name, right=right.name) as sp:
         if reachable_only:

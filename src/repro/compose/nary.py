@@ -30,6 +30,7 @@ from .binary import compose
 
 if TYPE_CHECKING:
     # type-only: a runtime import would be circular (quotient imports compose)
+    from ..persist.interrupt import InterruptController
     from ..quotient.budget import Budget
 
 
@@ -49,6 +50,7 @@ def compose_many(
     flatten: bool = True,
     preflight: bool = True,
     budget: "Budget | None" = None,
+    interrupt: "InterruptController | None" = None,
 ) -> Specification:
     """Compose ``specs[0] ‖ specs[1] ‖ ... ‖ specs[k-1]``.
 
@@ -74,6 +76,9 @@ def compose_many(
         Optional :class:`~repro.quotient.budget.Budget` passed to every
         binary :func:`~repro.compose.compose` in the fold; each binary
         step gets a fresh meter, so the limits apply per step.
+    interrupt:
+        Optional :class:`~repro.persist.InterruptController` passed to
+        every binary step for cooperative cancellation.
 
     Raises
     ------
@@ -104,7 +109,11 @@ def compose_many(
         result = specs[0]
         for nxt in specs[1:]:
             result = compose(
-                result, nxt, reachable_only=reachable_only, budget=budget
+                result,
+                nxt,
+                reachable_only=reachable_only,
+                budget=budget,
+                interrupt=interrupt,
             )
         result = result.renamed(composite_name)
         if flatten:

@@ -112,6 +112,13 @@ class BudgetExceeded(ReproError):
     partial exploration statistics (including the frontier size at the
     moment of interruption) so callers can report how far the solve got and
     decide whether to retry with a larger budget.
+
+    When raised out of :func:`repro.quotient.solve_quotient`, ``checkpoint``
+    holds a :class:`repro.persist.Checkpoint` of the interrupted phase, so
+    the solve can be resumed exactly where it stopped (see
+    ``docs/robustness.md``).  ``phase_state`` is the raw (not yet
+    serialized) loop state captured at the charge that tripped; it is an
+    implementation detail of the phase/solver hand-off.
     """
 
     def __init__(
@@ -125,6 +132,8 @@ class BudgetExceeded(ReproError):
         self.phase = phase
         self.limit = limit
         self.partial = dict(partial or {})
+        self.checkpoint: Any = None
+        self.phase_state: dict | None = None
         super().__init__(message)
 
     def to_json_dict(self) -> dict:
@@ -136,6 +145,61 @@ class BudgetExceeded(ReproError):
             "partial": self.partial,
             "message": str(self),
         }
+
+
+class InterruptRequested(ReproError):
+    """A cooperative interrupt stopped a solve at a charge boundary.
+
+    Raised by :class:`~repro.quotient.budget.BudgetMeter` when an attached
+    :class:`~repro.persist.InterruptController` reports a pending SIGINT,
+    an expired ``--deadline``, or a deterministic test interrupt
+    (``at_charge``).  Interrupts only fire at work-counter boundaries —
+    after one unit of work has been fully processed — so the captured
+    state is always consistent and an interrupted-then-resumed run is
+    byte-identical to an uninterrupted one.
+
+    Like :class:`BudgetExceeded`, the solver attaches a
+    :class:`repro.persist.Checkpoint` as ``checkpoint`` before
+    re-raising.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        phase: str,
+        reason: str,
+        partial: dict | None = None,
+    ) -> None:
+        self.phase = phase
+        self.reason = reason
+        self.partial = dict(partial or {})
+        self.checkpoint: Any = None
+        self.phase_state: dict | None = None
+        super().__init__(message)
+
+    def to_json_dict(self) -> dict:
+        """Machine-readable form (the CLI's JSON error payload)."""
+        return {
+            "error": "interrupted",
+            "phase": self.phase,
+            "reason": self.reason,
+            "partial": self.partial,
+            "message": str(self),
+        }
+
+
+class PersistError(ReproError):
+    """A checkpoint could not be written, read, or trusted.
+
+    Raised by :mod:`repro.persist` for I/O failures, corrupt or truncated
+    snapshot files (content-hash mismatch), unknown schema versions, and
+    documents carrying unrecognized fields (a future writer's output must
+    not be half-understood).  A *stale* checkpoint — one whose problem
+    fingerprint does not match the supplied inputs — is reported through
+    the lint surface instead (rule ``QUOT104``), because it is a property
+    of the problem/checkpoint pairing, not of the file.
+    """
 
 
 class DeadlockError(ReproError):

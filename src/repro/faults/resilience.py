@@ -33,19 +33,34 @@ degrades into a recorded ``budget-exceeded`` note instead of a runaway.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from .. import obs
 from ..compose.binary import compose
 from ..compose.nary import compose_many
-from ..errors import BudgetExceeded, FaultModelError, ReproError
+from ..errors import (
+    BudgetExceeded,
+    FaultModelError,
+    InterruptRequested,
+    ReproError,
+)
 from ..events import is_receive, is_send, message_of
+from ..lint.engine import lint_checkpoint
+from ..persist.checkpoint import (
+    KIND_RESILIENCE,
+    Checkpoint,
+    resilience_fingerprint,
+)
+from ..persist.store import load_checkpoint, save_checkpoint
 from ..quotient.budget import Budget
 from ..quotient.solve import solve_quotient
 from ..satisfy.verify import satisfies
 from ..spec.spec import Specification
 from ..traces.core import Trace, format_trace
 from .models import FaultModel, fault_model
+
+if TYPE_CHECKING:
+    from ..persist.interrupt import InterruptController
 
 __all__ = [
     "ResilienceCell",
@@ -119,6 +134,38 @@ class ResilienceCell:
             },
             "detail": self.detail,
         }
+
+    @classmethod
+    def from_json_dict(cls, doc: dict) -> "ResilienceCell":
+        """Rebuild a cell from :meth:`to_json_dict` output.
+
+        This is what makes resilience checkpoints resumable: completed
+        cells round-trip through JSON exactly, so a resumed sweep's
+        matrix is equal to the uninterrupted one's.
+        """
+        model_doc = doc["model"]
+        fixed = doc["fixed"]
+        rederive = doc["rederive"]
+        counterexample = fixed.get("counterexample")
+        return cls(
+            model=fault_model(
+                model_doc["kind"],
+                model_doc["severity"],
+                **model_doc.get("params", {}),
+            ),
+            target=doc["target"],
+            verdict=doc["verdict"],
+            fixed_holds=fixed["holds"],
+            failure_phase=fixed.get("failure_phase"),
+            counterexample=(
+                tuple(counterexample) if counterexample is not None else None
+            ),
+            rederive_attempted=rederive["attempted"],
+            rederive_exists=rederive["exists"],
+            rederived_states=rederive["states"],
+            budget_exceeded=rederive["budget_exceeded"],
+            detail=doc.get("detail", ""),
+        )
 
 
 @dataclass(frozen=True)
@@ -239,6 +286,7 @@ def _evaluate_cell(
     int_events: Iterable[str] | None,
     rederive: bool,
     budget: Budget | None,
+    interrupt: "InterruptController | None" = None,
 ) -> ResilienceCell:
     target_name = components[target_idx].name
     try:
@@ -261,9 +309,14 @@ def _evaluate_cell(
             name=f"B'[{model.label}]",
             preflight=False,
             budget=budget,
+            interrupt=interrupt,
         )
-        impl = compose(composite_b, converter, budget=budget)
+        impl = compose(composite_b, converter, budget=budget, interrupt=interrupt)
         report = satisfies(impl, service)
+    except InterruptRequested:
+        # interruption ends the whole sweep (the caller checkpoints the
+        # completed cells); never degrade it into a per-cell verdict
+        raise
     except BudgetExceeded as exc:
         obs.add("faults.budget_exceeded", 1)
         return ResilienceCell(
@@ -325,7 +378,10 @@ def _evaluate_cell(
                 composite_b,
                 int_events=int_events,
                 budget=budget,
+                interrupt=interrupt,
             )
+        except InterruptRequested:
+            raise
         except BudgetExceeded as exc:
             obs.add("faults.budget_exceeded", 1)
             budget_info = exc.to_json_dict()
@@ -369,6 +425,39 @@ def _evaluate_cell(
     )
 
 
+def _sweep_checkpoint(
+    fingerprint: str, cells: Sequence[ResilienceCell], total: int
+) -> Checkpoint:
+    return Checkpoint(
+        kind=KIND_RESILIENCE,
+        fingerprint=fingerprint,
+        phase="sweep",
+        payload={
+            "cells": [c.to_json_dict() for c in cells],
+            "total": total,
+        },
+    )
+
+
+def _load_completed_cells(
+    checkpoint_path: str, fingerprint: str, total: int
+) -> list[ResilienceCell]:
+    """The completed cells from a sweep checkpoint, validated for resume."""
+    ckpt = load_checkpoint(checkpoint_path)
+    lint_checkpoint(
+        kind=ckpt.kind,
+        phase=ckpt.phase,
+        fingerprint=ckpt.fingerprint,
+        expected_kind=KIND_RESILIENCE,
+        expected_fingerprint=fingerprint,
+    ).raise_if_errors()
+    docs = ckpt.payload.get("cells", [])[:total]
+    cells = [ResilienceCell.from_json_dict(doc) for doc in docs]
+    obs.add("faults.resume.cells_skipped", len(cells))
+    obs.add("faults.resume.resumed", 1)
+    return cells
+
+
 def evaluate_resilience(
     service: Specification,
     components: Sequence[Specification],
@@ -380,6 +469,9 @@ def evaluate_resilience(
     rederive: bool = True,
     budget: Budget | None = None,
     timeout: str = "timeout",
+    interrupt: "InterruptController | None" = None,
+    checkpoint: str | None = None,
+    resume: bool = False,
 ) -> ResilienceMatrix:
     """Sweep *grid* over one component and judge the converter per cell.
 
@@ -406,11 +498,39 @@ def evaluate_resilience(
         Optional :class:`~repro.quotient.budget.Budget` applied to every
         composition and solve in the sweep; a tripped budget is recorded
         in the cell instead of propagating.
+    interrupt:
+        Optional :class:`~repro.persist.InterruptController`: a pending
+        SIGINT/deadline ends the sweep with
+        :class:`~repro.errors.InterruptRequested` carrying a sweep-level
+        checkpoint of the completed cells.
+    checkpoint:
+        Optional file path.  After every computed cell the sweep durably
+        snapshots its completed cells there (atomic write, previous good
+        snapshot kept as ``.prev``), so a crash — not just a cooperative
+        interrupt — loses at most the in-flight cell.
+    resume:
+        Load *checkpoint* first and skip its completed cells (counted as
+        ``faults.resume.cells_skipped``; ``faults.cells`` counts only
+        computed cells).  The resumed matrix equals the uninterrupted
+        one's cell for cell.  A checkpoint for a different system fails
+        lint rule ``QUOT104``.
     """
     target_idx = _resolve_target(components, target)
     models = tuple(grid) if grid is not None else default_grid(timeout=timeout)
 
+    fingerprint: str | None = None
+    if checkpoint is not None or resume:
+        fingerprint = resilience_fingerprint(
+            service, components, converter, models, target_idx
+        )
+
     cells: list[ResilienceCell] = []
+    if resume:
+        if checkpoint is None:
+            raise ValueError("resume=True requires a checkpoint path")
+        assert fingerprint is not None
+        cells = _load_completed_cells(checkpoint, fingerprint, len(models))
+
     with obs.span(
         "resilience",
         service=service.name,
@@ -418,11 +538,11 @@ def evaluate_resilience(
         target=components[target_idx].name,
         cells=len(models),
     ):
-        for model in models:
+        for model in models[len(cells):]:
             with obs.span("resilience.cell", model=model.label):
                 obs.add("faults.cells", 1)
-                cells.append(
-                    _evaluate_cell(
+                try:
+                    cell = _evaluate_cell(
                         service,
                         components,
                         target_idx,
@@ -431,8 +551,31 @@ def evaluate_resilience(
                         int_events=int_events,
                         rederive=rederive,
                         budget=budget,
+                        interrupt=interrupt,
                     )
-                )
+                except InterruptRequested as exc:
+                    # replace any quotient-kind checkpoint attached inside
+                    # the cell with the sweep-level view: completed cells
+                    # are the unit of resume here
+                    assert fingerprint is not None or checkpoint is None
+                    exc.checkpoint = _sweep_checkpoint(
+                        fingerprint
+                        or resilience_fingerprint(
+                            service, components, converter, models, target_idx
+                        ),
+                        cells,
+                        len(models),
+                    )
+                    if checkpoint is not None:
+                        save_checkpoint(checkpoint, exc.checkpoint)
+                    raise
+                cells.append(cell)
+                if checkpoint is not None:
+                    assert fingerprint is not None
+                    save_checkpoint(
+                        checkpoint,
+                        _sweep_checkpoint(fingerprint, cells, len(models)),
+                    )
 
     return ResilienceMatrix(
         service=service.name,

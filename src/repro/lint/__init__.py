@@ -25,6 +25,7 @@ from .diagnostics import (
     format_diagnostics,
 )
 from .engine import (
+    lint_checkpoint,
     lint_composition,
     lint_problem,
     lint_spec,
@@ -36,6 +37,7 @@ from .engine import (
 from .rules import (
     ROLE_COMPONENT,
     ROLE_SERVICE,
+    CheckpointTarget,
     CompositionTarget,
     ProblemTarget,
     Rule,
@@ -49,6 +51,7 @@ __all__ = [
     "SEVERITY_ERROR",
     "SEVERITY_INFO",
     "SEVERITY_WARNING",
+    "CheckpointTarget",
     "CompositionTarget",
     "Diagnostic",
     "LintReport",
@@ -60,6 +63,7 @@ __all__ = [
     "all_rules",
     "format_diagnostics",
     "get_rule",
+    "lint_checkpoint",
     "lint_composition",
     "lint_problem",
     "lint_spec",

@@ -27,6 +27,7 @@ from .diagnostics import Diagnostic, LintReport
 from .rules import (
     ROLE_COMPONENT,
     ROLE_SERVICE,
+    CheckpointTarget,
     CompositionTarget,
     ProblemTarget,
     Rule,
@@ -144,6 +145,39 @@ def lint_problem(
         diagnostics,
         target=f"{service.name}/{component.name}",
         rules_run=dict.fromkeys(rules_run),
+    )
+
+
+def lint_checkpoint(
+    *,
+    kind: str,
+    phase: str,
+    fingerprint: str,
+    expected_kind: str,
+    expected_fingerprint: str,
+    select: Selection = None,
+    ignore: Selection = None,
+) -> LintReport:
+    """Lint a resume attempt: does the checkpoint match the problem?
+
+    The solver calls this before trusting a loaded checkpoint; a
+    mismatched fingerprint (``QUOT104``) means the checkpoint was taken
+    for different inputs and resuming would silently compute garbage.
+    All fields are plain strings so callers outside :mod:`repro.persist`
+    (and tests) can lint synthetic checkpoints too.
+    """
+    rules = select_rules(scopes=["checkpoint"], select=select, ignore=ignore)
+    target = CheckpointTarget(
+        kind=kind,
+        phase=phase,
+        fingerprint=fingerprint,
+        expected_kind=expected_kind,
+        expected_fingerprint=expected_fingerprint,
+    )
+    return LintReport.collect(
+        _run(rules, target),
+        target=f"checkpoint:{phase}",
+        rules_run=(r.code for r in rules),
     )
 
 

@@ -28,7 +28,9 @@ A rule's ``scope`` names the target shape it understands:
 * ``"spec"`` — any :class:`SpecTarget`;
 * ``"service"`` — a :class:`SpecTarget` whose role is ``"service"``;
 * ``"composition"`` — a :class:`CompositionTarget` (parts of a ``‖``);
-* ``"problem"`` — a :class:`ProblemTarget` (a quotient instance).
+* ``"problem"`` — a :class:`ProblemTarget` (a quotient instance);
+* ``"checkpoint"`` — a :class:`CheckpointTarget` (a resume attempt
+  checked against the problem it claims to belong to, rule ``QUOT104``).
 """
 
 from __future__ import annotations
@@ -86,6 +88,22 @@ class ProblemTarget:
     @property
     def inferred_int(self) -> Alphabet:
         return self.component.alphabet - self.service.alphabet
+
+
+@dataclass(frozen=True)
+class CheckpointTarget:
+    """A resume attempt: a loaded checkpoint against the current problem.
+
+    Plain strings only (the checkpoint's identity fields and what the
+    caller expected), so the lint layer needs no import of
+    :mod:`repro.persist`.
+    """
+
+    kind: str
+    phase: str
+    fingerprint: str
+    expected_kind: str
+    expected_fingerprint: str
 
 
 @dataclass(frozen=True)
@@ -615,6 +633,35 @@ def _check_dead_converter_port(
                 event=e,
                 witness=e,
             )
+
+
+@rule(
+    "QUOT104",
+    "stale-checkpoint",
+    scope="checkpoint",
+    severity=SEVERITY_ERROR,
+    summary="a checkpoint does not belong to the problem being resumed",
+    hint="resume with the original service/component/Int (checkpoints "
+    "fingerprint their inputs), or start a fresh solve without --resume",
+)
+def _check_stale_checkpoint(
+    r: Rule, target: CheckpointTarget
+) -> Iterator[Diagnostic]:
+    if target.kind != target.expected_kind:
+        yield r.diagnostic(
+            f"checkpoint was taken by a {target.kind!r} run but is being "
+            f"resumed as {target.expected_kind!r}",
+            witness=(target.kind, target.expected_kind),
+        )
+        return
+    if target.fingerprint != target.expected_fingerprint:
+        yield r.diagnostic(
+            f"checkpoint fingerprint {target.fingerprint[:12]}… was taken "
+            f"for a different problem than the one being resumed "
+            f"({target.expected_fingerprint[:12]}…); its "
+            f"{target.phase!r}-phase state cannot be trusted here",
+            witness=(target.fingerprint, target.expected_fingerprint),
+        )
 
 
 # ----------------------------------------------------------------------

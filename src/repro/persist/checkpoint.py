@@ -1,0 +1,402 @@
+"""Checkpoint value objects, fingerprints, and phase-state codecs.
+
+A :class:`Checkpoint` is a schema-versioned, JSON-safe snapshot of a
+partially executed pipeline run, tagged with a **content fingerprint** of
+the inputs it was taken from.  The fingerprint — a SHA-256 over the
+canonical (name-insensitive) serialization of the problem — is what makes
+resume *safe*: feeding a checkpoint to a different problem is detected
+before any state is replayed (lint rule ``QUOT104``).
+
+Phase state is stored in the **reference representation**: pair sets are
+encoded with the tagged state scheme of :mod:`repro.io.json_codec`, never
+as kernel integer codes.  That makes checkpoints path-independent — a run
+interrupted on the compiled-kernel path resumes correctly on the reference
+path and vice versa, because the kernel's pair coding is a bijection that
+is re-derived from the problem on load.
+
+Two checkpoint kinds exist:
+
+``"quotient"``
+    A partially executed :func:`repro.quotient.solve_quotient`.  The
+    payload carries the safety-phase loop state (explored pair-set states,
+    the FIFO frontier, the in-progress state and its next event index,
+    transitions, work counters) and — once safety completed — the list of
+    finished progress rounds.  ``phase`` names how far the run got
+    (``"safety"`` / ``"progress"`` / ``"verify"``).
+
+``"resilience"``
+    A partially executed :func:`repro.faults.evaluate_resilience` sweep.
+    The payload carries the completed cells in grid order, so a resumed
+    sweep recomputes none of them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from ..errors import PersistError
+from ..io.json_codec import _decode_state, _encode_state, spec_to_dict
+from ..spec.spec import Specification
+
+#: Version of the checkpoint *body* schema.  Bump on incompatible layout
+#: changes; loaders reject any other version (resuming through a guessed
+#: migration would silently break byte-identical resume).
+SCHEMA_VERSION = 1
+
+KIND_QUOTIENT = "quotient"
+KIND_RESILIENCE = "resilience"
+_KINDS = (KIND_QUOTIENT, KIND_RESILIENCE)
+
+_CHECKPOINT_KEYS = frozenset(
+    {"schema", "kind", "fingerprint", "phase", "payload"}
+)
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """One durable snapshot of a partially executed run.
+
+    ``payload`` is always JSON-safe (plain dicts/lists/strings/numbers);
+    the phase-state codecs below translate between it and the live loop
+    state.  Instances round-trip exactly through
+    ``json.loads(json.dumps(ckpt.to_json_dict()))``.
+    """
+
+    kind: str
+    fingerprint: str
+    phase: str
+    payload: dict = field(default_factory=dict)
+    schema: int = SCHEMA_VERSION
+
+    def to_json_dict(self) -> dict:
+        return {
+            "schema": self.schema,
+            "kind": self.kind,
+            "fingerprint": self.fingerprint,
+            "phase": self.phase,
+            "payload": self.payload,
+        }
+
+    @classmethod
+    def from_json_dict(cls, doc: Any) -> "Checkpoint":
+        """Decode strictly: unknown fields and schemas are rejected.
+
+        A checkpoint written by a *future* version of this library may
+        carry state this version cannot replay; silently ignoring the
+        extra fields would resume from a half-understood snapshot, so any
+        surprise raises :class:`~repro.errors.PersistError` instead.
+        """
+        if not isinstance(doc, dict):
+            raise PersistError(
+                f"checkpoint body must be an object, got {type(doc).__name__}"
+            )
+        unknown = sorted(set(doc) - _CHECKPOINT_KEYS)
+        if unknown:
+            raise PersistError(
+                f"checkpoint carries unknown field(s) {unknown} — written by "
+                "a newer schema? refusing to resume from a half-understood "
+                "snapshot"
+            )
+        missing = sorted(_CHECKPOINT_KEYS - set(doc))
+        if missing:
+            raise PersistError(f"checkpoint is missing field(s) {missing}")
+        if doc["schema"] != SCHEMA_VERSION:
+            raise PersistError(
+                f"unsupported checkpoint schema {doc['schema']!r} "
+                f"(this version reads schema {SCHEMA_VERSION})"
+            )
+        if doc["kind"] not in _KINDS:
+            raise PersistError(f"unknown checkpoint kind {doc['kind']!r}")
+        if not isinstance(doc["payload"], dict):
+            raise PersistError("checkpoint payload must be an object")
+        return cls(
+            kind=doc["kind"],
+            fingerprint=str(doc["fingerprint"]),
+            phase=str(doc["phase"]),
+            payload=doc["payload"],
+            schema=int(doc["schema"]),
+        )
+
+
+# ----------------------------------------------------------------------
+# content fingerprints
+# ----------------------------------------------------------------------
+def _sha256_of(doc: Any) -> str:
+    canonical = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def spec_fingerprint(spec: Specification) -> str:
+    """SHA-256 of the canonical serialization of *spec*, name excluded.
+
+    ``Specification.__eq__`` deliberately ignores the display name, so the
+    fingerprint must too: renaming a machine does not change the problem.
+    """
+    doc = spec_to_dict(spec)
+    doc.pop("name", None)
+    return _sha256_of(doc)
+
+
+def problem_fingerprint(problem: Any) -> str:
+    """The identity of a quotient problem ``(A, B, Int)``.
+
+    *problem* is any object with ``service``, ``component``, and
+    ``interface.int_events`` (a :class:`repro.quotient.QuotientProblem`
+    or a :class:`repro.quotient.kernel.CompiledProblem`'s underlying
+    problem).
+    """
+    return _sha256_of(
+        {
+            "kind": KIND_QUOTIENT,
+            "service": spec_fingerprint(problem.service),
+            "component": spec_fingerprint(problem.component),
+            "int_events": sorted(problem.interface.int_events),
+        }
+    )
+
+
+def resilience_fingerprint(
+    service: Specification,
+    components: Sequence[Specification],
+    converter: Specification,
+    grid: Iterable[Any],
+    target_idx: int,
+) -> str:
+    """The identity of a resilience sweep: system, grid, and target."""
+    return _sha256_of(
+        {
+            "kind": KIND_RESILIENCE,
+            "service": spec_fingerprint(service),
+            "components": [spec_fingerprint(c) for c in components],
+            "converter": spec_fingerprint(converter),
+            "grid": [m.label for m in grid],
+            "target": target_idx,
+        }
+    )
+
+
+# ----------------------------------------------------------------------
+# quotient phase-state codecs
+# ----------------------------------------------------------------------
+def _encode_pairset(pairs: Any) -> Any:
+    return _encode_state(frozenset(pairs))
+
+
+def _decode_pairset(doc: Any) -> frozenset:
+    decoded = _decode_state(doc)
+    if not isinstance(decoded, frozenset):
+        raise PersistError(f"expected an encoded pair set, got {decoded!r}")
+    return decoded
+
+
+def _encode_safety_state(state: dict | None) -> dict | None:
+    """JSON-safe form of the safety-phase loop snapshot (or ``None``)."""
+    if state is None:
+        return None
+    return {
+        "start": _encode_pairset(state["start"]),
+        "current": (
+            _encode_pairset(state["current"])
+            if state["current"] is not None
+            else None
+        ),
+        "next_event": state["next_event"],
+        "states": sorted(
+            (_encode_pairset(s) for s in state["states"]),
+            key=lambda d: json.dumps(d, sort_keys=True),
+        ),
+        "worklist": [_encode_pairset(s) for s in state["worklist"]],
+        "transitions": [
+            [_encode_pairset(s), e, _encode_pairset(s2)]
+            for s, e, s2 in state["transitions"]
+        ],
+        "explored": state["explored"],
+        "rejected": state["rejected"],
+    }
+
+
+def _decode_safety_state(doc: dict | None) -> dict | None:
+    if doc is None:
+        return None
+    try:
+        return {
+            "start": _decode_pairset(doc["start"]),
+            "current": (
+                _decode_pairset(doc["current"])
+                if doc["current"] is not None
+                else None
+            ),
+            "next_event": int(doc["next_event"]),
+            "states": {_decode_pairset(s) for s in doc["states"]},
+            "worklist": [_decode_pairset(s) for s in doc["worklist"]],
+            "transitions": [
+                (_decode_pairset(s), str(e), _decode_pairset(s2))
+                for s, e, s2 in doc["transitions"]
+            ],
+            "explored": int(doc["explored"]),
+            "rejected": int(doc["rejected"]),
+        }
+    except (KeyError, TypeError, ValueError) as exc:
+        raise PersistError(f"malformed safety phase state: {exc}") from exc
+
+
+def _encode_rounds(rounds: Iterable[Any]) -> list[dict]:
+    return [
+        {
+            "round_index": r.round_index,
+            "bad_states": sorted(
+                (_encode_pairset(s) for s in r.bad_states),
+                key=lambda d: json.dumps(d, sort_keys=True),
+            ),
+            "remaining": r.remaining,
+        }
+        for r in rounds
+    ]
+
+
+def _decode_rounds(docs: Iterable[dict]) -> tuple:
+    from ..quotient.types import ProgressRound
+
+    try:
+        return tuple(
+            ProgressRound(
+                round_index=int(d["round_index"]),
+                bad_states=frozenset(
+                    _decode_pairset(s) for s in d["bad_states"]
+                ),
+                remaining=int(d["remaining"]),
+            )
+            for d in docs
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise PersistError(f"malformed progress phase state: {exc}") from exc
+
+
+def completed_safety_state(safety: Any) -> dict:
+    """The resume-state of a safety phase that ran to completion.
+
+    Feeding this to ``safety_phase(resume=...)`` replays no work (the
+    frontier is empty) and reconstructs a byte-identical
+    ``SafetyPhaseResult`` — including the work counters — which is how a
+    checkpoint taken during a *later* phase restores the earlier one.
+    """
+    spec = safety.spec
+    return {
+        "start": spec.initial,
+        "current": None,
+        "next_event": 0,
+        "states": set(spec.states),
+        "worklist": [],
+        "transitions": [tuple(t) for t in spec.external],
+        "explored": safety.explored,
+        "rejected": safety.rejected,
+    }
+
+
+def quotient_checkpoint(
+    problem: Any,
+    *,
+    phase: str,
+    safety_state: dict | None,
+    rounds: Iterable[Any] | None,
+) -> Checkpoint:
+    """Build the quotient-kind checkpoint for an interrupted solve."""
+    payload: dict = {"safety": _encode_safety_state(safety_state)}
+    if rounds is not None:
+        payload["progress"] = {"rounds": _encode_rounds(rounds)}
+    return Checkpoint(
+        kind=KIND_QUOTIENT,
+        fingerprint=problem_fingerprint(problem),
+        phase=phase,
+        payload=payload,
+    )
+
+
+def decode_quotient_payload(ckpt: Checkpoint) -> tuple[dict | None, tuple | None]:
+    """``(safety_resume, progress_resume)`` of a quotient checkpoint."""
+    if ckpt.kind != KIND_QUOTIENT:
+        raise PersistError(
+            f"checkpoint kind {ckpt.kind!r} cannot resume a quotient solve"
+        )
+    safety = _decode_safety_state(ckpt.payload.get("safety"))
+    progress = ckpt.payload.get("progress")
+    rounds = _decode_rounds(progress["rounds"]) if progress is not None else None
+    return safety, rounds
+
+
+# ----------------------------------------------------------------------
+# the anytime partial result
+# ----------------------------------------------------------------------
+def anytime_summary(ckpt: Checkpoint) -> dict:
+    """The *anytime* view of an interrupted run, as a JSON-ready dict.
+
+    Everything reported is a safe under-approximation of the completed
+    run (states already proved safe, rounds already finished, cells
+    already judged); the explicit ``"guarantees": "partial"`` marker keeps
+    it from being mistaken for a final verdict.
+    """
+    out: dict = {"guarantees": "partial", "kind": ckpt.kind, "phase": ckpt.phase}
+    if ckpt.kind == KIND_QUOTIENT:
+        safety = ckpt.payload.get("safety")
+        if safety is not None:
+            out["safety"] = {
+                "pairs_explored": safety["explored"],
+                "pairs_rejected": safety["rejected"],
+                "states_discovered": len(safety["states"]),
+                "frontier": len(safety["worklist"]),
+            }
+        progress = ckpt.payload.get("progress")
+        if progress is not None:
+            out["progress"] = {"rounds_completed": len(progress["rounds"])}
+    elif ckpt.kind == KIND_RESILIENCE:
+        cells = ckpt.payload.get("cells", [])
+        out["cells_completed"] = len(cells)
+        out["cells_total"] = ckpt.payload.get("total")
+        out["verdicts_so_far"] = _verdict_counts(cells)
+    return out
+
+
+def _verdict_counts(cells: Iterable[dict]) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for cell in cells:
+        v = cell.get("verdict", "?")
+        counts[v] = counts.get(v, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def render_anytime_text(summary: dict) -> str:
+    """The anytime summary as deterministic human-readable lines."""
+    lines = [f"guarantees: {summary['guarantees']}"]
+    lines.append(
+        f"interrupted during the {summary['phase']} phase "
+        f"of a {summary['kind']} run"
+    )
+    safety = summary.get("safety")
+    if safety is not None:
+        lines.append(
+            f"  safety so far: {safety['states_discovered']} state(s) proved "
+            f"safe, {safety['pairs_explored']} pair set(s) explored "
+            f"({safety['pairs_rejected']} rejected), "
+            f"{safety['frontier']} on the frontier"
+        )
+    progress = summary.get("progress")
+    if progress is not None:
+        lines.append(
+            f"  progress so far: {progress['rounds_completed']} round(s) "
+            "completed"
+        )
+    if "cells_completed" in summary:
+        lines.append(
+            f"  cells so far: {summary['cells_completed']}"
+            f"/{summary['cells_total']} judged"
+        )
+        verdicts = summary.get("verdicts_so_far") or {}
+        if verdicts:
+            lines.append(
+                "  verdicts so far: "
+                + ", ".join(f"{v}: {n}" for v, n in verdicts.items())
+            )
+    return "\n".join(lines)

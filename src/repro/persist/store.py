@@ -1,0 +1,156 @@
+"""Atomic, integrity-checked checkpoint files.
+
+The on-disk format wraps the checkpoint body in an envelope carrying its
+own content hash::
+
+    {"schema": 1, "sha256": "<hex of canonical body>", "body": {...}}
+
+Writes are atomic: the document goes to a temporary file *in the same
+directory* (so the final rename never crosses filesystems), is flushed
+and fsync'd, and only then renamed over the target with ``os.replace``.
+Before the rename, the previous snapshot — known good, because it passed
+the same hash check when written — is rotated to ``<path>.prev``.  A
+crash at any point therefore leaves either the old snapshot, the new
+snapshot, or (between the two renames) only ``.prev``; never a torn file
+that parses.
+
+Reads verify the hash over the canonical body serialization.  A
+truncated, bit-flipped, or otherwise corrupt file raises
+:class:`~repro.errors.PersistError` — and :func:`load_checkpoint` then
+falls back to ``.prev`` automatically, so one bad write costs at most one
+snapshot's worth of progress.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+
+from .. import obs
+from ..errors import PersistError
+from .checkpoint import Checkpoint
+
+__all__ = ["load_checkpoint", "save_checkpoint"]
+
+#: Version of the file *envelope* (independent of the body schema).
+STORE_VERSION = 1
+
+_ENVELOPE_KEYS = frozenset({"schema", "sha256", "body"})
+
+#: Suffix of the rotated previous-good snapshot.
+PREV_SUFFIX = ".prev"
+
+
+def _canonical_body(body: dict) -> bytes:
+    return json.dumps(body, sort_keys=True, separators=(",", ":")).encode(
+        "utf-8"
+    )
+
+
+def save_checkpoint(path: str, checkpoint: Checkpoint) -> str:
+    """Durably write *checkpoint* to *path*; returns the path written.
+
+    The previous snapshot (if any) survives as ``path + ".prev"`` until
+    the next successful write rotates it out.
+    """
+    body = checkpoint.to_json_dict()
+    canonical = _canonical_body(body)
+    envelope = {
+        "schema": STORE_VERSION,
+        "sha256": hashlib.sha256(canonical).hexdigest(),
+        "body": body,
+    }
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    fd, tmp_path = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(envelope, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        if os.path.exists(path):
+            os.replace(path, path + PREV_SUFFIX)
+        os.replace(tmp_path, path)
+    except OSError as exc:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise PersistError(f"cannot write checkpoint {path!r}: {exc}") from exc
+    obs.add("persist.snapshots_written", 1)
+    return path
+
+
+def _load_one(path: str) -> Checkpoint:
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            text = fh.read()
+    except FileNotFoundError as exc:
+        raise PersistError(f"no checkpoint at {path!r}") from exc
+    except OSError as exc:
+        raise PersistError(f"cannot read checkpoint {path!r}: {exc}") from exc
+    try:
+        envelope = json.loads(text)
+    except ValueError as exc:
+        raise PersistError(
+            f"checkpoint {path!r} is corrupt (not valid JSON): {exc}"
+        ) from exc
+    if not isinstance(envelope, dict):
+        raise PersistError(f"checkpoint {path!r} is not an object")
+    unknown = sorted(set(envelope) - _ENVELOPE_KEYS)
+    if unknown:
+        raise PersistError(
+            f"checkpoint {path!r} carries unknown envelope field(s) "
+            f"{unknown} — written by a newer schema?"
+        )
+    missing = sorted(_ENVELOPE_KEYS - set(envelope))
+    if missing:
+        raise PersistError(
+            f"checkpoint {path!r} is missing envelope field(s) {missing}"
+        )
+    if envelope["schema"] != STORE_VERSION:
+        raise PersistError(
+            f"checkpoint {path!r} has unsupported envelope schema "
+            f"{envelope['schema']!r} (this version reads {STORE_VERSION})"
+        )
+    body = envelope["body"]
+    if not isinstance(body, dict):
+        raise PersistError(f"checkpoint {path!r} body is not an object")
+    digest = hashlib.sha256(_canonical_body(body)).hexdigest()
+    if digest != envelope["sha256"]:
+        raise PersistError(
+            f"checkpoint {path!r} failed its integrity check "
+            f"(sha256 mismatch: file says {envelope['sha256']!r}, "
+            f"body hashes to {digest!r}) — truncated or bit-flipped write?"
+        )
+    checkpoint = Checkpoint.from_json_dict(body)
+    obs.add("persist.snapshots_loaded", 1)
+    return checkpoint
+
+
+def load_checkpoint(path: str, *, fallback: bool = True) -> Checkpoint:
+    """Load and verify the snapshot at *path*.
+
+    On corruption (or a missing primary file), falls back to the rotated
+    previous-good snapshot ``path + ".prev"`` when *fallback* is on,
+    counting ``persist.fallbacks``.  Raises
+    :class:`~repro.errors.PersistError` when neither is usable.
+    """
+    try:
+        return _load_one(path)
+    except PersistError as primary_error:
+        prev = path + PREV_SUFFIX
+        if not fallback or not os.path.exists(prev):
+            raise
+        obs.add("persist.fallbacks", 1)
+        try:
+            return _load_one(prev)
+        except PersistError as prev_error:
+            raise PersistError(
+                f"both snapshots are unusable: {primary_error}; "
+                f"fallback: {prev_error}"
+            ) from prev_error

@@ -1,6 +1,12 @@
 """The quotient algorithm (Section 4) — the paper's primary contribution."""
 
-from .budget import Budget, BudgetExceeded, BudgetMeter
+from .budget import (
+    Budget,
+    BudgetExceeded,
+    BudgetMeter,
+    InterruptRequested,
+    make_meter,
+)
 from .diagnose import (
     BlockingPair,
     FrontierState,
@@ -34,6 +40,7 @@ __all__ = [
     "BudgetExceeded",
     "BudgetMeter",
     "FrontierState",
+    "InterruptRequested",
     "NonexistenceDiagnosis",
     "Pair",
     "PairSet",
@@ -46,6 +53,7 @@ __all__ = [
     "ext_closure",
     "extend_pairs",
     "initial_pairs",
+    "make_meter",
     "merge_equivalent_states",
     "minimize_converter",
     "ok",

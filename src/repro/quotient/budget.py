@@ -30,10 +30,23 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
 
-from ..errors import BudgetExceeded
+from ..errors import BudgetExceeded, InterruptRequested
 
-__all__ = ["Budget", "BudgetExceeded", "BudgetMeter", "TIME_CHECK_INTERVAL"]
+if TYPE_CHECKING:
+    # type-only: the controller is duck-typed at runtime (``tick()``), so
+    # the budget module never imports repro.persist
+    from ..persist.interrupt import InterruptController
+
+__all__ = [
+    "Budget",
+    "BudgetExceeded",
+    "BudgetMeter",
+    "InterruptRequested",
+    "TIME_CHECK_INTERVAL",
+    "make_meter",
+]
 
 #: How many count charges pass between wall-clock checks.  Chosen so the
 #: ``time.monotonic`` call disappears from profiles while a runaway solve
@@ -105,16 +118,41 @@ class BudgetMeter:
     once per :data:`TIME_CHECK_INTERVAL` charges.  ``charge`` raises
     :class:`BudgetExceeded` with the partial statistics supplied by the
     caller at the moment the limit trips.
+
+    *interrupt* (an :class:`~repro.persist.InterruptController`, or
+    anything with its ``tick()`` protocol) hooks cooperative interruption
+    into the same boundaries: every charge ticks the controller, and a
+    pending SIGINT / deadline / deterministic test point raises
+    :class:`~repro.errors.InterruptRequested`.  *clock* is injectable so
+    wall-time behaviour is testable without real elapsed time.
     """
 
-    __slots__ = ("budget", "phase", "pairs", "states", "_started", "_ticks")
+    __slots__ = (
+        "budget",
+        "phase",
+        "pairs",
+        "states",
+        "interrupt",
+        "_clock",
+        "_started",
+        "_ticks",
+    )
 
-    def __init__(self, budget: Budget, phase: str) -> None:
+    def __init__(
+        self,
+        budget: Budget,
+        phase: str,
+        *,
+        interrupt: "InterruptController | None" = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
         self.budget = budget
         self.phase = phase
         self.pairs = 0
         self.states = 0
-        self._started = time.monotonic()
+        self.interrupt = interrupt
+        self._clock = clock
+        self._started = clock()
         # start one tick short of the interval so the very first charge
         # performs a wall-clock check: short phases (fewer charges than
         # one interval) would otherwise never see their deadline at all
@@ -122,45 +160,100 @@ class BudgetMeter:
 
     # ------------------------------------------------------------------
     def elapsed(self) -> float:
-        return time.monotonic() - self._started
+        return self._clock() - self._started
 
-    def _exceed(self, limit: str, **partial: object) -> BudgetExceeded:
-        stats: dict = {
+    def _partial(self, frontier: int) -> dict:
+        return {
             "pairs": self.pairs,
             "states": self.states,
             "elapsed_s": round(self.elapsed(), 6),
+            "frontier": frontier,
         }
-        stats.update(partial)
+
+    def _exceed(self, limit: str, *, frontier: int = 0) -> BudgetExceeded:
+        stats = self._partial(frontier)
         limits = self.budget.to_json_dict()
         return BudgetExceeded(
             f"budget exceeded in {self.phase} phase: {limit} limit "
             f"({limits[limit]!r}) hit after {self.pairs} pair(s), "
             f"{self.states} state(s), {stats['elapsed_s']}s "
-            f"(frontier {partial.get('frontier', 0)})",
+            f"(frontier {frontier})",
             phase=self.phase,
             limit=limit,
             partial=stats,
         )
 
+    def _interrupted(self, reason: str, *, frontier: int) -> InterruptRequested:
+        return InterruptRequested(
+            f"interrupted in {self.phase} phase: {reason} "
+            f"(after {self.pairs} pair(s), {self.states} state(s))",
+            phase=self.phase,
+            reason=reason,
+            partial=self._partial(frontier),
+        )
+
     def charge(
-        self, *, pairs: int = 0, states: int = 0, frontier: int = 0
+        self,
+        *,
+        pairs: int = 0,
+        states: int = 0,
+        frontier: int = 0,
+        snapshot: Callable[[], dict] | None = None,
     ) -> None:
-        """Record work and raise :class:`BudgetExceeded` on a tripped limit.
+        """Record work; raise on a tripped limit or pending interrupt.
 
         *frontier* is informational: the size of the worklist at the
         charge site, reported in the error's partial stats so callers can
-        see how much exploration was still pending.
+        see how much exploration was still pending.  *snapshot* is a
+        zero-argument callable capturing the phase's loop state; it is
+        invoked **only** when an exception is about to be raised, and its
+        result is attached as ``phase_state`` so the solver can build an
+        exact-resume checkpoint.  Charge sites place their charges *after*
+        fully processing one unit of work, so the snapshot is always
+        consistent.
         """
         budget = self.budget
         self.pairs += pairs
         self.states += states
-        if budget.max_pairs is not None and self.pairs > budget.max_pairs:
-            raise self._exceed("max_pairs", frontier=frontier)
-        if budget.max_states is not None and self.states > budget.max_states:
-            raise self._exceed("max_states", frontier=frontier)
-        if budget.wall_time_s is not None:
-            self._ticks += 1
-            if self._ticks >= TIME_CHECK_INTERVAL:
-                self._ticks = 0
-                if self.elapsed() > budget.wall_time_s:
-                    raise self._exceed("wall_time_s", frontier=frontier)
+        err: BudgetExceeded | InterruptRequested | None = None
+        if self.interrupt is not None:
+            reason = self.interrupt.tick()
+            if reason is not None:
+                err = self._interrupted(reason, frontier=frontier)
+        if err is None:
+            if budget.max_pairs is not None and self.pairs > budget.max_pairs:
+                err = self._exceed("max_pairs", frontier=frontier)
+            elif (
+                budget.max_states is not None
+                and self.states > budget.max_states
+            ):
+                err = self._exceed("max_states", frontier=frontier)
+            elif budget.wall_time_s is not None:
+                self._ticks += 1
+                if self._ticks >= TIME_CHECK_INTERVAL:
+                    self._ticks = 0
+                    if self.elapsed() > budget.wall_time_s:
+                        err = self._exceed("wall_time_s", frontier=frontier)
+        if err is not None:
+            if snapshot is not None:
+                err.phase_state = snapshot()
+            raise err
+
+
+def make_meter(
+    budget: Budget | None,
+    phase: str,
+    interrupt: "InterruptController | None" = None,
+) -> BudgetMeter | None:
+    """A meter for *phase* when anything needs charging, else ``None``.
+
+    The phases call this instead of constructing meters directly: a
+    meter is needed when a non-trivial budget is present *or* an
+    interrupt controller is attached (interruption works without any
+    budget).  The ``None`` fast path keeps unbudgeted, uninterruptible
+    runs at a single falsy check per charge site.
+    """
+    if (budget is None or budget.unlimited) and interrupt is None:
+        return None
+    return BudgetMeter(budget if budget is not None else Budget(), phase,
+                       interrupt=interrupt)

@@ -121,6 +121,17 @@ class CompiledProblem:
         a, b = pair
         return self.ca.index[a] * self.n_component + self.cb.index[b]
 
+    def fingerprint(self) -> str:
+        """The problem's checkpoint fingerprint (see :mod:`repro.persist`).
+
+        Delegates to :func:`repro.persist.problem_fingerprint` on the
+        source problem, so the compiled and labeled representations agree
+        on what identity a checkpoint is bound to.
+        """
+        from ..persist.checkpoint import problem_fingerprint
+
+        return problem_fingerprint(self.problem)
+
     # ------------------------------------------------------------------
     # the Ext-closure (h / φ saturation with the ok check)
     # ------------------------------------------------------------------
@@ -207,46 +218,90 @@ def problem_cache_clear() -> None:
 def safety_explore_kernel(
     problem: QuotientProblem,
     meter=None,
+    resume: dict | None = None,
 ) -> tuple[PairSet | None, set[PairSet], list[tuple[PairSet, str, PairSet]], int, int]:
     """The Fig. 5 exploration, returning the reference representation.
 
     Returns ``(start, states, transitions, explored, rejected)`` — exactly
     what the labeled loop in :mod:`repro.quotient.safety_phase` computes
     (``start is None`` when ``¬ok.(h.ε)``).  *meter* is an optional
-    :class:`~repro.quotient.budget.BudgetMeter`; charges land at the same
-    points as the reference loop's, so count limits trip identically.
+    :class:`~repro.quotient.budget.BudgetMeter`; the loop is flattened
+    exactly like the reference one's, with charges after each work unit,
+    so count limits and interrupts trip at identical points.  *resume* is
+    a snapshot in the reference (pair-set) representation — checkpoints
+    are path-independent — re-encoded here through the bijective
+    ``encode_pair``.
     """
     cp = compiled_problem(problem)
-    start_codes = cp.ext_closure(
-        {cp.ca.initial * cp.n_component + cp.cb.initial}
-    )
-    explored = 1
-    if meter is not None:
-        meter.charge(pairs=1)
-    if start_codes is None:
-        return None, set(), [], explored, 1
-    if meter is not None:
-        meter.charge(states=1)
-
-    start = cp.decode_pairs(start_codes)
-    decoded: dict[frozenset[int], PairSet] = {start_codes: start}
-    states: set[PairSet] = {start}
-    transitions: list[tuple[PairSet, str, PairSet]] = []
-    rejected = 0
-    seen: set[frozenset[int]] = {start_codes}
-    worklist: deque[frozenset[int]] = deque([start_codes])
     int_events = cp.int_events
-    while worklist:
-        current = worklist.popleft()
-        current_label = decoded[current]
-        for int_idx, event in enumerate(int_events):
-            candidate = cp.extend(current, int_idx)
-            explored += 1
+    n_events = len(int_events)
+    if resume is None:
+        start_codes = cp.ext_closure(
+            {cp.ca.initial * cp.n_component + cp.cb.initial}
+        )
+        if start_codes is None:
             if meter is not None:
-                meter.charge(pairs=1, frontier=len(worklist))
-            if candidate is None:
-                rejected += 1
-                continue
+                meter.charge(pairs=1)
+            return None, set(), [], 1, 1
+        start = cp.decode_pairs(start_codes)
+        explored = 1
+        rejected = 0
+        decoded: dict[frozenset[int], PairSet] = {start_codes: start}
+        states: set[PairSet] = {start}
+        transitions: list[tuple[PairSet, str, PairSet]] = []
+        seen: set[frozenset[int]] = {start_codes}
+        worklist: deque[frozenset[int]] = deque([start_codes])
+        current: frozenset[int] | None = None
+        next_event = 0
+    else:
+        def encode(label: PairSet) -> frozenset[int]:
+            return frozenset(cp.encode_pair(pair) for pair in label)
+
+        start = resume["start"]
+        explored = resume["explored"]
+        rejected = resume["rejected"]
+        states = set(resume["states"])
+        transitions = list(resume["transitions"])
+        decoded = {}
+        seen = set()
+        for label in states:
+            codes = encode(label)
+            decoded[codes] = label
+            seen.add(codes)
+        worklist = deque(encode(label) for label in resume["worklist"])
+        resumed_current = resume["current"]
+        current = None if resumed_current is None else encode(resumed_current)
+        next_event = resume["next_event"]
+
+    def snap() -> dict:
+        return {
+            "start": start,
+            "current": None if current is None else decoded[current],
+            "next_event": next_event,
+            "states": set(states),
+            "worklist": [decoded[codes] for codes in worklist],
+            "transitions": list(transitions),
+            "explored": explored,
+            "rejected": rejected,
+        }
+
+    if resume is None and meter is not None:
+        meter.charge(pairs=1, states=1, snapshot=snap)
+    while True:
+        if current is None or next_event >= n_events:
+            if not worklist:
+                break
+            current = worklist.popleft()
+            next_event = 0
+            continue
+        int_idx = next_event
+        candidate = cp.extend(current, int_idx)
+        explored += 1
+        next_event += 1
+        added = 0
+        if candidate is None:
+            rejected += 1
+        else:
             label = decoded.get(candidate)
             if label is None:
                 label = cp.decode_pairs(candidate)
@@ -255,9 +310,12 @@ def safety_explore_kernel(
                 seen.add(candidate)
                 states.add(label)
                 worklist.append(candidate)
-                if meter is not None:
-                    meter.charge(states=1, frontier=len(worklist))
-            transitions.append((current_label, event, label))
+                added = 1
+            transitions.append((decoded[current], int_events[int_idx], label))
+        if meter is not None:
+            meter.charge(
+                pairs=1, states=added, frontier=len(worklist), snapshot=snap
+            )
     return start, states, transitions, explored, rejected
 
 
@@ -375,7 +433,7 @@ def _round_tau_star(
     return {node: scc_events[scc_of[node]] for node in adjacency}
 
 
-def progress_phase_kernel(problem, c0, f, meter=None):
+def progress_phase_kernel(problem, c0, f, meter=None, resume=None):
     """The Fig. 6 loop over interned ids; see ``progress_phase``.
 
     Imports of the result types are deferred to the caller's module to keep
@@ -384,7 +442,11 @@ def progress_phase_kernel(problem, c0, f, meter=None):
     the *original* ``c0`` object when round 0 removes nothing).  *meter* is
     an optional :class:`~repro.quotient.budget.BudgetMeter`, charged one
     ``pairs`` unit per product-pair check exactly as the reference loop.
+    *resume* is a tuple of completed ``ProgressRound``s (label space, so
+    checkpoints transfer between paths); the corresponding bad states are
+    stripped from ``alive`` before the loop re-enters.
     """
+    from .progress_phase import _replay_terminal
     from .types import ProgressPhaseResult, ProgressRound
 
     cp = compiled_problem(problem)
@@ -412,6 +474,19 @@ def progress_phase_kernel(problem, c0, f, meter=None):
 
     alive = set(range(m))
     rounds: list = []
+    if resume:
+        rounds = list(resume)
+        removed: set = set()
+        for completed in rounds:
+            removed |= completed.bad_states
+        terminal = _replay_terminal(c0, rounds, removed)
+        if terminal is not None:
+            return terminal
+        alive = {ci for ci in alive if c_states[ci] not in removed}
+
+    def snap() -> dict:
+        return {"rounds": tuple(rounds)}
+
     with obs.span("progress_phase") as phase_span:
         while True:
             with obs.span("progress_round", round=len(rounds)) as round_span:
@@ -421,7 +496,9 @@ def progress_phase_kernel(problem, c0, f, meter=None):
                     for code in pairs_of[ci]:
                         needed.append((code % nb) * m + base)
                 if meter is not None:
-                    meter.charge(pairs=len(needed), frontier=len(alive))
+                    meter.charge(
+                        pairs=len(needed), frontier=len(alive), snapshot=snap
+                    )
                 with obs.span("tau_star", pairs=len(needed)):
                     offered = _round_tau_star(cp, succ_c, alive, m, needed)
 

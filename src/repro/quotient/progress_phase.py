@@ -24,14 +24,65 @@ reachability trim is applied afterwards by the solver, as presentation.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from .. import obs
 from ..events import Alphabet, Event
 from ..spec.compiled import kernel_enabled
 from ..spec.graph import sink_acceptance_sets
 from ..spec.spec import Specification, State, _state_sort_key
-from .budget import Budget
+from .budget import Budget, make_meter
 from .kernel import progress_phase_kernel
 from .types import PairSet, ProgressPhaseResult, ProgressRound, QuotientProblem
+
+if TYPE_CHECKING:
+    from ..persist.interrupt import InterruptController
+
+
+def _strip_states(c0: Specification, removed: set[State]) -> Specification:
+    """*c0* minus *removed*, rebuilt the way the round loop does.
+
+    Because the per-round filtering is monotone, removing the union of
+    all rounds' bad states in one step yields a machine equal to the one
+    the uninterrupted loop reaches iteratively — which is what makes
+    round-granular checkpoints sufficient for exact resume.
+    """
+    keep = c0.states - removed
+    return Specification(
+        c0.name,
+        keep,
+        c0.alphabet,
+        (
+            (s, e, s2)
+            for s, e, s2 in c0.external
+            if s in keep and s2 in keep
+        ),
+        (),
+        c0.initial,
+    )
+
+
+def _replay_terminal(
+    c0: Specification, rounds: list[ProgressRound], removed: set[State]
+) -> ProgressPhaseResult | None:
+    """The phase result when the resumed *rounds* already ended the loop.
+
+    A checkpoint taken after the progress phase (``phase="verify"``)
+    carries the full round history including its terminal round; resuming
+    must reproduce the recorded outcome instead of re-entering the loop
+    and appending duplicate rounds.  Returns ``None`` when the last round
+    is non-terminal (the loop should continue).
+    """
+    last = rounds[-1]
+    if not last.bad_states:
+        if len(rounds) == 1:
+            return ProgressPhaseResult(spec=c0, rounds=tuple(rounds))
+        return ProgressPhaseResult(
+            spec=_strip_states(c0, removed), rounds=tuple(rounds)
+        )
+    if c0.initial in last.bad_states or last.remaining == 0:
+        return ProgressPhaseResult(spec=None, rounds=tuple(rounds))
+    return None
 
 
 def _composite_tau_star(
@@ -185,6 +236,8 @@ def progress_phase(
     f: dict[State, PairSet],
     *,
     budget: Budget | None = None,
+    interrupt: "InterruptController | None" = None,
+    resume: "tuple[ProgressRound, ...] | None" = None,
 ) -> ProgressPhaseResult:
     """Run the Fig. 6 loop on the safety-phase machine.
 
@@ -197,14 +250,16 @@ def progress_phase(
     frontier); exceeding ``max_pairs`` or the wall-clock ceiling raises
     :class:`~repro.errors.BudgetExceeded` with phase ``"progress"``.
     Charges are identical on the kernel and reference paths.
+
+    *interrupt* raises :class:`~repro.errors.InterruptRequested` at the
+    same per-round boundaries.  Either exception's ``phase_state`` is the
+    tuple of completed rounds; passing it back as *resume* skips those
+    rounds exactly (rounds are the phase's natural work unit, and
+    removals compose monotonically — see :func:`_strip_states`).
     """
-    meter = (
-        budget.meter("progress")
-        if budget is not None and not budget.unlimited
-        else None
-    )
+    meter = make_meter(budget, "progress", interrupt)
     if kernel_enabled():
-        return progress_phase_kernel(problem, c0, f, meter)
+        return progress_phase_kernel(problem, c0, f, meter, resume=resume)
     service = problem.service
 
     accept_cache: dict[State, list[Alphabet]] = {}
@@ -216,6 +271,19 @@ def progress_phase(
 
     current = c0
     rounds: list[ProgressRound] = []
+    if resume:
+        rounds = list(resume)
+        removed: set[State] = set()
+        for completed in rounds:
+            removed |= completed.bad_states
+        terminal = _replay_terminal(c0, rounds, removed)
+        if terminal is not None:
+            return terminal
+        current = _strip_states(c0, removed)
+
+    def snap() -> dict:
+        return {"rounds": tuple(rounds)}
+
     with obs.span("progress_phase") as phase_span:
         while True:
             with obs.span("progress_round", round=len(rounds)) as round_span:
@@ -225,7 +293,11 @@ def progress_phase(
                     for a, b in sorted(f[c], key=lambda p: (_state_sort_key(p[0]), _state_sort_key(p[1]))):
                         needed.append((b, c))
                 if meter is not None:
-                    meter.charge(pairs=len(needed), frontier=len(current.states))
+                    meter.charge(
+                        pairs=len(needed),
+                        frontier=len(current.states),
+                        snapshot=snap,
+                    )
                 offered = _composite_tau_star(problem, current, needed)
 
                 bad: set[State] = set()

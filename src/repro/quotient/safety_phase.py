@@ -18,55 +18,107 @@ resulting machine — including its BFS relabeling — is reproducible.
 from __future__ import annotations
 
 from collections import deque
+from typing import TYPE_CHECKING
 
 from .. import obs
 from ..spec.compiled import kernel_enabled
 from ..spec.spec import Specification
-from .budget import Budget, BudgetMeter
+from .budget import Budget, BudgetMeter, make_meter
 from .hmap import extend_pairs, initial_pairs
 from .kernel import safety_explore_kernel
 from .types import PairSet, QuotientProblem, SafetyPhaseResult
+
+if TYPE_CHECKING:
+    from ..persist.interrupt import InterruptController
 
 
 def _explore_reference(
     problem: QuotientProblem,
     int_events: list[str],
     meter: BudgetMeter | None = None,
+    resume: dict | None = None,
 ) -> tuple[PairSet | None, set[PairSet], list[tuple[PairSet, str, PairSet]], int, int]:
-    """The labeled Fig. 5 worklist loop (reference path)."""
-    start = initial_pairs(problem)
-    explored = 1
-    if meter is not None:
-        meter.charge(pairs=1)
-    if start is None:
-        return None, set(), [], explored, 1
-    if meter is not None:
-        meter.charge(states=1)
-    states: set[PairSet] = {start}
-    transitions: list[tuple[PairSet, str, PairSet]] = []
-    rejected = 0
-    worklist: deque[PairSet] = deque([start])
-    while worklist:
-        current = worklist.popleft()
-        for event in int_events:
-            candidate = extend_pairs(problem, current, event)
-            explored += 1
+    """The labeled Fig. 5 worklist loop (reference path).
+
+    The loop is flattened — ``current`` pair set plus a ``next_event``
+    index instead of a nested for — so that every charge boundary falls
+    *between* fully-processed work units.  The local ``snap`` closure
+    captures exactly the loop state needed to continue from such a
+    boundary; *resume* is a previously captured snapshot (decoded by
+    :func:`repro.persist.decode_quotient_payload`) and continuing from it
+    yields results byte-identical to the uninterrupted run.
+    """
+    n_events = len(int_events)
+    if resume is None:
+        start = initial_pairs(problem)
+        if start is None:
             if meter is not None:
-                meter.charge(pairs=1, frontier=len(worklist))
-            if candidate is None:
-                rejected += 1
-                continue
+                meter.charge(pairs=1)
+            return None, set(), [], 1, 1
+        explored = 1
+        rejected = 0
+        states: set[PairSet] = {start}
+        transitions: list[tuple[PairSet, str, PairSet]] = []
+        worklist: deque[PairSet] = deque([start])
+        current: PairSet | None = None
+        next_event = 0
+    else:
+        start = resume["start"]
+        explored = resume["explored"]
+        rejected = resume["rejected"]
+        states = set(resume["states"])
+        transitions = list(resume["transitions"])
+        worklist = deque(resume["worklist"])
+        current = resume["current"]
+        next_event = resume["next_event"]
+
+    def snap() -> dict:
+        return {
+            "start": start,
+            "current": current,
+            "next_event": next_event,
+            "states": set(states),
+            "worklist": list(worklist),
+            "transitions": list(transitions),
+            "explored": explored,
+            "rejected": rejected,
+        }
+
+    if resume is None and meter is not None:
+        meter.charge(pairs=1, states=1, snapshot=snap)
+    while True:
+        if current is None or next_event >= n_events:
+            if not worklist:
+                break
+            current = worklist.popleft()
+            next_event = 0
+            continue
+        event = int_events[next_event]
+        candidate = extend_pairs(problem, current, event)
+        explored += 1
+        next_event += 1
+        added = 0
+        if candidate is None:
+            rejected += 1
+        else:
             if candidate not in states:
                 states.add(candidate)
                 worklist.append(candidate)
-                if meter is not None:
-                    meter.charge(states=1, frontier=len(worklist))
+                added = 1
             transitions.append((current, event, candidate))
+        if meter is not None:
+            meter.charge(
+                pairs=1, states=added, frontier=len(worklist), snapshot=snap
+            )
     return start, states, transitions, explored, rejected
 
 
 def safety_phase(
-    problem: QuotientProblem, *, budget: Budget | None = None
+    problem: QuotientProblem,
+    *,
+    budget: Budget | None = None,
+    interrupt: "InterruptController | None" = None,
+    resume: dict | None = None,
 ) -> SafetyPhaseResult:
     """Run the Fig. 5 construction, returning ``C0`` (or its nonexistence).
 
@@ -79,22 +131,25 @@ def safety_phase(
     the phase name ``"safety"``.  The kernel and reference paths charge at
     identical points, so a count-limited run trips deterministically on
     both.  A budget that is never hit leaves the result byte-identical.
+
+    *interrupt* hooks cooperative interruption (SIGINT / deadline /
+    deterministic test point) into the same charge boundaries, raising
+    :class:`~repro.errors.InterruptRequested`.  Either exception carries a
+    consistent loop snapshot in ``phase_state``; passing that snapshot
+    back as *resume* continues the exploration exactly where it stopped,
+    on either path, with byte-identical results.
     """
     int_events = sorted(problem.interface.int_events)
-    meter = (
-        budget.meter("safety")
-        if budget is not None and not budget.unlimited
-        else None
-    )
+    meter = make_meter(budget, "safety", interrupt)
 
     with obs.span("safety_phase") as sp:
         if kernel_enabled():
             start, states, transitions, explored, rejected = (
-                safety_explore_kernel(problem, meter)
+                safety_explore_kernel(problem, meter, resume=resume)
             )
         else:
             start, states, transitions, explored, rejected = _explore_reference(
-                problem, int_events, meter
+                problem, int_events, meter, resume=resume
             )
         if start is None:
             # ¬ok.(h.ε): by property P1 no specification C can be safe.

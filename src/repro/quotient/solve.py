@@ -11,12 +11,12 @@ different code path), so a returned converter is never taken on faith.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 from .. import obs
 from ..compose.binary import compose
-from ..errors import QuotientError
-from ..lint.engine import preflight_quotient
+from ..errors import BudgetExceeded, InterruptRequested, QuotientError
+from ..lint.engine import lint_checkpoint, preflight_quotient
 from ..satisfy.verify import SatisfactionReport, satisfies
 from ..spec.ops import prune_unreachable
 from ..spec.spec import Specification, State
@@ -24,6 +24,10 @@ from .budget import Budget
 from .progress_phase import progress_phase
 from .safety_phase import safety_phase
 from .types import PairSet, QuotientProblem, QuotientResult
+
+if TYPE_CHECKING:
+    from ..persist.checkpoint import Checkpoint
+    from ..persist.interrupt import InterruptController
 
 
 def _relabel_with_f(
@@ -45,6 +49,8 @@ def solve_quotient(
     verify: bool = True,
     preflight: bool = True,
     budget: Budget | None = None,
+    interrupt: "InterruptController | None" = None,
+    resume_from: "Checkpoint | None" = None,
 ) -> QuotientResult:
     """Compute the quotient ``service / component``.
 
@@ -79,6 +85,21 @@ def solve_quotient(
         interrupted phase and carrying its partial statistics.  A budget
         that is never hit leaves the result byte-identical to an
         unbudgeted run.
+    interrupt:
+        Optional :class:`~repro.persist.InterruptController`.  A pending
+        SIGINT, an expired deadline, or a deterministic test point raises
+        :class:`~repro.errors.InterruptRequested` at the next charge
+        boundary.  Both it and :class:`~repro.errors.BudgetExceeded`
+        carry a :class:`~repro.persist.Checkpoint` (``exc.checkpoint``)
+        capturing the interrupted phase's exact state.
+    resume_from:
+        A checkpoint from a previous interrupted solve of the *same*
+        problem.  The solve continues where it stopped and produces a
+        result byte-identical to an uninterrupted run.  A checkpoint
+        whose fingerprint does not match the problem raises
+        :class:`~repro.errors.LintError` (rule ``QUOT104``).  Budgets are
+        per-run: the resumed run charges fresh meters, so pass a larger
+        budget (or none) or the same limit will trip again.
 
     Returns
     -------
@@ -99,12 +120,54 @@ def solve_quotient(
             verify=verify,
             preflight=preflight,
             budget=budget,
+            interrupt=interrupt,
+            resume_from=resume_from,
         )
         sp.set(exists=result.exists)
     stats = obs.snapshot_if_recording()
     if stats is not None:
         result = replace(result, stats=stats)
     return result
+
+
+def _validate_resume(
+    problem: QuotientProblem, checkpoint: "Checkpoint"
+) -> tuple[dict | None, "tuple | None"]:
+    """Decode *checkpoint* for *problem*, rejecting stale checkpoints.
+
+    A checkpoint taken for different inputs (service, component, or Int)
+    fails the ``QUOT104`` lint with a :class:`~repro.errors.LintError`;
+    resuming from it would silently compute garbage.  Returns the decoded
+    ``(safety_resume, progress_resume)`` states.
+    """
+    from ..persist.checkpoint import (
+        decode_quotient_payload,
+        problem_fingerprint,
+    )
+
+    lint_checkpoint(
+        kind=checkpoint.kind,
+        phase=checkpoint.phase,
+        fingerprint=checkpoint.fingerprint,
+        expected_kind="quotient",
+        expected_fingerprint=problem_fingerprint(problem),
+    ).raise_if_errors()
+    return decode_quotient_payload(checkpoint)
+
+
+def _attach_checkpoint(
+    exc: BudgetExceeded | InterruptRequested,
+    problem: QuotientProblem,
+    *,
+    phase: str,
+    safety_state: dict | None,
+    rounds: "tuple | None",
+) -> None:
+    from ..persist.checkpoint import quotient_checkpoint
+
+    exc.checkpoint = quotient_checkpoint(
+        problem, phase=phase, safety_state=safety_state, rounds=rounds
+    )
 
 
 def _solve(
@@ -115,13 +178,32 @@ def _solve(
     verify: bool,
     preflight: bool,
     budget: Budget | None = None,
+    interrupt: "InterruptController | None" = None,
+    resume_from: "Checkpoint | None" = None,
 ) -> QuotientResult:
     if preflight:
         with obs.span("preflight"):
             preflight_quotient(service, component, int_events).raise_if_errors()
     problem = QuotientProblem.build(service, component, int_events)
 
-    safety = safety_phase(problem, budget=budget)
+    safety_resume: dict | None = None
+    progress_resume: "tuple | None" = None
+    if resume_from is not None:
+        safety_resume, progress_resume = _validate_resume(problem, resume_from)
+
+    try:
+        safety = safety_phase(
+            problem, budget=budget, interrupt=interrupt, resume=safety_resume
+        )
+    except (BudgetExceeded, InterruptRequested) as exc:
+        _attach_checkpoint(
+            exc,
+            problem,
+            phase="safety",
+            safety_state=exc.phase_state,
+            rounds=None,
+        )
+        raise
     if not safety.exists:
         return QuotientResult(
             problem=problem,
@@ -132,7 +214,26 @@ def _solve(
         )
     assert safety.spec is not None
 
-    progress = progress_phase(problem, safety.spec, safety.f, budget=budget)
+    from ..persist.checkpoint import completed_safety_state
+
+    try:
+        progress = progress_phase(
+            problem,
+            safety.spec,
+            safety.f,
+            budget=budget,
+            interrupt=interrupt,
+            resume=progress_resume,
+        )
+    except (BudgetExceeded, InterruptRequested) as exc:
+        _attach_checkpoint(
+            exc,
+            problem,
+            phase="progress",
+            safety_state=completed_safety_state(safety),
+            rounds=(exc.phase_state or {"rounds": ()})["rounds"],
+        )
+        raise
 
     c0_relabeled, c0_f = _relabel_with_f(safety.spec)
 
@@ -160,8 +261,21 @@ def _solve(
 
     verification: SatisfactionReport | None = None
     if verify:
-        with obs.span("verify"):
-            verification = verify_converter(problem, converter, budget=budget)
+        try:
+            with obs.span("verify"):
+                verification = verify_converter(
+                    problem, converter, budget=budget, interrupt=interrupt
+                )
+        except (BudgetExceeded, InterruptRequested) as exc:
+            # both phases are complete; a resume redoes only verification
+            _attach_checkpoint(
+                exc,
+                problem,
+                phase="verify",
+                safety_state=completed_safety_state(safety),
+                rounds=progress.rounds,
+            )
+            raise
 
     return QuotientResult(
         problem=problem,
@@ -181,6 +295,7 @@ def verify_converter(
     converter: Specification,
     *,
     budget: Budget | None = None,
+    interrupt: "InterruptController | None" = None,
 ) -> SatisfactionReport:
     """Independently check ``B ‖ converter`` satisfies the service.
 
@@ -189,9 +304,12 @@ def verify_converter(
     failure; for hand-written converters it is the answer to "is this
     converter correct?" (catch the exception or call
     :func:`repro.satisfy.satisfies` directly for a non-raising check).
-    An optional *budget* bounds the verification composition.
+    An optional *budget* bounds the verification composition; an optional
+    *interrupt* lets it be cancelled cooperatively.
     """
-    composite = compose(problem.component, converter, budget=budget)
+    composite = compose(
+        problem.component, converter, budget=budget, interrupt=interrupt
+    )
     report = satisfies(composite, problem.service)
     if not report.holds:
         raise QuotientError(

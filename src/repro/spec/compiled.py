@@ -189,6 +189,21 @@ class CompiledSpec:
             mask |= 1 << event_index[e]
         return mask
 
+    def content_hash(self) -> str:
+        """The sha256 fingerprint of the source specification (memoized).
+
+        Delegates to :func:`repro.persist.spec_fingerprint` (canonical
+        JSON form, name excluded), so a compiled spec's identity matches
+        the one recorded in checkpoints.
+        """
+        cached = self._memo.get("content_hash")
+        if cached is None:
+            from ..persist.checkpoint import spec_fingerprint
+
+            cached = spec_fingerprint(self.source)
+            self._memo["content_hash"] = cached
+        return cached  # type: ignore[return-value]
+
     # ------------------------------------------------------------------
     # memoized whole-spec analyses
     # ------------------------------------------------------------------

@@ -105,6 +105,71 @@ class TestSolve:
         assert "digraph" in capsys.readouterr().out
 
 
+class TestCheckpointFlags:
+    def _json(self, capsys):
+        import json
+
+        return json.loads(capsys.readouterr().out)
+
+    def test_budget_trip_without_checkpoint_is_exit_3(self, dsl_file, capsys):
+        code = main([
+            "solve", dsl_file, "service", "component", "--budget-pairs", "3",
+        ])
+        assert code == 3
+        assert "budget exceeded" in capsys.readouterr().out
+
+    def test_interrupted_solve_resumes_identically(
+        self, dsl_file, tmp_path, capsys
+    ):
+        ckpt = str(tmp_path / "run.ckpt")
+        code = main([
+            "solve", dsl_file, "service", "component",
+            "--budget-pairs", "3", "--checkpoint", ckpt, "--format", "json",
+        ])
+        assert code == 4  # checkpoint written
+        partial = self._json(capsys)
+        assert partial["guarantees"] == "partial"
+        assert partial["checkpoint"] == ckpt
+        assert partial["anytime"]["guarantees"] == "partial"
+
+        code = main([
+            "solve", dsl_file, "service", "component",
+            "--checkpoint", ckpt, "--resume", "--format", "json",
+        ])
+        assert code == 0
+        resumed = self._json(capsys)
+        assert main([
+            "solve", dsl_file, "service", "component", "--format", "json",
+        ]) == 0
+        assert resumed == self._json(capsys)
+
+    def test_resume_requires_checkpoint(self, dsl_file, capsys):
+        assert main(["solve", dsl_file, "service", "component", "--resume"]) == 2
+        assert "--resume requires --checkpoint" in capsys.readouterr().err
+
+    def test_stale_checkpoint_is_a_lint_error(self, dsl_file, tmp_path, capsys):
+        ckpt = str(tmp_path / "run.ckpt")
+        assert main([
+            "solve", dsl_file, "service", "component",
+            "--budget-pairs", "3", "--checkpoint", ckpt,
+        ]) == 4
+        code = main([
+            "solve", dsl_file, "service", "badcomponent",
+            "--checkpoint", ckpt, "--resume",
+        ])
+        assert code == 2
+        assert "QUOT104" in capsys.readouterr().err
+
+    def test_resilience_checkpoint_and_resume(self, dsl_file, tmp_path, capsys):
+        ckpt = str(tmp_path / "sweep.ckpt")
+        base = ["resilience", dsl_file, "service", "component",
+                "--target", "0", "--format", "json"]
+        assert main(base + ["--checkpoint", ckpt]) == 0
+        first = self._json(capsys)
+        assert main(base + ["--checkpoint", ckpt, "--resume"]) == 0
+        assert self._json(capsys) == first
+
+
 class TestDemo:
     def test_demo_colocated(self, capsys):
         assert main(["demo", "colocated"]) == 0

@@ -233,6 +233,60 @@ class TestProblemRules:
         assert not report.errors and not report.warnings
 
 
+class TestCheckpointRules:
+    def test_quot104_kind_mismatch(self):
+        from repro.lint import lint_checkpoint
+
+        report = lint_checkpoint(
+            kind="resilience",
+            phase="sweep",
+            fingerprint="a" * 64,
+            expected_kind="quotient",
+            expected_fingerprint="a" * 64,
+        )
+        [d] = only(report, "QUOT104")
+        assert d.severity == "error"
+        assert d.witness == ("resilience", "quotient")
+
+    def test_quot104_stale_fingerprint_golden(self):
+        # golden rendering: exact diagnostic text for a stale checkpoint
+        from repro.lint import lint_checkpoint
+
+        report = lint_checkpoint(
+            kind="quotient",
+            phase="safety",
+            fingerprint="deadbeef" * 8,
+            expected_kind="quotient",
+            expected_fingerprint="cafebabe" * 8,
+        )
+        [d] = only(report, "QUOT104")
+        assert d.witness == ("deadbeef" * 8, "cafebabe" * 8)
+        assert d.describe() == (
+            "error[QUOT104] checkpoint fingerprint deadbeefdead… was taken "
+            "for a different problem than the one being resumed "
+            "(cafebabecafe…); its 'safety'-phase state cannot be trusted "
+            "here\n"
+            "    hint: resume with the original service/component/Int "
+            "(checkpoints fingerprint their inputs), or start a fresh "
+            "solve without --resume"
+        )
+        with pytest.raises(LintError, match="QUOT104"):
+            report.raise_if_errors()
+
+    def test_quot104_matching_checkpoint_is_clean(self):
+        from repro.lint import lint_checkpoint
+
+        report = lint_checkpoint(
+            kind="quotient",
+            phase="progress",
+            fingerprint="f" * 64,
+            expected_kind="quotient",
+            expected_fingerprint="f" * 64,
+        )
+        assert not report.diagnostics
+        report.raise_if_errors()
+
+
 class TestPreflight:
     def test_solve_rejects_int_ext_overlap_with_spec_code(self):
         from repro.quotient import solve_quotient
@@ -309,7 +363,9 @@ class TestEngine:
         assert len({r.code for r in rules}) == len(rules)
         for r in rules:
             assert r.summary and r.hint
-            assert r.scope in {"spec", "service", "composition", "problem"}
+            assert r.scope in {
+                "spec", "service", "composition", "problem", "checkpoint"
+            }
         assert len(rules) >= 15
 
     def test_select_filters_by_prefix(self):

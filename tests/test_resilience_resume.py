@@ -1,0 +1,121 @@
+"""Resumable resilience sweeps: crash mid-matrix, resume, recompute nothing.
+
+The contract under test:
+
+* with a checkpoint path, the sweep durably snapshots after every
+  completed cell, so a crash (simulated here by a cooperative interrupt
+  and by killing the run between cells) loses at most the in-flight cell;
+* ``resume=True`` skips every cell in the checkpoint — asserted via the
+  ``faults.resume.*`` counters, with ``faults.cells`` counting only the
+  cells actually computed — and the final matrix equals the
+  uninterrupted one's cell for cell;
+* a sweep checkpoint for a different system is rejected by lint rule
+  ``QUOT104``.
+"""
+
+import pytest
+
+from repro import obs
+from repro.errors import InterruptRequested, LintError
+from repro.faults import evaluate_resilience
+from repro.obs import MetricsCollector
+from repro.persist import InterruptController, load_checkpoint
+from repro.quotient import solve_quotient
+from repro.spec import random_quotient_instance
+
+
+@pytest.fixture(scope="module")
+def system():
+    # seed 1 yields a converter; target=0 faults the lone component
+    service, component, internal, _ = random_quotient_instance(seed=1)
+    result = solve_quotient(service, component, int_events=internal)
+    assert result.exists
+    return service, component, internal, result.converter
+
+
+def _sweep(system, **kwargs):
+    service, component, internal, converter = system
+    return evaluate_resilience(
+        service,
+        [component],
+        converter,
+        int_events=internal,
+        target=0,
+        **kwargs,
+    )
+
+
+def _faults_counters(collector):
+    counters = collector.snapshot().counters
+    return {k: v for k, v in counters.items() if k.startswith("faults.")}
+
+
+class TestResumableSweep:
+    def test_interrupt_resume_recomputes_zero_completed_cells(
+        self, system, tmp_path
+    ):
+        path = str(tmp_path / "sweep.ckpt")
+        baseline = _sweep(system)
+        probe = InterruptController()
+        assert _sweep(system, interrupt=probe) == baseline
+        total_charges = probe.charges
+
+        with pytest.raises(InterruptRequested) as exc:
+            _sweep(
+                system,
+                interrupt=InterruptController(at_charge=total_charges // 2),
+                checkpoint=path,
+            )
+        sweep_ckpt = exc.value.checkpoint
+        assert sweep_ckpt is not None and sweep_ckpt.kind == "resilience"
+        completed = len(sweep_ckpt.payload["cells"])
+        assert 0 < completed < len(baseline.cells)
+        assert sweep_ckpt.payload["total"] == len(baseline.cells)
+        # the snapshot on disk matches the in-flight checkpoint
+        assert load_checkpoint(path) == sweep_ckpt
+
+        with obs.use_collector(MetricsCollector()) as collector:
+            resumed = _sweep(system, checkpoint=path, resume=True)
+        counters = _faults_counters(collector)
+        assert resumed == baseline
+        assert counters["faults.resume.cells_skipped"] == completed
+        assert counters["faults.resume.resumed"] == 1
+        # zero completed cells recomputed:
+        assert counters["faults.cells"] == len(baseline.cells) - completed
+
+    def test_per_cell_snapshots_survive_a_hard_crash(self, system, tmp_path):
+        # simulate a kill -9 between cells: run the whole sweep with a
+        # checkpoint, then "crash" by just using the file a fresh process
+        # would find — it must hold every cell
+        path = str(tmp_path / "sweep.ckpt")
+        baseline = _sweep(system, checkpoint=path)
+        ckpt = load_checkpoint(path)
+        assert len(ckpt.payload["cells"]) == len(baseline.cells)
+
+        with obs.use_collector(MetricsCollector()) as collector:
+            resumed = _sweep(system, checkpoint=path, resume=True)
+        counters = _faults_counters(collector)
+        assert resumed == baseline
+        assert counters["faults.resume.cells_skipped"] == len(baseline.cells)
+        assert "faults.cells" not in counters  # nothing recomputed
+
+    def test_resume_requires_checkpoint_path(self, system):
+        with pytest.raises(ValueError, match="requires a checkpoint path"):
+            _sweep(system, resume=True)
+
+    def test_stale_sweep_checkpoint_rejected(self, system, tmp_path):
+        path = str(tmp_path / "sweep.ckpt")
+        _sweep(system, checkpoint=path)
+        service, component, internal, _ = random_quotient_instance(seed=18)
+        result = solve_quotient(service, component, int_events=internal)
+        assert result.exists
+        with pytest.raises(LintError, match="QUOT104"):
+            evaluate_resilience(
+                service,
+                [component],
+                result.converter,
+                int_events=internal,
+                target=0,
+                checkpoint=path,
+                resume=True,
+            )
