@@ -1,0 +1,40 @@
+# A deliberately broken two-machine system for the semantic analyzer
+# (SEM2xx rules; see docs/lint.md).  Each defect is reachable only in
+# the product, so the structural SPEC0xx rules alone cannot see most of
+# them:
+#
+#   repro-converter analyze examples/broken_semantic.dsl --compose
+#
+# exits 2 with:
+#
+#   SEM203  right offers the receive event '+msg' at a reachable product
+#           state, but left (a co-owner) never enables it anywhere — an
+#           unspecified reception;
+#   SEM204  the product deadlocks after left runs 'halt' (and again after
+#           'drain' + one internal step);
+#   SEM205  left's internal cycle 3 ~> 4 ~> 3 is a reachable livelock:
+#           no exit, no external offer anywhere on the cycle;
+#   SEM206  the product state after 'drain' is doomed — every path leads
+#           into the deadlock;
+#   SEM201  right's state 2 is dead: locally reachable, never reached in
+#           any product state (the '+msg' sync can never happen);
+#   SEM202  right's '+msg' and 'reset' transitions never fire.
+
+spec left
+    initial 0
+    event +msg              # declared co-owner of '+msg', never enables it
+    0 -> 1 : start
+    1 -> 3 : fork
+    3 ~> 4                  # livelock: internal cycle, no external offers
+    4 ~> 3
+    1 -> 5 : halt           # 5 has no moves at all -> product deadlock
+    1 -> 6 : drain          # 6 ~> 7 -> deadlock; 6 itself is doomed
+    6 ~> 7
+end
+
+spec right
+    initial 0
+    0 -> 1 : start
+    1 -> 2 : +msg           # unspecified reception: left can never sync
+    2 -> 0 : reset          # dead code: state 2 is unreachable in product
+end

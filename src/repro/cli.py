@@ -6,7 +6,12 @@ Subcommands
     Parse a spec file (DSL or JSON) and render its machines.
 ``lint``
     Statically analyze specs, compositions, or a quotient problem without
-    solving; emit structured diagnostics (text, JSON, or SARIF).
+    solving; emit structured diagnostics (text, JSON, or SARIF).  With
+    ``--semantic`` the reachability-based ``SEM2xx`` pass runs too.
+``analyze``
+    The semantic analyzer on its own: build the reachable product graph
+    of specs, a composition, a quotient problem, or a built-in scenario
+    (optionally under a fault model) and report the ``SEM2xx`` findings.
 ``compose``
     Compose named specs from a file and render/export the composite.
 ``check``
@@ -26,7 +31,9 @@ parsed as the spec DSL (see :mod:`repro.io.dsl`).
 Exit codes are uniform across subcommands (see ``docs/CLI.md``): 0
 success, 1 negative verdict, 2 usage/input error, 3 budget exceeded
 without a checkpoint, 4 interrupted or budget exceeded *with* a
-checkpoint written (resume with ``--resume``).
+checkpoint written (resume with ``--resume``).  ``lint`` and ``analyze``
+exit 0 when no finding reaches the ``--fail-on`` threshold (warnings-only
+runs pass by default) and 2 when one does.
 """
 
 from __future__ import annotations
@@ -268,49 +275,259 @@ def _cmd_show(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_lint(args: argparse.Namespace) -> int:
-    from .lint import LintReport, lint_composition, lint_problem, lint_spec
+def _fail_on(args: argparse.Namespace) -> str:
+    if getattr(args, "strict", False):
+        return "warning"
+    return args.fail_on
 
-    specs = _load_specs(args.file)
-    select = args.select.split(",") if args.select else None
-    ignore = args.ignore.split(",") if args.ignore else None
 
-    if (args.service is None) != (args.component is None):
-        raise ReproError("--service and --component must be given together")
-
-    if args.service is not None and args.component is not None:
-        int_events = args.int_events.split(",") if args.int_events else None
-        report = lint_problem(
-            _pick(specs, args.service),
-            _pick(specs, args.component),
-            int_events,
-            select=select,
-            ignore=ignore,
-        )
-    else:
-        names = args.names or sorted(specs)
-        parts = [_pick(specs, name) for name in names]
-        if args.compose:
-            report = lint_composition(
-                parts, include_parts=True, select=select, ignore=ignore
-            )
-        else:
-            merged: LintReport | None = None
-            for part in parts:
-                partial = lint_spec(
-                    part, role=args.role, select=select, ignore=ignore
-                )
-                merged = partial if merged is None else merged.merged_with(partial)
-            assert merged is not None
-            report = merged
-
+def _print_report(args: argparse.Namespace, report) -> None:
     if args.format == "json":
         print(report.to_json())
     elif args.format == "sarif":
         print(report.to_sarif())
     else:
         print(report.describe())
-    return report.exit_code(strict=args.strict)
+
+
+def _emit_partial_report(
+    args: argparse.Namespace, exc: BudgetExceeded | InterruptRequested
+) -> int:
+    """Render the diagnostics collected before a budget/interrupt trip.
+
+    The partial report (``exc.partial_report``) carries every finding of
+    the sub-analyses that completed; the output is explicitly marked
+    partial.  Exit code 3 (budget) / 4 (interrupt), as elsewhere.
+    """
+    from .lint import LintReport
+
+    partial = getattr(exc, "partial_report", None)
+    if partial is None:
+        partial = LintReport.collect((), target="(semantic, partial)")
+    if args.format == "json":
+        payload = partial.to_json_dict()
+        payload["guarantees"] = "partial"
+        payload["interrupted"] = exc.to_json_dict()
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    elif args.format == "sarif":
+        print(partial.to_sarif())
+        print(f"guarantees: partial ({exc})", file=sys.stderr)
+    else:
+        print(partial.describe())
+        label = (
+            "interrupted"
+            if isinstance(exc, InterruptRequested)
+            else "budget exceeded"
+        )
+        print(f"{label}: {exc}")
+        print("guarantees: partial")
+    return 4 if isinstance(exc, InterruptRequested) else 3
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .lint import (
+        LintReport,
+        analyze_composition,
+        analyze_problem,
+        analyze_spec,
+        lint_composition,
+        lint_problem,
+        lint_spec,
+    )
+
+    specs = _load_specs(args.file)
+    select = args.select.split(",") if args.select else None
+    ignore = args.ignore.split(",") if args.ignore else None
+    budget = _budget_from_args(args)
+
+    if (args.service is None) != (args.component is None):
+        raise ReproError("--service and --component must be given together")
+
+    def body() -> int:
+        if args.service is not None and args.component is not None:
+            int_events = args.int_events.split(",") if args.int_events else None
+            service = _pick(specs, args.service)
+            component = _pick(specs, args.component)
+            report = lint_problem(
+                service, component, int_events, select=select, ignore=ignore
+            )
+            if args.semantic:
+                report = report.merged_with(
+                    analyze_problem(
+                        service,
+                        component,
+                        int_events,
+                        solve=False,
+                        budget=budget,
+                        select=select,
+                        ignore=ignore,
+                    )
+                )
+        else:
+            names = args.names or sorted(specs)
+            parts = [_pick(specs, name) for name in names]
+            if args.compose:
+                report = lint_composition(
+                    parts, include_parts=True, select=select, ignore=ignore
+                )
+                if args.semantic:
+                    report = report.merged_with(
+                        analyze_composition(
+                            parts, budget=budget, select=select, ignore=ignore
+                        )
+                    )
+            else:
+                merged: LintReport | None = None
+                for part in parts:
+                    partial = lint_spec(
+                        part, role=args.role, select=select, ignore=ignore
+                    )
+                    if args.semantic:
+                        partial = partial.merged_with(
+                            analyze_spec(
+                                part, budget=budget, select=select, ignore=ignore
+                            )
+                        )
+                    merged = (
+                        partial if merged is None else merged.merged_with(partial)
+                    )
+                assert merged is not None
+                report = merged
+
+        _print_report(args, report)
+        return report.exit_code(fail_on=_fail_on(args))
+
+    try:
+        return _run_observed(args, body)
+    except (BudgetExceeded, InterruptRequested) as exc:
+        return _emit_partial_report(args, exc)
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from .lint import (
+        LintReport,
+        analyze_composition,
+        analyze_problem,
+        analyze_spec,
+    )
+
+    select = args.select.split(",") if args.select else None
+    ignore = args.ignore.split(",") if args.ignore else None
+    budget = _budget_from_args(args)
+
+    if args.scenario is None and args.file is None:
+        raise ReproError("give a spec FILE or --scenario NAME")
+    if (args.service is None) != (args.component is None):
+        raise ReproError("--service and --component must be given together")
+
+    def body() -> int:
+        if args.scenario is not None:
+            scenario = _analyze_scenarios()[args.scenario]()
+            report = analyze_composition(
+                scenario.components, budget=budget, select=select, ignore=ignore
+            )
+            if not args.no_solve:
+                report = report.merged_with(
+                    analyze_problem(
+                        scenario.service,
+                        scenario.composite,
+                        scenario.interface.int_events,
+                        budget=budget,
+                        select=select,
+                        ignore=ignore,
+                    )
+                )
+        else:
+            specs = _apply_analyze_faults(args, _load_specs(args.file))
+            if args.service is not None:
+                int_events = (
+                    args.int_events.split(",") if args.int_events else None
+                )
+                report = analyze_problem(
+                    _pick(specs, args.service),
+                    _pick(specs, args.component),
+                    int_events,
+                    solve=not args.no_solve,
+                    budget=budget,
+                    select=select,
+                    ignore=ignore,
+                )
+            else:
+                names = args.names or sorted(specs)
+                parts = [_pick(specs, name) for name in names]
+                if args.compose and len(parts) >= 2:
+                    report = analyze_composition(
+                        parts, budget=budget, select=select, ignore=ignore
+                    )
+                else:
+                    merged: LintReport | None = None
+                    for part in parts:
+                        partial = analyze_spec(
+                            part, budget=budget, select=select, ignore=ignore
+                        )
+                        merged = (
+                            partial
+                            if merged is None
+                            else merged.merged_with(partial)
+                        )
+                    assert merged is not None
+                    report = merged
+
+        _print_report(args, report)
+        return report.exit_code(fail_on=_fail_on(args))
+
+    try:
+        return _run_observed(args, body)
+    except (BudgetExceeded, InterruptRequested) as exc:
+        return _emit_partial_report(args, exc)
+
+
+def _analyze_scenarios():
+    """The built-in conversion scenarios ``analyze --scenario`` accepts."""
+    from .protocols import (
+        ab_end_to_end,
+        colocated_scenario,
+        handshake_scenario,
+        lossy_handshake_scenario,
+        ns_end_to_end,
+        symmetric_scenario,
+        weakened_symmetric_scenario,
+    )
+
+    return {
+        "symmetric": symmetric_scenario,
+        "colocated": colocated_scenario,
+        "weakened": weakened_symmetric_scenario,
+        "ns-e2e": ns_end_to_end,
+        "ab-e2e": ab_end_to_end,
+        "handshake": handshake_scenario,
+        "lossy-handshake": lossy_handshake_scenario,
+    }
+
+
+def _apply_analyze_faults(
+    args: argparse.Namespace, specs: dict[str, Specification]
+) -> dict[str, Specification]:
+    """Apply ``--fault`` transformers to the targeted spec before analysis."""
+    if not getattr(args, "fault", None):
+        return specs
+    from .faults import apply_faults, fault_model
+
+    models = [
+        fault_model(kind, args.fault_severity)
+        for kind in args.fault.split(",")
+    ]
+    target = args.fault_target
+    if target is None:
+        candidates = args.names or sorted(specs)
+        if len(candidates) != 1:
+            raise ReproError(
+                "--fault needs --fault-target NAME when more than one "
+                "spec is analyzed"
+            )
+        target = candidates[0]
+    faulted = apply_faults(_pick(specs, target), models)
+    return {**specs, target: faulted.renamed(_pick(specs, target).name)}
 
 
 def _cmd_compose(args: argparse.Namespace) -> int:
@@ -357,6 +574,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
                     service,
                     component,
                     preflight=not args.no_preflight,
+                    deep_preflight=args.deep_preflight,
                     budget=_budget_from_args(args),
                     interrupt=interrupt,
                     resume_from=resume_from,
@@ -623,10 +841,13 @@ def build_parser() -> argparse.ArgumentParser:
             "quotient.  Rule codes are stable (SPEC0xx structure, NORM0xx "
             "normal form, COMP0xx/CONV0xx composition and channel "
             "conventions, CHAN1xx fault-model conventions, "
-            "SPEC1xx/QUOT0xx quotient preflight); see "
-            "docs/lint.md for the catalogue.  Exit code 0 means no errors "
-            "(1 with --strict if warnings), 1 means error-severity "
-            "diagnostics, 2 means the input could not be loaded."
+            "SPEC1xx/QUOT0xx quotient preflight); with --semantic the "
+            "reachability-based SEM2xx rules run too.  See docs/lint.md "
+            "for the catalogue.  Exit code 0 means no finding reached the "
+            "--fail-on threshold (warnings-only runs pass by default), 2 "
+            "means threshold findings or an unloadable input, 3 means a "
+            "--budget-* limit interrupted the semantic pass (partial "
+            "report printed)."
         ),
     )
     p_lint.add_argument("file")
@@ -666,10 +887,114 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule codes/prefixes to skip",
     )
     p_lint.add_argument(
-        "--strict", action="store_true",
-        help="exit nonzero on warnings as well as errors",
+        "--fail-on", choices=["error", "warning"], default="error",
+        help="lowest severity that makes the exit code 2 (default error: "
+        "warnings-only runs exit 0)",
     )
+    p_lint.add_argument(
+        "--strict", action="store_true",
+        help="legacy alias for --fail-on warning",
+    )
+    p_lint.add_argument(
+        "--semantic", action="store_true",
+        help="additionally run the reachability-based SEM2xx semantic "
+        "pass (explores the product graph; honors --budget-*)",
+    )
+    _add_budget_arguments(p_lint)
+    _add_obs_arguments(p_lint)
     p_lint.set_defaults(func=_cmd_lint)
+
+    p_an = sub.add_parser(
+        "analyze",
+        help="semantic analysis on the reachable product graph",
+        description=(
+            "Run the semantic analyzer (repro.lint.semantic): build the "
+            "reachable product graph with the compiled kernel and report "
+            "the SEM2xx findings — dead states (SEM201), non-executable "
+            "transitions (SEM202), unspecified receptions (SEM203), "
+            "reachable deadlocks (SEM204), livelock SCCs (SEM205), "
+            "sink-unreachable acceptance (SEM206) and, when a quotient "
+            "problem is solved, converter-coverage gaps (SEM207) and "
+            "quotient-maximality diagnostics (SEM208).  Witnesses are "
+            "shortest product-state traces.  Exit code 0 means no finding "
+            "reached the --fail-on threshold, 2 means threshold findings "
+            "or an unloadable input, 3 means a --budget-* limit "
+            "interrupted the exploration (partial report printed)."
+        ),
+    )
+    p_an.add_argument(
+        "file", nargs="?", default=None,
+        help="spec file (omit when using --scenario)",
+    )
+    p_an.add_argument(
+        "names", nargs="*",
+        help="spec names to analyze (default: all in file)",
+    )
+    p_an.add_argument(
+        "--scenario",
+        choices=[
+            "symmetric", "colocated", "weakened", "ns-e2e", "ab-e2e",
+            "handshake", "lossy-handshake",
+        ],
+        default=None,
+        help="analyze a built-in conversion scenario instead of FILE "
+        "specs (components composition plus the solved quotient problem)",
+    )
+    p_an.add_argument(
+        "--service", default=None,
+        help="analyze the quotient problem SERVICE / COMPONENT "
+        "(solves it and checks the derived converter unless --no-solve)",
+    )
+    p_an.add_argument(
+        "--component", default=None,
+        help="component (composite B) of the quotient problem",
+    )
+    p_an.add_argument(
+        "--int", dest="int_events", default=None, metavar="EV,EV,...",
+        help="declared Int events (with --service/--component)",
+    )
+    p_an.add_argument(
+        "--compose", action="store_true",
+        help="analyze the named specs as one || composition (enables "
+        "the cross-part rules SEM203/SEM204/SEM205)",
+    )
+    p_an.add_argument(
+        "--no-solve", action="store_true",
+        help="skip solving the quotient (drops SEM207/SEM208)",
+    )
+    p_an.add_argument(
+        "--fault", default=None, metavar="KIND,KIND,...",
+        help="apply these fault models (loss, duplication, reorder, "
+        "corruption, crash_restart) to one spec before analyzing",
+    )
+    p_an.add_argument(
+        "--fault-severity", type=int, default=1, metavar="N",
+        help="severity level of the applied fault models (default 1)",
+    )
+    p_an.add_argument(
+        "--fault-target", default=None, metavar="NAME",
+        help="spec the fault models transform (default: the only spec "
+        "analyzed; required when several are)",
+    )
+    p_an.add_argument(
+        "--format", choices=["text", "json", "sarif"], default="text",
+        help="output format (default text)",
+    )
+    p_an.add_argument(
+        "--select", default=None, metavar="CODES",
+        help="comma-separated rule codes/prefixes to run (e.g. SEM204)",
+    )
+    p_an.add_argument(
+        "--ignore", default=None, metavar="CODES",
+        help="comma-separated rule codes/prefixes to skip",
+    )
+    p_an.add_argument(
+        "--fail-on", choices=["error", "warning"], default="error",
+        help="lowest severity that makes the exit code 2 (default error)",
+    )
+    _add_budget_arguments(p_an)
+    _add_obs_arguments(p_an)
+    p_an.set_defaults(func=_cmd_analyze)
 
     p_compose = sub.add_parser("compose", help="compose specs with ||")
     p_compose.add_argument("file")
@@ -696,6 +1021,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_solve.add_argument(
         "--no-preflight", action="store_true",
         help="skip the static-analysis preflight (repro.lint) before solving",
+    )
+    p_solve.add_argument(
+        "--deep-preflight", action="store_true",
+        help="additionally run the semantic SEM2xx analyzer on the inputs "
+        "and refuse to solve if it finds errors (deadlocks, livelocks, "
+        "unspecified receptions)",
     )
     p_solve.add_argument(
         "--format", choices=["text", "json"], default="text",

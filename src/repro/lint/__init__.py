@@ -45,6 +45,19 @@ from .rules import (
     all_rules,
     get_rule,
 )
+from .product import ProductGraph, explore_product
+from .semantic import (
+    SEMANTIC_SCOPES,
+    ConverterTarget,
+    ResultTarget,
+    SemanticTarget,
+    analyze_composition,
+    analyze_converter,
+    analyze_problem,
+    analyze_result,
+    analyze_spec,
+    deep_preflight,
+)
 
 __all__ = [
     "SEVERITIES",
@@ -53,14 +66,26 @@ __all__ = [
     "SEVERITY_WARNING",
     "CheckpointTarget",
     "CompositionTarget",
+    "ConverterTarget",
     "Diagnostic",
     "LintReport",
     "ProblemTarget",
+    "ProductGraph",
     "ROLE_COMPONENT",
     "ROLE_SERVICE",
+    "ResultTarget",
     "Rule",
+    "SEMANTIC_SCOPES",
+    "SemanticTarget",
     "SpecTarget",
     "all_rules",
+    "analyze_composition",
+    "analyze_converter",
+    "analyze_problem",
+    "analyze_result",
+    "analyze_spec",
+    "deep_preflight",
+    "explore_product",
     "format_diagnostics",
     "get_rule",
     "lint_checkpoint",

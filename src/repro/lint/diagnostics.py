@@ -33,6 +33,70 @@ _SARIF_LEVEL = {
     SEVERITY_INFO: "note",
 }
 
+#: Base of the per-rule ``helpUri`` anchors (one anchor per rule code in
+#: the docs/lint.md catalogue).
+HELP_URI_BASE = "https://example.invalid/repro/docs/lint.md"
+
+
+def help_uri(code: str) -> str:
+    """The documentation anchor for a rule code (stable, lowercase)."""
+    return f"{HELP_URI_BASE}#{code.lower()}"
+
+
+def _sarif_rule(code: str) -> dict[str, Any]:
+    """A SARIF ``reportingDescriptor`` for one rule code.
+
+    Registered rules contribute their name, summary and default level;
+    unregistered codes (e.g. the ``QUOT10x`` diagnosis family) still get
+    an id and a help anchor.
+    """
+    entry: dict[str, Any] = {"id": code, "helpUri": help_uri(code)}
+    try:
+        from .rules import get_rule
+
+        registered = get_rule(code)
+    except KeyError:
+        return entry
+    entry["name"] = registered.name
+    entry["shortDescription"] = {"text": registered.summary}
+    entry["defaultConfiguration"] = {"level": _SARIF_LEVEL[registered.severity]}
+    return entry
+
+
+def _sarif_result(d: "Diagnostic") -> dict[str, Any]:
+    """A SARIF ``result`` for one diagnostic.
+
+    State witnesses become logical locations
+    (``fullyQualifiedName = spec::state``); product-state witnesses (dicts
+    with ``product_state``/``trace``) additionally surface the
+    counterexample trace in ``properties.trace``.
+    """
+    result: dict[str, Any] = {
+        "ruleId": d.code,
+        "level": _SARIF_LEVEL[d.severity],
+        "message": {"text": d.message},
+        "properties": {
+            "spec": d.spec_name,
+            "witness": json_safe(d.witness),
+            "hint": d.hint,
+        },
+    }
+    if d.state is not None:
+        logical: dict[str, Any] = {
+            "name": repr(d.state),
+            "kind": "state",
+        }
+        if d.spec_name:
+            logical["fullyQualifiedName"] = f"{d.spec_name}::{d.state!r}"
+        result["locations"] = [{"logicalLocations": [logical]}]
+    if isinstance(d.witness, dict) and "trace" in d.witness:
+        result["properties"]["trace"] = json_safe(d.witness["trace"])
+        if "product_state" in d.witness:
+            result["properties"]["productState"] = json_safe(
+                d.witness["product_state"]
+            )
+    return result
+
 
 def json_safe(value: Any) -> Any:
     """Encode an arbitrary witness value into JSON-stable structure.
@@ -171,12 +235,22 @@ class LintReport:
         """Distinct diagnostic codes present, sorted."""
         return tuple(sorted({d.code for d in self.diagnostics}))
 
-    def exit_code(self, *, strict: bool = False) -> int:
-        """CLI exit code: 1 for errors (or warnings under ``strict``)."""
+    def exit_code(self, *, strict: bool = False, fail_on: str = SEVERITY_ERROR) -> int:
+        """CLI exit code: 2 when findings at/above *fail_on* are present.
+
+        ``fail_on="error"`` (the default) fails only on error-severity
+        diagnostics; ``fail_on="warning"`` also fails on warnings.
+        Warnings-only runs exit 0 under the default.  ``strict=True`` is
+        the legacy spelling of ``fail_on="warning"``.
+        """
+        if fail_on not in (SEVERITY_ERROR, SEVERITY_WARNING):
+            raise ValueError(f"fail_on must be 'error' or 'warning', got {fail_on!r}")
+        if strict:
+            fail_on = SEVERITY_WARNING
         if self.errors:
-            return 1
-        if strict and self.warnings:
-            return 1
+            return 2
+        if fail_on == SEVERITY_WARNING and self.warnings:
+            return 2
         return 0
 
     def raise_if_errors(self) -> None:
@@ -225,7 +299,13 @@ class LintReport:
         return json.dumps(self.to_json_dict(), indent=indent, sort_keys=True)
 
     def to_sarif_dict(self) -> dict[str, Any]:
-        """Minimal SARIF 2.1.0 document (one run, one result per finding)."""
+        """SARIF 2.1.0 document (one run, one result per finding).
+
+        Driver rules carry ``helpUri`` anchors into ``docs/lint.md`` and
+        the registered summary; results with a state witness carry a
+        logical location, and product-state witnesses additionally expose
+        their counterexample trace under ``properties.trace``.
+        """
         rule_ids = sorted({d.code for d in self.diagnostics} | set(self.rules_run))
         return {
             "$schema": (
@@ -239,22 +319,10 @@ class LintReport:
                         "driver": {
                             "name": "repro-lint",
                             "informationUri": "https://example.invalid/repro",
-                            "rules": [{"id": rid} for rid in rule_ids],
+                            "rules": [_sarif_rule(rid) for rid in rule_ids],
                         }
                     },
-                    "results": [
-                        {
-                            "ruleId": d.code,
-                            "level": _SARIF_LEVEL[d.severity],
-                            "message": {"text": d.message},
-                            "properties": {
-                                "spec": d.spec_name,
-                                "witness": json_safe(d.witness),
-                                "hint": d.hint,
-                            },
-                        }
-                        for d in self.diagnostics
-                    ],
+                    "results": [_sarif_result(d) for d in self.diagnostics],
                 }
             ],
         }

@@ -48,6 +48,7 @@ def solve_quotient(
     int_events: Iterable[str] | None = None,
     verify: bool = True,
     preflight: bool = True,
+    deep_preflight: bool = False,
     budget: Budget | None = None,
     interrupt: "InterruptController | None" = None,
     resume_from: "Checkpoint | None" = None,
@@ -77,6 +78,15 @@ def solve_quotient(
         collected, instead of a first-failure exception from inside the
         algorithm.  Pass ``False`` to opt out (the per-check exceptions of
         :class:`~repro.quotient.types.QuotientProblem` still apply).
+    deep_preflight:
+        Additionally run the *semantic* analyzer
+        (:func:`repro.lint.semantic.deep_preflight`) over both inputs
+        before solving: reachability-level defects — a reachable deadlock
+        (``SEM204``) or livelock (``SEM205``) in the component composite —
+        raise :class:`~repro.errors.LintError` with a product-state
+        witness trace, instead of surfacing as an inexplicably empty
+        converter.  Off by default because it explores both machines'
+        full graphs; the exploration honors ``budget``.
     budget:
         Optional :class:`~repro.quotient.budget.Budget` bounding the solve.
         Each phase (safety, progress, the verification composition) gets a
@@ -119,6 +129,7 @@ def solve_quotient(
             int_events=int_events,
             verify=verify,
             preflight=preflight,
+            deep_preflight=deep_preflight,
             budget=budget,
             interrupt=interrupt,
             resume_from=resume_from,
@@ -177,6 +188,7 @@ def _solve(
     int_events: Iterable[str] | None,
     verify: bool,
     preflight: bool,
+    deep_preflight: bool = False,
     budget: Budget | None = None,
     interrupt: "InterruptController | None" = None,
     resume_from: "Checkpoint | None" = None,
@@ -184,6 +196,13 @@ def _solve(
     if preflight:
         with obs.span("preflight"):
             preflight_quotient(service, component, int_events).raise_if_errors()
+    if deep_preflight:
+        from ..lint.semantic import deep_preflight as semantic_preflight
+
+        with obs.span("deep_preflight"):
+            semantic_preflight(
+                service, component, budget=budget, interrupt=interrupt
+            ).raise_if_errors()
     problem = QuotientProblem.build(service, component, int_events)
 
     safety_resume: dict | None = None

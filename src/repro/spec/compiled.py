@@ -307,6 +307,40 @@ class CompiledSpec:
             self._memo["tau_star_masks"] = cached
         return cached  # type: ignore[return-value]
 
+    def reachable_mask(self, origin: int | None = None) -> int:
+        """States reachable from *origin* (default: initial) via ``T ∪ λ``,
+        as a state bitmask.  The default-origin mask is memoized (it backs
+        :func:`repro.spec.graph.reachable_states` and the semantic
+        analyzer's dead-state rule ``SEM201``)."""
+        if origin is None:
+            cached = self._memo.get("reachable_mask")
+            if cached is not None:
+                return cached  # type: ignore[return-value]
+            origin = self.initial
+            memoize = True
+        else:
+            memoize = False
+        seen = 1 << origin
+        stack = [origin]
+        ext_moves = self.ext_moves
+        int_succ = self.int_succ
+        while stack:
+            i = stack.pop()
+            for _eid, targets in ext_moves[i]:
+                for t in targets:
+                    bit = 1 << t
+                    if not seen & bit:
+                        seen |= bit
+                        stack.append(t)
+            for t in int_succ[i]:
+                bit = 1 << t
+                if not seen & bit:
+                    seen |= bit
+                    stack.append(t)
+        if memoize:
+            self._memo["reachable_mask"] = seen
+        return seen
+
     def sink_menu(self) -> tuple[tuple[int, int], ...]:
         """Sink sets as ``(member_mask, acceptance_event_mask)`` pairs.
 

@@ -305,6 +305,12 @@ def sink_acceptance_sets(spec: Specification, state: State) -> list[Alphabet]:
 # ----------------------------------------------------------------------
 def reachable_states(spec: Specification, origin: State | None = None) -> frozenset[State]:
     """States reachable from *origin* (default: initial) via ``T ∪ λ``."""
+    from .compiled import compiled, kernel_enabled
+
+    if kernel_enabled():
+        comp = compiled(spec)
+        start_id = None if origin is None else comp.index[origin]
+        return comp.decode_state_mask(comp.reachable_mask(start_id))
     start = spec.initial if origin is None else origin
     seen = {start}
     stack = [start]

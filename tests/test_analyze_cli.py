@@ -1,0 +1,255 @@
+"""Tests for the ``analyze`` CLI subcommand."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+ROOT = Path(__file__).resolve().parent.parent
+BROKEN = str(ROOT / "examples" / "broken_semantic.dsl")
+
+CLEAN_DSL = """
+spec service
+    initial 0
+    0 -> 1 : acc
+    1 -> 0 : del
+end
+
+spec component
+    initial 0
+    0 -> 1 : acc
+    1 -> 2 : fwd
+    2 -> 0 : del
+end
+"""
+
+
+@pytest.fixture
+def clean_file(tmp_path):
+    path = tmp_path / "clean.dsl"
+    path.write_text(CLEAN_DSL)
+    return str(path)
+
+
+class TestAnalyzeBasics:
+    def test_clean_problem_exits_zero(self, clean_file, capsys):
+        code = main(
+            [
+                "analyze", clean_file,
+                "--service", "service",
+                "--component", "component",
+                "--int", "fwd",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_broken_composition_exits_two(self, capsys):
+        assert main(["analyze", BROKEN, "--compose"]) == 2
+        out = capsys.readouterr().out
+        for code in ("SEM201", "SEM202", "SEM203", "SEM204", "SEM205", "SEM206"):
+            assert code in out
+
+    def test_each_spec_analyzed_separately_by_default(self, capsys):
+        # without --compose the cross-part rules are vacuous, but left's
+        # own livelock and deadlocks are still errors
+        assert main(["analyze", BROKEN]) == 2
+        out = capsys.readouterr().out
+        assert "SEM205" in out
+        assert "SEM203" not in out
+
+    def test_missing_file_and_scenario_is_usage_error(self, capsys):
+        assert main(["analyze"]) == 2
+        assert "FILE" in capsys.readouterr().err
+
+    def test_unreadable_file_is_usage_error(self, capsys):
+        assert main(["analyze", "/nonexistent/specs.dsl"]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+
+class TestAnalyzeScenario:
+    def test_handshake_scenario_clean(self, capsys):
+        assert main(["analyze", "--scenario", "handshake"]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_scenario_with_solve_emits_coverage(self, capsys):
+        assert main(["analyze", "--scenario", "colocated"]) == 0
+        out = capsys.readouterr().out
+        assert "SEM207" in out and "SEM208" in out
+
+    def test_no_solve_drops_coverage(self, capsys):
+        assert main(["analyze", "--scenario", "colocated", "--no-solve"]) == 0
+        out = capsys.readouterr().out
+        assert "SEM207" not in out and "SEM208" not in out
+
+
+class TestAnalyzeFormats:
+    def test_json(self, capsys):
+        assert main(["analyze", BROKEN, "--compose", "--format", "json"]) == 2
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["errors"] >= 3
+        codes = {d["code"] for d in payload["diagnostics"]}
+        assert "SEM204" in codes
+        # the witness carries the product-state counterexample trace
+        deadlock = next(
+            d for d in payload["diagnostics"] if d["code"] == "SEM204"
+        )
+        assert deadlock["witness"]["trace"]
+
+    def test_sarif(self, capsys):
+        assert main(["analyze", BROKEN, "--compose", "--format", "sarif"]) == 2
+        sarif = json.loads(capsys.readouterr().out)
+        run = sarif["runs"][0]
+        declared = {r["id"]: r for r in run["tool"]["driver"]["rules"]}
+        assert "SEM204" in declared
+        assert declared["SEM204"]["helpUri"].endswith("#sem204")
+        result = next(r for r in run["results"] if r["ruleId"] == "SEM204")
+        assert result["properties"]["trace"]
+        assert result["properties"]["productState"]
+
+    def test_select_and_ignore(self, capsys):
+        assert (
+            main(["analyze", BROKEN, "--compose", "--select", "SEM205"]) == 2
+        )
+        out = capsys.readouterr().out
+        assert "SEM205" in out and "SEM204" not in out
+        assert (
+            main(["analyze", BROKEN, "--compose", "--ignore", "SEM20"]) == 0
+        )
+
+
+class TestAnalyzeFailOn:
+    def test_warnings_only_passes_by_default(self, capsys):
+        # suppress the error-severity rules: only warnings remain
+        code = main(
+            ["analyze", BROKEN, "--compose", "--ignore", "SEM203,SEM204,SEM205"]
+        )
+        assert code == 0
+        assert "warning" in capsys.readouterr().out
+
+    def test_fail_on_warning(self):
+        code = main(
+            [
+                "analyze", BROKEN, "--compose",
+                "--ignore", "SEM203,SEM204,SEM205",
+                "--fail-on", "warning",
+            ]
+        )
+        assert code == 2
+
+
+class TestAnalyzeBudget:
+    def test_budget_trip_exits_three_with_partial_marker(self, capsys):
+        code = main(
+            ["analyze", BROKEN, "--compose", "--budget-pairs", "2"]
+        )
+        assert code == 3
+        out = capsys.readouterr().out
+        assert "guarantees: partial" in out
+
+    def test_budget_trip_json_carries_partial_report(self, capsys):
+        code = main(
+            [
+                "analyze", BROKEN, "--compose",
+                "--budget-pairs", "2", "--format", "json",
+            ]
+        )
+        assert code == 3
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["guarantees"] == "partial"
+        assert "interrupted" in payload
+
+    def test_generous_budget_identical_output(self, capsys):
+        main(["analyze", BROKEN, "--compose", "--format", "json"])
+        unbudgeted = capsys.readouterr().out
+        main(
+            [
+                "analyze", BROKEN, "--compose",
+                "--budget-pairs", "1000000", "--format", "json",
+            ]
+        )
+        assert capsys.readouterr().out == unbudgeted
+
+
+class TestAnalyzeFaults:
+    def test_fault_injection_breaks_clean_spec(self, clean_file, capsys):
+        # crash_restart adds a crash to the component; analyzing the
+        # faulted machine alone must still work end to end
+        code = main(
+            [
+                "analyze", clean_file, "component",
+                "--fault", "loss",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code in (0, 2)
+        assert "lint" in out
+
+    def test_fault_needs_target_with_many_specs(self, clean_file, capsys):
+        assert main(["analyze", clean_file, "--fault", "loss"]) == 2
+        assert "--fault-target" in capsys.readouterr().err
+
+    def test_fault_target_selects_spec(self, clean_file, capsys):
+        code = main(
+            [
+                "analyze", clean_file,
+                "--fault", "loss",
+                "--fault-target", "component",
+            ]
+        )
+        assert code in (0, 2)
+
+    def test_unknown_fault_kind_is_usage_error(self, clean_file, capsys):
+        assert (
+            main(
+                [
+                    "analyze", clean_file, "component",
+                    "--fault", "gremlins",
+                ]
+            )
+            == 2
+        )
+
+
+class TestLintSemanticFlag:
+    def test_problem_mode_with_semantic(self, clean_file, capsys):
+        code = main(
+            [
+                "lint", clean_file,
+                "--service", "service",
+                "--component", "component",
+                "--int", "fwd",
+                "--semantic",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "lint" in out
+
+    def test_compose_mode_with_semantic(self, capsys):
+        assert main(["lint", BROKEN, "--compose", "--semantic"]) == 2
+        out = capsys.readouterr().out
+        # both families in one merged report
+        assert "SEM204" in out and "CONV" in out or "SEM204" in out
+
+
+class TestSolveDeepPreflight:
+    def test_clean_problem_still_solves(self, clean_file, capsys):
+        code = main(
+            ["solve", clean_file, "service", "component", "--deep-preflight"]
+        )
+        assert code == 0
+        assert "converter" in capsys.readouterr().out
+
+    def test_semantic_errors_refuse_to_solve(self, capsys):
+        code = main(
+            ["solve", BROKEN, "right", "left",
+             "--no-preflight", "--deep-preflight"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "SEM204" in err or "SEM205" in err

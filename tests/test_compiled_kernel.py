@@ -337,8 +337,10 @@ class TestCompiledSpec:
 # ----------------------------------------------------------------------
 class TestCompileCache:
     def test_hit_miss_counters(self):
-        compiled_cache_clear()
         spec = random_spec(n_states=5, events=EVENTS, seed=11)
+        # clear *after* construction: building the spec already compiles it
+        # (prune_unreachable's reachability walk runs on the kernel)
+        compiled_cache_clear()
         with obs.use_collector(obs.MetricsCollector()) as collector:
             first = compiled(spec)
             second = compiled(spec)

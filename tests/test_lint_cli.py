@@ -46,7 +46,7 @@ class TestLintText:
         assert "0 error(s)" in out
 
     def test_broken_example_exits_nonzero(self, capsys):
-        assert main(["lint", BROKEN]) == 1
+        assert main(["lint", BROKEN]) == 2
         out = capsys.readouterr().out
         assert "SPEC001" in out
         # acceptance floor: at least 5 distinct rule codes implemented/fired
@@ -62,9 +62,25 @@ class TestLintText:
     def test_warnings_exit_zero_unless_strict(self, dsl_file, capsys):
         # "lonely" has a terminal state (warning) and unused event (info)
         assert main(["lint", dsl_file, "lonely"]) == 0
-        assert main(["lint", dsl_file, "lonely", "--strict"]) == 1
+        assert main(["lint", dsl_file, "lonely", "--strict"]) == 2
         out = capsys.readouterr().out
         assert "SPEC003" in out and "SPEC002" in out
+
+    def test_fail_on_warning_matches_strict(self, dsl_file):
+        # regression for the exit-code semantics: warnings-only runs pass
+        # by default, fail (exit 2) only when the threshold is lowered
+        assert main(["lint", dsl_file, "lonely", "--fail-on", "error"]) == 0
+        assert main(["lint", dsl_file, "lonely", "--fail-on", "warning"]) == 2
+
+    def test_infos_never_fail(self, dsl_file):
+        # SPEC002 (unused event) is info severity: below every threshold
+        assert (
+            main([
+                "lint", dsl_file, "lonely",
+                "--select", "SPEC002", "--fail-on", "warning",
+            ])
+            == 0
+        )
 
     def test_lints_all_specs_by_default(self, dsl_file, capsys):
         main(["lint", dsl_file])
@@ -73,6 +89,13 @@ class TestLintText:
 
     def test_ignore_filter(self, dsl_file, capsys):
         assert main(["lint", dsl_file, "lonely", "--ignore", "SPEC", "--strict"]) == 0
+
+    def test_semantic_flag_adds_sem_rules(self, dsl_file, capsys):
+        # "lonely" never deadlocks structurally visibly, but state 1 is
+        # terminal: the semantic pass proves the deadlock is reachable
+        assert main(["lint", dsl_file, "lonely", "--semantic"]) == 2
+        out = capsys.readouterr().out
+        assert "SEM204" in out and "SPEC003" in out
 
     def test_select_filter(self, dsl_file, capsys):
         main(["lint", dsl_file, "lonely", "--select", "SPEC002"])
@@ -94,7 +117,7 @@ class TestLintProblem:
                 "--int", "fwd,acc",
             ]
         )
-        assert code == 1
+        assert code == 2
         out = capsys.readouterr().out
         assert "SPEC101" in out and "Int ∩ Ext" in out
 
@@ -116,7 +139,7 @@ class TestLintProblem:
 
 class TestLintFormats:
     def test_json_format(self, capsys):
-        assert main(["lint", BROKEN, "--format", "json"]) == 1
+        assert main(["lint", BROKEN, "--format", "json"]) == 2
         payload = json.loads(capsys.readouterr().out)
         assert payload["version"] == 1
         assert payload["summary"]["errors"] >= 1
@@ -126,7 +149,7 @@ class TestLintFormats:
             assert {"code", "severity", "message"} <= diag.keys()
 
     def test_sarif_format(self, capsys):
-        assert main(["lint", BROKEN, "--format", "sarif"]) == 1
+        assert main(["lint", BROKEN, "--format", "sarif"]) == 2
         sarif = json.loads(capsys.readouterr().out)
         assert sarif["version"] == "2.1.0"
         run = sarif["runs"][0]
@@ -168,7 +191,7 @@ spec mixed
 end
 """
         )
-        assert main(["lint", str(path), "--role", "service"]) == 1
+        assert main(["lint", str(path), "--role", "service"]) == 2
         assert "NORM001" in capsys.readouterr().out
 
 

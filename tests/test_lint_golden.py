@@ -39,3 +39,44 @@ def test_golden_covers_acceptance_floor():
     codes = {d["code"] for d in json.loads(GOLDEN.read_text())["diagnostics"]}
     assert len(codes) >= 5
     assert {"SPEC001", "SPEC004", "SPEC005"} <= codes
+
+
+GOLDEN_SARIF = ROOT / "tests" / "golden" / "lint_broken.sarif"
+
+
+def test_sarif_matches_golden_byte_for_byte():
+    # regenerate (after a deliberate change) with:
+    #   PYTHONPATH=src python - <<'EOF'
+    #   from repro.io.json_codec import load
+    #   from repro.lint import lint_spec
+    #   report = lint_spec(load("examples/broken_spec.json"))
+    #   with open("tests/golden/lint_broken.sarif", "w") as fh:
+    #       fh.write(report.to_sarif(indent=2) + "\n")
+    #   EOF
+    report = lint_spec(load(str(BROKEN)))
+    assert report.to_sarif(indent=2) + "\n" == GOLDEN_SARIF.read_text()
+
+
+def test_sarif_rules_carry_help_uri_and_metadata():
+    sarif = json.loads(GOLDEN_SARIF.read_text())
+    driver = sarif["runs"][0]["tool"]["driver"]
+    assert driver["name"] == "repro-lint"
+    by_id = {r["id"]: r for r in driver["rules"]}
+    assert "SPEC001" in by_id
+    for rid, entry in by_id.items():
+        assert entry["helpUri"].endswith(f"docs/lint.md#{rid.lower()}")
+        # registered rules also carry their catalogue metadata
+        assert entry["name"]
+        assert entry["shortDescription"]["text"]
+        assert entry["defaultConfiguration"]["level"] in (
+            "error", "warning", "note"
+        )
+
+
+def test_sarif_results_carry_logical_locations():
+    sarif = json.loads(GOLDEN_SARIF.read_text())
+    results = sarif["runs"][0]["results"]
+    spec001 = next(r for r in results if r["ruleId"] == "SPEC001")
+    [loc] = spec001["locations"][0]["logicalLocations"]
+    assert loc["kind"] == "state"
+    assert loc["fullyQualifiedName"] == "broken::4"

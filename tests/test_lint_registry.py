@@ -1,0 +1,82 @@
+"""Self-checks of the lint rule registry against the documentation.
+
+Rule codes must be unique, every registered rule must be catalogued in
+``docs/lint.md`` with a matching ``#### CODE `name` (severity)``
+heading, and every such heading must correspond to a registered rule —
+documentation and registry cannot drift apart silently.
+"""
+
+import re
+from pathlib import Path
+
+from repro import lint  # noqa: F401 — importing registers every rule family
+from repro.lint.rules import all_rules
+
+ROOT = Path(__file__).resolve().parent.parent
+DOC = ROOT / "docs" / "lint.md"
+
+HEADING_RE = re.compile(
+    r"^#### (?P<code>[A-Z]+\d+) `(?P<name>[a-z0-9-]+)` \((?P<severity>error|warning|info)[,)]",
+    re.MULTILINE,
+)
+
+#: Diagnosis codes that legitimately appear in docs without being
+#: registry rules (produced post-solve by repro.quotient.diagnose).
+DIAGNOSIS_CODES = {"QUOT101", "QUOT102", "QUOT103"}
+
+
+def doc_headings():
+    return {
+        m.group("code"): (m.group("name"), m.group("severity"))
+        for m in HEADING_RE.finditer(DOC.read_text(encoding="utf-8"))
+    }
+
+
+def test_rule_codes_are_unique():
+    rules = all_rules()
+    codes = [r.code for r in rules]
+    assert len(codes) == len(set(codes)), "duplicate rule codes registered"
+
+
+def test_rule_names_are_unique():
+    rules = all_rules()
+    names = [r.name for r in rules]
+    assert len(names) == len(set(names)), "duplicate rule names registered"
+
+
+def test_every_registered_rule_is_documented():
+    documented = doc_headings()
+    missing = [r.code for r in all_rules() if r.code not in documented]
+    assert not missing, f"rules missing from docs/lint.md: {missing}"
+
+
+def test_documented_metadata_matches_registry():
+    documented = doc_headings()
+    for r in all_rules():
+        name, severity = documented[r.code]
+        assert name == r.name, f"{r.code}: docs say {name!r}, registry {r.name!r}"
+        assert severity == r.severity, (
+            f"{r.code}: docs say {severity!r}, registry {r.severity!r}"
+        )
+
+
+def test_every_documented_rule_is_registered():
+    registered = {r.code for r in all_rules()}
+    stray = [
+        code
+        for code in doc_headings()
+        if code not in registered and code not in DIAGNOSIS_CODES
+    ]
+    assert not stray, f"docs/lint.md documents unregistered rules: {stray}"
+
+
+def test_semantic_family_is_registered():
+    by_code = {r.code: r for r in all_rules()}
+    for code in (
+        "SEM201", "SEM202", "SEM203", "SEM204", "SEM205", "SEM206",
+        "SEM207", "SEM208",
+    ):
+        assert code in by_code, f"{code} not registered"
+    assert by_code["SEM203"].severity == "error"
+    assert by_code["SEM207"].scope == "semantic-converter"
+    assert by_code["SEM208"].scope == "semantic-result"

@@ -286,6 +286,93 @@ class TestCheckpointRules:
         assert not report.diagnostics
         report.raise_if_errors()
 
+    def test_quot104_respects_select_and_ignore(self):
+        # the checkpoint rule goes through the ordinary engine, so the
+        # severity filters apply to it like to any other rule
+        from repro.lint import lint_checkpoint
+
+        kwargs = dict(
+            kind="resilience",
+            phase="sweep",
+            fingerprint="a" * 64,
+            expected_kind="quotient",
+            expected_fingerprint="b" * 64,
+        )
+        assert lint_checkpoint(**kwargs).errors
+        ignored = lint_checkpoint(**kwargs, ignore=["QUOT104"])
+        assert not ignored.diagnostics
+        ignored.raise_if_errors()
+        selected = lint_checkpoint(**kwargs, select=["QUOT1"])
+        assert selected.errors
+
+    def test_kind_and_fingerprint_mismatch_reports_both(self):
+        from repro.lint import lint_checkpoint
+
+        report = lint_checkpoint(
+            kind="resilience",
+            phase="sweep",
+            fingerprint="a" * 64,
+            expected_kind="quotient",
+            expected_fingerprint="b" * 64,
+        )
+        witnesses = {d.witness for d in only(report, "QUOT104")}
+        assert ("resilience", "quotient") in witnesses
+
+    def test_solve_rejects_checkpoint_from_other_problem(self, tmp_path):
+        # end to end: a checkpoint captured for one problem must not
+        # resume another (same kind, different fingerprint)
+        from repro.errors import BudgetExceeded
+        from repro.persist import load_checkpoint, save_checkpoint
+        from repro.quotient import solve_quotient
+        from repro.quotient.budget import Budget
+        from repro.spec.builder import SpecBuilder
+
+        service, component = clean_pair()
+        with pytest.raises(BudgetExceeded) as exc_info:
+            solve_quotient(service, component, budget=Budget(max_pairs=1))
+        ckpt_path = str(tmp_path / "other.ckpt")
+        save_checkpoint(ckpt_path, exc_info.value.checkpoint)
+
+        other_service = (
+            SpecBuilder("A2").external(0, "x", 1).external(1, "y", 0)
+            .external(1, "x", 1).initial(0).build()
+        )
+        with pytest.raises(LintError, match="QUOT104"):
+            solve_quotient(
+                other_service,
+                component,
+                resume_from=load_checkpoint(ckpt_path),
+            )
+
+    def test_missing_checkpoint_file_is_usage_error(self, tmp_path):
+        from repro.cli import main
+
+        dsl = tmp_path / "p.dsl"
+        dsl.write_text(
+            """
+spec service
+    initial 0
+    0 -> 1 : acc
+    1 -> 0 : del
+end
+
+spec component
+    initial 0
+    0 -> 1 : acc
+    1 -> 2 : fwd
+    2 -> 0 : del
+end
+"""
+        )
+        code = main(
+            [
+                "solve", str(dsl), "service", "component",
+                "--checkpoint", str(tmp_path / "nope.ckpt"),
+                "--resume",
+            ]
+        )
+        assert code == 2
+
 
 class TestPreflight:
     def test_solve_rejects_int_ext_overlap_with_spec_code(self):
@@ -364,7 +451,8 @@ class TestEngine:
         for r in rules:
             assert r.summary and r.hint
             assert r.scope in {
-                "spec", "service", "composition", "problem", "checkpoint"
+                "spec", "service", "composition", "problem", "checkpoint",
+                "semantic", "semantic-converter", "semantic-result",
             }
         assert len(rules) >= 15
 
