@@ -185,6 +185,13 @@ def validate_bench_json(path: str) -> list[str]:
 # ----------------------------------------------------------------------
 # perf gate: deterministic work counters vs the committed baseline
 # ----------------------------------------------------------------------
+def _ensure_import_paths() -> None:
+    src = os.path.join(REPO_ROOT, "src")
+    for entry in (src, HERE):
+        if entry not in sys.path:
+            sys.path.insert(0, entry)
+
+
 def _sec7_work_counters() -> dict[str, dict[str, float]]:
     """Recompute the SEC7 *work* counters in-process (kernel on, cheap).
 
@@ -192,10 +199,7 @@ def _sec7_work_counters() -> dict[str, dict[str, float]]:
     safety phase, pairs checked by the progress phase — not wall times, so
     they are stable across machines and suitable for a CI regression gate.
     """
-    src = os.path.join(REPO_ROOT, "src")
-    for entry in (src, HERE):
-        if entry not in sys.path:
-            sys.path.insert(0, entry)
+    _ensure_import_paths()
     from bench_sec7_complexity import _relay_problem
 
     from repro import obs
@@ -236,23 +240,91 @@ def _sec7_work_counters() -> dict[str, dict[str, float]]:
     return fresh
 
 
+#: Stable ledger fingerprint of the SEC7 work-counter suite (the bench
+#: "problem" never varies, so its identity is a constant digest).
+BENCH_FINGERPRINT_SEED = b"repro-bench:SEC7"
+
+
+def bench_fingerprint() -> str:
+    import hashlib
+
+    return hashlib.sha256(BENCH_FINGERPRINT_SEED).hexdigest()
+
+
+def record_bench_run(path: str) -> int:
+    """Append one ``bench`` run record with the SEC7 work counters.
+
+    The record lands in the same run ledger the CLI's ``--ledger`` flag
+    writes, so ``repro-converter history diff`` (and :func:`perf_gate`
+    pointed at the ledger) can compare bench runs across sessions.
+    """
+    _ensure_import_paths()
+    from repro.obs.ledger import append_run, flatten_work
+
+    counters = _sec7_work_counters()
+    record = append_run(
+        path,
+        kind="bench",
+        fingerprint=bench_fingerprint(),
+        label="SEC7 work counters",
+        work=flatten_work(counters),
+        phases=counters,
+    )
+    print(f"ledger: recorded bench run {record.run_id} in {path}")
+    return record.run_id
+
+
+def _ledger_baseline(path: str) -> tuple[dict | None, list[str]]:
+    """The newest bench record's counters, nested exp → counter → value."""
+    _ensure_import_paths()
+    from repro.obs.ledger import Ledger
+
+    records = [r for r in Ledger(path).read() if r.kind == "bench"]
+    if not records:
+        return None, [f"ledger {path!r} has no bench records to gate against"]
+    nested: dict[str, dict[str, float]] = {}
+    for key, value in records[-1].work.items():
+        exp_id, _, counter = key.partition(".")
+        nested.setdefault(exp_id, {})[counter] = value
+    return nested, []
+
+
+def _is_ledger_file(payload: object) -> bool:
+    return (
+        isinstance(payload, dict)
+        and isinstance(payload.get("body"), dict)
+        and payload["body"].get("kind") == "ledger"
+    )
+
+
 def perf_gate(path: str) -> list[str]:
     """Regressions of the deterministic SEC7 work counters ([] when clean).
 
-    Fails when a fresh counter *exceeds* its committed baseline in *path*
-    (the algorithm started doing more work); a fresh counter below the
-    baseline is an improvement and only asks for a baseline refresh.
+    *path* is either a committed ``BENCH_quotient.json`` or a run ledger
+    (the envelope is auto-detected); with a ledger, the newest ``bench``
+    record is the baseline.  Fails when a fresh counter *exceeds* its
+    baseline (the algorithm started doing more work); a fresh counter
+    below the baseline is an improvement and only asks for a refresh.
     """
     try:
         with open(path, "r", encoding="utf-8") as fh:
             payload = json.load(fh)
     except (OSError, ValueError) as exc:
         return [f"cannot read baseline {path!r}: {exc}"]
-    committed = payload.get("experiments", {})
     problems: list[str] = []
+    if _is_ledger_file(payload):
+        baseline_by_exp, problems = _ledger_baseline(path)
+        if baseline_by_exp is None:
+            return problems
+    else:
+        committed = payload.get("experiments", {})
+        baseline_by_exp = {
+            exp_id: entry.get("metrics")
+            for exp_id, entry in committed.items()
+            if isinstance(entry, dict)
+        }
     for exp_id, counters in sorted(_sec7_work_counters().items()):
-        entry = committed.get(exp_id)
-        base = entry.get("metrics") if isinstance(entry, dict) else None
+        base = baseline_by_exp.get(exp_id)
         if not isinstance(base, dict):
             problems.append(f"{exp_id}: no committed baseline in {path}")
             continue
@@ -343,10 +415,21 @@ def main(argv: list[str] | None = None) -> int:
         "--perf-gate", nargs="?", const=BENCH_JSON, default=None,
         metavar="FILE",
         help="recompute the deterministic SEC7 work counters and fail if "
-        "any exceeds its baseline in FILE (default: the committed "
-        "BENCH_quotient.json); wall times are never compared",
+        "any exceeds its baseline in FILE — a committed "
+        "BENCH_quotient.json or a run ledger (newest bench record); "
+        "wall times are never compared",
+    )
+    parser.add_argument(
+        "--ledger", metavar="FILE", default=None,
+        help="append the SEC7 work counters as one 'bench' record to this "
+        "run ledger (inspect with: repro-converter history)",
     )
     args = parser.parse_args(argv)
+
+    if args.ledger is not None:
+        record_bench_run(args.ledger)
+        if not (args.check or args.smoke or args.validate or args.perf_gate):
+            return 0
 
     if args.perf_gate is not None:
         problems = perf_gate(args.perf_gate)

@@ -22,6 +22,11 @@ Subcommands
     Sweep a grid of fault models over a conversion system and report,
     per cell, whether the derived converter survives (see
     ``docs/robustness.md``).
+``history``
+    Inspect the run ledger written by ``--ledger``: list/show recorded
+    runs, diff the deterministic work counters of two runs of the same
+    problem (non-zero exit on regression), and garbage-collect old
+    records.
 ``demo``
     Run the paper's Section 5 scenarios end to end.
 
@@ -39,8 +44,11 @@ runs pass by default) and 2 when one does.
 from __future__ import annotations
 
 import argparse
+import contextlib
+import hashlib
 import json
 import sys
+import time
 from typing import Callable
 
 from . import obs
@@ -107,28 +115,46 @@ def _wants_observation(args: argparse.Namespace) -> bool:
 
 def _run_observed(args: argparse.Namespace, body: Callable[[], int]) -> int:
     """Run *body* under a recording collector when any obs flag is set,
-    then export as requested (exports go after the command's own output)."""
+    then export as requested (exports go after the command's own output).
+
+    Exports also run when *body* raises — a budget trip or interrupt
+    propagating out of ``lint``/``analyze`` must not lose the partial
+    trace/metrics (those runs are precisely the ones worth inspecting).
+    """
     if not _wants_observation(args):
         return body()
     collector = obs.MetricsCollector()
-    with obs.use_collector(collector):
-        code = body()
-    snapshot = collector.snapshot()
-    if args.trace:
-        try:
-            obs.write_chrome_trace(snapshot, args.trace)
-        except OSError as exc:
-            raise ReproError(f"cannot write trace {args.trace!r}: {exc}") from exc
-        print(f"trace written to {args.trace}", file=sys.stderr)
-    if args.profile:
-        print()
-        print(snapshot.render_text())
-    if args.metrics == "text":
-        print()
-        print(snapshot.render_metrics_text())
-    elif args.metrics == "json":
-        print(snapshot.to_json())
-    return code
+    try:
+        with obs.use_collector(collector):
+            return body()
+    finally:
+        in_flight = sys.exc_info()[0] is not None
+        snapshot = collector.snapshot()
+        if args.trace:
+            try:
+                obs.write_chrome_trace(snapshot, args.trace)
+            except OSError as exc:
+                if in_flight:
+                    # don't mask the partial-exit exception with an
+                    # export failure; the trace is best-effort here
+                    print(
+                        f"warning: cannot write trace {args.trace!r}: {exc}",
+                        file=sys.stderr,
+                    )
+                else:
+                    raise ReproError(
+                        f"cannot write trace {args.trace!r}: {exc}"
+                    ) from exc
+            else:
+                print(f"trace written to {args.trace}", file=sys.stderr)
+        if args.profile:
+            print()
+            print(snapshot.render_text())
+        if args.metrics == "text":
+            print()
+            print(snapshot.render_metrics_text())
+        elif args.metrics == "json":
+            print(snapshot.to_json())
 
 
 # ----------------------------------------------------------------------
@@ -207,8 +233,6 @@ def _interrupt_from_args(args: argparse.Namespace):
 
 def _sigint_scope(interrupt):
     if interrupt is None:
-        import contextlib
-
         return contextlib.nullcontext()
     return interrupt.install_sigint()
 
@@ -260,6 +284,148 @@ def _emit_partial(
         if written is not None:
             print(f"checkpoint written to {written} (continue with --resume)")
     return 4 if written is not None or isinstance(exc, InterruptRequested) else 3
+
+
+# ----------------------------------------------------------------------
+# flight recorder: live progress streaming + the run ledger (solve /
+# resilience / analyze; see docs/observability.md)
+# ----------------------------------------------------------------------
+def _add_recorder_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("flight recorder")
+    group.add_argument(
+        "--progress", action="store_true",
+        help="stream a one-line live status to stderr while phases run "
+        "(heartbeats from the budget-charge boundaries; solver output is "
+        "byte-identical with or without this flag)",
+    )
+    group.add_argument(
+        "--progress-json", metavar="FILE", default=None,
+        help="stream heartbeat events as JSON lines to FILE ('-' for "
+        "stderr); schema in docs/observability.md",
+    )
+    group.add_argument(
+        "--ledger", metavar="FILE", default=None,
+        help="append one run record (problem fingerprint, deterministic "
+        "work counters, verdict, outcome) to this ledger file; inspect "
+        "and regression-diff with the 'history' subcommand",
+    )
+
+
+@contextlib.contextmanager
+def _progress_scope(args: argparse.Namespace, budget):
+    """Install a :class:`~repro.obs.ProgressReporter` when requested.
+
+    Yields the reporter (or ``None`` when no progress flag is set).  The
+    terminal ``done`` event is emitted on scope exit: ``complete`` on a
+    clean exit, ``partial-budget`` / ``partial-interrupt`` when the
+    corresponding exception propagates out.  ``finish()`` is idempotent,
+    so bodies may also report a specific outcome on early-return paths
+    (e.g. a baseline budget trip handled inside the scope).
+    """
+    wants_human = getattr(args, "progress", False)
+    json_path = getattr(args, "progress_json", None)
+    if not wants_human and json_path is None:
+        yield None
+        return
+    with contextlib.ExitStack() as stack:
+        if json_path is None:
+            jsonl = None
+        elif json_path == "-":
+            jsonl = sys.stderr
+        else:
+            try:
+                jsonl = stack.enter_context(
+                    open(json_path, "w", encoding="utf-8")
+                )
+            except OSError as exc:
+                raise ReproError(
+                    f"cannot open progress stream {json_path!r}: {exc}"
+                ) from exc
+        reporter = obs.ProgressReporter(
+            jsonl=jsonl,
+            human=sys.stderr if wants_human else None,
+            limits=budget.to_json_dict() if budget is not None else None,
+        )
+        with obs.use_reporter(reporter):
+            try:
+                yield reporter
+            except BudgetExceeded:
+                reporter.finish("partial-budget")
+                raise
+            except InterruptRequested:
+                reporter.finish("partial-interrupt")
+                raise
+        reporter.finish("complete")
+
+
+def _ledger_append(
+    args: argparse.Namespace,
+    *,
+    kind: str,
+    fingerprint: str,
+    label: str = "",
+    outcome: str = "complete",
+    verdict: str | None = None,
+    counters: dict | None = None,
+    wall_time_s: float | None = None,
+    artifacts: dict | None = None,
+) -> None:
+    """Record one run in the ``--ledger`` file (no-op when unset).
+
+    *counters* is the run's nested deterministic counter structure; it is
+    flattened into the diffable ``work`` map (wall times dropped) and also
+    stored verbatim as ``phases``.
+    """
+    path = getattr(args, "ledger", None)
+    if path is None:
+        return
+    from .obs.ledger import append_run, flatten_work
+
+    record = append_run(
+        path,
+        kind=kind,
+        fingerprint=fingerprint,
+        label=label,
+        outcome=outcome,
+        verdict=verdict,
+        work=flatten_work(counters or {}),
+        phases=counters or {},
+        wall_time_s=(
+            round(wall_time_s, 6) if wall_time_s is not None else None
+        ),
+        artifacts={k: v for k, v in (artifacts or {}).items() if v},
+    )
+    print(f"ledger: recorded run {record.run_id} in {path}", file=sys.stderr)
+
+
+def _artifact_refs(
+    args: argparse.Namespace, *, checkpoint: str | None = None
+) -> dict:
+    """Paths of durable artifacts this run produced, for the ledger."""
+    refs: dict[str, str] = {}
+    if checkpoint:
+        refs["checkpoint"] = checkpoint
+    if getattr(args, "trace", None):
+        refs["trace"] = args.trace
+    return refs
+
+
+def _partial_outcome(exc: BudgetExceeded | InterruptRequested) -> str:
+    return (
+        "partial-interrupt"
+        if isinstance(exc, InterruptRequested)
+        else "partial-budget"
+    )
+
+
+def _analysis_fingerprint(specs) -> str:
+    """The identity of an ``analyze`` run: its input specs, order-free."""
+    from .persist import spec_fingerprint
+
+    digest = hashlib.sha256()
+    for fp in sorted(spec_fingerprint(s) for s in specs):
+        digest.update(fp.encode("ascii"))
+    return digest.hexdigest()
 
 
 def _cmd_show(args: argparse.Namespace) -> int:
@@ -403,6 +569,22 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         return _emit_partial_report(args, exc)
 
 
+def _report_counters(report) -> dict:
+    """Deterministic findings counters for the ledger (analyze runs)."""
+    by_code: dict[str, int] = {}
+    for diag in report:
+        by_code[diag.code] = by_code.get(diag.code, 0) + 1
+    return {
+        "findings": {
+            "total": len(report),
+            "error": len(report.errors),
+            "warning": len(report.warnings),
+            "info": len(report.infos),
+        },
+        "codes": dict(sorted(by_code.items())),
+    }
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     from .lint import (
         LintReport,
@@ -420,66 +602,115 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     if (args.service is None) != (args.component is None):
         raise ReproError("--service and --component must be given together")
 
+    started = time.monotonic()
+    # the ledger identity of the run, filled in once the inputs are
+    # resolved inside body() so the partial-exit path can still use it
+    run_key = {"fingerprint": "", "label": ""}
+
     def body() -> int:
-        if args.scenario is not None:
-            scenario = _analyze_scenarios()[args.scenario]()
-            report = analyze_composition(
-                scenario.components, budget=budget, select=select, ignore=ignore
-            )
-            if not args.no_solve:
-                report = report.merged_with(
-                    analyze_problem(
-                        scenario.service,
-                        scenario.composite,
-                        scenario.interface.int_events,
-                        budget=budget,
-                        select=select,
-                        ignore=ignore,
+        with _progress_scope(args, budget):
+            if args.scenario is not None:
+                scenario = _analyze_scenarios()[args.scenario]()
+                if args.ledger:
+                    run_key["fingerprint"] = _analysis_fingerprint(
+                        [scenario.service, *scenario.components]
                     )
-                )
-        else:
-            specs = _apply_analyze_faults(args, _load_specs(args.file))
-            if args.service is not None:
-                int_events = (
-                    args.int_events.split(",") if args.int_events else None
-                )
-                report = analyze_problem(
-                    _pick(specs, args.service),
-                    _pick(specs, args.component),
-                    int_events,
-                    solve=not args.no_solve,
+                    run_key["label"] = f"scenario:{args.scenario}"
+                report = analyze_composition(
+                    scenario.components,
                     budget=budget,
                     select=select,
                     ignore=ignore,
                 )
+                if not args.no_solve:
+                    report = report.merged_with(
+                        analyze_problem(
+                            scenario.service,
+                            scenario.composite,
+                            scenario.interface.int_events,
+                            budget=budget,
+                            select=select,
+                            ignore=ignore,
+                        )
+                    )
             else:
-                names = args.names or sorted(specs)
-                parts = [_pick(specs, name) for name in names]
-                if args.compose and len(parts) >= 2:
-                    report = analyze_composition(
-                        parts, budget=budget, select=select, ignore=ignore
+                specs = _apply_analyze_faults(args, _load_specs(args.file))
+                if args.service is not None:
+                    int_events = (
+                        args.int_events.split(",") if args.int_events else None
+                    )
+                    service = _pick(specs, args.service)
+                    component = _pick(specs, args.component)
+                    if args.ledger:
+                        run_key["fingerprint"] = _analysis_fingerprint(
+                            [service, component]
+                        )
+                        run_key["label"] = f"{service.name}/{component.name}"
+                    report = analyze_problem(
+                        service,
+                        component,
+                        int_events,
+                        solve=not args.no_solve,
+                        budget=budget,
+                        select=select,
+                        ignore=ignore,
                     )
                 else:
-                    merged: LintReport | None = None
-                    for part in parts:
-                        partial = analyze_spec(
-                            part, budget=budget, select=select, ignore=ignore
+                    names = args.names or sorted(specs)
+                    parts = [_pick(specs, name) for name in names]
+                    if args.ledger:
+                        run_key["fingerprint"] = _analysis_fingerprint(parts)
+                        run_key["label"] = "+".join(p.name for p in parts)
+                    if args.compose and len(parts) >= 2:
+                        report = analyze_composition(
+                            parts, budget=budget, select=select, ignore=ignore
                         )
-                        merged = (
-                            partial
-                            if merged is None
-                            else merged.merged_with(partial)
-                        )
-                    assert merged is not None
-                    report = merged
+                    else:
+                        merged: LintReport | None = None
+                        for part in parts:
+                            partial = analyze_spec(
+                                part,
+                                budget=budget,
+                                select=select,
+                                ignore=ignore,
+                            )
+                            merged = (
+                                partial
+                                if merged is None
+                                else merged.merged_with(partial)
+                            )
+                        assert merged is not None
+                        report = merged
 
         _print_report(args, report)
-        return report.exit_code(fail_on=_fail_on(args))
+        code = report.exit_code(fail_on=_fail_on(args))
+        _ledger_append(
+            args,
+            kind="analyze",
+            fingerprint=run_key["fingerprint"],
+            label=run_key["label"],
+            verdict="clean" if code == 0 else "findings",
+            counters=_report_counters(report),
+            wall_time_s=time.monotonic() - started,
+            artifacts=_artifact_refs(args),
+        )
+        return code
 
     try:
         return _run_observed(args, body)
     except (BudgetExceeded, InterruptRequested) as exc:
-        return _emit_partial_report(args, exc)
+        code = _emit_partial_report(args, exc)
+        _ledger_append(
+            args,
+            kind="analyze",
+            fingerprint=run_key["fingerprint"],
+            label=run_key["label"],
+            outcome=_partial_outcome(exc),
+            counters={exc.phase: exc.partial},
+            wall_time_s=time.monotonic() - started,
+            artifacts=_artifact_refs(args),
+        )
+        return code
 
 
 def _analyze_scenarios():
@@ -564,23 +795,43 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     specs = _load_specs(args.file)
     service = _pick(specs, args.service)
     component = _pick(specs, args.component)
+    label = f"{service.name}/{component.name}"
 
     def body() -> int:
         resume_from = _resume_checkpoint_from_args(args)
         interrupt = _interrupt_from_args(args)
+        budget = _budget_from_args(args)
+        started = time.monotonic()
         try:
-            with _sigint_scope(interrupt):
+            with _sigint_scope(interrupt), _progress_scope(args, budget):
                 result = solve_quotient(
                     service,
                     component,
                     preflight=not args.no_preflight,
                     deep_preflight=args.deep_preflight,
-                    budget=_budget_from_args(args),
+                    budget=budget,
                     interrupt=interrupt,
                     resume_from=resume_from,
                 )
         except (BudgetExceeded, InterruptRequested) as exc:
-            return _emit_partial(args, exc)
+            code = _emit_partial(args, exc)
+            ckpt = getattr(exc, "checkpoint", None)
+            written = (
+                args.checkpoint
+                if args.checkpoint is not None and ckpt is not None
+                else None
+            )
+            _ledger_append(
+                args,
+                kind="solve",
+                fingerprint=ckpt.fingerprint if ckpt is not None else "",
+                label=label,
+                outcome=_partial_outcome(exc),
+                counters={exc.phase: exc.partial},
+                wall_time_s=time.monotonic() - started,
+                artifacts=_artifact_refs(args, checkpoint=written),
+            )
+            return code
         if args.format == "json":
             # phase counters are always included, so an empty result still
             # says which phase emptied the machine and what survived safety
@@ -591,6 +842,18 @@ def _cmd_solve(args: argparse.Namespace) -> int:
                 assert result.converter is not None
                 print()
                 print(to_dot(result.converter))
+        from .persist import problem_fingerprint
+
+        _ledger_append(
+            args,
+            kind="solve",
+            fingerprint=problem_fingerprint(result.problem),
+            label=label,
+            verdict="converter" if result.exists else "no-converter",
+            counters=result.phase_counters(),
+            wall_time_s=time.monotonic() - started,
+            artifacts=_artifact_refs(args),
+        )
         return 0 if result.exists else 1
 
     return _run_observed(args, body)
@@ -740,53 +1003,116 @@ def _cmd_resilience(args: argparse.Namespace) -> int:
         grid = [m for m in grid if m.kind in set(kinds)]
 
     budget = _budget_from_args(args)
+    label = f"{service.name}/{'+'.join(c.name for c in components)}"
 
     def body() -> int:
+        from .faults import sweep_fingerprint
+
         if args.resume and args.checkpoint is None:
             raise ReproError("--resume requires --checkpoint FILE")
-        try:
-            # the baseline derivation is not checkpointed here (a sweep's
-            # unit of resume is the cell), so its budget trips stay exit 3
-            composite = compose_many(components, budget=budget)
-            result = solve_quotient(
-                service, composite, int_events=int_events, budget=budget
-            )
-        except BudgetExceeded as exc:
-            if args.format == "json":
-                print(json.dumps(exc.to_json_dict(), indent=2, sort_keys=True))
-            else:
-                print(f"budget exceeded deriving baseline converter: {exc}")
-            return 3
-        if not result.exists:
-            print(
-                "no baseline converter exists for this system; "
-                "nothing to evaluate"
-            )
-            return 1
-        assert result.converter is not None
-        interrupt = _interrupt_from_args(args)
-        try:
-            with _sigint_scope(interrupt):
-                matrix = evaluate_resilience(
-                    service,
-                    components,
-                    result.converter,
-                    int_events=int_events,
-                    target=target,
-                    grid=grid,
-                    rederive=not args.no_rederive,
-                    budget=budget,
-                    timeout=args.timeout,
-                    interrupt=interrupt,
-                    checkpoint=args.checkpoint,
-                    resume=args.resume,
+        started = time.monotonic()
+        with _progress_scope(args, budget) as reporter:
+            try:
+                # the baseline derivation is not checkpointed here (a
+                # sweep's unit of resume is the cell), so its budget trips
+                # stay exit 3
+                composite = compose_many(components, budget=budget)
+                result = solve_quotient(
+                    service, composite, int_events=int_events, budget=budget
                 )
-        except InterruptRequested as exc:
-            return _emit_partial(args, exc)
+            except BudgetExceeded as exc:
+                if reporter is not None:
+                    reporter.finish("partial-budget")
+                if args.format == "json":
+                    print(
+                        json.dumps(exc.to_json_dict(), indent=2, sort_keys=True)
+                    )
+                else:
+                    print(f"budget exceeded deriving baseline converter: {exc}")
+                _ledger_append(
+                    args,
+                    kind="resilience",
+                    fingerprint="",
+                    label=label,
+                    outcome="partial-budget",
+                    counters={f"baseline.{exc.phase}": exc.partial},
+                    wall_time_s=time.monotonic() - started,
+                    artifacts=_artifact_refs(args),
+                )
+                return 3
+            if not result.exists:
+                print(
+                    "no baseline converter exists for this system; "
+                    "nothing to evaluate"
+                )
+                return 1
+            assert result.converter is not None
+            fingerprint = sweep_fingerprint(
+                service,
+                components,
+                result.converter,
+                grid=grid,
+                target=target,
+                timeout=args.timeout,
+            )
+            interrupt = _interrupt_from_args(args)
+            try:
+                with _sigint_scope(interrupt):
+                    matrix = evaluate_resilience(
+                        service,
+                        components,
+                        result.converter,
+                        int_events=int_events,
+                        target=target,
+                        grid=grid,
+                        rederive=not args.no_rederive,
+                        budget=budget,
+                        timeout=args.timeout,
+                        interrupt=interrupt,
+                        checkpoint=args.checkpoint,
+                        resume=args.resume,
+                    )
+            except InterruptRequested as exc:
+                if reporter is not None:
+                    reporter.finish("partial-interrupt")
+                code = _emit_partial(args, exc)
+                ckpt = getattr(exc, "checkpoint", None)
+                written = (
+                    args.checkpoint
+                    if args.checkpoint is not None and ckpt is not None
+                    else None
+                )
+                _ledger_append(
+                    args,
+                    kind="resilience",
+                    fingerprint=fingerprint,
+                    label=label,
+                    outcome="partial-interrupt",
+                    counters={"sweep": exc.partial},
+                    wall_time_s=time.monotonic() - started,
+                    artifacts=_artifact_refs(args, checkpoint=written),
+                )
+                return code
         if args.format == "json":
             print(json.dumps(matrix.to_json_dict(), indent=2, sort_keys=True))
         else:
             print(matrix.render_text())
+        from .faults.resilience import VERDICTS
+
+        counts = matrix.counts()
+        worst = next((v for v in reversed(VERDICTS) if counts.get(v)), None)
+        _ledger_append(
+            args,
+            kind="resilience",
+            fingerprint=fingerprint,
+            label=label,
+            verdict=worst,
+            counters={
+                "cells": {"total": len(matrix.cells), **counts},
+            },
+            wall_time_s=time.monotonic() - started,
+            artifacts=_artifact_refs(args, checkpoint=args.checkpoint),
+        )
         return 0
 
     return _run_observed(args, body)
@@ -814,6 +1140,95 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     )
     print(explain_converter(result))
     return 0 if result.exists else 1
+
+
+def _history_diff_pair(ledger, args: argparse.Namespace):
+    """Resolve the (base, new) records for ``history diff``.
+
+    Explicit run ids win; otherwise the two most recent runs of the
+    newest run's (fingerprint, kind) group are compared — the common
+    "did my last run regress?" question needs no arguments at all.
+    """
+    from .errors import PersistError
+
+    if (args.base is None) != (args.new is None):
+        raise ReproError("history diff takes zero or two run ids")
+    if args.base is not None:
+        return ledger.get(args.base), ledger.get(args.new)
+    records = ledger.read()
+    if args.fingerprint:
+        records = tuple(
+            r for r in records if r.fingerprint.startswith(args.fingerprint)
+        )
+    if not records:
+        raise PersistError(
+            f"ledger {ledger.path!r} has no matching runs to diff"
+        )
+    newest = records[-1]
+    group = [
+        r
+        for r in records
+        if r.fingerprint == newest.fingerprint and r.kind == newest.kind
+    ]
+    if len(group) < 2:
+        raise PersistError(
+            f"ledger {ledger.path!r} has only {len(group)} run(s) of "
+            f"{newest.kind} {newest.fingerprint[:12]}...; need two to diff "
+            "(pass explicit run ids?)"
+        )
+    return group[-2], group[-1]
+
+
+def _cmd_history(args: argparse.Namespace) -> int:
+    from .obs.ledger import Ledger, diff_records, render_history_list
+
+    ledger = Ledger(args.ledger)
+    if args.history_cmd == "list":
+        records = ledger.read()
+        if args.kind:
+            records = tuple(r for r in records if r.kind == args.kind)
+        if args.fingerprint:
+            records = tuple(
+                r
+                for r in records
+                if r.fingerprint.startswith(args.fingerprint)
+            )
+        if args.format == "json":
+            print(
+                json.dumps(
+                    [r.to_json_dict() for r in records],
+                    indent=2,
+                    sort_keys=True,
+                )
+            )
+        else:
+            print(render_history_list(records))
+        return 0
+    if args.history_cmd == "show":
+        record = ledger.get(args.run)
+        print(json.dumps(record.to_json_dict(), indent=2, sort_keys=True))
+        return 0
+    if args.history_cmd == "diff":
+        if args.threshold < 0:
+            raise ReproError(
+                f"--threshold must be >= 0, got {args.threshold!r}"
+            )
+        base, new = _history_diff_pair(ledger, args)
+        diff = diff_records(base, new, threshold=args.threshold)
+        if args.format == "json":
+            print(json.dumps(diff.to_json_dict(), indent=2, sort_keys=True))
+        else:
+            print(diff.render_text())
+        return 1 if diff.regressed else 0
+    assert args.history_cmd == "gc"
+    if args.keep < 1:
+        raise ReproError(f"--keep must be >= 1, got {args.keep!r}")
+    removed = ledger.gc(keep=args.keep)
+    print(
+        f"removed {removed} record(s) from {args.ledger} "
+        f"(kept the newest {args.keep} per problem)"
+    )
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -994,6 +1409,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_budget_arguments(p_an)
     _add_obs_arguments(p_an)
+    _add_recorder_arguments(p_an)
     p_an.set_defaults(func=_cmd_analyze)
 
     p_compose = sub.add_parser("compose", help="compose specs with ||")
@@ -1036,6 +1452,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_budget_arguments(p_solve)
     _add_persist_arguments(p_solve)
     _add_obs_arguments(p_solve)
+    _add_recorder_arguments(p_solve)
     p_solve.set_defaults(func=_cmd_solve)
 
     p_res = sub.add_parser(
@@ -1093,7 +1510,89 @@ def build_parser() -> argparse.ArgumentParser:
     _add_budget_arguments(p_res)
     _add_persist_arguments(p_res)
     _add_obs_arguments(p_res)
+    _add_recorder_arguments(p_res)
     p_res.set_defaults(func=_cmd_resilience)
+
+    p_hist = sub.add_parser(
+        "history",
+        help="inspect and regression-diff the run ledger",
+        description=(
+            "Read a ledger written with --ledger FILE: list recorded runs, "
+            "show one run's full record, diff the deterministic work "
+            "counters of two runs of the same problem (exit 1 when a "
+            "counter regressed beyond --threshold), and garbage-collect "
+            "old records.  Wall times are never diffed.  See "
+            "docs/observability.md for the record schema."
+        ),
+    )
+    hsub = p_hist.add_subparsers(dest="history_cmd", required=True)
+
+    def _ledger_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--ledger", metavar="FILE", required=True,
+            help="the ledger file to read (written by --ledger on "
+            "solve/resilience/analyze)",
+        )
+
+    h_list = hsub.add_parser("list", help="list recorded runs")
+    _ledger_arg(h_list)
+    h_list.add_argument(
+        "--kind", default=None,
+        choices=["solve", "resilience", "analyze", "bench"],
+        help="only runs of this kind",
+    )
+    h_list.add_argument(
+        "--fingerprint", default=None, metavar="PREFIX",
+        help="only runs whose problem fingerprint starts with PREFIX",
+    )
+    h_list.add_argument(
+        "--format", choices=["text", "json"], default="text",
+    )
+    h_list.set_defaults(func=_cmd_history)
+
+    h_show = hsub.add_parser("show", help="show one run record as JSON")
+    _ledger_arg(h_show)
+    h_show.add_argument("run", type=int, help="run id (see 'history list')")
+    h_show.set_defaults(func=_cmd_history)
+
+    h_diff = hsub.add_parser(
+        "diff",
+        help="compare work counters of two runs (exit 1 on regression)",
+    )
+    _ledger_arg(h_diff)
+    h_diff.add_argument(
+        "base", nargs="?", type=int, default=None,
+        help="baseline run id (default: second-newest run of the newest "
+        "run's problem)",
+    )
+    h_diff.add_argument(
+        "new", nargs="?", type=int, default=None,
+        help="run id to compare against the baseline (default: newest)",
+    )
+    h_diff.add_argument(
+        "--threshold", type=float, default=0.0, metavar="FRACTION",
+        help="relative increase a counter may show before it counts as a "
+        "regression (0 = any increase regresses; 0.05 = 5%% headroom)",
+    )
+    h_diff.add_argument(
+        "--fingerprint", default=None, metavar="PREFIX",
+        help="with no run ids: pick the newest runs matching this "
+        "fingerprint prefix",
+    )
+    h_diff.add_argument(
+        "--format", choices=["text", "json"], default="text",
+    )
+    h_diff.set_defaults(func=_cmd_history)
+
+    h_gc = hsub.add_parser(
+        "gc", help="drop all but the newest records per problem"
+    )
+    _ledger_arg(h_gc)
+    h_gc.add_argument(
+        "--keep", type=int, default=5, metavar="N",
+        help="records to keep per (fingerprint, kind) group (default 5)",
+    )
+    h_gc.set_defaults(func=_cmd_history)
 
     p_diag = sub.add_parser(
         "diagnose", help="explain why no converter exists"

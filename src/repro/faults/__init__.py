@@ -29,6 +29,7 @@ from .resilience import (
     ResilienceMatrix,
     default_grid,
     evaluate_resilience,
+    sweep_fingerprint,
 )
 
 __all__ = [
@@ -45,4 +46,5 @@ __all__ = [
     "fault_model",
     "loss",
     "reorder",
+    "sweep_fingerprint",
 ]

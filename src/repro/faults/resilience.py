@@ -46,6 +46,7 @@ from ..errors import (
 )
 from ..events import is_receive, is_send, message_of
 from ..lint.engine import lint_checkpoint
+from ..obs.progress import current_reporter
 from ..persist.checkpoint import (
     KIND_RESILIENCE,
     Checkpoint,
@@ -67,6 +68,7 @@ __all__ = [
     "ResilienceMatrix",
     "default_grid",
     "evaluate_resilience",
+    "sweep_fingerprint",
 ]
 
 VERDICTS = (
@@ -458,6 +460,28 @@ def _load_completed_cells(
     return cells
 
 
+def sweep_fingerprint(
+    service: Specification,
+    components: Sequence[Specification],
+    converter: Specification,
+    grid: Sequence[FaultModel] | None = None,
+    target: int | str | None = None,
+    *,
+    timeout: str = "timeout",
+) -> str:
+    """The fingerprint :func:`evaluate_resilience` would checkpoint under.
+
+    Resolves *target* and defaults *grid* exactly like the sweep itself,
+    so callers (the CLI's run ledger) can key records without starting
+    the evaluation.
+    """
+    target_idx = _resolve_target(components, target)
+    models = tuple(grid) if grid is not None else default_grid(timeout=timeout)
+    return resilience_fingerprint(
+        service, components, converter, models, target_idx
+    )
+
+
 def evaluate_resilience(
     service: Specification,
     components: Sequence[Specification],
@@ -539,6 +563,14 @@ def evaluate_resilience(
         cells=len(models),
     ):
         for model in models[len(cells):]:
+            reporter = current_reporter()
+            if reporter is not None:
+                # label the following heartbeats with the in-flight cell
+                reporter.note(
+                    cell=model.label,
+                    cell_index=len(cells) + 1,
+                    cells=len(models),
+                )
             with obs.span("resilience.cell", model=model.label):
                 obs.add("faults.cells", 1)
                 try:

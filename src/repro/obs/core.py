@@ -15,7 +15,9 @@ observability is off.  Install a :class:`MetricsCollector` (usually via the
 * **spans** — named, nested wall-time intervals with arbitrary attributes
   (``with span("safety_phase") as sp: ...; sp.set(states=n)``);
 * **counters** — monotonically accumulated values (``add("pairs", 120)``);
-* **gauges** — last-write-wins values (``gauge("c0.states", 14)``).
+* **gauges** — last-write-wins values (``gauge("c0.states", 14)``);
+* **events** — timestamped point occurrences (``event("budget.exceeded",
+  phase="safety")``), rendered as instant marks on the trace timeline.
 
 :meth:`MetricsCollector.snapshot` freezes the recorded data into a
 :class:`MetricsSnapshot`, which renders as a text tree, JSON, or the Chrome
@@ -58,6 +60,21 @@ class SpanRecord:
         return self.end - self.start
 
 
+@dataclass(frozen=True)
+class EventRecord:
+    """One instant event: a named point in time with attributes.
+
+    ``ts`` is seconds relative to the collector's epoch, like span
+    timestamps.  Events mark moments rather than intervals — a budget
+    trip, a checkpoint write, a cooperative interrupt — and render as
+    instant (``"ph": "i"``) marks on the Chrome-trace timeline.
+    """
+
+    name: str
+    ts: float
+    attrs: Mapping[str, Any] = field(default_factory=dict)
+
+
 class NullCollector:
     """The default collector: records nothing, costs (almost) nothing."""
 
@@ -73,6 +90,9 @@ class NullCollector:
         pass
 
     def gauge(self, name: str, value: float) -> None:
+        pass
+
+    def event(self, name: str, attrs: Mapping[str, Any] | None = None) -> None:
         pass
 
 
@@ -93,6 +113,7 @@ class MetricsSnapshot:
     spans: tuple[SpanRecord, ...]
     counters: Mapping[str, float]
     gauges: Mapping[str, float]
+    events: tuple[EventRecord, ...] = ()
 
     def children_of(self, parent: int | None) -> tuple[SpanRecord, ...]:
         return tuple(s for s in self.spans if s.parent == parent)
@@ -143,6 +164,7 @@ class MetricsCollector:
         self.spans: list[SpanRecord] = []
         self.counters: dict[str, float] = {}
         self.gauges: dict[str, float] = {}
+        self.events: list[EventRecord] = []
         self.ops = 0
         self._stack: list[int] = []
 
@@ -180,6 +202,10 @@ class MetricsCollector:
         self.ops += 1
         self.gauges[name] = value
 
+    def event(self, name: str, attrs: Mapping[str, Any] | None = None) -> None:
+        self.ops += 1
+        self.events.append(EventRecord(name, self._now(), dict(attrs or {})))
+
     # ------------------------------------------------------------------
     def snapshot(self) -> MetricsSnapshot:
         """Freeze the current state (open spans keep ``end=None``)."""
@@ -188,7 +214,10 @@ class MetricsCollector:
             for s in self.spans
         )
         return MetricsSnapshot(
-            spans=spans, counters=dict(self.counters), gauges=dict(self.gauges)
+            spans=spans,
+            counters=dict(self.counters),
+            gauges=dict(self.gauges),
+            events=tuple(self.events),
         )
 
 
@@ -298,6 +327,13 @@ def gauge(name: str, value: float) -> None:
     collector = _collector
     if collector.recording:
         collector.gauge(name, value)
+
+
+def event(name: str, **attrs: Any) -> None:
+    """Record instant event *name* on the current collector."""
+    collector = _collector
+    if collector.recording:
+        collector.event(name, attrs)
 
 
 def snapshot_if_recording() -> MetricsSnapshot | None:

@@ -10,8 +10,10 @@ Three renderings, all pure functions of the snapshot:
 * :func:`snapshot_to_chrome_trace` — the Chrome ``trace_event`` format
   (JSON-object flavour with a ``traceEvents`` list), loadable in
   ``chrome://tracing`` and https://ui.perfetto.dev.  Spans become complete
-  (``"ph": "X"``) events with microsecond timestamps; counters and gauges
-  become counter (``"ph": "C"``) events.
+  (``"ph": "X"``) events with microsecond timestamps; instant occurrences
+  (budget trips, checkpoint writes, interrupts) become instant
+  (``"ph": "i"``) events; counters and gauges become counter
+  (``"ph": "C"``) events.
 
 This module stays standalone like the rest of :mod:`repro.obs`: the
 attribute encoder below is local, not imported from :mod:`repro.lint`.
@@ -23,7 +25,7 @@ import json
 from typing import TYPE_CHECKING, Any
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
-    from .core import MetricsSnapshot, SpanRecord
+    from .core import EventRecord, MetricsSnapshot, SpanRecord
 
 
 def attr_safe(value: Any) -> Any:
@@ -82,6 +84,13 @@ def render_text(snapshot: "MetricsSnapshot") -> str:
                 walk(record.index, prefix + ("   " if last else "|  "))
 
         walk(None, "")
+    if snapshot.events:
+        lines.append("events:")
+        for record in snapshot.events:
+            lines.append(
+                f"  @{_format_ms(record.ts).strip():>12s}  {record.name}"
+                f"{_format_attrs(dict(record.attrs))}"
+            )
     if snapshot.counters or snapshot.gauges:
         lines.append(render_metrics_text(snapshot))
     if not lines:
@@ -124,6 +133,14 @@ def snapshot_to_dict(snapshot: "MetricsSnapshot") -> dict[str, Any]:
         ],
         "counters": {k: snapshot.counters[k] for k in sorted(snapshot.counters)},
         "gauges": {k: snapshot.gauges[k] for k in sorted(snapshot.gauges)},
+        "events": [
+            {
+                "name": e.name,
+                "ts_ms": round(e.ts * 1000.0, 6),
+                "attrs": {k: attr_safe(v) for k, v in sorted(e.attrs.items())},
+            }
+            for e in snapshot.events
+        ],
     }
 
 
@@ -135,9 +152,12 @@ def snapshot_to_chrome_trace(snapshot: "MetricsSnapshot") -> dict[str, Any]:
     """The Chrome ``trace_event`` JSON-object document for this snapshot.
 
     One process (pid 1), one thread (tid 1).  Spans are complete events
-    (``ph: "X"``, ``ts``/``dur`` in integer microseconds); counters and
-    gauges are emitted as counter events (``ph: "C"``) at the end of the
-    trace so the values show as tracks in Perfetto.
+    (``ph: "X"``, ``ts``/``dur`` in integer microseconds); instant
+    occurrences — budget trips, checkpoint writes, interrupts — are
+    instant events (``ph: "i"``, global scope) so they show as vertical
+    marks on the Perfetto timeline; counters and gauges are emitted as
+    counter events (``ph: "C"``) at the end of the trace so the values
+    show as tracks.
     """
     events: list[dict[str, Any]] = [
         {
@@ -163,6 +183,21 @@ def snapshot_to_chrome_trace(snapshot: "MetricsSnapshot") -> dict[str, Any]:
                 "ts": ts,
                 "dur": dur,
                 "args": {k: attr_safe(v) for k, v in sorted(s.attrs.items())},
+            }
+        )
+    for e in snapshot.events:
+        ts = int(round(e.ts * 1_000_000))
+        end_ts = max(end_ts, ts)
+        events.append(
+            {
+                "ph": "i",
+                "pid": 1,
+                "tid": 1,
+                "name": e.name,
+                "cat": "repro",
+                "ts": ts,
+                "s": "g",
+                "args": {k: attr_safe(v) for k, v in sorted(e.attrs.items())},
             }
         )
     for name in sorted(snapshot.counters):

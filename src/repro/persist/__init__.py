@@ -10,7 +10,8 @@ This package provides the three layers that make that survivable:
   enough that resuming reproduces the uninterrupted run **byte for byte**;
 * :mod:`repro.persist.store` — atomic durable snapshots (tmp + fsync +
   rename) with corruption detection and fallback to the previous good
-  snapshot;
+  snapshot; the generic :func:`write_envelope` / :func:`read_envelope`
+  pair is also what the run ledger (:mod:`repro.obs.ledger`) builds on;
 * :mod:`repro.persist.interrupt` — the cooperative
   :class:`InterruptController` that turns SIGINT / deadlines /
   deterministic test points into
@@ -35,7 +36,12 @@ from .checkpoint import (
     spec_fingerprint,
 )
 from .interrupt import InterruptController
-from .store import load_checkpoint, save_checkpoint
+from .store import (
+    load_checkpoint,
+    read_envelope,
+    save_checkpoint,
+    write_envelope,
+)
 
 __all__ = [
     "Checkpoint",
@@ -49,8 +55,10 @@ __all__ = [
     "load_checkpoint",
     "problem_fingerprint",
     "quotient_checkpoint",
+    "read_envelope",
     "render_anytime_text",
     "resilience_fingerprint",
     "save_checkpoint",
     "spec_fingerprint",
+    "write_envelope",
 ]

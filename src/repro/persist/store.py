@@ -1,7 +1,7 @@
-"""Atomic, integrity-checked checkpoint files.
+"""Atomic, integrity-checked JSON document store.
 
-The on-disk format wraps the checkpoint body in an envelope carrying its
-own content hash::
+The on-disk format wraps a JSON body in an envelope carrying its own
+content hash::
 
     {"schema": 1, "sha256": "<hex of canonical body>", "body": {...}}
 
@@ -16,9 +16,14 @@ that parses.
 
 Reads verify the hash over the canonical body serialization.  A
 truncated, bit-flipped, or otherwise corrupt file raises
-:class:`~repro.errors.PersistError` — and :func:`load_checkpoint` then
-falls back to ``.prev`` automatically, so one bad write costs at most one
-snapshot's worth of progress.
+:class:`~repro.errors.PersistError` — and the loaders then fall back to
+``.prev`` automatically, so one bad write costs at most one snapshot's
+worth of progress.
+
+Two document kinds share this machinery: checkpoints
+(:func:`save_checkpoint` / :func:`load_checkpoint`) and the append-only
+run ledger (:mod:`repro.obs.ledger`), which uses the generic
+:func:`write_envelope` / :func:`read_envelope` pair directly.
 """
 
 from __future__ import annotations
@@ -32,7 +37,12 @@ from .. import obs
 from ..errors import PersistError
 from .checkpoint import Checkpoint
 
-__all__ = ["load_checkpoint", "save_checkpoint"]
+__all__ = [
+    "load_checkpoint",
+    "read_envelope",
+    "save_checkpoint",
+    "write_envelope",
+]
 
 #: Version of the file *envelope* (independent of the body schema).
 STORE_VERSION = 1
@@ -49,13 +59,13 @@ def _canonical_body(body: dict) -> bytes:
     )
 
 
-def save_checkpoint(path: str, checkpoint: Checkpoint) -> str:
-    """Durably write *checkpoint* to *path*; returns the path written.
+def write_envelope(path: str, body: dict, *, kind: str = "document") -> str:
+    """Durably write *body* inside an integrity envelope; returns *path*.
 
-    The previous snapshot (if any) survives as ``path + ".prev"`` until
-    the next successful write rotates it out.
+    The write is atomic (tmp file + fsync + ``os.replace``) and the
+    previous snapshot (if any) survives as ``path + ".prev"`` until the
+    next successful write rotates it out.  *kind* only labels errors.
     """
-    body = checkpoint.to_json_dict()
     canonical = _canonical_body(body)
     envelope = {
         "schema": STORE_VERSION,
@@ -80,65 +90,116 @@ def save_checkpoint(path: str, checkpoint: Checkpoint) -> str:
             os.unlink(tmp_path)
         except OSError:
             pass
-        raise PersistError(f"cannot write checkpoint {path!r}: {exc}") from exc
-    obs.add("persist.snapshots_written", 1)
+        raise PersistError(f"cannot write {kind} {path!r}: {exc}") from exc
     return path
 
 
-def _load_one(path: str) -> Checkpoint:
+def _read_envelope_one(path: str, *, kind: str = "document") -> dict:
     try:
         with open(path, "r", encoding="utf-8") as fh:
             text = fh.read()
     except FileNotFoundError as exc:
-        raise PersistError(f"no checkpoint at {path!r}") from exc
+        raise PersistError(f"no {kind} at {path!r}") from exc
     except OSError as exc:
-        raise PersistError(f"cannot read checkpoint {path!r}: {exc}") from exc
+        raise PersistError(f"cannot read {kind} {path!r}: {exc}") from exc
     try:
         envelope = json.loads(text)
     except ValueError as exc:
         raise PersistError(
-            f"checkpoint {path!r} is corrupt (not valid JSON): {exc}"
+            f"{kind} {path!r} is corrupt (not valid JSON): {exc}"
         ) from exc
     if not isinstance(envelope, dict):
-        raise PersistError(f"checkpoint {path!r} is not an object")
+        raise PersistError(f"{kind} {path!r} is not an object")
     unknown = sorted(set(envelope) - _ENVELOPE_KEYS)
     if unknown:
         raise PersistError(
-            f"checkpoint {path!r} carries unknown envelope field(s) "
+            f"{kind} {path!r} carries unknown envelope field(s) "
             f"{unknown} — written by a newer schema?"
         )
     missing = sorted(_ENVELOPE_KEYS - set(envelope))
     if missing:
         raise PersistError(
-            f"checkpoint {path!r} is missing envelope field(s) {missing}"
+            f"{kind} {path!r} is missing envelope field(s) {missing}"
         )
     if envelope["schema"] != STORE_VERSION:
         raise PersistError(
-            f"checkpoint {path!r} has unsupported envelope schema "
+            f"{kind} {path!r} has unsupported envelope schema "
             f"{envelope['schema']!r} (this version reads {STORE_VERSION})"
         )
     body = envelope["body"]
     if not isinstance(body, dict):
-        raise PersistError(f"checkpoint {path!r} body is not an object")
+        raise PersistError(f"{kind} {path!r} body is not an object")
     digest = hashlib.sha256(_canonical_body(body)).hexdigest()
     if digest != envelope["sha256"]:
         raise PersistError(
-            f"checkpoint {path!r} failed its integrity check "
+            f"{kind} {path!r} failed its integrity check "
             f"(sha256 mismatch: file says {envelope['sha256']!r}, "
             f"body hashes to {digest!r}) — truncated or bit-flipped write?"
         )
+    return body
+
+
+def read_envelope(
+    path: str, *, fallback: bool = True, kind: str = "document"
+) -> dict:
+    """Load and verify the envelope body at *path*.
+
+    On corruption (or a missing primary file), falls back to the rotated
+    previous-good snapshot ``path + ".prev"`` when *fallback* is on,
+    counting ``persist.fallbacks``.  Raises
+    :class:`~repro.errors.PersistError` when neither is usable.
+    """
+    try:
+        return _read_envelope_one(path, kind=kind)
+    except PersistError as primary_error:
+        prev = path + PREV_SUFFIX
+        if not fallback or not os.path.exists(prev):
+            raise
+        obs.add("persist.fallbacks", 1)
+        try:
+            return _read_envelope_one(prev, kind=kind)
+        except PersistError as prev_error:
+            raise PersistError(
+                f"both snapshots are unusable: {primary_error}; "
+                f"fallback: {prev_error}"
+            ) from prev_error
+
+
+def save_checkpoint(path: str, checkpoint: Checkpoint) -> str:
+    """Durably write *checkpoint* to *path*; returns the path written.
+
+    The previous snapshot (if any) survives as ``path + ".prev"`` until
+    the next successful write rotates it out.  The write is announced to
+    the current obs collector (``checkpoint.write`` instant event) and
+    the current progress reporter, so it is visible both on the trace
+    timeline and in a live ``--progress`` stream.
+    """
+    write_envelope(path, checkpoint.to_json_dict(), kind="checkpoint")
+    obs.add("persist.snapshots_written", 1)
+    obs.event("checkpoint.write", path=path, phase=checkpoint.phase)
+    from ..obs.progress import current_reporter
+
+    reporter = current_reporter()
+    if reporter is not None:
+        reporter.checkpoint_written(path)
+    return path
+
+
+def _load_one(path: str) -> Checkpoint:
+    body = _read_envelope_one(path, kind="checkpoint")
     checkpoint = Checkpoint.from_json_dict(body)
     obs.add("persist.snapshots_loaded", 1)
     return checkpoint
 
 
 def load_checkpoint(path: str, *, fallback: bool = True) -> Checkpoint:
-    """Load and verify the snapshot at *path*.
+    """Load and verify the checkpoint snapshot at *path*.
 
-    On corruption (or a missing primary file), falls back to the rotated
-    previous-good snapshot ``path + ".prev"`` when *fallback* is on,
-    counting ``persist.fallbacks``.  Raises
-    :class:`~repro.errors.PersistError` when neither is usable.
+    On corruption (or a missing primary file, or a body that does not
+    decode as a checkpoint), falls back to the rotated previous-good
+    snapshot ``path + ".prev"`` when *fallback* is on, counting
+    ``persist.fallbacks``.  Raises :class:`~repro.errors.PersistError`
+    when neither is usable.
     """
     try:
         return _load_one(path)

@@ -32,11 +32,14 @@ import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
+from .. import obs
 from ..errors import BudgetExceeded, InterruptRequested
+from ..obs.progress import current_reporter
 
 if TYPE_CHECKING:
     # type-only: the controller is duck-typed at runtime (``tick()``), so
     # the budget module never imports repro.persist
+    from ..obs.progress import ProgressReporter
     from ..persist.interrupt import InterruptController
 
 __all__ = [
@@ -123,8 +126,13 @@ class BudgetMeter:
     anything with its ``tick()`` protocol) hooks cooperative interruption
     into the same boundaries: every charge ticks the controller, and a
     pending SIGINT / deadline / deterministic test point raises
-    :class:`~repro.errors.InterruptRequested`.  *clock* is injectable so
-    wall-time behaviour is testable without real elapsed time.
+    :class:`~repro.errors.InterruptRequested`.  *progress* (a
+    :class:`~repro.obs.progress.ProgressReporter`, duck-typed via
+    ``tick(meter, frontier)``) receives one call per charge so live
+    heartbeats stream from the same work-unit boundaries; the reporter
+    only observes the meter's counters, so outputs stay byte-identical
+    with progress on or off.  *clock* is injectable so wall-time
+    behaviour is testable without real elapsed time.
     """
 
     __slots__ = (
@@ -133,6 +141,7 @@ class BudgetMeter:
         "pairs",
         "states",
         "interrupt",
+        "progress",
         "_clock",
         "_started",
         "_ticks",
@@ -144,6 +153,7 @@ class BudgetMeter:
         phase: str,
         *,
         interrupt: "InterruptController | None" = None,
+        progress: "ProgressReporter | None" = None,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         self.budget = budget
@@ -151,6 +161,7 @@ class BudgetMeter:
         self.pairs = 0
         self.states = 0
         self.interrupt = interrupt
+        self.progress = progress
         self._clock = clock
         self._started = clock()
         # start one tick short of the interval so the very first charge
@@ -215,6 +226,8 @@ class BudgetMeter:
         budget = self.budget
         self.pairs += pairs
         self.states += states
+        if self.progress is not None:
+            self.progress.tick(self, frontier)
         err: BudgetExceeded | InterruptRequested | None = None
         if self.interrupt is not None:
             reason = self.interrupt.tick()
@@ -237,6 +250,10 @@ class BudgetMeter:
         if err is not None:
             if snapshot is not None:
                 err.phase_state = snapshot()
+            if isinstance(err, InterruptRequested):
+                obs.event("interrupt", phase=self.phase, reason=err.reason)
+            else:
+                obs.event("budget.exceeded", phase=self.phase, limit=err.limit)
             raise err
 
 
@@ -248,12 +265,18 @@ def make_meter(
     """A meter for *phase* when anything needs charging, else ``None``.
 
     The phases call this instead of constructing meters directly: a
-    meter is needed when a non-trivial budget is present *or* an
-    interrupt controller is attached (interruption works without any
-    budget).  The ``None`` fast path keeps unbudgeted, uninterruptible
-    runs at a single falsy check per charge site.
+    meter is needed when a non-trivial budget is present, an interrupt
+    controller is attached (interruption works without any budget), *or*
+    a progress reporter is installed (heartbeats stream from the charge
+    boundaries even on unbudgeted runs).  The ``None`` fast path keeps
+    plain runs at a single falsy check per charge site.
     """
-    if (budget is None or budget.unlimited) and interrupt is None:
+    progress = current_reporter()
+    if (
+        (budget is None or budget.unlimited)
+        and interrupt is None
+        and progress is None
+    ):
         return None
     return BudgetMeter(budget if budget is not None else Budget(), phase,
-                       interrupt=interrupt)
+                       interrupt=interrupt, progress=progress)

@@ -173,3 +173,48 @@ class TestDiagnoseJson:
         assert any(
             s["name"] == "solve_quotient" for s in payload["stats"]["spans"]
         )
+
+
+class TestExportsOnPartialExit:
+    """--trace/--metrics must still export when a run ends partially.
+
+    The budget/interrupt exits are exactly the runs whose telemetry is
+    worth inspecting, so the exporters run on the exception paths too.
+    """
+
+    def test_analyze_budget_exit_3_still_writes_trace(
+        self, dsl_file, tmp_path, capsys
+    ):
+        trace = tmp_path / "partial.trace"
+        code = main(
+            ["analyze", dsl_file, "service", "component", "--compose",
+             "--budget-pairs", "1", "--trace", str(trace),
+             "--metrics", "text"]
+        )
+        assert code == 3
+        captured = capsys.readouterr()
+        assert f"trace written to {trace}" in captured.err
+        doc = json.loads(trace.read_text())
+        phs = {e["ph"] for e in doc["traceEvents"]}
+        assert "i" in phs  # the budget.exceeded instant event landed
+        assert "counters:" in captured.out
+        assert "guarantees: partial" in captured.out
+
+    def test_solve_interrupt_exit_4_still_writes_trace(
+        self, dsl_file, tmp_path, capsys
+    ):
+        trace = tmp_path / "partial.trace"
+        ckpt = tmp_path / "run.ckpt"
+        code = main(
+            ["solve", dsl_file, "service", "component",
+             "--budget-pairs", "1", "--checkpoint", str(ckpt),
+             "--trace", str(trace), "--metrics", "json"]
+        )
+        assert code == 4
+        captured = capsys.readouterr()
+        assert f"trace written to {trace}" in captured.err
+        assert ckpt.exists()
+        doc = json.loads(trace.read_text())
+        names = {e["name"] for e in doc["traceEvents"] if e["ph"] == "i"}
+        assert "budget.exceeded" in names
+        assert "checkpoint.write" in names

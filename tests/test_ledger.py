@@ -1,0 +1,279 @@
+"""Tests for repro.obs.ledger: records, appends, gc, crash safety, diffs.
+
+The acceptance-critical property lives in ``TestCrashSafety``: a crash at
+any point during an append (simulated by failing ``os.replace`` and by
+killing the write after the tmp file exists) leaves every previously
+recorded run readable — the ledger inherits the checkpoint store's
+atomic-write guarantees.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.errors import PersistError
+from repro.obs.ledger import (
+    Ledger,
+    RunRecord,
+    append_run,
+    diff_records,
+    flatten_work,
+    render_history_list,
+)
+
+
+def _record(fingerprint="f" * 64, kind="solve", **kwargs):
+    kwargs.setdefault("work", {"safety.pairs_explored": 9})
+    return RunRecord(kind=kind, fingerprint=fingerprint, **kwargs)
+
+
+class TestRunRecord:
+    def test_round_trips_through_json(self):
+        record = _record(
+            label="S/B",
+            outcome="partial-budget",
+            verdict="converter",
+            work={"a": 1, "b": 2.5},
+            phases={"safety": {"pairs": 1}},
+            wall_time_s=0.25,
+            created_at=123.0,
+            artifacts={"checkpoint": "run.ckpt"},
+        )
+        assert RunRecord.from_json_dict(record.to_json_dict()) == record
+
+    def test_json_dict_is_json_serializable_and_sorted(self):
+        doc = _record(work={"z": 1, "a": 2}).to_json_dict()
+        json.dumps(doc)
+        assert list(doc["work"]) == ["a", "z"]
+
+    def test_rejects_bad_outcome(self):
+        with pytest.raises(ValueError):
+            _record(outcome="exploded")
+
+    def test_rejects_unknown_fields(self):
+        doc = _record().to_json_dict()
+        doc["surprise"] = 1
+        with pytest.raises(PersistError, match="unknown field"):
+            RunRecord.from_json_dict(doc)
+
+    def test_rejects_wrong_schema(self):
+        doc = _record().to_json_dict()
+        doc["schema"] = 99
+        with pytest.raises(PersistError, match="schema"):
+            RunRecord.from_json_dict(doc)
+
+    def test_rejects_missing_required_field(self):
+        doc = _record().to_json_dict()
+        del doc["fingerprint"]
+        with pytest.raises(PersistError, match="fingerprint"):
+            RunRecord.from_json_dict(doc)
+
+
+class TestFlattenWork:
+    def test_nests_and_drops_nondeterministic(self):
+        counters = {
+            "safety": {
+                "pairs_explored": 9,
+                "exists": True,        # bool: dropped
+                "elapsed_s": 1.23,     # wall time: dropped
+            },
+            "progress": {
+                "rounds": [{"round": 0}, {"round": 1}],  # list -> count
+                "states_removed": 0,
+            },
+            "emptied_by": None,        # None: dropped
+            "label": "S/B",            # str: dropped
+            "duration_ms": 5,          # wall time: dropped
+        }
+        assert flatten_work(counters) == {
+            "safety.pairs_explored": 9,
+            "progress.rounds.count": 2,
+            "progress.states_removed": 0,
+        }
+
+
+class TestLedger:
+    def test_read_missing_file_is_empty(self, tmp_path):
+        assert Ledger(str(tmp_path / "none.json")).read() == ()
+
+    def test_append_assigns_sequential_ids(self, tmp_path):
+        path = str(tmp_path / "ledger.json")
+        first = append_run(path, kind="solve", fingerprint="a" * 64)
+        second = append_run(path, kind="solve", fingerprint="a" * 64)
+        assert (first.run_id, second.run_id) == (1, 2)
+        assert [r.run_id for r in Ledger(path).read()] == [1, 2]
+
+    def test_append_stamps_created_at(self, tmp_path):
+        path = str(tmp_path / "ledger.json")
+        record = append_run(path, kind="solve", fingerprint="a" * 64)
+        assert record.created_at is not None
+
+    def test_get_and_missing_run(self, tmp_path):
+        path = str(tmp_path / "ledger.json")
+        append_run(path, kind="solve", fingerprint="a" * 64)
+        assert Ledger(path).get(1).run_id == 1
+        with pytest.raises(PersistError, match="no run 7"):
+            Ledger(path).get(7)
+
+    def test_runs_of_filters_fingerprint_and_kind(self, tmp_path):
+        path = str(tmp_path / "ledger.json")
+        append_run(path, kind="solve", fingerprint="a" * 64)
+        append_run(path, kind="analyze", fingerprint="a" * 64)
+        append_run(path, kind="solve", fingerprint="b" * 64)
+        ledger = Ledger(path)
+        assert len(ledger.runs_of("a" * 64)) == 2
+        assert len(ledger.runs_of("a" * 64, kind="solve")) == 1
+        assert ledger.runs_of("c" * 64) == ()
+
+    def test_gc_keeps_newest_per_group(self, tmp_path):
+        path = str(tmp_path / "ledger.json")
+        for _ in range(5):
+            append_run(path, kind="solve", fingerprint="a" * 64)
+        append_run(path, kind="solve", fingerprint="b" * 64)
+        removed = Ledger(path).gc(keep=2)
+        assert removed == 3
+        survivors = Ledger(path).read()
+        assert [r.run_id for r in survivors] == [4, 5, 6]
+        # ids are never reused after gc
+        assert append_run(path, kind="solve", fingerprint="a" * 64).run_id == 7
+
+    def test_gc_rejects_bad_keep(self, tmp_path):
+        with pytest.raises(ValueError):
+            Ledger(str(tmp_path / "ledger.json")).gc(keep=0)
+
+    def test_rejects_non_ledger_envelope(self, tmp_path):
+        from repro.persist.store import write_envelope
+
+        path = str(tmp_path / "other.json")
+        write_envelope(path, {"kind": "something-else"}, kind="document")
+        with pytest.raises(PersistError, match="not a ledger"):
+            Ledger(path).read()
+
+    def test_render_history_list(self, tmp_path):
+        path = str(tmp_path / "ledger.json")
+        assert render_history_list(Ledger(path).read()) == "(ledger is empty)"
+        append_run(
+            path, kind="solve", fingerprint="a" * 64,
+            label="S/B", verdict="converter",
+        )
+        text = render_history_list(Ledger(path).read())
+        assert "run" in text and "solve" in text and "S/B" in text
+        assert ("a" * 12) in text and ("a" * 64) not in text
+
+
+class TestCrashSafety:
+    """A crash mid-append must never lose previously recorded runs."""
+
+    def _seed(self, tmp_path, n=3):
+        path = str(tmp_path / "ledger.json")
+        for i in range(n):
+            append_run(
+                path, kind="solve", fingerprint="a" * 64,
+                work={"pairs": i},
+            )
+        return path
+
+    def test_crash_at_replace_keeps_old_ledger(self, tmp_path, monkeypatch):
+        path = self._seed(tmp_path)
+        real_replace = os.replace
+
+        def exploding_replace(src, dst):
+            if dst == path:
+                raise OSError("simulated crash at rename")
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        with pytest.raises(PersistError):
+            append_run(path, kind="solve", fingerprint="a" * 64)
+        monkeypatch.undo()
+        records = Ledger(path).read()
+        assert [r.run_id for r in records] == [1, 2, 3]
+
+    def test_crash_during_write_leaves_no_torn_ledger(self, tmp_path, monkeypatch):
+        path = self._seed(tmp_path)
+        calls = {"n": 0}
+        real_fsync = os.fsync
+
+        def exploding_fsync(fd):
+            calls["n"] += 1
+            raise OSError("simulated crash before durability")
+
+        monkeypatch.setattr(os, "fsync", exploding_fsync)
+        with pytest.raises(PersistError):
+            append_run(path, kind="solve", fingerprint="a" * 64)
+        monkeypatch.undo()
+        assert calls["n"] == 1
+        assert [r.run_id for r in Ledger(path).read()] == [1, 2, 3]
+        # the failed attempt left no stray tmp files behind
+        stray = [n for n in os.listdir(tmp_path) if ".tmp" in n]
+        assert stray == []
+
+    def test_corrupted_ledger_falls_back_to_prev(self, tmp_path):
+        path = self._seed(tmp_path)
+        append_run(path, kind="solve", fingerprint="a" * 64)  # rotates .prev
+        raw = open(path, encoding="utf-8").read()
+        open(path, "w", encoding="utf-8").write(raw[: len(raw) // 2])
+        records = Ledger(path).read()  # .prev carries runs 1..3
+        assert [r.run_id for r in records] == [1, 2, 3]
+
+
+class TestDiffRecords:
+    def test_detects_injected_regression(self):
+        base = _record(work={"safety.pairs_explored": 100, "states": 40})
+        new = _record(work={"safety.pairs_explored": 150, "states": 40})
+        diff = diff_records(base, new)
+        assert diff.regressed
+        assert diff.regressions == (("safety.pairs_explored", 100, 150),)
+        assert "REGRESSED" in diff.render_text()
+
+    def test_no_regression_when_equal_or_improved(self):
+        base = _record(work={"pairs": 100})
+        for value in (100, 80):
+            diff = diff_records(base, _record(work={"pairs": value}))
+            assert not diff.regressed
+            assert "no work regression" in diff.render_text()
+
+    def test_threshold_grants_headroom(self):
+        base = _record(work={"pairs": 100})
+        new = _record(work={"pairs": 104})
+        assert not diff_records(base, new, threshold=0.05).regressed
+        assert diff_records(base, new, threshold=0.03).regressed
+
+    def test_zero_baseline_regresses_on_any_increase(self):
+        diff = diff_records(
+            _record(work={"pairs": 0}),
+            _record(work={"pairs": 1}),
+            threshold=10.0,
+        )
+        assert diff.regressed
+
+    def test_one_sided_counters_never_regress(self):
+        diff = diff_records(
+            _record(work={"old": 5}), _record(work={"new": 9})
+        )
+        assert not diff.regressed
+        assert {name for name, *_ in diff.rows} == {"old", "new"}
+
+    def test_mismatched_fingerprints_rejected(self):
+        with pytest.raises(PersistError, match="different"):
+            diff_records(_record("a" * 64), _record("b" * 64))
+
+    def test_mismatched_kinds_rejected(self):
+        with pytest.raises(PersistError, match="kinds"):
+            diff_records(_record(kind="solve"), _record(kind="analyze"))
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            diff_records(_record(), _record(), threshold=-1.0)
+
+    def test_json_dict_shape(self):
+        diff = diff_records(
+            _record(work={"pairs": 1}), _record(work={"pairs": 2})
+        )
+        doc = diff.to_json_dict()
+        json.dumps(doc)
+        assert doc["regressed"] is True
+        assert doc["counters"][0]["name"] == "pairs"

@@ -171,3 +171,79 @@ class TestSpanRecord:
     def test_duration_property(self):
         record = SpanRecord(index=0, name="x", parent=None, start=1.0, end=3.5)
         assert record.duration == 2.5
+
+
+class TestNestedCollectors:
+    """use_collector must compose: nested and re-entrant scopes are legal.
+
+    The resilience sweep records per-cell solves while the CLI records the
+    whole run, so a collector is routinely installed inside another one.
+    """
+
+    def test_nested_collectors_record_independently(self):
+        outer = MetricsCollector()
+        inner = MetricsCollector()
+        with obs.use_collector(outer):
+            obs.add("n", 1)
+            with obs.use_collector(inner):
+                obs.add("n", 10)
+                obs.event("inner.only")
+            obs.add("n", 1)
+        assert outer.counters["n"] == 2
+        assert inner.counters["n"] == 10
+        assert [e.name for e in inner.events] == ["inner.only"]
+        assert outer.events == []
+        assert isinstance(obs.current_collector(), NullCollector)
+
+    def test_reentrant_same_collector(self):
+        collector = MetricsCollector()
+        with obs.use_collector(collector):
+            obs.add("n", 1)
+            with obs.use_collector(collector):
+                obs.add("n", 1)
+                with obs.use_collector(collector):
+                    obs.add("n", 1)
+            obs.add("n", 1)
+        assert collector.counters["n"] == 4
+        assert isinstance(obs.current_collector(), NullCollector)
+
+    def test_spans_survive_nested_scope_of_another_collector(self):
+        outer = MetricsCollector(clock=FakeClock())
+        with obs.use_collector(outer):
+            with obs.span("outer.work"):
+                with obs.use_collector(MetricsCollector()):
+                    with obs.span("inner.work"):
+                        pass
+        names = [s.name for s in outer.snapshot().spans]
+        assert names == ["outer.work"]
+
+    def test_inner_exception_restores_outer(self):
+        outer = MetricsCollector()
+        with obs.use_collector(outer):
+            with pytest.raises(RuntimeError):
+                with obs.use_collector(MetricsCollector()):
+                    raise RuntimeError("boom")
+            assert obs.current_collector() is outer
+            obs.add("after", 1)
+        assert outer.counters["after"] == 1
+
+
+class TestEvents:
+    def test_events_record_name_time_attrs(self):
+        collector = MetricsCollector(clock=FakeClock())
+        with obs.use_collector(collector):
+            obs.event("checkpoint.write", path="x.ckpt")
+            obs.event("interrupt", reason="sigint")
+        snap = collector.snapshot()
+        assert [e.name for e in snap.events] == ["checkpoint.write", "interrupt"]
+        assert snap.events[0].attrs == {"path": "x.ckpt"}
+        assert snap.events[0].ts < snap.events[1].ts
+
+    def test_event_is_noop_without_collector(self):
+        obs.event("nobody.listening", detail=1)  # must not raise
+
+    def test_events_count_toward_ops(self):
+        collector = MetricsCollector()
+        with obs.use_collector(collector):
+            obs.event("e")
+        assert collector.ops == 1

@@ -49,6 +49,8 @@ def _deterministic_snapshot():
                     obs.add("quotient.progress.pairs_checked", 6)
                 obs.add("quotient.progress.rounds", 1)
                 obs.gauge("quotient.progress.final_states", 4)
+            obs.event("checkpoint.write", path="run.ckpt", phase="progress")
+            obs.event("budget.exceeded", phase="progress", limit="max_pairs")
             sp.set(exists=True)
         collector.span_start("left_open")
     return collector.snapshot()
@@ -112,7 +114,7 @@ class TestChromeTrace:
         doc = snapshot.to_chrome_trace()
         assert doc["displayTimeUnit"] == "ms"
         events = doc["traceEvents"]
-        assert {e["ph"] for e in events} <= {"M", "X", "C"}
+        assert {e["ph"] for e in events} <= {"M", "X", "C", "i"}
         assert events[0]["ph"] == "M"  # process metadata first
         complete = [e for e in events if e["ph"] == "X"]
         assert len(complete) == len(snapshot.spans)
@@ -121,6 +123,20 @@ class TestChromeTrace:
             assert e["pid"] == 1 and e["tid"] == 1
         counters = [e for e in events if e["ph"] == "C"]
         assert len(counters) == len(snapshot.counters) + len(snapshot.gauges)
+
+    def test_instant_events(self, snapshot):
+        instants = [
+            e for e in snapshot.to_chrome_trace()["traceEvents"]
+            if e["ph"] == "i"
+        ]
+        assert [e["name"] for e in instants] == [
+            "checkpoint.write", "budget.exceeded",
+        ]
+        for e in instants:
+            assert e["s"] == "g"  # global scope: visible across the track
+            assert isinstance(e["ts"], int)
+            assert e["pid"] == 1 and e["tid"] == 1
+        assert instants[0]["args"] == {"path": "run.ckpt", "phase": "progress"}
 
 
 class TestAttrSafe:

@@ -218,3 +218,63 @@ class TestDisabledOverhead:
             f"{ops} obs calls x {per_call * 1e9:.0f} ns "
             f"= {ops * per_call * 1e3:.3f} ms vs solve {solve_time * 1e3:.1f} ms"
         )
+
+
+class TestSweepProgressOverhead:
+    def test_progress_streaming_overhead_under_5_percent(self, colocated):
+        """Bound the cost of an installed reporter over a resilience sweep.
+
+        Same non-flaky scheme as the disabled-path bound above: measure
+        (a) the sweep time, (b) how many charge ticks the sweep drives
+        into an installed reporter, and (c) the per-tick cost of the
+        reporter's rate-limited fast path, then check ticks x per-tick
+        stays under 5% of the sweep time.
+        """
+        from repro.faults import default_grid, evaluate_resilience
+        from repro.obs.progress import ProgressReporter, use_reporter
+
+        service = colocated.service
+        components = list(colocated.components)
+        int_events = colocated.interface.int_events
+        baseline = solve_quotient(
+            service, colocated.composite, int_events=int_events
+        )
+        assert baseline.exists and baseline.converter is not None
+        grid = [m for m in default_grid((1,)) if m.kind == "loss"]
+
+        def sweep():
+            return evaluate_resilience(
+                service,
+                components,
+                baseline.converter,
+                int_events=int_events,
+                grid=grid,
+            )
+
+        sweep()  # warm caches
+        t0 = time.perf_counter()
+        sweep()
+        sweep_time = time.perf_counter() - t0
+
+        # sink-less reporter with a huge interval: ticks take the fast path
+        counting = ProgressReporter(interval_s=1e9)
+        with use_reporter(counting):
+            sweep()
+        ticks = counting._charges
+        assert ticks > 0
+
+        probe = ProgressReporter(interval_s=1e9)
+        meter = type(
+            "M", (), {"phase": "safety", "pairs": 0, "states": 0,
+                      "elapsed": lambda self: 0.0},
+        )()
+        calls = 200_000
+        t0 = time.perf_counter()
+        for _ in range(calls):
+            probe.tick(meter)
+        per_tick = (time.perf_counter() - t0) / calls
+
+        assert ticks * per_tick < 0.05 * sweep_time, (
+            f"{ticks} ticks x {per_tick * 1e9:.0f} ns "
+            f"= {ticks * per_tick * 1e3:.3f} ms vs sweep {sweep_time * 1e3:.1f} ms"
+        )

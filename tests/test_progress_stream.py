@@ -1,0 +1,281 @@
+"""Tests for repro.obs.progress: the live progress stream.
+
+Covers the reporter in isolation (fake clock drives rate limiting
+deterministically), the module-level current-reporter plumbing, the
+budget-charge hook-in via ``make_meter``, and — the load-bearing
+guarantee — that ``--progress`` / ``--progress-json`` leave every byte
+of solver output unchanged (differential CLI test).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.progress import (
+    ProgressReporter,
+    current_reporter,
+    set_reporter,
+    use_reporter,
+)
+from repro.quotient.budget import Budget, make_meter
+
+DSL = """
+spec service
+    initial 0
+    0 -> 1 : acc
+    1 -> 0 : del
+end
+
+spec component
+    initial 0
+    0 -> 1 : acc
+    1 -> 2 : fwd
+    2 -> 0 : del
+end
+"""
+
+
+@pytest.fixture
+def dsl_file(tmp_path):
+    path = tmp_path / "specs.dsl"
+    path.write_text(DSL)
+    return str(path)
+
+
+class ManualClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def _reporter(clock, **kwargs):
+    kwargs.setdefault("jsonl", io.StringIO())
+    kwargs.setdefault("probe_every", 1)
+    kwargs.setdefault("interval_s", 1.0)
+    return ProgressReporter(clock=clock, **kwargs)
+
+
+def _events(reporter):
+    return [json.loads(line) for line in reporter._jsonl.getvalue().splitlines()]
+
+
+class FakeMeter:
+    """The duck-typed sliver of BudgetMeter the reporter observes."""
+
+    def __init__(self, phase="safety"):
+        self.phase = phase
+        self.pairs = 0
+        self.states = 0
+
+    def elapsed(self) -> float:
+        return 0.0
+
+
+class TestReporterUnit:
+    def test_phase_transition_emits_immediately(self):
+        clock = ManualClock()
+        reporter = _reporter(clock, interval_s=1000.0)
+        reporter.tick(FakeMeter("safety"))
+        events = _events(reporter)
+        assert events[0] == {"v": 1, "event": "phase", "phase": "safety"}
+
+    def test_heartbeat_rate_limited_by_interval(self):
+        clock = ManualClock()
+        reporter = _reporter(clock, interval_s=1.0)
+        meter = FakeMeter()
+        # interval has "elapsed" before the first charge, so it emits once,
+        # then stays quiet until the clock moves a full interval
+        for _ in range(10):
+            meter.pairs += 1
+            reporter.tick(meter)
+        assert reporter.heartbeats == 1
+        clock.advance(1.5)
+        meter.pairs += 1
+        reporter.tick(meter)
+        assert reporter.heartbeats == 2
+        beats = [e for e in _events(reporter) if e["event"] == "heartbeat"]
+        assert [b["pairs"] for b in beats] == [1, 11]
+
+    def test_probe_every_bounds_clock_reads(self):
+        reads = []
+
+        class CountingClock(ManualClock):
+            def __call__(self):
+                reads.append(1)
+                return self.now
+
+        clock = CountingClock()
+        reporter = _reporter(clock, probe_every=64, interval_s=0.0)
+        baseline = len(reads)
+        meter = FakeMeter()
+        for _ in range(640):
+            reporter.tick(meter)
+        # one read per probe (every 64 charges), not one per charge
+        assert len(reads) - baseline <= 640 // 64 + 1
+
+    def test_budget_fraction_tracks_most_consumed_dimension(self):
+        clock = ManualClock()
+        reporter = _reporter(clock, limits=Budget(max_pairs=100, max_states=10).to_json_dict())
+        assert reporter.budget_fraction(10, 2) == 0.2
+        assert reporter.budget_fraction(90, 1) == 0.9
+        assert reporter.budget_fraction(500, 500) == 1.0  # capped
+        assert _reporter(clock).budget_fraction(10, 10) is None
+
+    def test_checkpoint_and_note_events(self):
+        clock = ManualClock()
+        reporter = _reporter(clock)
+        reporter.note(cell="loss@2", cell_index=3)
+        reporter.checkpoint_written("run.ckpt")
+        events = _events(reporter)
+        assert events[0]["event"] == "note"
+        assert events[0]["cell"] == "loss@2"
+        assert events[1]["event"] == "checkpoint"
+        assert events[1]["path"] == "run.ckpt"
+        # note context sticks to subsequent events
+        assert events[1]["cell"] == "loss@2"
+
+    def test_finish_is_idempotent(self):
+        clock = ManualClock()
+        reporter = _reporter(clock)
+        reporter.finish("partial-budget")
+        reporter.finish("complete")
+        done = [e for e in _events(reporter) if e["event"] == "done"]
+        assert [e["outcome"] for e in done] == ["partial-budget"]
+
+    def test_human_line_mentions_phase_and_counts(self):
+        clock = ManualClock()
+        human = io.StringIO()
+        reporter = ProgressReporter(
+            human=human, clock=clock, probe_every=1, interval_s=0.0
+        )
+        meter = FakeMeter("safety")
+        meter.pairs, meter.states = 7, 3
+        clock.advance(1.0)
+        reporter.tick(meter, frontier=2)
+        text = human.getvalue()
+        assert "[safety]" in text
+        assert "7 pairs" in text
+        assert "frontier 2" in text
+
+    def test_rejects_bad_probe_every(self):
+        with pytest.raises(ValueError):
+            ProgressReporter(probe_every=0)
+
+
+class TestCurrentReporter:
+    def test_default_is_none(self):
+        assert current_reporter() is None
+
+    def test_use_reporter_installs_and_restores(self):
+        reporter = _reporter(ManualClock())
+        with use_reporter(reporter) as installed:
+            assert installed is reporter
+            assert current_reporter() is reporter
+        assert current_reporter() is None
+
+    def test_use_reporter_restores_on_error(self):
+        reporter = _reporter(ManualClock())
+        with pytest.raises(RuntimeError):
+            with use_reporter(reporter):
+                raise RuntimeError("boom")
+        assert current_reporter() is None
+
+    def test_set_reporter_returns_previous(self):
+        first = _reporter(ManualClock())
+        assert set_reporter(first) is None
+        assert set_reporter(None) is first
+
+
+class TestMeterIntegration:
+    def test_make_meter_creates_meter_for_reporter_alone(self):
+        assert make_meter(None, "safety") is None
+        with use_reporter(_reporter(ManualClock())):
+            meter = make_meter(None, "safety")
+            assert meter is not None
+            assert meter.progress is current_reporter()
+
+    def test_charges_flow_into_the_stream(self):
+        reporter = _reporter(
+            ManualClock(),
+            interval_s=0.0,
+            probe_every=1,
+            limits=Budget(max_pairs=100).to_json_dict(),
+        )
+        with use_reporter(reporter):
+            meter = make_meter(Budget(max_pairs=100), "safety")
+            for _ in range(3):
+                meter.charge(pairs=1, states=1, frontier=5)
+        beats = [e for e in _events(reporter) if e["event"] == "heartbeat"]
+        assert beats
+        assert beats[-1]["pairs"] == 3
+        assert beats[-1]["frontier"] == 5
+        assert beats[-1]["budget_fraction"] == 0.03
+
+
+class TestCliDifferential:
+    """--progress must never change what the solver prints."""
+
+    @pytest.mark.parametrize("fmt", ["text", "json"])
+    def test_solve_output_byte_identical(self, dsl_file, capsys, tmp_path, fmt):
+        base_args = ["solve", dsl_file, "service", "component", "--format", fmt]
+        assert main(base_args) == 0
+        plain = capsys.readouterr().out
+        stream = tmp_path / "progress.jsonl"
+        assert main(
+            base_args + ["--progress", "--progress-json", str(stream)]
+        ) == 0
+        withprog = capsys.readouterr()
+        assert withprog.out == plain
+        events = [
+            json.loads(line) for line in stream.read_text().splitlines()
+        ]
+        assert events[0]["event"] == "phase"
+        assert events[-1] == {
+            "v": 1,
+            "event": "done",
+            "outcome": "complete",
+            "elapsed_s": events[-1]["elapsed_s"],
+        }
+
+    def test_partial_budget_outcome_in_stream(self, dsl_file, capsys, tmp_path):
+        stream = tmp_path / "progress.jsonl"
+        code = main(
+            [
+                "solve", dsl_file, "service", "component",
+                "--budget-pairs", "1", "--progress-json", str(stream),
+            ]
+        )
+        assert code == 3
+        events = [json.loads(line) for line in stream.read_text().splitlines()]
+        assert events[-1]["event"] == "done"
+        assert events[-1]["outcome"] == "partial-budget"
+
+    def test_progress_streams_go_to_stderr_not_stdout(self, dsl_file, capsys):
+        assert main(
+            ["solve", dsl_file, "service", "component",
+             "--progress", "--progress-json", "-"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert '"event"' not in captured.out
+        assert '"event":"done"' in captured.err
+        assert "[done] complete" in captured.err
+
+    def test_resilience_notes_cells(self, dsl_file, capsys, tmp_path):
+        stream = tmp_path / "progress.jsonl"
+        assert main(
+            ["resilience", "--scenario", "colocated", "--severities", "1",
+             "--faults", "loss", "--progress-json", str(stream)]
+        ) == 0
+        events = [json.loads(line) for line in stream.read_text().splitlines()]
+        notes = [e for e in events if e["event"] == "note"]
+        assert notes and notes[0]["cell"].startswith("loss")
+        assert events[-1]["outcome"] == "complete"
