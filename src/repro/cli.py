@@ -195,6 +195,35 @@ def _budget_from_args(args: argparse.Namespace):
 
 
 # ----------------------------------------------------------------------
+# parallel flags (solve / resilience / analyze; see docs/performance.md)
+# ----------------------------------------------------------------------
+def _add_parallel_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("parallelism")
+    group.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="shard the kernel explorations across N worker processes "
+        "(default: REPRO_WORKERS, else 1 = sequential); the merge is "
+        "deterministic, so output is byte-identical at any N",
+    )
+
+
+def _workers_scope(args: argparse.Namespace):
+    """An ambient worker-count scope for the command body.
+
+    ``--workers`` wins; without it the ambient default (``REPRO_WORKERS``)
+    applies, so returning a null scope keeps env-driven runs working.
+    """
+    workers = getattr(args, "workers", None)
+    if workers is None:
+        return contextlib.nullcontext()
+    if workers < 1:
+        raise ReproError(f"--workers must be >= 1, got {workers}")
+    from .quotient.parallel import use_workers
+
+    return use_workers(workers)
+
+
+# ----------------------------------------------------------------------
 # checkpoint / resume / deadline flags (solve, resilience; docs/CLI.md)
 # ----------------------------------------------------------------------
 def _add_persist_arguments(parser: argparse.ArgumentParser) -> None:
@@ -608,7 +637,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     run_key = {"fingerprint": "", "label": ""}
 
     def body() -> int:
-        with _progress_scope(args, budget):
+        with _workers_scope(args), _progress_scope(args, budget):
             if args.scenario is not None:
                 scenario = _analyze_scenarios()[args.scenario]()
                 if args.ledger:
@@ -803,7 +832,8 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         budget = _budget_from_args(args)
         started = time.monotonic()
         try:
-            with _sigint_scope(interrupt), _progress_scope(args, budget):
+            with _sigint_scope(interrupt), _workers_scope(args), \
+                    _progress_scope(args, budget):
                 result = solve_quotient(
                     service,
                     component,
@@ -1011,7 +1041,7 @@ def _cmd_resilience(args: argparse.Namespace) -> int:
         if args.resume and args.checkpoint is None:
             raise ReproError("--resume requires --checkpoint FILE")
         started = time.monotonic()
-        with _progress_scope(args, budget) as reporter:
+        with _workers_scope(args), _progress_scope(args, budget) as reporter:
             try:
                 # the baseline derivation is not checkpointed here (a
                 # sweep's unit of resume is the cell), so its budget trips
@@ -1408,6 +1438,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="lowest severity that makes the exit code 2 (default error)",
     )
     _add_budget_arguments(p_an)
+    _add_parallel_arguments(p_an)
     _add_obs_arguments(p_an)
     _add_recorder_arguments(p_an)
     p_an.set_defaults(func=_cmd_analyze)
@@ -1450,6 +1481,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(which phase emptied the machine, pairs surviving safety)",
     )
     _add_budget_arguments(p_solve)
+    _add_parallel_arguments(p_solve)
     _add_persist_arguments(p_solve)
     _add_obs_arguments(p_solve)
     _add_recorder_arguments(p_solve)
@@ -1508,6 +1540,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="output format (default text)",
     )
     _add_budget_arguments(p_res)
+    _add_parallel_arguments(p_res)
     _add_persist_arguments(p_res)
     _add_obs_arguments(p_res)
     _add_recorder_arguments(p_res)

@@ -22,6 +22,7 @@ compilation.
 
 from __future__ import annotations
 
+import os
 from collections import OrderedDict, deque
 from typing import Iterator
 
@@ -34,13 +35,23 @@ __all__ = [
     "CompiledProblem",
     "compiled_problem",
     "problem_cache_clear",
+    "problem_cache_maxsize",
     "safety_explore_kernel",
     "progress_phase_kernel",
 ]
 
-#: Bound on the compiled-problem cache (each entry also pins the compiled
-#: service and component in the spec-level cache).
+#: Default bound on the compiled-problem cache (each entry also pins the
+#: compiled service and component in the spec-level cache).  Override with
+#: ``REPRO_KERNEL_CACHE`` (see :func:`problem_cache_maxsize`).
 PROBLEM_CACHE_MAXSIZE = 64
+
+#: Largest pair space (``|S_A| × |S_B|``) for which the Ext-closure keeps a
+#: preallocated byte-per-pair visited scratch; beyond it (64 MiB) the
+#: closure falls back to a hash set, trading speed for bounded memory.
+SCRATCH_LIMIT = 1 << 26
+
+#: Distinguishes "no cached successor batch" from a cached ``None`` (¬ok).
+_MISS = object()
 
 
 class CompiledProblem:
@@ -55,13 +66,21 @@ class CompiledProblem:
         "ca",
         "cb",
         "n_component",
+        "n_pairs",
         "psi",
+        "psi_flat",
+        "n_svc_events",
+        "lam_off",
+        "lam_tg",
         "menus",
         "int_events",
         "ext_moves_b",
         "int_moves_b",
         "int_moves_map_b",
         "ext_mask_b",
+        "_succ_codes",
+        "_int_seeds",
+        "_visited",
     )
 
     def __init__(self, problem: QuotientProblem) -> None:
@@ -71,7 +90,11 @@ class CompiledProblem:
         self.ca = ca
         self.cb = cb
         self.n_component = cb.n_states
+        self.n_pairs = ca.n_states * cb.n_states
         self.psi = ca.psi_table()
+        self.psi_flat = ca.psi_flat()
+        self.n_svc_events = ca.n_events
+        self.lam_off, self.lam_tg = cb.int_succ_csr()
         self.menus = ca.acceptance_menus()
 
         ext = problem.interface.ext_events
@@ -105,6 +128,17 @@ class CompiledProblem:
         self.int_moves_map_b = tuple(dict(moves) for moves in int_moves_b)
         self.ext_mask_b = tuple(ext_mask_b)
 
+        # Ext-closure scratch: a memoized successor batch per pair code
+        # (``None`` marks a ¬ok pair) and a byte-per-pair visited buffer
+        # reset after each closure, so the saturation loop allocates no
+        # per-call sets.  Pair spaces past SCRATCH_LIMIT keep the buffer
+        # unallocated and fall back to a hash set.
+        self._succ_codes: dict[int, tuple[int, ...] | None] = {}
+        self._int_seeds: dict[int, tuple[tuple[int, ...], ...]] = {}
+        self._visited = (
+            bytearray(self.n_pairs) if self.n_pairs <= SCRATCH_LIMIT else None
+        )
+
     # ------------------------------------------------------------------
     # pair-code helpers
     # ------------------------------------------------------------------
@@ -135,61 +169,141 @@ class CompiledProblem:
     # ------------------------------------------------------------------
     # the Ext-closure (h / φ saturation with the ok check)
     # ------------------------------------------------------------------
-    def ext_closure(self, seed: set[int]) -> frozenset[int] | None:
+    def _succ_for(self, code: int) -> tuple[int, ...] | None:
+        """The one-step successor codes of *code*, memoized (``None`` = ¬ok).
+
+        A pair's λ- and ψ-mirrored expansions depend only on the pair, and
+        the same codes recur across thousands of closure calls, so the
+        batch is computed once per code: the flat CSR λ buffer and the
+        flat ``ψ`` row replace the nested-tuple walk of the original loop.
+        """
+        nb = self.n_component
+        a, b = divmod(code, nb)
+        base = code - b
+        lam_off = self.lam_off
+        out = [base + b2 for b2 in self.lam_tg[lam_off[b]:lam_off[b + 1]]]
+        row_base = a * self.n_svc_events
+        psi_flat = self.psi_flat
+        result: tuple[int, ...] | None = None
+        for svc_eid, targets in self.ext_moves_b[b]:
+            a2 = psi_flat[row_base + svc_eid]
+            if a2 < 0:
+                # τ.b ∩ Ext ⊄ τ*.a — ok fails for any set containing (a, b)
+                break
+            base2 = a2 * nb
+            out.extend(base2 + b2 for b2 in targets)
+        else:
+            result = tuple(out)
+        self._succ_codes[code] = result
+        return result
+
+    def ext_closure(self, seed) -> frozenset[int] | None:
         """Saturate *seed* under B's λ steps and service-mirrored Ext events.
 
         Returns ``None`` when some reached pair ``(a, b)`` has ``B`` enabling
         an Ext event the service hub cannot perform (``¬ok``), mirroring
         :func:`repro.quotient.hmap.ext_closure`.
         """
-        nb = self.n_component
-        lam = self.cb.int_succ
-        ext_moves = self.ext_moves_b
-        psi = self.psi
-        closed = set(seed)
-        stack = list(closed)
+        succ_codes = self._succ_codes
+        visited = self._visited
+        touched: list[int] = []
+        stack: list[int] = []
+        if visited is not None:
+            for code in seed:
+                if not visited[code]:
+                    visited[code] = 1
+                    touched.append(code)
+                    stack.append(code)
+            ok = True
+            while stack:
+                code = stack.pop()
+                succs = succ_codes.get(code, _MISS)
+                if succs is _MISS:
+                    succs = self._succ_for(code)
+                if succs is None:
+                    ok = False
+                    break
+                for c2 in succs:
+                    if not visited[c2]:
+                        visited[c2] = 1
+                        touched.append(c2)
+                        stack.append(c2)
+            for code in touched:
+                visited[code] = 0
+            return frozenset(touched) if ok else None
+        # huge pair space: same loop over a hash set instead of the buffer
+        closed: set[int] = set()
+        for code in seed:
+            if code not in closed:
+                closed.add(code)
+                stack.append(code)
         while stack:
             code = stack.pop()
-            a, b = divmod(code, nb)
-            base = a * nb
-            for b2 in lam[b]:
-                c2 = base + b2
+            succs = succ_codes.get(code, _MISS)
+            if succs is _MISS:
+                succs = self._succ_for(code)
+            if succs is None:
+                return None
+            for c2 in succs:
                 if c2 not in closed:
                     closed.add(c2)
                     stack.append(c2)
-            row = psi[a]
-            for svc_eid, targets in ext_moves[b]:
-                a2 = row[svc_eid]
-                if a2 < 0:
-                    # τ.b ∩ Ext ⊄ τ*.a — ok fails for any set containing (a, b)
-                    return None
-                base2 = a2 * nb
-                for b2 in targets:
-                    c2 = base2 + b2
-                    if c2 not in closed:
-                        closed.add(c2)
-                        stack.append(c2)
         return frozenset(closed)
 
     def extend(self, codes: frozenset[int], int_idx: int) -> frozenset[int] | None:
         """``φ(J, e)`` over pair codes for the Int event at *int_idx*."""
-        nb = self.n_component
-        moves = self.int_moves_map_b
-        seed: set[int] = set()
+        int_seeds = self._int_seeds
+        seed: list[int] = []
         for code in codes:
-            b = code % nb
-            targets = moves[b].get(int_idx)
+            segments = int_seeds.get(code)
+            if segments is None:
+                segments = self._int_seeds_for(code)
+            targets = segments[int_idx]
             if targets:
-                base = code - b
-                for b2 in targets:
-                    seed.add(base + b2)
+                seed.extend(targets)
         return self.ext_closure(seed)
+
+    def _int_seeds_for(self, code: int) -> tuple[tuple[int, ...], ...]:
+        """Per Int event, the φ seed codes contributed by *code* (memoized).
+
+        ``extend`` runs once per (pair set, event) and iterates the whole
+        set each time; batching a code's shifted targets for **all** Int
+        events in one cached row turns that inner loop into a dict hit
+        and a tuple index.
+        """
+        b = code % self.n_component
+        base = code - b
+        row = self.int_moves_map_b[b]
+        segments = tuple(
+            tuple(base + b2 for b2 in row[k]) if k in row else ()
+            for k in range(len(self.int_events))
+        )
+        self._int_seeds[code] = segments
+        return segments
 
 
 # ----------------------------------------------------------------------
 # the bounded problem cache
 # ----------------------------------------------------------------------
 _PROBLEM_CACHE: OrderedDict[QuotientProblem, CompiledProblem] = OrderedDict()
+
+
+def problem_cache_maxsize() -> int:
+    """The problem-cache bound: ``REPRO_KERNEL_CACHE`` or the default.
+
+    Read per call so long-lived hosts can tune the bound without a
+    restart; anything unparsable or below 1 falls back to
+    :data:`PROBLEM_CACHE_MAXSIZE`.
+    """
+    raw = os.environ.get("REPRO_KERNEL_CACHE")
+    if raw:
+        try:
+            value = int(raw)
+        except ValueError:
+            return PROBLEM_CACHE_MAXSIZE
+        if value >= 1:
+            return value
+    return PROBLEM_CACHE_MAXSIZE
 
 
 def compiled_problem(problem: QuotientProblem) -> CompiledProblem:
@@ -202,8 +316,10 @@ def compiled_problem(problem: QuotientProblem) -> CompiledProblem:
     obs.add("kernel.problem_cache_misses", 1)
     entry = CompiledProblem(problem)
     _PROBLEM_CACHE[problem] = entry
-    if len(_PROBLEM_CACHE) > PROBLEM_CACHE_MAXSIZE:
+    maxsize = problem_cache_maxsize()
+    while len(_PROBLEM_CACHE) > maxsize:
         _PROBLEM_CACHE.popitem(last=False)
+        obs.add("kernel.problem_cache_evictions", 1)
     return entry
 
 
@@ -231,7 +347,19 @@ def safety_explore_kernel(
     a snapshot in the reference (pair-set) representation — checkpoints
     are path-independent — re-encoded here through the bijective
     ``encode_pair``.
+
+    When the ambient worker count (``--workers`` / ``REPRO_WORKERS`` /
+    :func:`repro.quotient.parallel.use_workers`) is above 1, the
+    extension work is farmed to a process pool with a byte-identical
+    merge; at 1 the pool machinery is bypassed entirely.
     """
+    from .parallel import effective_workers, safety_explore_parallel
+
+    workers = effective_workers()
+    if workers > 1:
+        return safety_explore_parallel(
+            problem, meter, resume=resume, workers=workers
+        )
     cp = compiled_problem(problem)
     int_events = cp.int_events
     n_events = len(int_events)
@@ -322,25 +450,26 @@ def safety_explore_kernel(
 # ----------------------------------------------------------------------
 # progress phase (Fig. 6) over interned converter states
 # ----------------------------------------------------------------------
-def _round_tau_star(
+def _adjacency_from(
     cp: CompiledProblem,
     succ_c: tuple[dict[int, tuple[int, ...]], ...],
-    alive: set[int],
+    alive,
     n_converter: int,
-    needed: list[int],
-) -> dict[int, int]:
-    """``τ*.⟨b, c⟩`` event masks for the requested product nodes.
+    seeds,
+) -> dict[int, tuple[int, ...]]:
+    """The internal product subgraph reachable from *seeds*.
 
-    Node code is ``b_id * n_converter + ci``.  Mirrors
-    ``_composite_tau_star_impl``: one shared exploration of the internal
-    subgraph, Tarjan condensation, Ext-event propagation children-first.
+    Node code is ``b_id * n_converter + ci``; each node's successor batch
+    is a pure function of the node (given the round's ``succ_c``/``alive``
+    context), so shards crawling from disjoint seed sets produce
+    pointwise-identical entries and merge by plain dict union — the
+    property the parallel progress phase relies on.
     """
     lam = cp.cb.int_succ
     int_moves_b = cp.int_moves_b
-    ext_mask_b = cp.ext_mask_b
     m = n_converter
 
-    def successors(node: int) -> list[int]:
+    def successors(node: int) -> tuple[int, ...]:
         b, ci = divmod(node, m)
         result: list[int] = []
         for b2 in lam[b]:
@@ -354,10 +483,10 @@ def _round_tau_star(
                 if cj in alive:
                     for b2 in targets:
                         result.append(b2 * m + cj)
-        return result
+        return tuple(result)
 
-    adjacency: dict[int, list[int]] = {}
-    stack = list(dict.fromkeys(needed))
+    adjacency: dict[int, tuple[int, ...]] = {}
+    stack = list(seeds)
     while stack:
         node = stack.pop()
         if node in adjacency:
@@ -367,6 +496,24 @@ def _round_tau_star(
         for nxt in succs:
             if nxt not in adjacency:
                 stack.append(nxt)
+    return adjacency
+
+
+def _tau_star_from_adjacency(
+    cp: CompiledProblem,
+    adjacency: dict[int, tuple[int, ...]],
+    n_converter: int,
+) -> dict[int, int]:
+    """``τ*.⟨b, c⟩`` event masks for every node of a closed *adjacency*.
+
+    Mirrors ``_composite_tau_star_impl``: Tarjan condensation of the
+    internal subgraph, then Ext-event propagation children-first.  The
+    result (and the emitted node/SCC counters) depends only on the graph,
+    not on the dict's insertion order, so sequential and merged-shard
+    adjacencies yield identical masks.
+    """
+    ext_mask_b = cp.ext_mask_b
+    m = n_converter
 
     index: dict[int, int] = {}
     lowlink: dict[int, int] = {}
@@ -433,6 +580,20 @@ def _round_tau_star(
     return {node: scc_events[scc_of[node]] for node in adjacency}
 
 
+def _round_tau_star(
+    cp: CompiledProblem,
+    succ_c: tuple[dict[int, tuple[int, ...]], ...],
+    alive: set[int],
+    n_converter: int,
+    needed: list[int],
+) -> dict[int, int]:
+    """``τ*.⟨b, c⟩`` event masks for the requested product nodes."""
+    adjacency = _adjacency_from(
+        cp, succ_c, alive, n_converter, list(dict.fromkeys(needed))
+    )
+    return _tau_star_from_adjacency(cp, adjacency, n_converter)
+
+
 def progress_phase_kernel(problem, c0, f, meter=None, resume=None):
     """The Fig. 6 loop over interned ids; see ``progress_phase``.
 
@@ -487,66 +648,93 @@ def progress_phase_kernel(problem, c0, f, meter=None, resume=None):
     def snap() -> dict:
         return {"rounds": tuple(rounds)}
 
-    with obs.span("progress_phase") as phase_span:
-        while True:
-            with obs.span("progress_round", round=len(rounds)) as round_span:
-                needed: list[int] = []
-                for ci in alive:
-                    base = ci
-                    for code in pairs_of[ci]:
-                        needed.append((code % nb) * m + base)
-                if meter is not None:
-                    meter.charge(
-                        pairs=len(needed), frontier=len(alive), snapshot=snap
-                    )
-                with obs.span("tau_star", pairs=len(needed)):
-                    offered = _round_tau_star(cp, succ_c, alive, m, needed)
+    from .parallel import (
+        _emit_executor_stats,
+        _make_executor,
+        effective_workers,
+        parallel_round_adjacency,
+    )
 
-                bad: set[int] = set()
-                for ci in alive:
-                    for code in pairs_of[ci]:
-                        off = offered[(code % nb) * m + ci]
-                        menu = menus[code // nb]
-                        if not any(accept & off == accept for accept in menu):
-                            bad.add(ci)
-                            break
-                rounds.append(
-                    ProgressRound(
-                        round_index=len(rounds),
-                        bad_states=frozenset(c_states[ci] for ci in bad),
+    workers = effective_workers()
+    executor = None
+
+    def round_offered(needed: list[int]) -> dict[int, int]:
+        """The round's ``τ*`` masks — sharded when workers are active."""
+        nonlocal executor
+        if workers > 1:
+            if executor is None:
+                executor = _make_executor(problem, workers)
+            adjacency = parallel_round_adjacency(
+                executor, succ_c, alive, m, needed, len(rounds)
+            )
+            return _tau_star_from_adjacency(cp, adjacency, m)
+        return _round_tau_star(cp, succ_c, alive, m, needed)
+
+    try:
+        with obs.span("progress_phase") as phase_span:
+            while True:
+                with obs.span("progress_round", round=len(rounds)) as round_span:
+                    needed: list[int] = []
+                    for ci in alive:
+                        base = ci
+                        for code in pairs_of[ci]:
+                            needed.append((code % nb) * m + base)
+                    if meter is not None:
+                        meter.charge(
+                            pairs=len(needed), frontier=len(alive), snapshot=snap
+                        )
+                    with obs.span("tau_star", pairs=len(needed)):
+                        offered = round_offered(needed)
+
+                    bad: set[int] = set()
+                    for ci in alive:
+                        for code in pairs_of[ci]:
+                            off = offered[(code % nb) * m + ci]
+                            menu = menus[code // nb]
+                            if not any(accept & off == accept for accept in menu):
+                                bad.add(ci)
+                                break
+                    rounds.append(
+                        ProgressRound(
+                            round_index=len(rounds),
+                            bad_states=frozenset(c_states[ci] for ci in bad),
+                            remaining=len(alive) - len(bad),
+                        )
+                    )
+                    round_span.set(
+                        pairs_checked=len(needed),
+                        bad=len(bad),
                         remaining=len(alive) - len(bad),
                     )
-                )
-                round_span.set(
-                    pairs_checked=len(needed),
-                    bad=len(bad),
-                    remaining=len(alive) - len(bad),
-                )
-                obs.add("quotient.progress.rounds", 1)
-                obs.add("quotient.progress.pairs_checked", len(needed))
-                obs.add("quotient.progress.bad_states_removed", len(bad))
-            if not bad:
-                phase_span.set(exists=True, rounds=len(rounds))
-                obs.gauge("quotient.progress.final_states", len(alive))
-                if len(rounds) == 1:
-                    spec = c0
-                else:
-                    keep = {c_states[ci] for ci in alive}
-                    spec = Specification(
-                        c0.name,
-                        keep,
-                        c0.alphabet,
-                        (
-                            (s, e, s2)
-                            for s, e, s2 in c0.external
-                            if s in keep and s2 in keep
-                        ),
-                        (),
-                        c0.initial,
-                    )
-                return ProgressPhaseResult(spec=spec, rounds=tuple(rounds))
-            if initial_ci in bad or len(bad) == len(alive):
-                phase_span.set(exists=False, rounds=len(rounds))
-                obs.gauge("quotient.progress.final_states", 0)
-                return ProgressPhaseResult(spec=None, rounds=tuple(rounds))
-            alive -= bad
+                    obs.add("quotient.progress.rounds", 1)
+                    obs.add("quotient.progress.pairs_checked", len(needed))
+                    obs.add("quotient.progress.bad_states_removed", len(bad))
+                if not bad:
+                    phase_span.set(exists=True, rounds=len(rounds))
+                    obs.gauge("quotient.progress.final_states", len(alive))
+                    if len(rounds) == 1:
+                        spec = c0
+                    else:
+                        keep = {c_states[ci] for ci in alive}
+                        spec = Specification(
+                            c0.name,
+                            keep,
+                            c0.alphabet,
+                            (
+                                (s, e, s2)
+                                for s, e, s2 in c0.external
+                                if s in keep and s2 in keep
+                            ),
+                            (),
+                            c0.initial,
+                        )
+                    return ProgressPhaseResult(spec=spec, rounds=tuple(rounds))
+                if initial_ci in bad or len(bad) == len(alive):
+                    phase_span.set(exists=False, rounds=len(rounds))
+                    obs.gauge("quotient.progress.final_states", 0)
+                    return ProgressPhaseResult(spec=None, rounds=tuple(rounds))
+                alive -= bad
+    finally:
+        if executor is not None:
+            executor.close()
+            _emit_executor_stats(executor)

@@ -1,0 +1,466 @@
+"""Sharded parallel state-space exploration with a deterministic merge.
+
+The quotient's two explorations — the Fig. 5 safety frontier and the
+per-round ``τ*`` crawl of the Fig. 6 progress phase — bottom out in pure
+functions of individual work units: every Int-event extension of a pair
+set, and every product node's successor batch, depends only on its inputs.
+This module farms those units out to a :mod:`multiprocessing` pool while
+the coordinating process replays the **exact sequential merge order**, so
+every observable output — converter, counterexamples, deterministic work
+counters, budget trip points, checkpoints — is byte-identical to the
+single-threaded kernel at any worker count.
+
+Design:
+
+* **Speculative fan-out, canonical merge.**  The safety loop submits each
+  *discovered* pair-set state to the pool immediately (one task computes
+  all of its Int-event extensions), but consumes results in FIFO worklist
+  order — the sequential order.  The coordinator is the only process that
+  touches the meter, the worklist, and the snapshot closure, so charges,
+  trips, and checkpoints land on the same unit of work as the sequential
+  loop.
+* **Work-stealing.**  Tasks sit in a coordinator-side backlog and are fed
+  to the pool a bounded window at a time; idle workers drain the shared
+  queue (stealing from each other), and when the coordinator needs a
+  result whose task has not yet been handed over, it steals the unit back
+  and computes it inline rather than stalling.  Stolen units are charged
+  through :meth:`~repro.quotient.budget.BudgetMeter.charge_unit`, whose
+  per-unit dedup makes double submission harmless.
+* **Sharded τ*.**  A progress round's seed nodes are split round-robin
+  into per-worker chunks; each shard crawls its reachable subgraph, and
+  because successor batches are pure, the union of the shard adjacencies
+  *is* the sequential adjacency.  Tarjan condensation and the bad-state
+  check stay in the coordinator.
+
+Workers are spawned once per phase with the pickled
+:class:`~repro.quotient.types.QuotientProblem` and compile it in their
+initializer; tasks then ship only pair codes.  Scheduling statistics are
+aggregated into ``obs`` as ``kernel.parallel.*`` — those counters reflect
+timing (how much was stolen vs pooled) and are the only outputs allowed
+to vary across runs.
+
+Worker counts come from ``--workers N`` / ``REPRO_WORKERS`` through
+:func:`use_workers`; ``workers <= 1`` never touches this module (the
+phase kernels bypass the pool entirely — see ``tests/test_parallel_kernel.py``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from collections import deque
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+from .. import obs
+from .types import PairSet, QuotientProblem
+
+__all__ = [
+    "ShardExecutor",
+    "SerialExecutor",
+    "default_workers",
+    "effective_workers",
+    "use_workers",
+    "safety_explore_parallel",
+    "parallel_round_adjacency",
+]
+
+#: How many tasks beyond the worker count are kept in flight per worker.
+#: Larger windows hide result latency; smaller ones keep more of the
+#: backlog stealable by the coordinator.
+PIPELINE_DEPTH = 8
+
+
+# ----------------------------------------------------------------------
+# worker-count configuration (CLI --workers / REPRO_WORKERS / context)
+# ----------------------------------------------------------------------
+_ACTIVE: int | None = None
+
+
+def default_workers() -> int:
+    """The ambient worker count: ``REPRO_WORKERS`` or 1 (sequential)."""
+    raw = os.environ.get("REPRO_WORKERS")
+    if raw:
+        try:
+            value = int(raw)
+        except ValueError:
+            return 1
+        if value >= 1:
+            return value
+    return 1
+
+
+def effective_workers() -> int:
+    """The worker count the phase kernels should dispatch on."""
+    return _ACTIVE if _ACTIVE is not None else default_workers()
+
+
+@contextmanager
+def use_workers(workers: int | None) -> Iterator[None]:
+    """Scope an explicit worker count (``None`` defers to the ambient one)."""
+    global _ACTIVE
+    if workers is not None and workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers!r}")
+    previous = _ACTIVE
+    _ACTIVE = workers
+    try:
+        yield
+    finally:
+        _ACTIVE = previous
+
+
+# ----------------------------------------------------------------------
+# worker-process side: one compiled problem per process, pure task fns
+# ----------------------------------------------------------------------
+_WORKER_CP = None
+
+
+def _init_worker(problem: QuotientProblem) -> None:
+    """Pool initializer: compile the problem once in this worker."""
+    global _WORKER_CP
+    from .kernel import CompiledProblem
+
+    _WORKER_CP = CompiledProblem(problem)
+
+
+def _safety_state_task(codes: frozenset[int]):
+    """All Int-event extensions of one safety pair-set state."""
+    cp = _WORKER_CP
+    return tuple(cp.extend(codes, k) for k in range(len(cp.int_events)))
+
+
+def _progress_chunk_task(ctx, seeds):
+    """The internal product subgraph reachable from one seed shard."""
+    from .kernel import _adjacency_from
+
+    succ_c, alive, m = ctx
+    return _adjacency_from(_WORKER_CP, succ_c, alive, m, seeds)
+
+
+def _run_local(cp, kind: str, args):
+    """Coordinator-side (steal-back) evaluation of one task."""
+    if kind == "safety":
+        (codes,) = args
+        return tuple(cp.extend(codes, k) for k in range(len(cp.int_events)))
+    if kind == "adjacency":
+        from .kernel import _adjacency_from
+
+        ctx, seeds = args
+        succ_c, alive, m = ctx
+        return _adjacency_from(cp, succ_c, alive, m, seeds)
+    raise ValueError(f"unknown task kind {kind!r}")
+
+
+_TASK_FNS: dict[str, Callable] = {
+    "safety": _safety_state_task,
+    "adjacency": _progress_chunk_task,
+}
+
+
+# ----------------------------------------------------------------------
+# executors
+# ----------------------------------------------------------------------
+class ShardExecutor:
+    """Work-stealing task executor over a multiprocessing pool.
+
+    Tasks enter a coordinator-side backlog; :meth:`_pump` keeps a bounded
+    window of them in the pool's shared queue (idle workers steal from
+    that queue), and :meth:`result` either consumes a pool result or
+    steals a still-backlogged unit back for inline evaluation.  The
+    executor never reorders anything the caller observes: results are
+    handed back for exactly the key requested.
+    """
+
+    def __init__(
+        self,
+        problem: QuotientProblem,
+        workers: int,
+        *,
+        start_method: str | None = None,
+    ) -> None:
+        from .kernel import compiled_problem
+
+        self._cp = compiled_problem(problem)
+        self.workers = workers
+        self._backlog: deque = deque()
+        self._payload: dict = {}
+        self._inflight: dict = {}
+        self._done: dict = {}
+        self._high_water = workers * PIPELINE_DEPTH
+        self.stats = {"tasks": 0, "stolen": 0, "pool_results": 0}
+        method = start_method or os.environ.get("REPRO_MP_START") or "fork"
+        if method not in multiprocessing.get_all_start_methods():
+            method = multiprocessing.get_start_method()
+        ctx = multiprocessing.get_context(method)
+        self._pool = ctx.Pool(
+            workers, initializer=_init_worker, initargs=(problem,)
+        )
+
+    def submit(self, key, kind: str, args) -> None:
+        self._payload[key] = (kind, args)
+        self._backlog.append(key)
+        self._pump()
+
+    def _pump(self) -> None:
+        inflight = self._inflight
+        if inflight:
+            finished = [k for k, fut in inflight.items() if fut.ready()]
+            for k in finished:
+                self._done[k] = inflight.pop(k).get()
+                self._payload.pop(k, None)
+                self.stats["pool_results"] += 1
+        backlog = self._backlog
+        while backlog and len(inflight) < self._high_water:
+            key = backlog.popleft()
+            kind, args = self._payload[key]
+            inflight[key] = self._pool.apply_async(_TASK_FNS[kind], args)
+            self.stats["tasks"] += 1
+
+    def result(self, key):
+        if key in self._done:
+            out = self._done.pop(key)
+            self._pump()
+            return out
+        fut = self._inflight.pop(key, None)
+        if fut is not None:
+            out = fut.get()
+            self._payload.pop(key, None)
+            self.stats["pool_results"] += 1
+            self._pump()
+            return out
+        # not yet handed to the pool: steal the unit back and run inline
+        self._backlog.remove(key)
+        kind, args = self._payload.pop(key)
+        self.stats["stolen"] += 1
+        out = _run_local(self._cp, kind, args)
+        self._pump()
+        return out
+
+    def close(self) -> None:
+        # speculative tasks may still be queued; drop them, don't drain
+        self._pool.terminate()
+        self._pool.join()
+
+
+class SerialExecutor:
+    """In-process executor with the same interface (tests, fallbacks).
+
+    Evaluates every task lazily at :meth:`result` time in the coordinator
+    — behaviourally the "everything got stolen back" schedule — so the
+    differential suite can drive the parallel merge loops over hundreds
+    of random problems without paying process spawns.
+    """
+
+    def __init__(self, problem: QuotientProblem, workers: int = 1) -> None:
+        from .kernel import compiled_problem
+
+        self._cp = compiled_problem(problem)
+        self.workers = workers
+        self._payload: dict = {}
+        self.stats = {"tasks": 0, "stolen": 0, "pool_results": 0}
+
+    def submit(self, key, kind: str, args) -> None:
+        self._payload[key] = (kind, args)
+
+    def result(self, key):
+        kind, args = self._payload.pop(key)
+        self.stats["stolen"] += 1
+        return _run_local(self._cp, kind, args)
+
+    def close(self) -> None:
+        self._payload.clear()
+
+
+_EXECUTOR_FACTORY: Callable | None = None
+
+
+@contextmanager
+def _use_executor_factory(factory: Callable | None) -> Iterator[None]:
+    """Swap the executor construction point (differential tests)."""
+    global _EXECUTOR_FACTORY
+    previous = _EXECUTOR_FACTORY
+    _EXECUTOR_FACTORY = factory
+    try:
+        yield
+    finally:
+        _EXECUTOR_FACTORY = previous
+
+
+def _make_executor(problem: QuotientProblem, workers: int):
+    """The single creation point for phase executors (patched by tests)."""
+    if _EXECUTOR_FACTORY is not None:
+        return _EXECUTOR_FACTORY(problem, workers)
+    return ShardExecutor(problem, workers)
+
+
+def _emit_executor_stats(executor) -> None:
+    """Aggregate one phase executor's scheduling counters into obs.
+
+    These are the only parallel outputs that may differ run to run (they
+    reflect worker timing); every result-bearing output stays canonical.
+    """
+    obs.gauge("kernel.parallel.workers", executor.workers)
+    obs.add("kernel.parallel.tasks", executor.stats["tasks"])
+    obs.add("kernel.parallel.stolen", executor.stats["stolen"])
+    obs.add("kernel.parallel.pool_results", executor.stats["pool_results"])
+
+
+# ----------------------------------------------------------------------
+# safety phase (Fig. 5): speculative fan-out, sequential-order merge
+# ----------------------------------------------------------------------
+def safety_explore_parallel(
+    problem: QuotientProblem,
+    meter=None,
+    resume: dict | None = None,
+    workers: int = 2,
+) -> tuple[PairSet | None, set[PairSet], list[tuple[PairSet, str, PairSet]], int, int]:
+    """The Fig. 5 exploration with pooled extensions; sequential semantics.
+
+    Mirrors :func:`repro.quotient.kernel.safety_explore_kernel` unit for
+    unit: the worklist, the charge sites, the snapshot closure, and the
+    returned representation are identical — only the evaluation of
+    ``φ``-extensions moves to the pool.  Charges go through
+    :meth:`~repro.quotient.budget.BudgetMeter.charge_unit` keyed on
+    ``(pair_codes, event_index)``, so a unit that is both stolen back and
+    later delivered by the pool is still charged exactly once.
+    """
+    from .kernel import compiled_problem
+
+    cp = compiled_problem(problem)
+    int_events = cp.int_events
+    n_events = len(int_events)
+    executor = _make_executor(problem, workers)
+    try:
+        if resume is None:
+            start_codes = cp.ext_closure(
+                [cp.ca.initial * cp.n_component + cp.cb.initial]
+            )
+            if start_codes is None:
+                if meter is not None:
+                    meter.charge_unit("init", pairs=1)
+                return None, set(), [], 1, 1
+            start = cp.decode_pairs(start_codes)
+            explored = 1
+            rejected = 0
+            decoded: dict[frozenset[int], PairSet] = {start_codes: start}
+            states: set[PairSet] = {start}
+            transitions: list[tuple[PairSet, str, PairSet]] = []
+            seen: set[frozenset[int]] = {start_codes}
+            worklist: deque[frozenset[int]] = deque([start_codes])
+            current: frozenset[int] | None = None
+            next_event = 0
+            executor.submit(start_codes, "safety", (start_codes,))
+        else:
+            def encode(label: PairSet) -> frozenset[int]:
+                return frozenset(cp.encode_pair(pair) for pair in label)
+
+            start = resume["start"]
+            explored = resume["explored"]
+            rejected = resume["rejected"]
+            states = set(resume["states"])
+            transitions = list(resume["transitions"])
+            decoded = {}
+            seen = set()
+            for label in states:
+                codes = encode(label)
+                decoded[codes] = label
+                seen.add(codes)
+            worklist = deque(encode(label) for label in resume["worklist"])
+            resumed_current = resume["current"]
+            current = None if resumed_current is None else encode(resumed_current)
+            next_event = resume["next_event"]
+            if current is not None:
+                executor.submit(current, "safety", (current,))
+            for codes in worklist:
+                executor.submit(codes, "safety", (codes,))
+
+        def snap() -> dict:
+            return {
+                "start": start,
+                "current": None if current is None else decoded[current],
+                "next_event": next_event,
+                "states": set(states),
+                "worklist": [decoded[codes] for codes in worklist],
+                "transitions": list(transitions),
+                "explored": explored,
+                "rejected": rejected,
+            }
+
+        if resume is None and meter is not None:
+            meter.charge_unit("init", pairs=1, states=1, snapshot=snap)
+        current_results: tuple | None = (
+            executor.result(current) if current is not None else None
+        )
+        while True:
+            if current is None or next_event >= n_events:
+                if not worklist:
+                    break
+                current = worklist.popleft()
+                current_results = executor.result(current)
+                next_event = 0
+                continue
+            int_idx = next_event
+            candidate = current_results[int_idx]
+            explored += 1
+            next_event += 1
+            added = 0
+            if candidate is None:
+                rejected += 1
+            else:
+                label = decoded.get(candidate)
+                if label is None:
+                    label = cp.decode_pairs(candidate)
+                    decoded[candidate] = label
+                if candidate not in seen:
+                    seen.add(candidate)
+                    states.add(label)
+                    worklist.append(candidate)
+                    added = 1
+                    executor.submit(candidate, "safety", (candidate,))
+                transitions.append((decoded[current], int_events[int_idx], label))
+            if meter is not None:
+                meter.charge_unit(
+                    (current, int_idx),
+                    pairs=1,
+                    states=added,
+                    frontier=len(worklist),
+                    snapshot=snap,
+                )
+        return start, states, transitions, explored, rejected
+    finally:
+        executor.close()
+        _emit_executor_stats(executor)
+
+
+# ----------------------------------------------------------------------
+# progress phase (Fig. 6): sharded τ* adjacency crawl
+# ----------------------------------------------------------------------
+def parallel_round_adjacency(
+    executor,
+    succ_c,
+    alive,
+    n_converter: int,
+    needed: list[int],
+    round_index: int,
+) -> dict[int, tuple[int, ...]]:
+    """One round's product adjacency, crawled in per-worker shards.
+
+    Seeds are split round-robin into ``workers * 2`` chunks (deterministic
+    for a given round, independent of scheduling); each shard returns the
+    subgraph reachable from its seeds, and the union is exactly the
+    adjacency the sequential crawl builds, because successor batches are
+    pure functions of their node.
+    """
+    seeds = list(dict.fromkeys(needed))
+    if not seeds:
+        return {}
+    n_chunks = max(1, min(len(seeds), executor.workers * 2))
+    ctx = (succ_c, frozenset(alive), n_converter)
+    for i in range(n_chunks):
+        executor.submit(
+            ("adj", round_index, i), "adjacency", (ctx, tuple(seeds[i::n_chunks]))
+        )
+    merged: dict[int, tuple[int, ...]] = {}
+    for i in range(n_chunks):
+        merged.update(executor.result(("adj", round_index, i)))
+    return merged

@@ -52,6 +52,7 @@ def solve_quotient(
     budget: Budget | None = None,
     interrupt: "InterruptController | None" = None,
     resume_from: "Checkpoint | None" = None,
+    workers: int | None = None,
 ) -> QuotientResult:
     """Compute the quotient ``service / component``.
 
@@ -110,6 +111,14 @@ def solve_quotient(
         :class:`~repro.errors.LintError` (rule ``QUOT104``).  Budgets are
         per-run: the resumed run charges fresh meters, so pass a larger
         budget (or none) or the same limit will trip again.
+    workers:
+        Shard the kernel explorations across this many worker processes
+        (see :mod:`repro.quotient.parallel`).  The merge is
+        deterministic, so any worker count — including resuming a
+        checkpoint under a different one — produces byte-identical
+        results.  ``None`` defers to the ambient count
+        (``REPRO_WORKERS`` / :func:`~repro.quotient.parallel.use_workers`,
+        default sequential); ``1`` forces the sequential kernel.
 
     Returns
     -------
@@ -120,7 +129,12 @@ def solve_quotient(
         pair set.  When an :mod:`repro.obs` collector is recording,
         ``result.stats`` carries the collected metrics snapshot.
     """
-    with obs.span(
+    from contextlib import nullcontext
+
+    from .parallel import use_workers
+
+    scope = use_workers(workers) if workers is not None else nullcontext()
+    with scope, obs.span(
         "solve_quotient", service=service.name, component=component.name
     ) as sp:
         result = _solve(

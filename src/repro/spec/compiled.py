@@ -36,6 +36,7 @@ to the same labeled specifications at the boundary (see
 from __future__ import annotations
 
 import os
+from array import array
 from collections import OrderedDict
 from contextlib import contextmanager
 from typing import Iterator
@@ -387,6 +388,45 @@ class CompiledSpec:
                 for i in range(self.n_states)
             )
             self._memo["acceptance_menus"] = cached
+        return cached  # type: ignore[return-value]
+
+    def int_succ_csr(self) -> tuple[memoryview, memoryview]:
+        """``λ`` adjacency in CSR form, as flat ``array('q')`` memoryviews.
+
+        Returns ``(offsets, targets)``: the λ-successors of state ``i``
+        are ``targets[offsets[i]:offsets[i + 1]]``, ascending.  The flat
+        form trades the per-state tuple indirection of :attr:`int_succ`
+        for two contiguous buffers, so hot loops (the quotient kernel's
+        Ext-closure, the product τ* crawl) read successors with plain
+        integer slicing instead of chasing nested objects.
+        """
+        cached = self._memo.get("int_succ_csr")
+        if cached is None:
+            offsets = array("q", [0])
+            targets = array("q")
+            total = 0
+            for succ in self.int_succ:
+                total += len(succ)
+                offsets.append(total)
+                targets.extend(succ)
+            cached = (memoryview(offsets), memoryview(targets))
+            self._memo["int_succ_csr"] = cached
+        return cached  # type: ignore[return-value]
+
+    def psi_flat(self) -> memoryview:
+        """The ``ψ`` table flattened row-major into one ``array('q')``.
+
+        ``psi_flat()[a * n_events + e]`` equals ``psi_table()[a][e]``
+        (``-1`` = disabled); one bounds-checked buffer read replaces two
+        tuple indexings in the kernel's inner ``ok`` check.
+        """
+        cached = self._memo.get("psi_flat")
+        if cached is None:
+            flat = array("q")
+            for row in self.psi_table():
+                flat.extend(row)
+            cached = memoryview(flat)
+            self._memo["psi_flat"] = cached
         return cached  # type: ignore[return-value]
 
     def psi_table(self) -> tuple[tuple[int, ...], ...]:
