@@ -1,0 +1,37 @@
+"""repro.chaos — an injectable fault plane for the execution substrate.
+
+Where :mod:`repro.faults` models a hostile *medium* (the channels the
+derived converter must survive), this package models a hostile
+*machine*: dying pool workers, wedged processes, disks that run out of
+space mid-checkpoint, results that arrive late or twice.  The supervised
+runtime — :class:`~repro.quotient.parallel.ShardExecutor`'s worker
+supervision and :mod:`repro.persist.store`'s retrying I/O — must keep
+every output byte-identical to a fault-free run under any
+:class:`ChaosPlan`; ``tests/test_chaos_differential.py`` is the
+differential harness pinning that contract.
+
+Nothing here runs unless activated (:func:`use_chaos`, ``REPRO_CHAOS``);
+the disabled seams cost one global read.  See
+``docs/robustness.md#runtime-chaos--supervision``.
+"""
+
+from .plan import (
+    ChaosPlan,
+    ChaosState,
+    active,
+    plan_from_env,
+    set_chaos,
+    use_chaos,
+)
+from .retry import DEFAULT_STORE_RETRY, RetryPolicy
+
+__all__ = [
+    "ChaosPlan",
+    "ChaosState",
+    "DEFAULT_STORE_RETRY",
+    "RetryPolicy",
+    "active",
+    "plan_from_env",
+    "set_chaos",
+    "use_chaos",
+]

@@ -1,0 +1,141 @@
+"""Deterministic retry/backoff policies for transient I/O faults.
+
+A :class:`RetryPolicy` wraps an idempotent operation — a store write, an
+envelope read, a ledger append — and retries it on a configurable
+exception family with exponentially growing, *deterministically*
+jittered delays: the jitter for attempt *k* at site *s* is a pure
+function of ``(seed, s, k)``, so two runs of the same schedule sleep the
+same amounts and tests can pin the exact delay sequence.  Sleep and
+clock are injectable, so no test ever waits on real time.
+
+The policy is observable: every attempt, retry, recovery (success after
+at least one retry), and give-up is counted (``retry.*``), and a
+recovery emits a ``note`` event into the live progress stream when a
+reporter is installed — a resilient run *tells* you it limped through.
+
+What is retried matters as much as how: integrity failures (a checkpoint
+that parses but fails its hash) are **not** transient and are never
+retried — they flow to the store's ``.prev`` previous-good fallback
+instead.  Only the exception types in ``retry_on`` (by default
+:class:`OSError`) are considered transient, and types in ``give_up_on``
+(by default :class:`FileNotFoundError`: a missing file stays missing)
+fail fast even when they match ``retry_on``.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+from .. import obs
+from ..obs.progress import current_reporter
+
+__all__ = ["RetryPolicy", "DEFAULT_STORE_RETRY"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How often, and with what delays, to retry a transient failure.
+
+    ``max_attempts``
+        Total tries including the first (1 = no retries).
+    ``base_delay_s`` / ``multiplier`` / ``max_delay_s``
+        Exponential backoff: attempt *k*'s nominal delay is
+        ``base_delay_s * multiplier**(k-1)``, capped at ``max_delay_s``.
+    ``jitter``
+        Fractional spread applied to the nominal delay: the actual delay
+        is ``nominal * (1 + jitter * u)`` with ``u`` drawn uniformly from
+        ``[-1, 1]`` by the seeded hash of ``(seed, site, attempt)`` —
+        deterministic, but decorrelated across sites and attempts.
+    ``seed``
+        Jitter seed; two policies differing only in seed retry at
+        different offsets (what you want across a worker fleet).
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.002
+    multiplier: float = 2.0
+    max_delay_s: float = 0.05
+    jitter: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts!r}"
+            )
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier!r}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter!r}")
+
+    def delay_s(self, site: str, attempt: int) -> float:
+        """The deterministic jittered delay before retry *attempt* (1-based)."""
+        nominal = min(
+            self.base_delay_s * self.multiplier ** (attempt - 1),
+            self.max_delay_s,
+        )
+        if nominal <= 0 or self.jitter == 0:
+            return nominal
+        u = random.Random(f"{self.seed}|{site}|{attempt}").uniform(-1.0, 1.0)
+        return max(0.0, nominal * (1.0 + self.jitter * u))
+
+    def call(
+        self,
+        fn: Callable[[], T],
+        *,
+        site: str,
+        retry_on: tuple[type[BaseException], ...] = (OSError,),
+        give_up_on: tuple[type[BaseException], ...] = (FileNotFoundError,),
+        sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> T:
+        """Run *fn* under this policy; the first successful return wins.
+
+        Exceptions matching *give_up_on* (or not matching *retry_on*)
+        propagate immediately; a *retry_on* failure on the final attempt
+        propagates after counting a ``retry.giveups``.  A success after
+        one or more retries counts a ``retry.recoveries`` and notes the
+        recovery (site, attempts, elapsed) into the progress stream.
+        """
+        started = clock()
+        attempt = 0
+        while True:
+            attempt += 1
+            obs.add("retry.attempts", 1)
+            try:
+                result = fn()
+            except give_up_on:
+                raise
+            except retry_on:
+                if attempt >= self.max_attempts:
+                    obs.add("retry.giveups", 1)
+                    raise
+                obs.add("retry.retries", 1)
+                sleep(self.delay_s(site, attempt))
+                continue
+            if attempt > 1:
+                obs.add("retry.recoveries", 1)
+                reporter = current_reporter()
+                if reporter is not None:
+                    reporter.note(
+                        recovered=site,
+                        retry_attempts=attempt,
+                        retry_elapsed_s=round(clock() - started, 6),
+                    )
+            return result
+
+
+#: The policy wrapped around :mod:`repro.persist.store` I/O (reads,
+#: writes, and therefore ledger appends).  Small budget, millisecond
+#: delays: a store operation sits on a charge boundary, so a retry must
+#: never stall the solve noticeably.
+DEFAULT_STORE_RETRY = RetryPolicy(
+    max_attempts=3, base_delay_s=0.002, max_delay_s=0.05
+)

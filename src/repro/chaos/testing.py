@@ -1,0 +1,166 @@
+"""In-process doubles for chaos-differential tests.
+
+The differential suite solves hundreds of random problems under fault
+schedules; paying a real :mod:`multiprocessing` pool per problem would
+dominate the runtime, so this module provides an **in-process pool
+double** that evaluates tasks synchronously while presenting the same
+future interface — including the failure modes: a "killed" worker yields
+a future that never completes (plus a fresh fake pid, so the
+supervisor's heartbeat sees the death), a "hung" worker likewise, and a
+"raising" worker delivers its exception through ``get``.
+
+Combined with :class:`FakeClock` (advances a fixed step per read, so
+task deadlines expire without real sleeping), the real
+:class:`~repro.quotient.parallel.ShardExecutor` supervision logic runs
+unmodified over its fake pool: detection, inline recovery, respawn
+accounting, and degradation are all the production code paths.  Only the
+worker *processes* are simulated.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+from typing import Callable
+
+from .plan import ChaosPlan
+
+__all__ = ["FakeClock", "InlinePool", "chaos_executor_factory"]
+
+
+class FakeClock:
+    """A monotonic clock advancing ``step`` per read (no real waiting)."""
+
+    def __init__(self, step: float = 0.01) -> None:
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        self.now += self.step
+        return self.now
+
+
+class _ReadyFuture:
+    def __init__(self, value) -> None:
+        self._value = value
+
+    def ready(self) -> bool:
+        return True
+
+    def get(self, timeout=None):
+        return self._value
+
+
+class _RaisingFuture:
+    def __init__(self, exc: BaseException) -> None:
+        self._exc = exc
+
+    def ready(self) -> bool:
+        return True
+
+    def get(self, timeout=None):
+        raise self._exc
+
+
+class _LostFuture:
+    """A task whose worker died or hung: never ready, ``get`` times out."""
+
+    def ready(self) -> bool:
+        return False
+
+    def get(self, timeout=None):
+        raise multiprocessing.TimeoutError
+
+
+_fake_pids = itertools.count(1_000_000)
+
+
+class _FakeProc:
+    __slots__ = ("pid",)
+
+    def __init__(self) -> None:
+        self.pid = next(_fake_pids)
+
+
+class InlinePool:
+    """A pool double: synchronous evaluation, plan-driven failures.
+
+    Matches the slice of the :class:`multiprocessing.pool.Pool` surface
+    the executor touches (``apply_async`` / ``terminate`` / ``join`` and
+    the ``_pool`` worker-process list the heartbeat inspects).  The task
+    index *n* plays the role of the per-worker task counter of a real
+    chaotic pool; a kill decision replaces one fake worker's pid, which
+    is exactly what the supervisor's heartbeat observes when a real
+    worker dies and the pool respawns it.
+    """
+
+    def __init__(self, problem, workers: int, plan: ChaosPlan | None) -> None:
+        from ..quotient import parallel
+        from ..quotient.kernel import compiled_problem
+
+        self._parallel = parallel
+        self._cp = compiled_problem(problem)
+        self._plan = plan
+        self._kind_of = {fn: kind for kind, fn in parallel._TASK_FNS.items()}
+        self._n = 0
+        self._pool = [_FakeProc() for _ in range(workers)]
+        self.terminated = False
+
+    def apply_async(self, fn: Callable, args):
+        n = self._n
+        self._n += 1
+        plan = self._plan
+        if plan is not None:
+            if plan.kill_worker(n):
+                self._pool[n % len(self._pool)] = _FakeProc()
+                return _LostFuture()
+            if plan.hang_worker(n):
+                return _LostFuture()
+            if plan.raise_in_worker(n):
+                return _RaisingFuture(
+                    OSError(f"chaos: injected worker fault at task {n}")
+                )
+        kind = self._kind_of[fn]
+        return _ReadyFuture(self._parallel._run_local(self._cp, kind, args))
+
+    def terminate(self) -> None:
+        self.terminated = True
+
+    def join(self) -> None:
+        return None
+
+
+def chaos_executor_factory(
+    plan: ChaosPlan | None = None,
+    *,
+    task_deadline_s: float = 0.05,
+    poll_s: float = 0.0,
+    respawn_budget: int | None = None,
+    clock_step: float = 0.01,
+):
+    """An executor factory for :func:`_use_executor_factory` seams.
+
+    Builds real :class:`~repro.quotient.parallel.ShardExecutor`\\ s over
+    :class:`InlinePool` with a :class:`FakeClock`, so supervision runs at
+    full speed.  *plan* overrides the ambient chaos plan for the fake
+    workers (the coordinator-side seams still read the ambient state).
+    """
+    from ..quotient.parallel import ShardExecutor
+
+    def factory(problem, workers: int) -> ShardExecutor:
+        kwargs: dict = {}
+        if respawn_budget is not None:
+            kwargs["respawn_budget"] = respawn_budget
+        return ShardExecutor(
+            problem,
+            workers,
+            pool_factory=lambda p, w, ambient: InlinePool(
+                p, w, plan if plan is not None else ambient
+            ),
+            task_deadline_s=task_deadline_s,
+            poll_s=poll_s,
+            clock=FakeClock(clock_step),
+            **kwargs,
+        )
+
+    return factory

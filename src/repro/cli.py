@@ -205,6 +205,23 @@ def _add_parallel_arguments(parser: argparse.ArgumentParser) -> None:
         "(default: REPRO_WORKERS, else 1 = sequential); the merge is "
         "deterministic, so output is byte-identical at any N",
     )
+    group.add_argument(
+        "--chaos", metavar="SPEC", default=None,
+        help="inject a seeded fault schedule into this run's own runtime "
+        "(key=value comma list, e.g. 'seed=7,p_kill=0.05'; default: "
+        "REPRO_CHAOS); the supervised runtime must keep the output "
+        "byte-identical — see docs/robustness.md",
+    )
+
+
+def _chaos_scope(args: argparse.Namespace):
+    """A scoped chaos plan from ``--chaos`` (``REPRO_CHAOS`` otherwise)."""
+    spec = getattr(args, "chaos", None)
+    if spec is None:
+        return contextlib.nullcontext()
+    from . import chaos
+
+    return chaos.use_chaos(chaos.ChaosPlan.from_spec(spec))
 
 
 def _workers_scope(args: argparse.Namespace):
@@ -263,7 +280,9 @@ def _interrupt_from_args(args: argparse.Namespace):
 def _sigint_scope(interrupt):
     if interrupt is None:
         return contextlib.nullcontext()
-    return interrupt.install_sigint()
+    # SIGTERM gets the same cooperative treatment as Ctrl-C: an
+    # orchestrator draining this run still leaves a consistent checkpoint
+    return interrupt.install_signals()
 
 
 def _resume_checkpoint_from_args(args: argparse.Namespace):
@@ -833,7 +852,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         started = time.monotonic()
         try:
             with _sigint_scope(interrupt), _workers_scope(args), \
-                    _progress_scope(args, budget):
+                    _chaos_scope(args), _progress_scope(args, budget):
                 result = solve_quotient(
                     service,
                     component,
@@ -874,13 +893,19 @@ def _cmd_solve(args: argparse.Namespace) -> int:
                 print(to_dot(result.converter))
         from .persist import problem_fingerprint
 
+        counters = result.phase_counters()
+        if result.degradations:
+            # surface a degraded (but exact) execution in the run record
+            counters["degradations"] = [
+                d.to_json_dict() for d in result.degradations
+            ]
         _ledger_append(
             args,
             kind="solve",
             fingerprint=problem_fingerprint(result.problem),
             label=label,
             verdict="converter" if result.exists else "no-converter",
-            counters=result.phase_counters(),
+            counters=counters,
             wall_time_s=time.monotonic() - started,
             artifacts=_artifact_refs(args),
         )

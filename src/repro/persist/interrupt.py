@@ -105,28 +105,47 @@ class InterruptController:
 
     # ------------------------------------------------------------------
     @contextlib.contextmanager
-    def install_sigint(self) -> Iterator["InterruptController"]:
-        """Route SIGINT to :meth:`request` while the context is active.
+    def install_signals(
+        self, signals: tuple[int, ...] = (signal.SIGINT, signal.SIGTERM)
+    ) -> Iterator["InterruptController"]:
+        """Route *signals* to :meth:`request` while the context is active.
 
-        Inside the context, Ctrl-C stops the run *cooperatively*: the
-        solve raises :class:`~repro.errors.InterruptRequested` at the
-        next charge boundary with a consistent checkpoint, instead of a
-        ``KeyboardInterrupt`` tearing through the loop.  The previous
-        handler is restored on exit.  A second SIGINT while one is
-        already pending falls through to the previous handler, so a
-        stuck run can still be killed the hard way.
+        Inside the context, Ctrl-C — and, by default, a polite ``kill`` /
+        orchestrator ``SIGTERM`` (a draining container, a preempted batch
+        slot) — stops the run *cooperatively*: the solve raises
+        :class:`~repro.errors.InterruptRequested` at the next charge
+        boundary with a consistent checkpoint, instead of
+        ``KeyboardInterrupt`` (or summary death) tearing through the
+        loop.  The previous handlers are restored on exit.  A second
+        signal while one is already pending falls through to that
+        signal's previous handler, so a stuck run can still be killed
+        the hard way.
         """
 
-        previous = signal.getsignal(signal.SIGINT)
+        previous = {sig: signal.getsignal(sig) for sig in signals}
 
-        def handler(signum: int, frame: object) -> None:
-            if self._reason is not None and callable(previous):
-                previous(signum, frame)
-                return
-            self.request("SIGINT received")
+        def make_handler(sig: int):
+            name = signal.Signals(sig).name
 
-        signal.signal(signal.SIGINT, handler)
+            def handler(signum: int, frame: object) -> None:
+                before = previous[sig]
+                if self._reason is not None and callable(before):
+                    before(signum, frame)
+                    return
+                self.request(f"{name} received")
+
+            return handler
+
+        for sig in signals:
+            signal.signal(sig, make_handler(sig))
         try:
             yield self
         finally:
-            signal.signal(signal.SIGINT, previous)
+            for sig, before in previous.items():
+                signal.signal(sig, before)
+
+    @contextlib.contextmanager
+    def install_sigint(self) -> Iterator["InterruptController"]:
+        """Route SIGINT only (see :meth:`install_signals`)."""
+        with self.install_signals((signal.SIGINT,)):
+            yield self

@@ -24,16 +24,28 @@ Two document kinds share this machinery: checkpoints
 (:func:`save_checkpoint` / :func:`load_checkpoint`) and the append-only
 run ledger (:mod:`repro.obs.ledger`), which uses the generic
 :func:`write_envelope` / :func:`read_envelope` pair directly.
+
+Raw file I/O additionally runs under a
+:class:`~repro.chaos.RetryPolicy` (``DEFAULT_STORE_RETRY``): a transient
+:class:`OSError` — a full disk that frees up, an I/O hiccup — is retried
+with deterministic jittered backoff before surfacing as
+:class:`~repro.errors.PersistError`.  Integrity failures are **never**
+retried (re-reading a bit-flipped file cannot help); they go straight to
+the ``.prev`` fallback.  Both the write and the read path carry
+:mod:`repro.chaos` seams so fault-injection tests can exercise exactly
+these layers; the seams cost one global read when chaos is inactive.
 """
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import json
 import os
 import tempfile
 
-from .. import obs
+from .. import chaos, obs
+from ..chaos import DEFAULT_STORE_RETRY, RetryPolicy
 from ..errors import PersistError
 from .checkpoint import Checkpoint
 
@@ -59,19 +71,22 @@ def _canonical_body(body: dict) -> bytes:
     )
 
 
-def write_envelope(path: str, body: dict, *, kind: str = "document") -> str:
-    """Durably write *body* inside an integrity envelope; returns *path*.
+def _write_envelope_raw(path: str, envelope: dict) -> None:
+    """One physical write attempt; raises :class:`OSError` on failure.
 
-    The write is atomic (tmp file + fsync + ``os.replace``) and the
-    previous snapshot (if any) survives as ``path + ".prev"`` until the
-    next successful write rotates it out.  *kind* only labels errors.
+    The chaos seam sits here — *inside* the retried unit — so an
+    injected transient fault exercises the same retry path a real one
+    would.  An injected *partial* write is the one fault the atomic
+    rename cannot model from outside: it "succeeds" while leaving a torn
+    primary (after rotating the previous good snapshot to ``.prev``),
+    which is precisely the crash state the read fallback exists for.
     """
-    canonical = _canonical_body(body)
-    envelope = {
-        "schema": STORE_VERSION,
-        "sha256": hashlib.sha256(canonical).hexdigest(),
-        "body": body,
-    }
+    state = chaos.active()
+    fault = state.store_write_fault() if state is not None else None
+    if fault == "enospc":
+        raise OSError(errno.ENOSPC, f"chaos: injected ENOSPC writing {path!r}")
+    if fault == "error":
+        raise OSError(errno.EIO, f"chaos: injected I/O error writing {path!r}")
     directory = os.path.dirname(os.path.abspath(path)) or "."
     fd, tmp_path = tempfile.mkstemp(
         prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory
@@ -84,20 +99,68 @@ def write_envelope(path: str, body: dict, *, kind: str = "document") -> str:
             os.fsync(fh.fileno())
         if os.path.exists(path):
             os.replace(path, path + PREV_SUFFIX)
+        if fault == "partial":
+            text = json.dumps(envelope, indent=2, sort_keys=True)
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(text[: max(8, len(text) // 3)])
+            os.unlink(tmp_path)
+            return
         os.replace(tmp_path, path)
-    except OSError as exc:
+    except OSError:
         try:
             os.unlink(tmp_path)
         except OSError:
             pass
+        raise
+
+
+def write_envelope(
+    path: str,
+    body: dict,
+    *,
+    kind: str = "document",
+    retry: RetryPolicy | None = None,
+) -> str:
+    """Durably write *body* inside an integrity envelope; returns *path*.
+
+    The write is atomic (tmp file + fsync + ``os.replace``) and the
+    previous snapshot (if any) survives as ``path + ".prev"`` until the
+    next successful write rotates it out.  Transient :class:`OSError`\\ s
+    are retried under *retry* (default ``DEFAULT_STORE_RETRY``) before
+    surfacing as :class:`~repro.errors.PersistError`.  *kind* labels
+    errors and the retry site.
+    """
+    canonical = _canonical_body(body)
+    envelope = {
+        "schema": STORE_VERSION,
+        "sha256": hashlib.sha256(canonical).hexdigest(),
+        "body": body,
+    }
+    policy = retry if retry is not None else DEFAULT_STORE_RETRY
+    try:
+        policy.call(
+            lambda: _write_envelope_raw(path, envelope),
+            site=f"store.write:{kind}",
+        )
+    except OSError as exc:
         raise PersistError(f"cannot write {kind} {path!r}: {exc}") from exc
     return path
 
 
+def _read_text(path: str) -> str:
+    """One physical read attempt; raises :class:`OSError` on failure."""
+    state = chaos.active()
+    if state is not None and state.store_read_fault():
+        raise OSError(errno.EIO, f"chaos: injected I/O error reading {path!r}")
+    with open(path, "r", encoding="utf-8") as fh:
+        return fh.read()
+
+
 def _read_envelope_one(path: str, *, kind: str = "document") -> dict:
     try:
-        with open(path, "r", encoding="utf-8") as fh:
-            text = fh.read()
+        text = DEFAULT_STORE_RETRY.call(
+            lambda: _read_text(path), site=f"store.read:{kind}"
+        )
     except FileNotFoundError as exc:
         raise PersistError(f"no {kind} at {path!r}") from exc
     except OSError as exc:

@@ -146,6 +146,7 @@ class BudgetMeter:
         "_started",
         "_ticks",
         "_units",
+        "duplicate_units",
     )
 
     def __init__(
@@ -172,6 +173,9 @@ class BudgetMeter:
         # unit-id → (pairs, states), populated only by charge_unit/absorb;
         # None keeps plain charge() free of any per-unit bookkeeping
         self._units: dict[object, tuple[int, int]] | None = None
+        # units seen more than once (recovered/duplicated work whose
+        # re-charge was suppressed) — the supervision tests read this
+        self.duplicate_units = 0
 
     # ------------------------------------------------------------------
     def elapsed(self) -> float:
@@ -283,6 +287,7 @@ class BudgetMeter:
         if self._units is None:
             self._units = {}
         if unit_id in self._units:
+            self.duplicate_units += 1
             return
         self._units[unit_id] = (pairs, states)
         self.charge(pairs=pairs, states=states, frontier=frontier,

@@ -48,17 +48,22 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from collections import deque
 from contextlib import contextmanager
+from dataclasses import dataclass
 from typing import Callable, Iterator
 
-from .. import obs
+from .. import chaos, obs
+from ..obs.progress import current_reporter
 from .types import PairSet, QuotientProblem
 
 __all__ = [
+    "DegradedExecution",
     "ShardExecutor",
     "SerialExecutor",
     "default_workers",
+    "drain_degradations",
     "effective_workers",
     "use_workers",
     "safety_explore_parallel",
@@ -69,6 +74,41 @@ __all__ = [
 #: Larger windows hide result latency; smaller ones keep more of the
 #: backlog stealable by the coordinator.
 PIPELINE_DEPTH = 8
+
+#: Wall-clock ceiling on one pooled task before the coordinator declares
+#: it lost and re-executes it inline (``REPRO_TASK_DEADLINE`` overrides).
+#: Individual tasks are milliseconds of work; a task this late means its
+#: worker is dead or wedged.
+DEFAULT_TASK_DEADLINE_S = 60.0
+
+#: Worker deaths tolerated (the pool respawns them) before the executor
+#: stops trusting the pool and degrades to sequential draining
+#: (``REPRO_RESPAWN_BUDGET`` overrides).
+DEFAULT_RESPAWN_BUDGET = 3
+
+#: How long one blocking poll on a pending pool result waits before the
+#: supervisor re-checks worker liveness and the task deadline.
+DEFAULT_POLL_S = 0.05
+
+
+def _env_float(name: str, default: float) -> float:
+    raw = os.environ.get(name)
+    if raw:
+        try:
+            return float(raw)
+        except ValueError:
+            return default
+    return default
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name)
+    if raw:
+        try:
+            return int(raw)
+        except ValueError:
+            return default
+    return default
 
 
 # ----------------------------------------------------------------------
@@ -115,16 +155,46 @@ def use_workers(workers: int | None) -> Iterator[None]:
 _WORKER_CP = None
 
 
-def _init_worker(problem: QuotientProblem) -> None:
-    """Pool initializer: compile the problem once in this worker."""
+def _init_worker(problem: QuotientProblem, plan=None) -> None:
+    """Pool initializer: compile the problem once in this worker.
+
+    *plan* is the run's :class:`~repro.chaos.ChaosPlan` (or ``None``);
+    installing it per worker gives each process its own fault counters,
+    so ``kill_at=(2,)`` kills *every* worker at its third task.
+    """
     global _WORKER_CP
     from .kernel import CompiledProblem
 
     _WORKER_CP = CompiledProblem(problem)
+    if plan is not None:
+        chaos.set_chaos(plan)
+
+
+def _chaos_task_boundary() -> None:
+    """Worker-side chaos seam: die, wedge, or fail at this task.
+
+    One global ``None`` check when chaos is off.  A *kill* exits the
+    process hard (the pool respawns a replacement; the in-flight task is
+    lost and must be recovered by the coordinator); a *hang* sleeps
+    ``hang_s`` so the coordinator's task deadline fires first; a *raise*
+    surfaces as the task's result.
+    """
+    state = chaos.active()
+    if state is None:
+        return
+    n = state.next_index("worker.task")
+    plan = state.plan
+    if plan.kill_worker(n):
+        os._exit(3)
+    if plan.hang_worker(n):
+        time.sleep(plan.hang_s)
+    if plan.raise_in_worker(n):
+        raise OSError(f"chaos: injected worker fault at task {n}")
 
 
 def _safety_state_task(codes: frozenset[int]):
     """All Int-event extensions of one safety pair-set state."""
+    _chaos_task_boundary()
     cp = _WORKER_CP
     return tuple(cp.extend(codes, k) for k in range(len(cp.int_events)))
 
@@ -133,6 +203,7 @@ def _progress_chunk_task(ctx, seeds):
     """The internal product subgraph reachable from one seed shard."""
     from .kernel import _adjacency_from
 
+    _chaos_task_boundary()
     succ_c, alive, m = ctx
     return _adjacency_from(_WORKER_CP, succ_c, alive, m, seeds)
 
@@ -158,10 +229,69 @@ _TASK_FNS: dict[str, Callable] = {
 
 
 # ----------------------------------------------------------------------
+# degraded execution: the structured "we survived, but limped" record
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DegradedExecution:
+    """One executor's fall from parallel to sequential draining.
+
+    Raised never — *recorded*: when an executor exhausts its respawn
+    budget (or the pool stops accepting work), it drains the remaining
+    units inline instead of failing the solve, and this record lands in
+    ``QuotientResult.stats`` (as the ``executor.degraded`` instant
+    event), in ``result.degradations``, and — through the CLI — in the
+    run ledger, so an operator can see that the answer is exact but the
+    machine it ran on was not healthy.
+    """
+
+    reason: str
+    worker_deaths: int
+    pending_units: int
+
+    def to_json_dict(self) -> dict:
+        return {
+            "reason": self.reason,
+            "worker_deaths": self.worker_deaths,
+            "pending_units": self.pending_units,
+        }
+
+
+#: Degradations recorded since the last drain (bounded; one entry per
+#: degraded executor, at most two executors per solve).
+_DEGRADATIONS: list[DegradedExecution] = []
+_MAX_DEGRADATIONS = 100
+
+
+def record_degradation(degradation: DegradedExecution) -> None:
+    """Register a degradation: obs event, progress note, drainable record."""
+    if len(_DEGRADATIONS) < _MAX_DEGRADATIONS:
+        _DEGRADATIONS.append(degradation)
+    obs.event(
+        "executor.degraded",
+        reason=degradation.reason,
+        worker_deaths=degradation.worker_deaths,
+        pending_units=degradation.pending_units,
+    )
+    reporter = current_reporter()
+    if reporter is not None:
+        reporter.note(degraded=degradation.reason)
+
+
+def drain_degradations() -> tuple[DegradedExecution, ...]:
+    """Collect (and clear) the degradations recorded since the last call."""
+    out = tuple(_DEGRADATIONS)
+    _DEGRADATIONS.clear()
+    return out
+
+
+# ----------------------------------------------------------------------
 # executors
 # ----------------------------------------------------------------------
+_LOST = object()  # sentinel: a pooled task whose result will never arrive
+
+
 class ShardExecutor:
-    """Work-stealing task executor over a multiprocessing pool.
+    """Supervised work-stealing task executor over a multiprocessing pool.
 
     Tasks enter a coordinator-side backlog; :meth:`_pump` keeps a bounded
     window of them in the pool's shared queue (idle workers steal from
@@ -169,6 +299,36 @@ class ShardExecutor:
     steals a still-backlogged unit back for inline evaluation.  The
     executor never reorders anything the caller observes: results are
     handed back for exactly the key requested.
+
+    **Supervision.**  Because every task is a pure function of its
+    payload, the coordinator can always re-execute one inline — so no
+    worker failure is fatal:
+
+    * A pending result is polled in :data:`DEFAULT_POLL_S` slices; when a
+      worker death is observed while waiting (heartbeat, see below), or
+      the per-task deadline (``task_deadline_s`` /
+      ``REPRO_TASK_DEADLINE``) expires, the unit is declared lost and
+      recomputed inline from its retained payload
+      (``stats["recovered"]``).  A worker that raises is handled the
+      same way: deterministic failures still fail (the inline replay
+      raises too), transient ones heal.
+    * The **heartbeat** watches the pool's worker pids: the pool respawns
+      dead workers automatically, so new pids mean deaths
+      (``stats["worker_deaths"]``).  When deaths exceed
+      ``respawn_budget`` (``REPRO_RESPAWN_BUDGET``), the executor stops
+      trusting the pool entirely: it terminates it, records a
+      :class:`DegradedExecution`, and drains every remaining unit
+      inline — the solve completes sequentially instead of aborting.
+    * Re-executed or duplicated units are charged through
+      :meth:`~repro.quotient.budget.BudgetMeter.charge_unit`, whose
+      per-unit dedup keeps the budget charged exactly once per unit —
+      outputs stay byte-identical under any crash schedule.
+
+    The executor is a context manager; :meth:`close` is idempotent and
+    terminates/joins the pool, so no exception path leaks worker
+    processes.  Chaos seams (:mod:`repro.chaos`) inject worker kills and
+    hangs (pool initializer) and result delays/duplicates (the pump);
+    all are inert when no plan is active.
     """
 
     def __init__(
@@ -177,6 +337,11 @@ class ShardExecutor:
         workers: int,
         *,
         start_method: str | None = None,
+        pool_factory: Callable | None = None,
+        task_deadline_s: float | None = None,
+        respawn_budget: int | None = None,
+        poll_s: float = DEFAULT_POLL_S,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         from .kernel import compiled_problem
 
@@ -186,34 +351,202 @@ class ShardExecutor:
         self._payload: dict = {}
         self._inflight: dict = {}
         self._done: dict = {}
+        self._delayed: dict = {}  # key -> [value, pumps_remaining] (chaos)
+        self._stale: dict = {}    # key -> chaos-duplicated value
         self._high_water = workers * PIPELINE_DEPTH
-        self.stats = {"tasks": 0, "stolen": 0, "pool_results": 0}
-        method = start_method or os.environ.get("REPRO_MP_START") or "fork"
-        if method not in multiprocessing.get_all_start_methods():
-            method = multiprocessing.get_start_method()
-        ctx = multiprocessing.get_context(method)
-        self._pool = ctx.Pool(
-            workers, initializer=_init_worker, initargs=(problem,)
+        self.stats = {
+            "tasks": 0,
+            "stolen": 0,
+            "pool_results": 0,
+            "recovered": 0,
+            "worker_deaths": 0,
+            "duplicates": 0,
+        }
+        self.task_deadline_s = (
+            task_deadline_s
+            if task_deadline_s is not None
+            else _env_float("REPRO_TASK_DEADLINE", DEFAULT_TASK_DEADLINE_S)
         )
+        self.respawn_budget = (
+            respawn_budget
+            if respawn_budget is not None
+            else _env_int("REPRO_RESPAWN_BUDGET", DEFAULT_RESPAWN_BUDGET)
+        )
+        self.poll_s = poll_s
+        self._clock = clock
+        self.degraded: DegradedExecution | None = None
+        self._closed = False
+        state = chaos.active()
+        plan = state.plan if state is not None else None
+        worker_plan = plan if plan is not None and plan.wants_workers else None
+        if pool_factory is not None:
+            self._pool = pool_factory(problem, workers, worker_plan)
+        else:
+            method = start_method or os.environ.get("REPRO_MP_START") or "fork"
+            if method not in multiprocessing.get_all_start_methods():
+                method = multiprocessing.get_start_method()
+            ctx = multiprocessing.get_context(method)
+            self._pool = ctx.Pool(
+                workers, initializer=_init_worker, initargs=(problem, worker_plan)
+            )
+        self._seen_pids: set[int] = set()
+        self._observe_workers()
 
+    # ------------------------------------------------------------------
+    # supervision
+    # ------------------------------------------------------------------
+    def _observe_workers(self) -> int:
+        """Heartbeat: fold the pool's current worker pids into the death
+        count; degrade when the respawn budget is exhausted.  Returns the
+        total deaths observed so far."""
+        pool = self._pool
+        procs = getattr(pool, "_pool", None) if pool is not None else None
+        if procs:
+            pids = {p.pid for p in procs if getattr(p, "pid", None)}
+            self._seen_pids |= pids
+            deaths = max(0, len(self._seen_pids) - self.workers)
+            if deaths > self.stats["worker_deaths"]:
+                self.stats["worker_deaths"] = deaths
+                if deaths > self.respawn_budget and self.degraded is None:
+                    self._degrade(
+                        f"respawn budget ({self.respawn_budget}) exhausted "
+                        f"after {deaths} worker death(s)"
+                    )
+        return self.stats["worker_deaths"]
+
+    def _degrade(self, reason: str) -> None:
+        """Stop trusting the pool: terminate it, drain inline from now on."""
+        if self.degraded is not None:
+            return
+        # chaos-delayed values were really computed; release them first
+        for key, (value, _) in list(self._delayed.items()):
+            self._done[key] = value
+        self._delayed.clear()
+        pending = len(self._backlog) + len(self._inflight)
+        self.degraded = DegradedExecution(
+            reason=reason,
+            worker_deaths=self.stats["worker_deaths"],
+            pending_units=pending,
+        )
+        # in-flight futures die with the pool; payloads are retained, so
+        # result() recomputes each of these units inline
+        self._inflight.clear()
+        pool = self._pool
+        self._pool = None
+        if pool is not None:
+            try:
+                pool.terminate()
+                pool.join()
+            except Exception:
+                pass
+        record_degradation(self.degraded)
+
+    def _recover(self, key, cause: str):
+        """Re-execute one lost/failed unit inline from its payload."""
+        kind, args = self._payload.pop(key)
+        self.stats["recovered"] += 1
+        reporter = current_reporter()
+        if reporter is not None:
+            reporter.note(recovered_unit=self.stats["recovered"], cause=cause)
+        return _run_local(self._cp, kind, args)
+
+    def _await(self, key, fut):
+        """Block on one pool future under supervision.
+
+        Polls in ``poll_s`` slices; between polls the heartbeat runs.  A
+        newly observed worker death, an expired task deadline, a raising
+        task, or a degradation all declare the unit lost (the
+        :data:`_LOST` sentinel) — the caller recovers it inline.
+        """
+        started = self._clock()
+        while True:
+            try:
+                return fut.get(self.poll_s)
+            except multiprocessing.TimeoutError:
+                before = self.stats["worker_deaths"]
+                self._observe_workers()
+                if self.degraded is not None:
+                    return _LOST
+                if self.stats["worker_deaths"] > before:
+                    # someone died while we waited; assume it held this
+                    # unit (recomputing a unit that later also arrives is
+                    # harmless: the late result is dropped, the budget's
+                    # per-unit dedup charges once)
+                    return _LOST
+                if (
+                    self.task_deadline_s is not None
+                    and self._clock() - started > self.task_deadline_s
+                ):
+                    return _LOST
+            except Exception:
+                return _LOST
+
+    # ------------------------------------------------------------------
+    # the task plumbing
+    # ------------------------------------------------------------------
     def submit(self, key, kind: str, args) -> None:
         self._payload[key] = (kind, args)
         self._backlog.append(key)
         self._pump()
 
+    def _collect(self, key, value) -> None:
+        """Deliver one arrived result, through the chaos result seam."""
+        state = chaos.active()
+        delay, dup = state.result_fault() if state is not None else (0, False)
+        self._payload.pop(key, None)
+        self.stats["pool_results"] += 1
+        if delay:
+            self._delayed[key] = [value, delay]
+            return
+        self._done[key] = value
+        if dup:
+            self._stale[key] = value
+
     def _pump(self) -> None:
+        if self._closed:
+            return
+        # age chaos-delayed results toward visibility
+        if self._delayed:
+            ripe = [k for k, slot in self._delayed.items() if slot[1] <= 1]
+            for k in ripe:
+                self._done[k] = self._delayed.pop(k)[0]
+            for slot in self._delayed.values():
+                slot[1] -= 1
+        # chaos-duplicated results arrive a second time: collapse the
+        # copy when the first is still queued, drop it when already
+        # consumed — either way nothing downstream sees it twice
+        if self._stale:
+            for k in list(self._stale):
+                value = self._stale.pop(k)
+                if k in self._done:
+                    self._done[k] = value
+                self.stats["duplicates"] += 1
         inflight = self._inflight
         if inflight:
             finished = [k for k, fut in inflight.items() if fut.ready()]
             for k in finished:
-                self._done[k] = inflight.pop(k).get()
-                self._payload.pop(k, None)
-                self.stats["pool_results"] += 1
+                fut = inflight.pop(k)
+                try:
+                    value = fut.get()
+                except Exception:
+                    value = self._recover(k, "task error")
+                    self._done[k] = value
+                    continue
+                self._collect(k, value)
+            self._observe_workers()
+        if self.degraded is not None or self._pool is None:
+            return
         backlog = self._backlog
         while backlog and len(inflight) < self._high_water:
             key = backlog.popleft()
             kind, args = self._payload[key]
-            inflight[key] = self._pool.apply_async(_TASK_FNS[kind], args)
+            try:
+                fut = self._pool.apply_async(_TASK_FNS[kind], args)
+            except Exception:
+                backlog.appendleft(key)
+                self._degrade("pool stopped accepting work")
+                return
+            inflight[key] = fut
             self.stats["tasks"] += 1
 
     def result(self, key):
@@ -221,15 +554,28 @@ class ShardExecutor:
             out = self._done.pop(key)
             self._pump()
             return out
-        fut = self._inflight.pop(key, None)
-        if fut is not None:
-            out = fut.get()
-            self._payload.pop(key, None)
-            self.stats["pool_results"] += 1
+        if key in self._delayed:
+            # the coordinator is blocked on this unit: deliver the
+            # chaos-delayed value now rather than stalling the merge
+            out = self._delayed.pop(key)[0]
             self._pump()
             return out
-        # not yet handed to the pool: steal the unit back and run inline
-        self._backlog.remove(key)
+        fut = self._inflight.pop(key, None)
+        if fut is not None:
+            out = self._await(key, fut)
+            if out is _LOST:
+                out = self._recover(key, "worker lost")
+            else:
+                self._payload.pop(key, None)
+                self.stats["pool_results"] += 1
+            self._pump()
+            return out
+        # not yet handed to the pool (or the pool degraded away): steal
+        # the unit back and run it inline
+        try:
+            self._backlog.remove(key)
+        except ValueError:
+            pass
         kind, args = self._payload.pop(key)
         self.stats["stolen"] += 1
         out = _run_local(self._cp, kind, args)
@@ -237,9 +583,23 @@ class ShardExecutor:
         return out
 
     def close(self) -> None:
-        # speculative tasks may still be queued; drop them, don't drain
-        self._pool.terminate()
-        self._pool.join()
+        # speculative tasks may still be queued; drop them, don't drain.
+        # Idempotent, and safe on every exception path (context manager).
+        if self._closed:
+            return
+        self._closed = True
+        pool = self._pool
+        self._pool = None
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+
+    def __enter__(self) -> "ShardExecutor":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
 
 
 class SerialExecutor:
@@ -258,6 +618,7 @@ class SerialExecutor:
         self.workers = workers
         self._payload: dict = {}
         self.stats = {"tasks": 0, "stolen": 0, "pool_results": 0}
+        self.degraded: DegradedExecution | None = None
 
     def submit(self, key, kind: str, args) -> None:
         self._payload[key] = (kind, args)
@@ -269,6 +630,13 @@ class SerialExecutor:
 
     def close(self) -> None:
         self._payload.clear()
+
+    def __enter__(self) -> "SerialExecutor":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
 
 
 _EXECUTOR_FACTORY: Callable | None = None
@@ -303,6 +671,15 @@ def _emit_executor_stats(executor) -> None:
     obs.add("kernel.parallel.tasks", executor.stats["tasks"])
     obs.add("kernel.parallel.stolen", executor.stats["stolen"])
     obs.add("kernel.parallel.pool_results", executor.stats["pool_results"])
+    # supervision counters: emitted only when supervision actually fired,
+    # so healthy runs keep their historical metric set byte-for-byte
+    stats = executor.stats
+    if stats.get("recovered"):
+        obs.add("kernel.parallel.recovered_units", stats["recovered"])
+    if stats.get("worker_deaths"):
+        obs.add("kernel.parallel.worker_deaths", stats["worker_deaths"])
+    if stats.get("duplicates"):
+        obs.add("kernel.parallel.duplicate_results", stats["duplicates"])
 
 
 # ----------------------------------------------------------------------
@@ -329,107 +706,106 @@ def safety_explore_parallel(
     cp = compiled_problem(problem)
     int_events = cp.int_events
     n_events = len(int_events)
-    executor = _make_executor(problem, workers)
-    try:
-        if resume is None:
-            start_codes = cp.ext_closure(
-                [cp.ca.initial * cp.n_component + cp.cb.initial]
-            )
-            if start_codes is None:
-                if meter is not None:
-                    meter.charge_unit("init", pairs=1)
-                return None, set(), [], 1, 1
-            start = cp.decode_pairs(start_codes)
-            explored = 1
-            rejected = 0
-            decoded: dict[frozenset[int], PairSet] = {start_codes: start}
-            states: set[PairSet] = {start}
-            transitions: list[tuple[PairSet, str, PairSet]] = []
-            seen: set[frozenset[int]] = {start_codes}
-            worklist: deque[frozenset[int]] = deque([start_codes])
-            current: frozenset[int] | None = None
-            next_event = 0
-            executor.submit(start_codes, "safety", (start_codes,))
-        else:
-            def encode(label: PairSet) -> frozenset[int]:
-                return frozenset(cp.encode_pair(pair) for pair in label)
-
-            start = resume["start"]
-            explored = resume["explored"]
-            rejected = resume["rejected"]
-            states = set(resume["states"])
-            transitions = list(resume["transitions"])
-            decoded = {}
-            seen = set()
-            for label in states:
-                codes = encode(label)
-                decoded[codes] = label
-                seen.add(codes)
-            worklist = deque(encode(label) for label in resume["worklist"])
-            resumed_current = resume["current"]
-            current = None if resumed_current is None else encode(resumed_current)
-            next_event = resume["next_event"]
-            if current is not None:
-                executor.submit(current, "safety", (current,))
-            for codes in worklist:
-                executor.submit(codes, "safety", (codes,))
-
-        def snap() -> dict:
-            return {
-                "start": start,
-                "current": None if current is None else decoded[current],
-                "next_event": next_event,
-                "states": set(states),
-                "worklist": [decoded[codes] for codes in worklist],
-                "transitions": list(transitions),
-                "explored": explored,
-                "rejected": rejected,
-            }
-
-        if resume is None and meter is not None:
-            meter.charge_unit("init", pairs=1, states=1, snapshot=snap)
-        current_results: tuple | None = (
-            executor.result(current) if current is not None else None
-        )
-        while True:
-            if current is None or next_event >= n_events:
-                if not worklist:
-                    break
-                current = worklist.popleft()
-                current_results = executor.result(current)
-                next_event = 0
-                continue
-            int_idx = next_event
-            candidate = current_results[int_idx]
-            explored += 1
-            next_event += 1
-            added = 0
-            if candidate is None:
-                rejected += 1
-            else:
-                label = decoded.get(candidate)
-                if label is None:
-                    label = cp.decode_pairs(candidate)
-                    decoded[candidate] = label
-                if candidate not in seen:
-                    seen.add(candidate)
-                    states.add(label)
-                    worklist.append(candidate)
-                    added = 1
-                    executor.submit(candidate, "safety", (candidate,))
-                transitions.append((decoded[current], int_events[int_idx], label))
-            if meter is not None:
-                meter.charge_unit(
-                    (current, int_idx),
-                    pairs=1,
-                    states=added,
-                    frontier=len(worklist),
-                    snapshot=snap,
+    with _make_executor(problem, workers) as executor:
+        try:
+            if resume is None:
+                start_codes = cp.ext_closure(
+                    [cp.ca.initial * cp.n_component + cp.cb.initial]
                 )
-        return start, states, transitions, explored, rejected
-    finally:
-        executor.close()
-        _emit_executor_stats(executor)
+                if start_codes is None:
+                    if meter is not None:
+                        meter.charge_unit("init", pairs=1)
+                    return None, set(), [], 1, 1
+                start = cp.decode_pairs(start_codes)
+                explored = 1
+                rejected = 0
+                decoded: dict[frozenset[int], PairSet] = {start_codes: start}
+                states: set[PairSet] = {start}
+                transitions: list[tuple[PairSet, str, PairSet]] = []
+                seen: set[frozenset[int]] = {start_codes}
+                worklist: deque[frozenset[int]] = deque([start_codes])
+                current: frozenset[int] | None = None
+                next_event = 0
+                executor.submit(start_codes, "safety", (start_codes,))
+            else:
+                def encode(label: PairSet) -> frozenset[int]:
+                    return frozenset(cp.encode_pair(pair) for pair in label)
+
+                start = resume["start"]
+                explored = resume["explored"]
+                rejected = resume["rejected"]
+                states = set(resume["states"])
+                transitions = list(resume["transitions"])
+                decoded = {}
+                seen = set()
+                for label in states:
+                    codes = encode(label)
+                    decoded[codes] = label
+                    seen.add(codes)
+                worklist = deque(encode(label) for label in resume["worklist"])
+                resumed_current = resume["current"]
+                current = None if resumed_current is None else encode(resumed_current)
+                next_event = resume["next_event"]
+                if current is not None:
+                    executor.submit(current, "safety", (current,))
+                for codes in worklist:
+                    executor.submit(codes, "safety", (codes,))
+
+            def snap() -> dict:
+                return {
+                    "start": start,
+                    "current": None if current is None else decoded[current],
+                    "next_event": next_event,
+                    "states": set(states),
+                    "worklist": [decoded[codes] for codes in worklist],
+                    "transitions": list(transitions),
+                    "explored": explored,
+                    "rejected": rejected,
+                }
+
+            if resume is None and meter is not None:
+                meter.charge_unit("init", pairs=1, states=1, snapshot=snap)
+            current_results: tuple | None = (
+                executor.result(current) if current is not None else None
+            )
+            while True:
+                if current is None or next_event >= n_events:
+                    if not worklist:
+                        break
+                    current = worklist.popleft()
+                    current_results = executor.result(current)
+                    next_event = 0
+                    continue
+                int_idx = next_event
+                candidate = current_results[int_idx]
+                explored += 1
+                next_event += 1
+                added = 0
+                if candidate is None:
+                    rejected += 1
+                else:
+                    label = decoded.get(candidate)
+                    if label is None:
+                        label = cp.decode_pairs(candidate)
+                        decoded[candidate] = label
+                    if candidate not in seen:
+                        seen.add(candidate)
+                        states.add(label)
+                        worklist.append(candidate)
+                        added = 1
+                        executor.submit(candidate, "safety", (candidate,))
+                    transitions.append((decoded[current], int_events[int_idx], label))
+                if meter is not None:
+                    meter.charge_unit(
+                        (current, int_idx),
+                        pairs=1,
+                        states=added,
+                        frontier=len(worklist),
+                        snapshot=snap,
+                    )
+            return start, states, transitions, explored, rejected
+        finally:
+            _emit_executor_stats(executor)
 
 
 # ----------------------------------------------------------------------

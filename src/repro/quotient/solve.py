@@ -131,8 +131,9 @@ def solve_quotient(
     """
     from contextlib import nullcontext
 
-    from .parallel import use_workers
+    from .parallel import drain_degradations, use_workers
 
+    drain_degradations()  # drop stale records from an earlier failed run
     scope = use_workers(workers) if workers is not None else nullcontext()
     with scope, obs.span(
         "solve_quotient", service=service.name, component=component.name
@@ -152,6 +153,9 @@ def solve_quotient(
     stats = obs.snapshot_if_recording()
     if stats is not None:
         result = replace(result, stats=stats)
+    degradations = drain_degradations()
+    if degradations:
+        result = replace(result, degradations=degradations)
     return result
 
 

@@ -1,0 +1,211 @@
+"""Fault-injection tests for the persist store's resilience layers.
+
+Exercises the two defence lines of :mod:`repro.persist.store` through
+the :mod:`repro.chaos` seams:
+
+* the **retry policy** heals transient I/O faults (``ENOSPC`` that
+  clears, an ``EIO`` hiccup) invisibly, counting ``retry.*``;
+* the **``.prev`` fallback** absorbs what retries cannot — a torn
+  primary left by an injected partial write — counting
+  ``persist.fallbacks``.
+
+Every schedule here is deterministic (explicit ``*_at`` indices), and
+every assertion checks both the recovered *data* and the counters that
+say the recovery happened.
+"""
+
+import pytest
+
+from repro import obs
+from repro.chaos import ChaosPlan, RetryPolicy, use_chaos
+from repro.errors import PersistError
+from repro.persist.store import read_envelope, write_envelope
+
+BODY_A = {"value": "first", "n": 1}
+BODY_B = {"value": "second", "n": 2}
+
+
+# ----------------------------------------------------------------------
+# transient write faults: the retry layer heals them
+# ----------------------------------------------------------------------
+class TestTransientWriteFaults:
+    def test_enospc_once_is_retried_and_recovered(self, tmp_path):
+        path = str(tmp_path / "doc.json")
+        plan = ChaosPlan(write_enospc_at=(0,))
+        with use_chaos(plan), obs.use_collector() as collector:
+            write_envelope(path, BODY_A)
+        assert read_envelope(path) == BODY_A
+        counters = collector.snapshot().counters
+        assert counters["chaos.injected.store.write.enospc"] == 1
+        assert counters["retry.retries"] == 1
+        assert counters["retry.recoveries"] == 1
+
+    def test_transient_eio_is_retried_and_recovered(self, tmp_path):
+        path = str(tmp_path / "doc.json")
+        plan = ChaosPlan(write_error_at=(0,))
+        with use_chaos(plan), obs.use_collector() as collector:
+            write_envelope(path, BODY_A)
+        assert read_envelope(path) == BODY_A
+        assert collector.snapshot().counters["retry.recoveries"] == 1
+
+    def test_persistent_write_fault_surfaces_as_persist_error(self, tmp_path):
+        path = str(tmp_path / "doc.json")
+        plan = ChaosPlan(write_enospc_at=(0, 1, 2, 3))  # outlasts retries
+        with use_chaos(plan), obs.use_collector() as collector:
+            with pytest.raises(PersistError, match="ENOSPC"):
+                write_envelope(path, BODY_A)
+        counters = collector.snapshot().counters
+        assert counters["retry.giveups"] == 1
+        assert counters["retry.attempts"] == 3
+
+    def test_failed_write_preserves_the_previous_snapshot(self, tmp_path):
+        path = str(tmp_path / "doc.json")
+        write_envelope(path, BODY_A)
+        plan = ChaosPlan(write_error_at=(0, 1, 2, 3))
+        with use_chaos(plan):
+            with pytest.raises(PersistError):
+                write_envelope(path, BODY_B)
+        # the error fired before any rename: the primary is still good
+        assert read_envelope(path) == BODY_A
+
+    def test_custom_retry_policy_budget_is_respected(self, tmp_path):
+        path = str(tmp_path / "doc.json")
+        plan = ChaosPlan(write_enospc_at=(0, 1, 2))
+        generous = RetryPolicy(max_attempts=5, base_delay_s=0.0)
+        with use_chaos(plan):
+            write_envelope(path, BODY_A, retry=generous)  # 4th attempt wins
+        assert read_envelope(path) == BODY_A
+        stingy = RetryPolicy(max_attempts=1)
+        with use_chaos(ChaosPlan(write_enospc_at=(0,))):
+            with pytest.raises(PersistError):
+                write_envelope(path, BODY_B, retry=stingy)
+
+
+# ----------------------------------------------------------------------
+# partial writes: torn primary, .prev fallback
+# ----------------------------------------------------------------------
+class TestPartialWrites:
+    def test_partial_write_falls_back_to_prev(self, tmp_path):
+        path = str(tmp_path / "doc.json")
+        write_envelope(path, BODY_A)
+        plan = ChaosPlan(write_partial_at=(0,))
+        with use_chaos(plan), obs.use_collector() as collector:
+            write_envelope(path, BODY_B)  # "succeeds", primary is torn
+        chaos_counters = collector.snapshot().counters
+        assert chaos_counters["chaos.injected.store.write.partial"] == 1
+        with obs.use_collector() as collector:
+            assert read_envelope(path) == BODY_A  # previous good snapshot
+        assert collector.snapshot().counters["persist.fallbacks"] == 1
+
+    def test_partial_write_without_prev_is_unreadable(self, tmp_path):
+        path = str(tmp_path / "doc.json")
+        plan = ChaosPlan(write_partial_at=(0,))
+        with use_chaos(plan):
+            write_envelope(path, BODY_A)
+        with pytest.raises(PersistError):
+            read_envelope(path)
+
+    def test_fallback_disabled_surfaces_the_torn_primary(self, tmp_path):
+        path = str(tmp_path / "doc.json")
+        write_envelope(path, BODY_A)
+        with use_chaos(ChaosPlan(write_partial_at=(0,))):
+            write_envelope(path, BODY_B)
+        with pytest.raises(PersistError, match="corrupt"):
+            read_envelope(path, fallback=False)
+
+    def test_next_good_write_repairs_the_primary(self, tmp_path):
+        path = str(tmp_path / "doc.json")
+        write_envelope(path, BODY_A)
+        with use_chaos(ChaosPlan(write_partial_at=(0,))):
+            write_envelope(path, BODY_B)
+        write_envelope(path, BODY_B)  # fault-free rewrite
+        assert read_envelope(path) == BODY_B
+        with obs.use_collector() as collector:
+            read_envelope(path)
+        assert "persist.fallbacks" not in collector.snapshot().counters
+
+
+# ----------------------------------------------------------------------
+# read faults
+# ----------------------------------------------------------------------
+class TestReadFaults:
+    def test_transient_read_fault_is_retried(self, tmp_path):
+        path = str(tmp_path / "doc.json")
+        write_envelope(path, BODY_A)
+        plan = ChaosPlan(read_error_at=(0,))
+        with use_chaos(plan), obs.use_collector() as collector:
+            assert read_envelope(path) == BODY_A
+        counters = collector.snapshot().counters
+        assert counters["chaos.injected.store.read"] == 1
+        assert counters["retry.recoveries"] == 1
+        assert "persist.fallbacks" not in counters
+
+    def test_persistent_read_fault_falls_back_to_prev(self, tmp_path):
+        path = str(tmp_path / "doc.json")
+        write_envelope(path, BODY_A)
+        write_envelope(path, BODY_B)  # rotates A to .prev
+        # primary read fails across all retry attempts; .prev read is clean
+        plan = ChaosPlan(read_error_at=(0, 1, 2))
+        with use_chaos(plan), obs.use_collector() as collector:
+            assert read_envelope(path) == BODY_A
+        counters = collector.snapshot().counters
+        assert counters["persist.fallbacks"] == 1
+        assert counters["retry.giveups"] == 1
+
+    def test_everything_failing_reports_both_errors(self, tmp_path):
+        path = str(tmp_path / "doc.json")
+        write_envelope(path, BODY_A)
+        write_envelope(path, BODY_B)
+        plan = ChaosPlan(read_error_at=tuple(range(8)))  # primary and .prev
+        with use_chaos(plan):
+            with pytest.raises(PersistError, match="both snapshots"):
+                read_envelope(path)
+
+
+# ----------------------------------------------------------------------
+# checkpoints and the ledger ride the same machinery
+# ----------------------------------------------------------------------
+class TestHigherLevelsInheritResilience:
+    def _checkpoint(self, marker=1):
+        from repro.persist import Checkpoint
+
+        return Checkpoint(
+            kind="quotient",
+            fingerprint=format(marker, "064d"),
+            phase="safety",
+            payload={"marker": marker},
+        )
+
+    def test_checkpoint_save_survives_transient_enospc(self, tmp_path):
+        from repro.persist import load_checkpoint, save_checkpoint
+
+        ckpt = self._checkpoint()
+        path = str(tmp_path / "ckpt.json")
+        with use_chaos(ChaosPlan(write_enospc_at=(0,))):
+            save_checkpoint(path, ckpt)
+        loaded = load_checkpoint(path)
+        assert loaded.to_json_dict() == ckpt.to_json_dict()
+
+    def test_checkpoint_partial_write_falls_back(self, tmp_path):
+        from repro.persist import load_checkpoint, save_checkpoint
+
+        ckpt = self._checkpoint()
+        path = str(tmp_path / "ckpt.json")
+        save_checkpoint(path, ckpt)
+        torn = self._checkpoint(marker=2)
+        with use_chaos(ChaosPlan(write_partial_at=(0,))):
+            save_checkpoint(path, torn)
+        with obs.use_collector() as collector:
+            loaded = load_checkpoint(path)
+        assert loaded.to_json_dict() == ckpt.to_json_dict()
+        assert collector.snapshot().counters["persist.fallbacks"] == 1
+
+    def test_ledger_append_survives_transient_write_fault(self, tmp_path):
+        from repro.obs.ledger import Ledger, append_run
+
+        path = str(tmp_path / "ledger.json")
+        append_run(path, kind="solve", fingerprint="f1", outcome="complete")
+        with use_chaos(ChaosPlan(write_enospc_at=(0,))):
+            append_run(path, kind="solve", fingerprint="f2", outcome="complete")
+        runs = Ledger(path).read()
+        assert [r.fingerprint for r in runs] == ["f1", "f2"]

@@ -259,6 +259,58 @@ class TestInterruptController:
             with pytest.raises(KeyboardInterrupt):
                 signal.raise_signal(signal.SIGINT)
 
+    def test_sigterm_is_cooperative(self):
+        """install_signals treats a polite SIGTERM like Ctrl-C: stop at
+        the next charge boundary, not summary death."""
+        ctrl = InterruptController()
+        previous = signal.getsignal(signal.SIGTERM)
+        with ctrl.install_signals():
+            signal.raise_signal(signal.SIGTERM)  # process survives
+            assert ctrl.requested
+            assert ctrl.tick() == "SIGTERM received"
+        assert signal.getsignal(signal.SIGTERM) is previous
+
+    def test_sigterm_in_subprocess_checkpoints_cooperatively(self, tmp_path):
+        """End to end in a real child process: SIGTERM mid-run leaves a
+        cooperative stop (exit 0 with the reason), not a 143 corpse."""
+        import os
+        import subprocess
+        import sys
+
+        code = (
+            "import sys, time\n"
+            "from repro.persist import InterruptController\n"
+            "ctrl = InterruptController()\n"
+            "with ctrl.install_signals():\n"
+            "    print('ready', flush=True)\n"
+            "    for _ in range(3000):\n"
+            "        reason = ctrl.tick()\n"
+            "        if reason is not None:\n"
+            "            print('stopped: ' + reason, flush=True)\n"
+            "            sys.exit(0)\n"
+            "        time.sleep(0.01)\n"
+            "sys.exit(1)\n"
+        )
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src)
+        proc = subprocess.Popen(
+            [sys.executable, "-c", code],
+            stdout=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        try:
+            assert proc.stdout is not None
+            assert proc.stdout.readline().strip() == "ready"
+            proc.send_signal(signal.SIGTERM)
+            out, _ = proc.communicate(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+        assert proc.returncode == 0, out
+        assert "stopped: SIGTERM received" in out
+
 
 # ----------------------------------------------------------------------
 # interrupt → checkpoint → resume: exactness
