@@ -16,7 +16,9 @@ the disabled seams cost one global read.  See
 """
 
 from .plan import (
+    SITES,
     ChaosPlan,
+    ChaosSpecError,
     ChaosState,
     active,
     plan_from_env,
@@ -26,7 +28,9 @@ from .plan import (
 from .retry import DEFAULT_STORE_RETRY, RetryPolicy
 
 __all__ = [
+    "SITES",
     "ChaosPlan",
+    "ChaosSpecError",
     "ChaosState",
     "DEFAULT_STORE_RETRY",
     "RetryPolicy",

@@ -46,6 +46,7 @@ from ..errors import ReproError
 
 __all__ = [
     "ChaosPlan",
+    "ChaosSpecError",
     "ChaosState",
     "active",
     "plan_from_env",
@@ -59,7 +60,26 @@ SITES = (
     "store.write",      # persist.store envelope writes
     "store.read",       # persist.store envelope reads
     "executor.result",  # coordinator-side result arrivals (delay / dup)
+    "serve.job",        # serve-layer job execution (kill / hang / raise)
 )
+
+
+class ChaosSpecError(ReproError):
+    """A ``REPRO_CHAOS`` spec (or plan) names something that does not exist.
+
+    Raised for unknown spec keys and for unknown site names in the
+    ``sites=`` filter — a typo must fail loudly, never silently disable
+    the fault it meant to inject.  ``unknown`` holds the offending names,
+    ``valid`` the accepted ones, so tools can render a suggestion without
+    parsing the message.
+    """
+
+    def __init__(
+        self, message: str, *, unknown: tuple[str, ...], valid: tuple[str, ...]
+    ) -> None:
+        self.unknown = tuple(unknown)
+        self.valid = tuple(valid)
+        super().__init__(message)
 
 
 def _probability(name: str, value: float) -> None:
@@ -140,6 +160,10 @@ class ChaosPlan:
     delay_polls: int = 2
     dup_at: tuple[int, ...] = ()
     p_dup: float = 0.0
+    #: Restrict injection to these sites (:data:`SITES` names); empty
+    #: means "all sites".  A name outside :data:`SITES` raises
+    #: :class:`ChaosSpecError` — never a silent no-op.
+    sites: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         for f in fields(self):
@@ -157,6 +181,20 @@ class ChaosPlan:
             raise ReproError(
                 f"delay_polls must be >= 1, got {self.delay_polls!r}"
             )
+        if isinstance(self.sites, list):
+            object.__setattr__(self, "sites", tuple(self.sites))
+        unknown = tuple(s for s in self.sites if s not in SITES)
+        if unknown:
+            raise ChaosSpecError(
+                f"unknown chaos site name(s) {sorted(unknown)} in sites= "
+                f"(valid sites: {', '.join(SITES)})",
+                unknown=unknown,
+                valid=SITES,
+            )
+
+    def site_enabled(self, site: str) -> bool:
+        """Whether injection may fire at *site* under this plan's filter."""
+        return not self.sites or site in self.sites
 
     # ------------------------------------------------------------------
     # the decision function: pure in (seed, site, n)
@@ -206,7 +244,7 @@ class ChaosPlan:
     def wants_workers(self) -> bool:
         """Whether any worker-side fault can ever fire (kept out of the
         pool initializer otherwise, so fault-free workers stay pristine)."""
-        return bool(
+        return self.site_enabled("worker.task") and bool(
             self.kill_at or self.p_kill
             or self.hang_at or self.p_hang
             or self.raise_at or self.p_raise
@@ -220,8 +258,11 @@ class ChaosPlan:
         """Parse a ``key=value`` comma list into a plan.
 
         Ints and floats parse naturally; index tuples are colon-separated
-        (``kill_at=2:5``).  Unknown keys are rejected so a typo cannot
-        silently disable the fault it meant to inject.
+        (``kill_at=2:5``), as is the site filter
+        (``sites=worker.task:store.write``).  Unknown keys and unknown
+        site names are rejected with a structured
+        :class:`ChaosSpecError` so a typo cannot silently disable the
+        fault it meant to inject.
         """
         known = {f.name: f for f in fields(cls)}
         kwargs: dict = {}
@@ -238,12 +279,18 @@ class ChaosPlan:
             key = key.strip()
             raw = raw.strip()
             if key not in known:
-                raise ReproError(
+                raise ChaosSpecError(
                     f"unknown chaos spec key {key!r} "
-                    f"(known: {', '.join(sorted(known))})"
+                    f"(known: {', '.join(sorted(known))})",
+                    unknown=(key,),
+                    valid=tuple(sorted(known)),
                 )
             try:
-                if key.endswith("_at"):
+                if key == "sites":
+                    kwargs[key] = tuple(
+                        v for v in raw.split(":") if v != ""
+                    )
+                elif key.endswith("_at"):
                     kwargs[key] = tuple(
                         int(v) for v in raw.split(":") if v != ""
                     )
@@ -287,13 +334,20 @@ class ChaosState:
         obs.add(f"chaos.injected.{site}", 1)
 
     # convenience consultations used by the seams ----------------------
+    # A site outside the plan's ``sites=`` filter neither fires nor
+    # advances its counter, so filtered-out seams are exact no-ops and
+    # the enabled sites' schedules are unchanged by the filtering.
     def store_write_fault(self) -> str | None:
+        if not self.plan.site_enabled("store.write"):
+            return None
         fault = self.plan.store_write_fault(self.next_index("store.write"))
         if fault is not None:
             self.injected(f"store.write.{fault}")
         return fault
 
     def store_read_fault(self) -> bool:
+        if not self.plan.site_enabled("store.read"):
+            return False
         if self.plan.store_read_fault(self.next_index("store.read")):
             self.injected("store.read")
             return True
@@ -301,6 +355,8 @@ class ChaosState:
 
     def result_fault(self) -> tuple[int, bool]:
         """``(delay_polls, duplicate)`` for the next executor result."""
+        if not self.plan.site_enabled("executor.result"):
+            return 0, False
         n = self.next_index("executor.result")
         delay = self.plan.result_delay(n)
         dup = self.plan.result_duplicate(n)
@@ -309,6 +365,29 @@ class ChaosState:
         if dup:
             self.injected("executor.dup")
         return delay, dup
+
+    def serve_job_fault(self) -> str | None:
+        """``"kill"`` / ``"hang"`` / ``"raise"`` for the next served job.
+
+        The serve layer (:mod:`repro.serve.workers`) reuses the worker
+        fault knobs at its own site: a *kill* simulates the job's worker
+        dying mid-solve (recovered via checkpoint resume), a *hang* a
+        wedged worker (recovered via the job deadline), a *raise* a
+        transient pre-flight failure (recovered via RetryPolicy).
+        """
+        if not self.plan.site_enabled("serve.job"):
+            return None
+        n = self.next_index("serve.job")
+        if self.plan.kill_worker(n):
+            self.injected("serve.job.kill")
+            return "kill"
+        if self.plan.hang_worker(n):
+            self.injected("serve.job.hang")
+            return "hang"
+        if self.plan.raise_in_worker(n):
+            self.injected("serve.job.raise")
+            return "raise"
+        return None
 
 
 # ----------------------------------------------------------------------

@@ -26,7 +26,16 @@ Subcommands
     Inspect the run ledger written by ``--ledger``: list/show recorded
     runs, diff the deterministic work counters of two runs of the same
     problem (non-zero exit on regression), and garbage-collect old
-    records.
+    records.  Server-executed jobs appear with ``--kind served``.
+``serve``
+    Run the derivation server: solve/resilience/analyze jobs over
+    HTTP/JSON with content-addressed dedup, crash recovery, and graceful
+    degradation (see ``docs/serving.md``).
+``submit``
+    Submit a job to a running server (optionally ``--wait`` for the
+    result; a cached fingerprint returns instantly).
+``status``
+    Show a server job's record, progress tail, and result.
 ``demo``
     Run the paper's Section 5 scenarios end to end.
 
@@ -36,7 +45,8 @@ parsed as the spec DSL (see :mod:`repro.io.dsl`).
 Exit codes are uniform across subcommands (see ``docs/CLI.md``): 0
 success, 1 negative verdict, 2 usage/input error, 3 budget exceeded
 without a checkpoint, 4 interrupted or budget exceeded *with* a
-checkpoint written (resume with ``--resume``).  ``lint`` and ``analyze``
+checkpoint written (resume with ``--resume``), 5 backpressure (the
+server's admission queue is full; honor ``retry_after_s``).  ``lint`` and ``analyze``
 exit 0 when no finding reaches the ``--fail-on`` threshold (warnings-only
 runs pass by default) and 2 when one does.
 """
@@ -1286,6 +1296,179 @@ def _cmd_history(args: argparse.Namespace) -> int:
     return 0
 
 
+
+# ----------------------------------------------------------------------
+# serve / submit / status (the derivation server; docs/serving.md)
+# ----------------------------------------------------------------------
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .serve import DerivationServer
+
+    server = DerivationServer(
+        args.store,
+        host=args.host,
+        port=args.port,
+        capacity=args.capacity,
+        workers=args.workers,
+        respawn_budget=args.respawn_budget,
+    )
+
+    def ready(s: DerivationServer) -> None:
+        # one machine-readable line so scripts (and the CI smoke) can
+        # pick up the bound port without racing the log
+        print(
+            json.dumps(
+                {"serving": {"host": s.host, "port": s.port,
+                             "store": args.store}},
+                sort_keys=True,
+            ),
+            flush=True,
+        )
+
+    asyncio.run(server.run(ready=ready))
+    print(json.dumps({"drained": True}, sort_keys=True), flush=True)
+    return 0
+
+
+def _submit_payload(args: argparse.Namespace) -> dict:
+    from .io.json_codec import spec_to_dict
+
+    specs = _load_specs(args.file)
+    if args.kind == "solve":
+        if not (args.service and args.component):
+            raise ReproError("kind=solve needs --service and --component")
+        payload: dict = {
+            "service": spec_to_dict(_pick(specs, args.service)),
+            "component": spec_to_dict(_pick(specs, args.component)),
+        }
+        if args.int_events:
+            payload["int_events"] = sorted(
+                e for e in args.int_events.split(",") if e
+            )
+        return payload
+    if args.kind == "analyze":
+        names = (
+            [n for n in args.specs.split(",") if n]
+            if args.specs
+            else sorted(specs)
+        )
+        return {"specs": [spec_to_dict(_pick(specs, n)) for n in names]}
+    assert args.kind == "resilience"
+    if not (args.service and args.components and args.converter):
+        raise ReproError(
+            "kind=resilience needs --service, --components, and --converter"
+        )
+    return {
+        "service": spec_to_dict(_pick(specs, args.service)),
+        "components": [
+            spec_to_dict(_pick(specs, n))
+            for n in args.components.split(",")
+            if n
+        ],
+        "converter": spec_to_dict(_pick(specs, args.converter)),
+        "target": args.target,
+        "severities": [int(x) for x in args.severities.split(",") if x],
+        "timeout": args.timeout,
+    }
+
+
+#: Job verdicts that mean "positive answer" (CLI exit 0); everything
+#: else on a completed job exits 1, mirroring the batch subcommands.
+_POSITIVE_VERDICTS = ("converter", "resilient", "clean")
+
+
+def _served_exit(record: dict) -> int:
+    state = record.get("state")
+    outcome = record.get("outcome")
+    if state == "done":
+        return 0 if record.get("verdict") in _POSITIVE_VERDICTS else 1
+    if outcome == "partial-budget":
+        return 3
+    if outcome == "partial-interrupt" or state == "interrupted":
+        return 4
+    return 2
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from .serve import ServeClient
+
+    doc: dict = {
+        "kind": args.kind,
+        "payload": _submit_payload(args),
+        "priority": args.priority,
+        "label": args.label,
+    }
+    if args.deadline is not None:
+        doc["deadline_s"] = args.deadline
+    budget = _budget_from_args(args)
+    if budget is not None:
+        doc["budget"] = budget.to_json_dict()
+    client = ServeClient(args.host, args.port)
+    status, response = client.submit(doc)
+    if status == 429:
+        hint = response.get("retry_after_s")
+        if args.format == "json":
+            print(json.dumps(response, indent=2, sort_keys=True))
+        else:
+            print(f"queue full; retry in {hint}s", file=sys.stderr)
+        return 5
+    job = response["job"]
+    if not args.wait:
+        if args.format == "json":
+            print(json.dumps({"job": job}, indent=2, sort_keys=True))
+        else:
+            print(
+                f"job {job['job_id']} {job['state']} "
+                f"(cache {job['cache']}, fingerprint "
+                f"{job['fingerprint'][:12]}...)"
+            )
+        return 0
+    final = client.wait(job["job_id"], timeout_s=args.timeout_s)
+    record = final["job"]
+    if args.format == "json":
+        if record["state"] == "done" and "result" in final:
+            # the canonical body: byte-identical to the batch command's
+            # --format json output for the same inputs
+            print(json.dumps(final["result"], indent=2, sort_keys=True))
+        else:
+            print(json.dumps({"job": record}, indent=2, sort_keys=True))
+    else:
+        line = (
+            f"job {record['job_id']} {record['state']}"
+            f" outcome={record['outcome']} verdict={record['verdict']}"
+            f" attempts={record['attempts']}"
+        )
+        if record.get("worker_deaths"):
+            line += f" worker_deaths={record['worker_deaths']}"
+        if record.get("error"):
+            line += f" error={record['error']!r}"
+        print(line)
+    return _served_exit(record)
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    from .serve import ServeClient
+
+    client = ServeClient(args.host, args.port)
+    if args.wait:
+        doc = client.wait(args.job_id, timeout_s=args.timeout_s)
+    else:
+        doc = client.job(args.job_id)
+    if args.format == "json":
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    record = doc["job"]
+    print(
+        f"job {record['job_id']} [{record['kind']}] {record['state']}"
+        f" cache={record.get('cache')} outcome={record.get('outcome')}"
+        f" verdict={record.get('verdict')}"
+    )
+    for event in doc.get("progress", [])[-args.tail:]:
+        print(f"  {json.dumps(event, sort_keys=True)}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-converter",
@@ -1596,7 +1779,7 @@ def build_parser() -> argparse.ArgumentParser:
     _ledger_arg(h_list)
     h_list.add_argument(
         "--kind", default=None,
-        choices=["solve", "resilience", "analyze", "bench"],
+        choices=["solve", "resilience", "analyze", "bench", "served"],
         help="only runs of this kind",
     )
     h_list.add_argument(
@@ -1680,6 +1863,133 @@ def build_parser() -> argparse.ArgumentParser:
                        help="render the first N steps as a sequence chart")
     _add_obs_arguments(p_sim)
     p_sim.set_defaults(func=_cmd_simulate)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the derivation server (HTTP/JSON, content-addressed)",
+        description=(
+            "Serve solve/resilience/analyze jobs over HTTP/JSON with "
+            "content-addressed deduplication, bounded admission, "
+            "crash-recovering supervised execution, and graceful "
+            "degradation.  Runs until SIGTERM/SIGINT (or POST "
+            "/shutdown), then drains: running jobs checkpoint, queued "
+            "jobs persist, and a restarted server resumes all of them.  "
+            "REPRO_CHAOS fault schedules apply to the server's own "
+            "execution (site serve.job) and its store I/O.  See "
+            "docs/serving.md."
+        ),
+    )
+    p_serve.add_argument(
+        "--store", required=True, metavar="DIR",
+        help="durable state directory (results, jobs, checkpoints, "
+        "index, ledger)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=0,
+        help="port to bind (default 0: an ephemeral port, printed on "
+        "the 'serving' line)",
+    )
+    p_serve.add_argument(
+        "--capacity", type=int, default=16,
+        help="admission queue bound; beyond it, submissions are shed "
+        "(lower priority) or rejected with retry_after_s (default 16)",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=2,
+        help="concurrent job executors (default 2)",
+    )
+    p_serve.add_argument(
+        "--respawn-budget", type=int, default=16, metavar="N",
+        help="worker deaths absorbed before degrading to sequential "
+        "in-process draining (default 16)",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit",
+        help="submit a job to a running derivation server",
+        description=(
+            "Build a job from a spec file and submit it.  The server "
+            "dedups by content fingerprint: a repeated submission "
+            "returns the cached result (or joins the in-flight job) "
+            "instead of recomputing.  With --wait and --format json, a "
+            "completed solve prints the same bytes 'repro-converter "
+            "solve --format json' would.  Exit codes: 0/1 verdict, 2 "
+            "failed job, 3 budget, 4 interrupted, 5 backpressure."
+        ),
+    )
+    p_submit.add_argument("file", help="spec file (DSL or JSON)")
+    p_submit.add_argument(
+        "--kind", choices=["solve", "resilience", "analyze"],
+        default="solve",
+    )
+    p_submit.add_argument("--service", default=None, metavar="NAME")
+    p_submit.add_argument("--component", default=None, metavar="NAME")
+    p_submit.add_argument(
+        "--components", default=None, metavar="NAME,NAME,...",
+        help="resilience: the conversion system's components",
+    )
+    p_submit.add_argument("--converter", default=None, metavar="NAME")
+    p_submit.add_argument(
+        "--specs", default=None, metavar="NAME,NAME,...",
+        help="analyze: specs to analyze (default: all in FILE)",
+    )
+    p_submit.add_argument(
+        "--int", dest="int_events", default=None, metavar="EV,EV,...",
+        help="solve: declared Int events",
+    )
+    p_submit.add_argument("--target", default=None, metavar="NAME|IDX")
+    p_submit.add_argument("--severities", default="1,2", metavar="N,N,...")
+    p_submit.add_argument("--timeout", default="timeout", metavar="EVENT")
+    p_submit.add_argument("--host", default="127.0.0.1")
+    p_submit.add_argument("--port", type=int, required=True)
+    p_submit.add_argument(
+        "--priority", type=int, default=0,
+        help="admission priority (higher first; lowest shed under load)",
+    )
+    p_submit.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="per-attempt wall-clock deadline (cooperative; the job "
+        "checkpoints when it trips)",
+    )
+    p_submit.add_argument("--label", default="")
+    p_submit.add_argument(
+        "--wait", action="store_true",
+        help="block until the job finishes and print its result",
+    )
+    p_submit.add_argument(
+        "--timeout-s", type=float, default=120.0, metavar="SECONDS",
+        help="ceiling for --wait (default 120)",
+    )
+    p_submit.add_argument(
+        "--format", choices=["text", "json"], default="text",
+    )
+    _add_budget_arguments(p_submit)
+    p_submit.set_defaults(func=_cmd_submit)
+
+    p_status = sub.add_parser(
+        "status",
+        help="show a server job's record, progress, and result",
+    )
+    p_status.add_argument("job_id")
+    p_status.add_argument("--host", default="127.0.0.1")
+    p_status.add_argument("--port", type=int, required=True)
+    p_status.add_argument(
+        "--wait", action="store_true",
+        help="block until the job reaches a terminal state",
+    )
+    p_status.add_argument(
+        "--timeout-s", type=float, default=120.0, metavar="SECONDS",
+    )
+    p_status.add_argument(
+        "--tail", type=int, default=10,
+        help="progress events to show in text mode (default 10)",
+    )
+    p_status.add_argument(
+        "--format", choices=["text", "json"], default="text",
+    )
+    p_status.set_defaults(func=_cmd_status)
 
     p_demo = sub.add_parser("demo", help="run a paper scenario")
     p_demo.add_argument(

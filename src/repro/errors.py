@@ -248,3 +248,17 @@ class DSLError(ReproError):
 
 class CodecError(ReproError):
     """JSON (de)serialization of a specification failed."""
+
+
+class ServeError(ReproError):
+    """A serve-layer request or job document is malformed or unservable.
+
+    Raised by :mod:`repro.serve` for invalid job submissions (unknown
+    kind, malformed payload, bad priority/deadline/budget) and for
+    protocol-level problems a client can fix and resubmit.  ``status``
+    carries the HTTP status code the server maps the error to.
+    """
+
+    def __init__(self, message: str, *, status: int = 400) -> None:
+        self.status = status
+        super().__init__(message)

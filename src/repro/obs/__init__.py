@@ -37,6 +37,7 @@ from .core import (
     NullCollector,
     SpanHandle,
     SpanRecord,
+    ThreadSafeCollector,
     add,
     current_collector,
     event,
@@ -72,6 +73,7 @@ __all__ = [
     "ProgressReporter",
     "SpanHandle",
     "SpanRecord",
+    "ThreadSafeCollector",
     "add",
     "attr_safe",
     "current_collector",

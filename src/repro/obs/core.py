@@ -29,6 +29,7 @@ output can be made deterministic in tests.
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -219,6 +220,39 @@ class MetricsCollector:
             gauges=dict(self.gauges),
             events=tuple(self.events),
         )
+
+
+class ThreadSafeCollector(MetricsCollector):
+    """A :class:`MetricsCollector` whose mutations are lock-protected.
+
+    The plain collector observes one single-threaded run; the serve layer
+    (:mod:`repro.serve`) instead runs jobs on worker threads that all
+    report into the server's one collector, where the unlocked
+    read-modify-write of ``add`` would drop increments.  Spans remain
+    meaningful only per-thread (concurrent spans interleave in one
+    stack), so threaded callers should stick to counters, gauges, and
+    events — which is all the serve layer emits.
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        super().__init__(clock)
+        self._lock = threading.Lock()
+
+    def add(self, name: str, value: float = 1) -> None:
+        with self._lock:
+            super().add(name, value)
+
+    def gauge(self, name: str, value: float) -> None:
+        with self._lock:
+            super().gauge(name, value)
+
+    def event(self, name: str, attrs: Mapping[str, Any] | None = None) -> None:
+        with self._lock:
+            super().event(name, attrs)
+
+    def snapshot(self) -> MetricsSnapshot:
+        with self._lock:
+            return super().snapshot()
 
 
 # ----------------------------------------------------------------------

@@ -50,8 +50,10 @@ LEDGER_SCHEMA = 1
 #: Version of one run record.
 RECORD_SCHEMA = 1
 
-#: Run outcomes a record may carry.
-OUTCOMES = ("complete", "partial-budget", "partial-interrupt")
+#: Run outcomes a record may carry.  ``failed`` is written only by the
+#: serve layer (a job that exhausted its retries or hit a hard error);
+#: CLI runs surface hard errors as exit codes instead of records.
+OUTCOMES = ("complete", "partial-budget", "partial-interrupt", "failed")
 
 _RECORD_KEYS = frozenset(
     {

@@ -11,7 +11,7 @@ standalone** — the meter is duck-typed (anything with ``phase``,
 
 Design
 ------
-A module-level *current reporter* mirrors the current-collector design of
+A thread-local *current reporter* mirrors the current-collector design of
 :mod:`repro.obs.core`: when a :class:`ProgressReporter` is installed
 (usually via :func:`use_reporter`), ``make_meter`` creates a meter even
 for unbudgeted runs and the meter calls :meth:`ProgressReporter.tick`
@@ -47,6 +47,7 @@ JSON-only fields), never in diffed solver output.
 from __future__ import annotations
 
 import json
+import threading
 import time
 from contextlib import contextmanager
 from typing import Any, Callable, Iterator, Protocol, TextIO
@@ -258,21 +259,26 @@ class ProgressReporter:
 
 
 # ----------------------------------------------------------------------
-# the module-level current reporter (mirrors core's current collector)
+# the current reporter (mirrors core's current collector, but per-thread)
 # ----------------------------------------------------------------------
-_reporter: ProgressReporter | None = None
+# Thread-local rather than module-global: the serve layer
+# (:mod:`repro.serve`) runs one job per worker thread, each with its own
+# reporter streaming into that job's status buffer; a global would
+# cross-wire heartbeats between concurrent jobs.  Single-threaded callers
+# (the CLI, the test suite) see exactly the old semantics, and the
+# parallel kernel is unaffected because its workers are *processes*.
+_reporters = threading.local()
 
 
 def current_reporter() -> ProgressReporter | None:
-    """The reporter receiving progress right now (default ``None``)."""
-    return _reporter
+    """The reporter receiving progress on this thread (default ``None``)."""
+    return getattr(_reporters, "value", None)
 
 
 def set_reporter(reporter: ProgressReporter | None) -> ProgressReporter | None:
-    """Install *reporter* globally; returns the previous one."""
-    global _reporter
-    previous = _reporter
-    _reporter = reporter
+    """Install *reporter* for this thread; returns the previous one."""
+    previous = getattr(_reporters, "value", None)
+    _reporters.value = reporter
     return previous
 
 

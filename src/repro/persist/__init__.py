@@ -37,6 +37,7 @@ from .checkpoint import (
 )
 from .interrupt import InterruptController
 from .store import (
+    Store,
     load_checkpoint,
     read_envelope,
     save_checkpoint,
@@ -49,6 +50,7 @@ __all__ = [
     "InterruptRequested",
     "PersistError",
     "SCHEMA_VERSION",
+    "Store",
     "anytime_summary",
     "completed_safety_state",
     "decode_quotient_payload",

@@ -50,6 +50,7 @@ from ..errors import PersistError
 from .checkpoint import Checkpoint
 
 __all__ = [
+    "Store",
     "load_checkpoint",
     "read_envelope",
     "save_checkpoint",
@@ -165,6 +166,10 @@ def _read_envelope_one(path: str, *, kind: str = "document") -> dict:
         raise PersistError(f"no {kind} at {path!r}") from exc
     except OSError as exc:
         raise PersistError(f"cannot read {kind} {path!r}: {exc}") from exc
+    return _validate_envelope(text, path, kind)
+
+
+def _validate_envelope(text: str, path: str, kind: str) -> dict:
     try:
         envelope = json.loads(text)
     except ValueError as exc:
@@ -278,3 +283,174 @@ def load_checkpoint(path: str, *, fallback: bool = True) -> Checkpoint:
                 f"both snapshots are unusable: {primary_error}; "
                 f"fallback: {prev_error}"
             ) from prev_error
+
+
+# ----------------------------------------------------------------------
+# directory stores: named documents plus garbage collection
+# ----------------------------------------------------------------------
+class Store:
+    """A directory of named envelope documents, with :meth:`gc`.
+
+    Thin sugar over :func:`write_envelope` / :func:`read_envelope`: each
+    document is one file under *root* (names may contain ``/`` for
+    subdirectories), so every read and write inherits the atomic-rename,
+    ``.prev``-fallback, integrity-check, and chaos/retry machinery of the
+    module functions.  The serve layer (:mod:`repro.serve`) keys its
+    result cache, job records, and checkpoints through stores.
+
+    :meth:`gc` is the maintenance pass the write protocol makes
+    necessary: crashes (and injected ``write_partial`` chaos) can leave
+    orphaned ``*.tmp`` files, torn primaries, and stale ``.prev``
+    snapshots behind.  It prunes the garbage, heals torn primaries from
+    their healthy ``.prev``, and counts everything under ``persist.gc.*``.
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+
+    # -- paths ---------------------------------------------------------
+    def path(self, name: str) -> str:
+        if os.path.isabs(name) or ".." in name.split("/"):
+            raise PersistError(f"invalid store document name {name!r}")
+        return os.path.join(self.root, name)
+
+    def exists(self, name: str) -> bool:
+        path = self.path(name)
+        return os.path.exists(path) or os.path.exists(path + PREV_SUFFIX)
+
+    def names(self) -> tuple[str, ...]:
+        """Relative names of all primary documents, sorted."""
+        out = []
+        for dirpath, _, filenames in os.walk(self.root):
+            for fn in filenames:
+                if fn.endswith((PREV_SUFFIX, ".tmp")):
+                    continue
+                full = os.path.join(dirpath, fn)
+                out.append(os.path.relpath(full, self.root).replace(os.sep, "/"))
+        return tuple(sorted(out))
+
+    # -- documents -----------------------------------------------------
+    def write(self, name: str, body: dict, *, kind: str = "document") -> str:
+        path = self.path(name)
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        return write_envelope(path, body, kind=kind)
+
+    def read(
+        self, name: str, *, kind: str = "document", fallback: bool = True
+    ) -> dict:
+        return read_envelope(self.path(name), kind=kind, fallback=fallback)
+
+    def remove(self, name: str) -> None:
+        """Drop a document and its ``.prev`` snapshot (missing is fine)."""
+        path = self.path(name)
+        for victim in (path, path + PREV_SUFFIX):
+            try:
+                os.unlink(victim)
+            except FileNotFoundError:
+                pass
+
+    # -- garbage collection --------------------------------------------
+    @staticmethod
+    def _probe(path: str) -> bool | None:
+        """``True`` healthy, ``False`` corrupt, ``None`` unreadable.
+
+        Deliberately bypasses the chaos read seam and the retry policy:
+        gc must never mistake an *injected* transient read fault for
+        corruption and delete a healthy file.  A real :class:`OSError`
+        maps to ``None`` — gc leaves files it cannot read alone.
+        """
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                text = fh.read()
+        except OSError:
+            return None
+        try:
+            _validate_envelope(text, path, "document")
+        except PersistError:
+            return False
+        return True
+
+    def gc(self) -> dict:
+        """Prune write debris; returns (and counts) what was done.
+
+        Three kinds of garbage, all produced by crashes in the write
+        protocol (or its chaos simulation):
+
+        * orphaned ``*.tmp`` files — a crash between ``mkstemp`` and the
+          final rename (removed);
+        * torn primaries — a partial write that "succeeded" past the
+          ``.prev`` rotation (healed by promoting the healthy ``.prev``
+          back to primary, or removed when no fallback survives);
+        * corrupt or orphaned ``.prev`` snapshots — a fallback that could
+          never serve (removed; an orphan whose primary is gone is
+          promoted instead).
+
+        Healthy primaries and their healthy ``.prev`` fallbacks are never
+        touched.  Stats land in the returned dict and the ``persist.gc.*``
+        counters.
+        """
+        stats = {
+            "scanned": 0,
+            "tmp_removed": 0,
+            "healed": 0,
+            "corrupt_removed": 0,
+            "prev_removed": 0,
+        }
+        primaries: list[str] = []
+        prevs: list[str] = []
+        for dirpath, _, filenames in os.walk(self.root):
+            for fn in sorted(filenames):
+                full = os.path.join(dirpath, fn)
+                if fn.endswith(".tmp"):
+                    try:
+                        os.unlink(full)
+                        stats["tmp_removed"] += 1
+                    except OSError:
+                        pass
+                elif fn.endswith(PREV_SUFFIX):
+                    prevs.append(full)
+                else:
+                    primaries.append(full)
+        for path in primaries:
+            stats["scanned"] += 1
+            verdict = self._probe(path)
+            if verdict is None:
+                continue
+            prev = path + PREV_SUFFIX
+            prev_healthy = self._probe(prev) if os.path.exists(prev) else None
+            if verdict:
+                # healthy primary: a corrupt .prev can never serve as a
+                # fallback, so it is garbage
+                if prev_healthy is False:
+                    os.unlink(prev)
+                    stats["prev_removed"] += 1
+                continue
+            if prev_healthy:
+                os.replace(prev, path)
+                stats["healed"] += 1
+            else:
+                os.unlink(path)
+                stats["corrupt_removed"] += 1
+                if prev_healthy is False:
+                    os.unlink(prev)
+                    stats["prev_removed"] += 1
+        for prev in prevs:
+            # an orphaned .prev (primary gone: crash between the two
+            # renames) is the previous good snapshot — promote it
+            primary = prev[: -len(PREV_SUFFIX)]
+            if os.path.exists(primary) or not os.path.exists(prev):
+                continue
+            if self._probe(prev):
+                os.replace(prev, primary)
+                stats["healed"] += 1
+            else:
+                os.unlink(prev)
+                stats["prev_removed"] += 1
+        obs.add("persist.gc.runs", 1)
+        for key, value in stats.items():
+            if value:
+                obs.add(f"persist.gc.{key}", value)
+        return stats

@@ -182,6 +182,8 @@ def _chaos_task_boundary() -> None:
     state = chaos.active()
     if state is None:
         return
+    if not state.plan.site_enabled("worker.task"):
+        return
     n = state.next_index("worker.task")
     plan = state.plan
     if plan.kill_worker(n):

@@ -1,0 +1,140 @@
+"""A stdlib client for :class:`~repro.serve.app.DerivationServer`.
+
+Thin and synchronous (``http.client``): the CLI's ``submit`` / ``status``
+subcommands and the CI smoke tests talk to the server through this.  All
+methods return the decoded JSON document; HTTP error statuses raise
+:class:`~repro.errors.ServeError` with the server's message and status,
+**except** 429 on :meth:`submit` — backpressure is an expected answer
+under load, so it comes back as a normal ``(status, doc)`` pair for the
+caller to honor ``retry_after_s``.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Callable
+
+from ..errors import ServeError
+from .app import TERMINAL_STATES
+
+__all__ = ["ServeClient"]
+
+
+class ServeClient:
+    """JSON-over-HTTP access to one derivation server."""
+
+    def __init__(
+        self, host: str, port: int, *, timeout_s: float = 60.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+
+    # ------------------------------------------------------------------
+    def call(
+        self, method: str, path: str, body: dict | None = None
+    ) -> tuple[int, dict]:
+        """One request/response exchange; returns ``(status, document)``."""
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout_s
+        )
+        try:
+            payload = None
+            headers = {}
+            if body is not None:
+                payload = json.dumps(body).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            text = response.read().decode("utf-8")
+        finally:
+            conn.close()
+        try:
+            doc = json.loads(text) if text else {}
+        except ValueError as exc:
+            raise ServeError(
+                f"server returned non-JSON ({response.status}): {text[:200]}"
+            ) from exc
+        return response.status, doc
+
+    def _checked(self, method: str, path: str,
+                 body: dict | None = None) -> dict:
+        status, doc = self.call(method, path, body)
+        if status >= 400:
+            raise ServeError(
+                doc.get("error", f"server error {status}"), status=status
+            )
+        return doc
+
+    # ------------------------------------------------------------------
+    def submit(self, request_doc: dict) -> tuple[int, dict]:
+        """Submit a job request document.
+
+        Returns ``(status, doc)``: 200 carries ``result`` (cache hit),
+        202 an accepted/joined job, 429 a ``retry_after_s`` hint.  Other
+        error statuses raise.
+        """
+        status, doc = self.call("POST", "/jobs", request_doc)
+        if status >= 400 and status != 429:
+            raise ServeError(
+                doc.get("error", f"server error {status}"), status=status
+            )
+        return status, doc
+
+    def job(self, job_id: str, *, wait: bool = False,
+            timeout_s: float | None = None) -> dict:
+        path = f"/jobs/{job_id}"
+        if wait:
+            path += "?wait=1"
+            if timeout_s is not None:
+                path += f"&timeout_s={timeout_s}"
+        return self._checked("GET", path)
+
+    def wait(
+        self,
+        job_id: str,
+        *,
+        timeout_s: float = 120.0,
+        poll_s: float = 0.1,
+        sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> dict:
+        """Block until the job reaches a terminal state (long-polling)."""
+        deadline = clock() + timeout_s
+        while True:
+            remaining = deadline - clock()
+            if remaining <= 0:
+                raise ServeError(
+                    f"job {job_id} did not finish within {timeout_s}s",
+                    status=504,
+                )
+            doc = self.job(
+                job_id, wait=True, timeout_s=min(remaining, 10.0)
+            )
+            if doc["job"]["state"] in TERMINAL_STATES:
+                return doc
+            sleep(poll_s)
+
+    def jobs(self) -> dict:
+        return self._checked("GET", "/jobs")
+
+    def result(self, fingerprint: str) -> dict:
+        return self._checked("GET", f"/results/{fingerprint}")
+
+    def index(self, spec: str | None = None) -> dict:
+        path = "/index" if spec is None else f"/index?spec={spec}"
+        return self._checked("GET", path)
+
+    def health(self) -> dict:
+        return self._checked("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        return self._checked("GET", "/metrics")
+
+    def gc(self) -> dict:
+        return self._checked("POST", "/gc")
+
+    def shutdown(self) -> dict:
+        return self._checked("POST", "/shutdown")

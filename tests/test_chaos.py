@@ -282,3 +282,187 @@ class TestRetryPolicy:
         ]
         notes = [e for e in events if e.get("event") == "note"]
         assert any(e.get("recovered") == "store.write:test" for e in notes)
+
+
+# ----------------------------------------------------------------------
+# the sites= filter: scoping injection without perturbing schedules
+# ----------------------------------------------------------------------
+class TestSiteFilter:
+    def test_empty_filter_enables_every_site(self):
+        from repro.chaos.plan import SITES
+
+        plan = ChaosPlan()
+        assert all(plan.site_enabled(site) for site in SITES)
+
+    def test_filter_scopes_to_named_sites(self):
+        plan = ChaosPlan(sites=("serve.job", "store.write"))
+        assert plan.site_enabled("serve.job")
+        assert plan.site_enabled("store.write")
+        assert not plan.site_enabled("worker.task")
+        assert not plan.site_enabled("store.read")
+
+    def test_unknown_site_name_is_a_structured_error(self):
+        from repro.chaos.plan import SITES, ChaosSpecError
+
+        with pytest.raises(ChaosSpecError) as info:
+            ChaosPlan(sites=("serve.job", "worker.tsak"))
+        assert info.value.unknown == ("worker.tsak",)
+        assert info.value.valid == SITES
+        # the message itself lists every valid site — a typo must come
+        # back with the menu, not a silent no-op
+        for site in SITES:
+            assert site in str(info.value)
+
+    def test_from_spec_parses_colon_separated_site_lists(self):
+        plan = ChaosPlan.from_spec(
+            "seed=3, p_kill=0.5, sites=serve.job:store.write"
+        )
+        assert plan.sites == ("serve.job", "store.write")
+
+    def test_from_spec_rejects_unknown_site_names(self):
+        from repro.chaos.plan import SITES, ChaosSpecError
+
+        with pytest.raises(ChaosSpecError) as info:
+            ChaosPlan.from_spec("sites=serve.job:store.wrote")
+        assert info.value.unknown == ("store.wrote",)
+        assert info.value.valid == SITES
+
+    def test_from_spec_rejects_unknown_keys_structurally(self):
+        from repro.chaos.plan import ChaosSpecError
+
+        with pytest.raises(ChaosSpecError) as info:
+            ChaosPlan.from_spec("sights=serve.job")
+        assert info.value.unknown == ("sights",)
+        assert "sites" in info.value.valid
+
+    def test_disabled_sites_neither_fire_nor_advance_counters(self):
+        # faults armed at index 0 for two sites; only store.write enabled
+        state = ChaosState(
+            ChaosPlan(
+                kill_at=(0,), write_enospc_at=(0,), sites=("store.write",)
+            )
+        )
+        with obs.use_collector() as collector:
+            # the filtered-out seam is an exact no-op ...
+            assert state.serve_job_fault() is None
+            assert state.serve_job_fault() is None
+            # ... its occurrence counter never advanced ...
+            assert state.next_index("serve.job") == 0
+            # ... and the enabled site's schedule is undisturbed
+            assert state.store_write_fault() == "enospc"
+        counters = collector.snapshot().counters
+        assert counters["chaos.injected"] == 1
+        assert counters["chaos.injected.store.write.enospc"] == 1
+        assert not any("serve.job" in key for key in counters)
+
+    def test_serve_job_fault_kinds_and_accounting(self):
+        state = ChaosState(
+            ChaosPlan(kill_at=(0,), hang_at=(1,), raise_at=(2,))
+        )
+        with obs.use_collector() as collector:
+            assert state.serve_job_fault() == "kill"
+            assert state.serve_job_fault() == "hang"
+            assert state.serve_job_fault() == "raise"
+            assert state.serve_job_fault() is None
+        counters = collector.snapshot().counters
+        assert counters["chaos.injected.serve.job.kill"] == 1
+        assert counters["chaos.injected.serve.job.hang"] == 1
+        assert counters["chaos.injected.serve.job.raise"] == 1
+
+
+# ----------------------------------------------------------------------
+# RetryPolicy under concurrency: shared policy, independent callers
+# ----------------------------------------------------------------------
+class TestRetryPolicyConcurrency:
+    def test_concurrent_callers_keep_deterministic_per_site_backoff(self):
+        """One shared policy, many threads: each site's backoff schedule
+        is the pure function delay_s(site, k) — interleaving with other
+        callers must not perturb it (no cross-talk)."""
+        import threading
+
+        policy = RetryPolicy(
+            max_attempts=3, base_delay_s=0.01, jitter=0.5, seed=5
+        )
+        sites = [f"store.write:site-{i}" for i in range(8)]
+        observed: dict[str, list[float]] = {}
+        errors: list[BaseException] = []
+        barrier = threading.Barrier(len(sites))
+
+        def caller(site: str) -> None:
+            try:
+                failures = [OSError("flaky"), OSError("flaky")]
+                slept: list[float] = []
+
+                def op():
+                    if failures:
+                        raise failures.pop(0)
+                    return site
+
+                barrier.wait(timeout=30)
+                assert policy.call(
+                    op, site=site, sleep=slept.append, clock=lambda: 0.0
+                ) == site
+                observed[site] = slept
+            except BaseException as exc:  # surfaced in the main thread
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=caller, args=(site,)) for site in sites
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(60)
+        assert not errors, errors
+        for site in sites:
+            assert observed[site] == [
+                policy.delay_s(site, 1), policy.delay_s(site, 2)
+            ], f"{site}: backoff schedule perturbed by concurrent callers"
+        # distinct sites draw distinct jittered schedules
+        assert len({tuple(s) for s in observed.values()}) > 1
+
+    def test_concurrent_accounting_under_thread_safe_collector(self):
+        """retry.* counters stay exact when N callers overlap, provided
+        the installed collector is the thread-safe one."""
+        import threading
+
+        from repro.obs.core import ThreadSafeCollector
+
+        policy = RetryPolicy(max_attempts=4)
+        callers = 8
+        barrier = threading.Barrier(callers)
+        errors: list[BaseException] = []
+        collector = ThreadSafeCollector()
+
+        def caller(i: int) -> None:
+            try:
+                failures = [OSError("a"), OSError("b")]
+
+                def op():
+                    barrier.wait(timeout=30)  # maximize overlap
+                    if failures:
+                        raise failures.pop(0)
+                    return i
+
+                assert policy.call(
+                    op, site=f"s{i}", sleep=lambda s: None,
+                    clock=lambda: 0.0,
+                ) == i
+            except BaseException as exc:
+                errors.append(exc)
+
+        with obs.use_collector(collector):
+            threads = [
+                threading.Thread(target=caller, args=(i,))
+                for i in range(callers)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(60)
+        assert not errors, errors
+        counters = collector.snapshot().counters
+        assert counters["retry.attempts"] == 3 * callers
+        assert counters["retry.retries"] == 2 * callers
+        assert counters["retry.recoveries"] == callers
+        assert "retry.giveups" not in counters

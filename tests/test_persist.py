@@ -401,3 +401,89 @@ class TestAnytime:
         assert doc["error"] == "interrupted"
         assert doc["phase"] == "safety"
         assert json.loads(json.dumps(doc)) == doc
+
+
+# ----------------------------------------------------------------------
+# Store.gc: pruning the write protocol's crash debris
+# ----------------------------------------------------------------------
+class TestStoreGC:
+    def _store(self, tmp_path):
+        from repro.persist import Store
+
+        store = Store(str(tmp_path))
+        store.write("a.json", {"n": 1})
+        store.write("a.json", {"n": 2})       # rotates a healthy .prev
+        store.write("sub/b.json", {"n": 3})   # nested: gc walks the tree
+        return store
+
+    def test_gc_on_a_healthy_tree_touches_nothing(self, tmp_path):
+        store = self._store(tmp_path)
+        stats = store.gc()
+        assert stats == {
+            "scanned": 2, "tmp_removed": 0, "healed": 0,
+            "corrupt_removed": 0, "prev_removed": 0,
+        }
+        assert store.read("a.json") == {"n": 2}
+        assert store.read("a.json" + PREV_SUFFIX) == {"n": 1}
+        assert store.read("sub/b.json") == {"n": 3}
+
+    def test_gc_removes_orphaned_tmp_files(self, tmp_path):
+        store = self._store(tmp_path)
+        (tmp_path / "a.json.k3j2.tmp").write_text("half-writ")
+        (tmp_path / "sub" / "b.json.x9.tmp").write_text("")
+        stats = store.gc()
+        assert stats["tmp_removed"] == 2
+        assert not list(tmp_path.rglob("*.tmp"))
+        assert store.read("a.json") == {"n": 2}
+
+    def test_gc_heals_torn_primary_from_prev(self, tmp_path):
+        """The regression the write protocol makes possible: a crash (or
+        injected partial write) after the .prev rotation leaves a torn
+        primary shadowing a healthy fallback.  gc must promote the
+        fallback, not delete the pair."""
+        store = self._store(tmp_path)
+        text = (tmp_path / "a.json").read_text()
+        (tmp_path / "a.json").write_text(text[: len(text) // 3])
+        stats = store.gc()
+        assert stats["healed"] == 1
+        assert stats["corrupt_removed"] == 0
+        assert store.read("a.json") == {"n": 1}  # the previous good body
+        assert not (tmp_path / ("a.json" + PREV_SUFFIX)).exists()
+
+    def test_gc_removes_corrupt_primary_without_fallback(self, tmp_path):
+        store = self._store(tmp_path)
+        (tmp_path / "sub" / "b.json").write_text("{ not json")
+        stats = store.gc()
+        assert stats["corrupt_removed"] == 1
+        assert not store.exists("sub/b.json")
+        assert store.read("a.json") == {"n": 2}  # the healthy neighbour
+
+    def test_gc_removes_corrupt_prev_beside_healthy_primary(self, tmp_path):
+        store = self._store(tmp_path)
+        (tmp_path / ("a.json" + PREV_SUFFIX)).write_text("torn too")
+        stats = store.gc()
+        assert stats["prev_removed"] == 1
+        assert store.read("a.json") == {"n": 2}
+
+    def test_gc_promotes_orphaned_prev(self, tmp_path):
+        """A crash between the two renames leaves only the .prev — the
+        previous good snapshot — which gc promotes back to primary."""
+        store = self._store(tmp_path)
+        (tmp_path / "a.json").unlink()
+        stats = store.gc()
+        assert stats["healed"] == 1
+        assert store.read("a.json") == {"n": 1}
+
+    def test_gc_counts_its_work_into_obs(self, tmp_path):
+        store = self._store(tmp_path)
+        (tmp_path / "a.json.zz.tmp").write_text("")
+        text = (tmp_path / "a.json").read_text()
+        (tmp_path / "a.json").write_text(text[:20])
+        with obs.use_collector(MetricsCollector()) as collector:
+            store.gc()
+        counters = collector.snapshot().counters
+        assert counters["persist.gc.runs"] == 1
+        assert counters["persist.gc.scanned"] == 2
+        assert counters["persist.gc.tmp_removed"] == 1
+        assert counters["persist.gc.healed"] == 1
+        assert "persist.gc.corrupt_removed" not in counters  # zero: uncounted
